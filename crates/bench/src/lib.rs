@@ -1,0 +1,5 @@
+//! Criterion benchmarks for the SFT reproduction.
+//!
+//! The library target is intentionally empty: all content lives in the
+//! `benches/` directory (one benchmark group per paper figure plus
+//! substrate micro-benchmarks). Run with `cargo bench -p sft-bench`.

@@ -1,0 +1,195 @@
+//! Hand-rolled argument parsing for the `sft` tool.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The usage text shown by `sft help` and on parse errors.
+pub const USAGE: &str = "\
+sft — service function tree embedding for NFV multicast
+
+USAGE:
+  sft <info|solve|exact|help> [--flag value]...
+
+TOPOLOGIES (--topology):
+  palmetto          the 45-node Palmetto backbone
+  abilene           the 11-node Abilene/Internet2 backbone
+  er:<n>            Erdős–Rényi, n nodes, Euclidean costs (use --seed)
+  geo:<n>           random geometric, n nodes (use --seed)
+  grid:<r>x<c>      r x c grid, unit costs
+  fat-tree:<k>      k-ary fat-tree datacenter fabric
+
+COMMON FLAGS:
+  --seed <u64>          RNG seed (default 0)
+  --capacity <f64>      per-server capacity (default 3)
+  --setup-cost <f64>    uniform VNF setup cost (default 1)
+
+SOLVE / EXACT FLAGS:
+  --source <node>       source node index (required)
+  --dests <a,b,c>       destination node indices (required)
+  --sfc <k>             chain length, types 0..k (default 3)
+  --strategy <msa|sca|rsa>   stage-1 algorithm (default msa)
+  --no-opa              skip stage 2
+  --stats               print embedding statistics
+  --dot <file>          write the physical embedding as DOT
+  --sft-dot <file>      write the logical SFT as DOT
+  --max-nodes <n>       (exact) branch-and-bound node budget
+  --time-limit <secs>   (exact) wall-clock budget
+
+EXAMPLES:
+  sft info  --topology palmetto
+  sft solve --topology er:50 --seed 7 --source 0 --dests 5,12,31 --sfc 3
+  sft exact --topology grid:3x4 --source 0 --dests 7,11 --sfc 2
+";
+
+/// A parse failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed command line: one subcommand plus `--flag value` pairs
+/// (boolean flags store `"true"`).
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (`info`, `solve`, `exact`, `help`).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 3] = ["no-opa", "quick", "stats"];
+
+impl Args {
+    /// Parses pre-split arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on missing subcommand, malformed flags, or missing
+    /// flag values.
+    pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseError("missing subcommand".into()))?
+            .clone();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ParseError(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            if name.is_empty() {
+                return Err(ParseError("empty flag name".into()));
+            }
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".into());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError(format!("flag --{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Raw flag value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, ParseError> {
+        self.get(name)
+            .ok_or_else(|| ParseError(format!("missing required flag --{name}")))
+    }
+
+    /// Parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] when present but unparsable.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("cannot parse --{name} value `{v}`"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
+    }
+
+    /// Parses a comma-separated list of numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on any unparsable element or an empty list.
+    pub fn parse_list(&self, name: &str) -> Result<Vec<usize>, ParseError> {
+        let raw = self.require(name)?;
+        let out: Result<Vec<usize>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+        let out = out.map_err(|_| ParseError(format!("cannot parse --{name} list `{raw}`")))?;
+        if out.is_empty() {
+            return Err(ParseError(format!("--{name} list is empty")));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&argv("solve --topology er:50 --seed 7 --no-opa")).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.get("topology"), Some("er:50"));
+        assert_eq!(a.parse_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("no-opa"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("solve positional")).is_err());
+        assert!(Args::parse(&argv("solve --seed")).is_err());
+        assert!(Args::parse(&argv("solve --")).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_validate() {
+        let a = Args::parse(&argv("solve --seed abc --dests 1,2,3")).unwrap();
+        assert!(a.parse_or("seed", 0u64).is_err());
+        assert_eq!(a.parse_list("dests").unwrap(), vec![1, 2, 3]);
+        assert!(a.require("topology").is_err());
+        let b = Args::parse(&argv("solve --dests 1,,3")).unwrap();
+        assert!(b.parse_list("dests").is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_absent() {
+        let a = Args::parse(&argv("solve")).unwrap();
+        assert_eq!(a.parse_or("capacity", 3.0).unwrap(), 3.0);
+        assert_eq!(a.parse_or("sfc", 3usize).unwrap(), 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! The `sft` subcommand implementations. Each returns the text to print.
+
+use crate::args::{Args, ParseError};
+use crate::topology_spec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sft_core::ilp::IlpModel;
+use sft_core::{
+    solve_with_rng, viz, MulticastTask, Network, Sfc, SftTree, StageTwo, Strategy, VnfCatalog,
+    VnfId,
+};
+use sft_graph::NodeId;
+use sft_lp::MipConfig;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Builds the network and task that `solve` / `exact` operate on.
+fn setup(args: &Args) -> Result<(Network, MulticastTask), ParseError> {
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let graph = topology_spec::build(args.require("topology")?, seed)?;
+    let capacity: f64 = args.parse_or("capacity", 3.0)?;
+    let setup_cost: f64 = args.parse_or("setup-cost", 1.0)?;
+    let k: usize = args.parse_or("sfc", 3)?;
+    if k == 0 {
+        return Err(ParseError("--sfc must be at least 1".into()));
+    }
+    let network = Network::builder(graph, VnfCatalog::uniform(k))
+        .all_servers(capacity)
+        .map_err(|e| ParseError(e.to_string()))?
+        .uniform_setup_cost(setup_cost)
+        .map_err(|e| ParseError(e.to_string()))?
+        .build()
+        .map_err(|e| ParseError(e.to_string()))?;
+
+    let source = NodeId(args.parse_or("source", usize::MAX)?);
+    if source.index() == usize::MAX {
+        return Err(ParseError("missing required flag --source".into()));
+    }
+    let dests: Vec<NodeId> = args.parse_list("dests")?.into_iter().map(NodeId).collect();
+    let sfc =
+        Sfc::new((0..k).map(VnfId).collect::<Vec<_>>()).map_err(|e| ParseError(e.to_string()))?;
+    let task = MulticastTask::new(source, dests, sfc).map_err(|e| ParseError(e.to_string()))?;
+    Ok((network, task))
+}
+
+/// `sft info`: topology statistics.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags or topology specs.
+pub fn info(args: &Args) -> Result<String, ParseError> {
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let graph = topology_spec::build(args.require("topology")?, seed)?;
+    let apsp = graph
+        .all_pairs_shortest_paths()
+        .map_err(|e| ParseError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes      : {}", graph.node_count());
+    let _ = writeln!(out, "edges      : {}", graph.edge_count());
+    let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
+    let _ = writeln!(
+        out,
+        "degree     : min {} / avg {:.2} / max {}",
+        degrees.iter().min().unwrap_or(&0),
+        degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64,
+        degrees.iter().max().unwrap_or(&0)
+    );
+    let _ = writeln!(out, "connected  : {}", graph.is_connected());
+    let _ = writeln!(out, "avg dist   : {:.2} (l_G)", apsp.average_distance());
+    let _ = writeln!(out, "diameter   : {:.2}", apsp.diameter());
+    Ok(out)
+}
+
+/// `sft solve`: run the two-stage embedding.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags, topology specs, or solve failures.
+pub fn solve(args: &Args) -> Result<String, ParseError> {
+    let (network, task) = setup(args)?;
+    let strategy = match args.get("strategy").unwrap_or("msa") {
+        "msa" => Strategy::Msa,
+        "sca" => Strategy::Sca,
+        "rsa" => Strategy::Rsa,
+        other => return Err(ParseError(format!("unknown strategy `{other}`"))),
+    };
+    let stage2 = if args.flag("no-opa") {
+        StageTwo::Skip
+    } else {
+        StageTwo::Opa
+    };
+    let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
+    let start = Instant::now();
+    let result = solve_with_rng(&network, &task, strategy, stage2, &mut rng)
+        .map_err(|e| ParseError(e.to_string()))?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "strategy   : {strategy:?} (stage 2: {stage2:?})");
+    let _ = writeln!(out, "cost       : {:.2}", result.cost.total());
+    let _ = writeln!(out, "  setup    : {:.2}", result.cost.setup);
+    let _ = writeln!(out, "  links    : {:.2}", result.cost.link);
+    let _ = writeln!(out, "stage1 cost: {:.2}", result.stage1_cost);
+    let _ = writeln!(out, "runtime    : {ms:.2} ms");
+    let _ = writeln!(out, "chain      : {:?}", result.chain.placement);
+    for (stage, node) in result.embedding.instances() {
+        let f = task.sfc().stage(stage);
+        let status = if network.is_deployed(f, node) {
+            "reused"
+        } else {
+            "new"
+        };
+        let _ = writeln!(out, "instance   : stage {stage} on node {node} [{status}]");
+    }
+    let issues = sft_core::validate::validate(&network, &task, &result.embedding);
+    let _ = writeln!(
+        out,
+        "validator  : {}",
+        if issues.is_empty() { "OK" } else { "FAILED" }
+    );
+
+    if args.flag("stats") {
+        let s = sft_core::EmbeddingStats::collect(&network, &task, &result.embedding)
+            .map_err(|e| ParseError(e.to_string()))?;
+        let _ = writeln!(out, "stats      :");
+        let _ = writeln!(
+            out,
+            "  instances: {} used, {} new (reuse {:.0}%)",
+            s.instances_used,
+            s.instances_new,
+            100.0 * s.reuse_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "  hops     : mean {:.1}, max {}",
+            s.mean_route_hops, s.max_route_hops
+        );
+        let _ = writeln!(out, "  branching: {}", s.is_branching);
+        let per_seg: Vec<String> = s
+            .segment_link_costs
+            .iter()
+            .map(|c| format!("{c:.1}"))
+            .collect();
+        let _ = writeln!(out, "  segments : [{}]", per_seg.join(", "));
+        let _ = writeln!(out, "  per stage: {:?}", &s.instances_per_stage[1..]);
+    }
+
+    if let Some(path) = args.get("dot") {
+        let dot = viz::embedding_dot(&network, &task, &result.embedding)
+            .map_err(|e| ParseError(e.to_string()))?;
+        std::fs::write(path, dot).map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "dot        : wrote {path}");
+    }
+    if let Some(path) = args.get("sft-dot") {
+        let tree =
+            SftTree::extract(&task, &result.embedding).map_err(|e| ParseError(e.to_string()))?;
+        std::fs::write(path, viz::sft_dot(&tree))
+            .map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "sft-dot    : wrote {path}");
+    }
+    Ok(out)
+}
+
+/// `sft exact`: heuristic + exact ILP with approximation ratio.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags, oversized instances, or solver errors.
+pub fn exact(args: &Args) -> Result<String, ParseError> {
+    let (network, task) = setup(args)?;
+    let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
+    let heuristic = solve_with_rng(&network, &task, Strategy::Msa, StageTwo::Opa, &mut rng)
+        .map_err(|e| ParseError(e.to_string()))?;
+
+    let model = IlpModel::build(&network, &task).map_err(|e| ParseError(e.to_string()))?;
+    let mip = MipConfig {
+        max_nodes: args.parse_or("max-nodes", 4000)?,
+        time_limit: Some(Duration::from_secs(args.parse_or("time-limit", 120)?)),
+        warm_start: model.warm_start(&network, &task, &heuristic.embedding),
+        ..MipConfig::default()
+    };
+    let start = Instant::now();
+    let outc = model
+        .solve(&network, &task, &mip)
+        .map_err(|e| ParseError(e.to_string()))?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "heuristic  : {:.2}", heuristic.cost.total());
+    let _ = writeln!(
+        out,
+        "ILP        : {} variables, {} constraints",
+        model.problem().var_count(),
+        model.problem().constraint_count()
+    );
+    let _ = writeln!(
+        out,
+        "status     : {:?} ({} B&B nodes, {ms:.1} ms)",
+        outc.status, outc.nodes
+    );
+    match outc.objective {
+        Some(obj) => {
+            let _ = writeln!(out, "optimum    : {obj:.2}");
+            let _ = writeln!(
+                out,
+                "ratio      : {:.4}",
+                heuristic.cost.total() / obj.max(1e-12)
+            );
+            let _ = writeln!(out, "bound      : {:.2}", outc.bound);
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "optimum    : not found within budget (bound {:.2})",
+                outc.bound
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmdline: &str) -> Result<String, ParseError> {
+        let argv: Vec<String> = cmdline.split_whitespace().map(String::from).collect();
+        let args = Args::parse(&argv).unwrap();
+        match args.command.as_str() {
+            "info" => info(&args),
+            "solve" => solve(&args),
+            "exact" => exact(&args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn info_reports_palmetto_shape() {
+        let out = run("info --topology palmetto").unwrap();
+        assert!(out.contains("nodes      : 45"));
+        assert!(out.contains("connected  : true"));
+    }
+
+    #[test]
+    fn solve_on_grid_validates() {
+        let out = run("solve --topology grid:3x4 --source 0 --dests 7,11 --sfc 2").unwrap();
+        assert!(out.contains("validator  : OK"), "{out}");
+        assert!(out.contains("cost       :"));
+        assert!(out.contains("instance   : stage 1"));
+    }
+
+    #[test]
+    fn solve_strategies_and_no_opa() {
+        for strat in ["msa", "sca", "rsa"] {
+            let out = run(&format!(
+                "solve --topology er:25 --seed 3 --source 0 --dests 5,9 --sfc 2 --strategy {strat}"
+            ))
+            .unwrap();
+            assert!(out.contains("validator  : OK"), "{strat}: {out}");
+        }
+        let out =
+            run("solve --topology er:25 --seed 3 --source 0 --dests 5,9 --sfc 2 --no-opa").unwrap();
+        assert!(out.contains("Skip"));
+    }
+
+    #[test]
+    fn exact_certifies_small_instances() {
+        let out = run("exact --topology grid:3x3 --source 0 --dests 8 --sfc 1").unwrap();
+        assert!(out.contains("status     : Optimal"), "{out}");
+        assert!(out.contains("ratio      : 1.0000"), "{out}");
+    }
+
+    #[test]
+    fn solve_rejects_bad_inputs_gracefully() {
+        assert!(run("solve --topology grid:3x4 --dests 7").is_err()); // no source
+        assert!(run("solve --topology grid:3x4 --source 0").is_err()); // no dests
+        assert!(run("solve --topology nope --source 0 --dests 1").is_err());
+        assert!(run("solve --topology grid:2x2 --source 0 --dests 3 --sfc 0").is_err());
+        assert!(run("solve --topology grid:2x2 --source 0 --dests 3 --strategy magic").is_err());
+    }
+
+    #[test]
+    fn stats_flag_prints_statistics() {
+        let out = run("solve --topology grid:3x4 --source 0 --dests 7,11 --sfc 2 --stats").unwrap();
+        assert!(out.contains("stats      :"), "{out}");
+        assert!(out.contains("instances:"));
+        assert!(out.contains("hops"));
+        assert!(out.contains("segments"));
+    }
+
+    #[test]
+    fn dot_exports_write_files() {
+        let dir = std::env::temp_dir().join("sft_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dot = dir.join("emb.dot");
+        let sft = dir.join("sft.dot");
+        let out = run(&format!(
+            "solve --topology grid:3x3 --source 0 --dests 8 --sfc 1 --dot {} --sft-dot {}",
+            dot.display(),
+            sft.display()
+        ))
+        .unwrap();
+        assert!(out.contains("dot        : wrote"));
+        assert!(std::fs::read_to_string(&dot)
+            .unwrap()
+            .starts_with("graph embedding"));
+        assert!(std::fs::read_to_string(&sft)
+            .unwrap()
+            .starts_with("digraph sft"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

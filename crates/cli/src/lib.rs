@@ -1,0 +1,38 @@
+//! Implementation of the `sft` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `sft info --topology <spec>` — topology statistics;
+//! * `sft solve --topology <spec> --source <n> --dests <a,b,c> --sfc <k>`
+//!   — run the two-stage embedding and print the result (optionally
+//!   exporting DOT renderings);
+//! * `sft exact …` — additionally solve the ILP exactly and report the
+//!   approximation ratio.
+//!
+//! Argument parsing is hand-rolled (the project's dependency set is
+//! deliberately tiny); see [`args`] for the grammar and [`run`] for the
+//! dispatcher. The library layer returns strings so it is fully testable
+//! without spawning processes.
+
+pub mod args;
+pub mod commands;
+pub mod topology_spec;
+
+pub use args::{Args, ParseError};
+
+/// Runs the CLI on pre-split arguments (without the program name) and
+/// returns the output to print.
+///
+/// # Errors
+///
+/// A human-readable message (usage errors, solve failures).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv).map_err(|e| format!("{e}\n\n{}", args::USAGE))?;
+    match args.command.as_str() {
+        "info" => commands::info(&args).map_err(|e| e.to_string()),
+        "solve" => commands::solve(&args).map_err(|e| e.to_string()),
+        "exact" => commands::exact(&args).map_err(|e| e.to_string()),
+        "help" => Ok(args::USAGE.to_string()),
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", args::USAGE)),
+    }
+}

@@ -1,0 +1,12 @@
+//! The `sft` binary: thin wrapper over [`sft_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match sft_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

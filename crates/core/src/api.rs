@@ -1,0 +1,221 @@
+//! High-level entry points: run a full two-stage solve with one call.
+
+use crate::chain::ChainSolution;
+use crate::cost::{delivery_cost, CostBreakdown};
+use crate::embedding::Embedding;
+use crate::network::Network;
+use crate::opa;
+use crate::task::MulticastTask;
+use crate::CoreError;
+use rand::Rng;
+
+/// Which stage-1 algorithm to run (stage 2 / OPA is shared, §V-A).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's Modified Shortest-path Algorithm (Algorithm 2).
+    Msa,
+    /// The minimum Set Cover baseline.
+    Sca,
+    /// The Randomly Selecting baseline (requires an RNG; see
+    /// [`solve_with_rng`]).
+    Rsa,
+}
+
+/// Whether to run the stage-2 optimization.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StageTwo {
+    /// Run OPA (the paper's full two-stage pipeline).
+    #[default]
+    Opa,
+    /// Stop after stage 1 (ablation: chain embedding only).
+    Skip,
+}
+
+/// Result of a complete solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The final embedding.
+    pub embedding: Embedding,
+    /// Cost breakdown of the final embedding.
+    pub cost: CostBreakdown,
+    /// Total cost of the stage-1 solution before OPA (equals
+    /// `cost.total()` when OPA was skipped or added nothing).
+    pub stage1_cost: f64,
+    /// The stage-1 chain solution (placement + Steiner tree).
+    pub chain: ChainSolution,
+    /// Branch instances OPA added, as `(stage, node)` pairs.
+    pub added_instances: Vec<(usize, sft_graph::NodeId)>,
+}
+
+/// Solves a multicast SFT-embedding task with a deterministic strategy
+/// ([`Strategy::Msa`] or [`Strategy::Sca`]).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidTask`] if [`Strategy::Rsa`] is requested (it needs
+///   an RNG; use [`solve_with_rng`]).
+/// * Any stage-1 error ([`CoreError::Infeasible`], id mismatches).
+///
+/// ```
+/// use sft_core::{solve, Strategy, StageTwo};
+/// use sft_core::{MulticastTask, Network, Sfc, VnfCatalog, VnfId};
+/// use sft_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), sft_core::CoreError> {
+/// let mut g = Graph::new(4);
+/// for i in 0..3 { g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap(); }
+/// let net = Network::builder(g, VnfCatalog::uniform(2))
+///     .all_servers(2.0)?
+///     .build()?;
+/// let task = MulticastTask::new(
+///     NodeId(0),
+///     vec![NodeId(3)],
+///     Sfc::new(vec![VnfId(0), VnfId(1)])?,
+/// )?;
+/// let result = solve(&net, &task, Strategy::Msa, StageTwo::Opa)?;
+/// assert!(result.cost.total() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(
+    network: &Network,
+    task: &MulticastTask,
+    strategy: Strategy,
+    stage_two: StageTwo,
+) -> Result<SolveResult, CoreError> {
+    let chain = match strategy {
+        Strategy::Msa => crate::msa::stage_one(network, task)?,
+        Strategy::Sca => crate::sca::stage_one(network, task)?,
+        Strategy::Rsa => {
+            return Err(CoreError::InvalidTask {
+                reason: "RSA is randomized; call solve_with_rng".into(),
+            })
+        }
+    };
+    finish(network, task, chain, stage_two)
+}
+
+/// Solves with an explicit RNG; required for [`Strategy::Rsa`], accepted
+/// (and ignored) for the deterministic strategies so sweeps can treat all
+/// three uniformly.
+///
+/// # Errors
+///
+/// Any stage-1 error ([`CoreError::Infeasible`], id mismatches).
+pub fn solve_with_rng<R: Rng + ?Sized>(
+    network: &Network,
+    task: &MulticastTask,
+    strategy: Strategy,
+    stage_two: StageTwo,
+    rng: &mut R,
+) -> Result<SolveResult, CoreError> {
+    let chain = match strategy {
+        Strategy::Msa => crate::msa::stage_one(network, task)?,
+        Strategy::Sca => crate::sca::stage_one(network, task)?,
+        Strategy::Rsa => crate::rsa::stage_one(network, task, rng)?,
+    };
+    finish(network, task, chain, stage_two)
+}
+
+fn finish(
+    network: &Network,
+    task: &MulticastTask,
+    chain: ChainSolution,
+    stage_two: StageTwo,
+) -> Result<SolveResult, CoreError> {
+    match stage_two {
+        StageTwo::Opa => {
+            let out = opa::optimize(network, task, &chain)?;
+            let cost = delivery_cost(network, task, &out.embedding)?;
+            Ok(SolveResult {
+                embedding: out.embedding,
+                cost,
+                stage1_cost: out.initial_cost,
+                chain,
+                added_instances: out.added_instances,
+            })
+        }
+        StageTwo::Skip => {
+            let embedding = chain.to_embedding(network, task)?;
+            let cost = delivery_cost(network, task, &embedding)?;
+            Ok(SolveResult {
+                stage1_cost: cost.total(),
+                embedding,
+                cost,
+                chain,
+                added_instances: Vec::new(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid;
+    use crate::vnf::{Sfc, VnfCatalog, VnfId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sft_graph::{Graph, NodeId};
+
+    fn fixture() -> (Network, MulticastTask) {
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 6), 1.0).unwrap();
+        }
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(3.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(2), NodeId(4)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        (net, task)
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_solutions() {
+        let (net, task) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        for strat in [Strategy::Msa, Strategy::Sca, Strategy::Rsa] {
+            let r = solve_with_rng(&net, &task, strat, StageTwo::Opa, &mut rng).unwrap();
+            assert!(is_valid(&net, &task, &r.embedding), "{strat:?}");
+            assert!(r.cost.total() <= r.stage1_cost + 1e-9, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_rsa_without_rng() {
+        let (net, task) = fixture();
+        assert!(matches!(
+            solve(&net, &task, Strategy::Rsa, StageTwo::Opa),
+            Err(CoreError::InvalidTask { .. })
+        ));
+    }
+
+    #[test]
+    fn skipping_stage_two_reports_stage1_cost() {
+        let (net, task) = fixture();
+        let r = solve(&net, &task, Strategy::Msa, StageTwo::Skip).unwrap();
+        assert_eq!(r.stage1_cost, r.cost.total());
+        assert!(r.added_instances.is_empty());
+    }
+
+    #[test]
+    fn msa_beats_or_ties_rsa_on_average() {
+        let (net, task) = fixture();
+        let msa = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
+        let mut total = 0.0;
+        let runs = 10;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rsa = solve_with_rng(&net, &task, Strategy::Rsa, StageTwo::Opa, &mut rng).unwrap();
+            total += rsa.cost.total();
+        }
+        assert!(msa.cost.total() <= total / runs as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,280 @@
+//! The traffic-delivery cost model.
+//!
+//! The paper defines the cost of a multicast solution as "the sum of all
+//! VNFs' setup cost and link connection cost over the target network"
+//! (§I, footnote 1), with two refinements carried by the ILP:
+//!
+//! * setup cost is charged only for **new** instances (`ω`), never for
+//!   reused pre-deployed ones (`π`, §IV-D);
+//! * within one chain segment, an edge shared by several destinations is
+//!   charged **once** (the ψ variables of constraint 1f) — that is the
+//!   whole point of multicast — while the same edge reused by *different*
+//!   segments is charged per segment, because the flow content differs
+//!   (§III-C's example: an edge "may be visited multiple times under an SFC
+//!   requirement, while the data flow for each visit is different").
+//!
+//! This module computes that cost from the canonical [`Embedding`]
+//! representation, never from algorithm-internal bookkeeping, so every
+//! algorithm (MSA, SCA, RSA, OPA, ILP round-trips) is priced by the same
+//! yardstick.
+
+use crate::embedding::Embedding;
+use crate::network::Network;
+use crate::task::MulticastTask;
+use crate::CoreError;
+use sft_graph::EdgeId;
+use std::collections::BTreeSet;
+
+/// A traffic-delivery cost split into its two components.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Total setup cost of new VNF instances.
+    pub setup: f64,
+    /// Total link-connection cost over all segments (with per-segment
+    /// multicast dedup).
+    pub link: f64,
+}
+
+impl CostBreakdown {
+    /// The total traffic delivery cost.
+    pub fn total(&self) -> f64 {
+        self.setup + self.link
+    }
+}
+
+/// Computes the traffic-delivery cost of an embedding.
+///
+/// The embedding is assumed shape-valid (see [`crate::validate::validate`]);
+/// this function still fails gracefully on walks that use non-existent
+/// edges.
+///
+/// # Errors
+///
+/// [`CoreError::Graph`] if a segment walks across a non-edge.
+pub fn delivery_cost(
+    network: &Network,
+    task: &MulticastTask,
+    embedding: &Embedding,
+) -> Result<CostBreakdown, CoreError> {
+    // fold from +0.0: an empty `Sum` would yield -0.0, which only looks
+    // wrong but looks wrong everywhere it is printed.
+    let setup = embedding
+        .new_instances(network, task)
+        .into_iter()
+        .map(|(f, n)| network.setup_cost(f, n))
+        .fold(0.0, |a, b| a + b);
+
+    let k = task.sfc().len();
+    let mut link = 0.0;
+    for j in 0..=k {
+        // Edges used by segment j across all destinations, deduplicated.
+        let mut edges: BTreeSet<EdgeId> = BTreeSet::new();
+        for route in embedding.routes() {
+            if let Some(seg) = route.segments().get(j) {
+                for id in network.graph().path_edges(seg)? {
+                    edges.insert(id);
+                }
+            }
+        }
+        link += edges
+            .iter()
+            .map(|&e| network.graph().weight(e))
+            .sum::<f64>();
+    }
+
+    Ok(CostBreakdown { setup, link })
+}
+
+/// Link cost of each chain segment separately (same dedup semantics as
+/// [`delivery_cost`]): index `j` is the cost of carrying segment-`j`
+/// traffic, `0..=k`. Summing the vector gives `delivery_cost(..).link`.
+///
+/// # Errors
+///
+/// [`CoreError::Graph`] if a segment walks across a non-edge.
+pub fn segment_link_costs(
+    network: &Network,
+    task: &MulticastTask,
+    embedding: &Embedding,
+) -> Result<Vec<f64>, CoreError> {
+    let k = task.sfc().len();
+    let mut out = Vec::with_capacity(k + 1);
+    for j in 0..=k {
+        let mut edges: BTreeSet<EdgeId> = BTreeSet::new();
+        for route in embedding.routes() {
+            if let Some(seg) = route.segments().get(j) {
+                for id in network.graph().path_edges(seg)? {
+                    edges.insert(id);
+                }
+            }
+        }
+        out.push(edges.iter().map(|&e| network.graph().weight(e)).sum());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::DestinationRoute;
+    use crate::network::Network;
+    use crate::vnf::{Sfc, VnfCatalog, VnfId};
+    use sft_graph::{Graph, NodeId};
+
+    /// Star: center 0 connected to 1..=4, weight = leaf index.
+    fn star_net(deploy: &[(VnfId, usize)]) -> Network {
+        let mut g = Graph::new(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), i as f64).unwrap();
+        }
+        let mut b = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(5.0)
+            .unwrap()
+            .uniform_setup_cost(10.0)
+            .unwrap();
+        for &(f, n) in deploy {
+            b = b.deploy(f, NodeId(n)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn task_two_dests() -> MulticastTask {
+        MulticastTask::new(
+            NodeId(1),
+            vec![NodeId(3), NodeId(4)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_segment_edges_count_once() {
+        let net = star_net(&[]);
+        let task = task_two_dests();
+        // Both destinations: S=1 -> f0@2, then 2 -> 3 and 2 -> 4.
+        let r3 = DestinationRoute::new(vec![
+            vec![NodeId(1), NodeId(0), NodeId(2)],
+            vec![NodeId(2), NodeId(0), NodeId(3)],
+        ]);
+        let r4 = DestinationRoute::new(vec![
+            vec![NodeId(1), NodeId(0), NodeId(2)],
+            vec![NodeId(2), NodeId(0), NodeId(4)],
+        ]);
+        let emb = Embedding::new(vec![r3, r4]);
+        let c = delivery_cost(&net, &task, &emb).unwrap();
+        // Segment 0: edges (1,0)+(0,2) = 1+2, shared -> 3 once.
+        // Segment 1: edges (2,0) shared = 2, plus (0,3)=3 and (0,4)=4 -> 9.
+        assert!((c.link - 12.0).abs() < 1e-12, "link {}", c.link);
+        assert!((c.setup - 10.0).abs() < 1e-12, "setup {}", c.setup);
+        assert!((c.total() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_edge_in_different_segments_counts_twice() {
+        let net = star_net(&[]);
+        let task = MulticastTask::new(
+            NodeId(1),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        // S=1 -> f0@3 via 0, then back 3 -> ... wait: deliver to 3 itself.
+        // Use: segment0: 1-0-2 (f0@2); segment1: 2-0-3. Edge (0,2) appears
+        // in segment 0; edge (2,0) again in segment 1 -> both charged.
+        let r = DestinationRoute::new(vec![
+            vec![NodeId(1), NodeId(0), NodeId(2)],
+            vec![NodeId(2), NodeId(0), NodeId(3)],
+        ]);
+        let emb = Embedding::new(vec![r]);
+        let c = delivery_cost(&net, &task, &emb).unwrap();
+        assert!((c.link - (1.0 + 2.0 + 2.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deployed_instances_incur_no_setup() {
+        let net = star_net(&[(VnfId(0), 2)]);
+        let task = task_two_dests();
+        let r3 = DestinationRoute::new(vec![
+            vec![NodeId(1), NodeId(0), NodeId(2)],
+            vec![NodeId(2), NodeId(0), NodeId(3)],
+        ]);
+        let emb = Embedding::new(vec![r3.clone(), {
+            DestinationRoute::new(vec![
+                vec![NodeId(1), NodeId(0), NodeId(2)],
+                vec![NodeId(2), NodeId(0), NodeId(4)],
+            ])
+        }]);
+        let c = delivery_cost(&net, &task, &emb).unwrap();
+        assert_eq!(c.setup, 0.0);
+    }
+
+    #[test]
+    fn one_instance_shared_by_destinations_costs_one_setup() {
+        let net = star_net(&[]);
+        let task = task_two_dests();
+        let emb = Embedding::new(vec![
+            DestinationRoute::new(vec![
+                vec![NodeId(1), NodeId(0), NodeId(2)],
+                vec![NodeId(2), NodeId(0), NodeId(3)],
+            ]),
+            DestinationRoute::new(vec![
+                vec![NodeId(1), NodeId(0), NodeId(2)],
+                vec![NodeId(2), NodeId(0), NodeId(4)],
+            ]),
+        ]);
+        let c = delivery_cost(&net, &task, &emb).unwrap();
+        assert_eq!(c.setup, 10.0); // one new instance, not two
+    }
+
+    #[test]
+    fn distinct_instances_cost_separate_setups() {
+        let net = star_net(&[]);
+        let task = task_two_dests();
+        // d=3 served by f0@3, d=4 served by f0@4 (SFT-style branching).
+        let emb = Embedding::new(vec![
+            DestinationRoute::new(vec![vec![NodeId(1), NodeId(0), NodeId(3)], vec![NodeId(3)]]),
+            DestinationRoute::new(vec![vec![NodeId(1), NodeId(0), NodeId(4)], vec![NodeId(4)]]),
+        ]);
+        let c = delivery_cost(&net, &task, &emb).unwrap();
+        assert_eq!(c.setup, 20.0);
+        // Segment 0: (1,0) shared + (0,3) + (0,4) = 1+3+4; segment 1 empty.
+        assert!((c.link - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_costs_sum_to_the_link_total() {
+        let net = star_net(&[]);
+        let task = task_two_dests();
+        let emb = Embedding::new(vec![
+            DestinationRoute::new(vec![
+                vec![NodeId(1), NodeId(0), NodeId(2)],
+                vec![NodeId(2), NodeId(0), NodeId(3)],
+            ]),
+            DestinationRoute::new(vec![
+                vec![NodeId(1), NodeId(0), NodeId(2)],
+                vec![NodeId(2), NodeId(0), NodeId(4)],
+            ]),
+        ]);
+        let per_segment = segment_link_costs(&net, &task, &emb).unwrap();
+        assert_eq!(per_segment.len(), 2);
+        assert!((per_segment[0] - 3.0).abs() < 1e-12); // (1,0)+(0,2) shared
+        assert!((per_segment[1] - 9.0).abs() < 1e-12); // (2,0)+(0,3)+(0,4)
+        let total = delivery_cost(&net, &task, &emb).unwrap();
+        let sum: f64 = per_segment.iter().sum();
+        assert!((sum - total.link).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_walk_is_a_graph_error() {
+        let net = star_net(&[]);
+        let task = task_two_dests();
+        let emb = Embedding::new(vec![DestinationRoute::new(vec![
+            vec![NodeId(1), NodeId(3)], // 1 and 3 are not adjacent
+            vec![NodeId(3)],
+        ])]);
+        assert!(matches!(
+            delivery_cost(&net, &task, &emb),
+            Err(CoreError::Graph(_))
+        ));
+    }
+}

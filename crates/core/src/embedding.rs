@@ -1,0 +1,228 @@
+//! Embedding solutions: who serves whom, over which physical paths.
+//!
+//! An [`Embedding`] is the canonical representation of *any* solution —
+//! chain-shaped (stage 1) or tree-shaped (after OPA) — from which cost and
+//! feasibility are always derived. Each destination gets a
+//! [`DestinationRoute`]: a walk from the source to the destination split
+//! into `k + 1` *segments*, where segment `j` carries the flow between the
+//! instance serving chain stage `j` and the one serving stage `j + 1`
+//! (stage `0` is the source itself, stage `k + 1` is delivery to the
+//! destination). Two destinations sharing an edge *within the same segment
+//! index* pay for it once (the paper's ψ multicast dedup); the same edge
+//! used by different segments is paid per segment, because the flow content
+//! differs.
+
+use crate::network::Network;
+use crate::task::MulticastTask;
+use crate::vnf::VnfId;
+use sft_graph::NodeId;
+use std::collections::BTreeSet;
+
+/// The route of a single destination: `k + 1` node paths, one per chain
+/// segment.
+///
+/// Invariants (enforced by [`crate::validate::validate`]):
+/// * `segments[0]` starts at the task source;
+/// * `segments[k]` ends at the destination;
+/// * consecutive segments share their junction node, which hosts the
+///   corresponding VNF instance;
+/// * every segment is a walk in the physical topology (a single-node
+///   segment means the two endpoints are co-located).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DestinationRoute {
+    segments: Vec<Vec<NodeId>>,
+}
+
+impl DestinationRoute {
+    /// Creates a route from its segments.
+    pub fn new(segments: Vec<Vec<NodeId>>) -> Self {
+        DestinationRoute { segments }
+    }
+
+    /// The segments, outermost index = chain stage (`0 ..= k`).
+    pub fn segments(&self) -> &[Vec<NodeId>] {
+        &self.segments
+    }
+
+    /// The node hosting the instance that serves chain stage `j`
+    /// (1-based), i.e. the junction between segments `j - 1` and `j`.
+    /// Returns `None` for out-of-range stages or malformed routes.
+    pub fn instance_node(&self, stage: usize) -> Option<NodeId> {
+        if stage == 0 || stage >= self.segments.len() {
+            return None;
+        }
+        self.segments[stage - 1].last().copied()
+    }
+}
+
+/// A complete embedding: one route per task destination, in task order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    routes: Vec<DestinationRoute>,
+}
+
+impl Embedding {
+    /// Creates an embedding from per-destination routes (aligned with
+    /// [`MulticastTask::destinations`]).
+    pub fn new(routes: Vec<DestinationRoute>) -> Self {
+        Embedding { routes }
+    }
+
+    /// The per-destination routes, in task order.
+    pub fn routes(&self) -> &[DestinationRoute] {
+        &self.routes
+    }
+
+    /// All `(stage, node)` instance placements used by any destination.
+    /// Stages are 1-based chain positions.
+    pub fn instances(&self) -> BTreeSet<(usize, NodeId)> {
+        let mut out = BTreeSet::new();
+        for r in &self.routes {
+            for stage in 1..r.segments.len() {
+                if let Some(n) = r.instance_node(stage) {
+                    out.insert((stage, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(vnf_type, node)` pairs used by any destination. Instances are
+    /// identified by *type and node*: if the chain repeats a type and both
+    /// stages land on the same node, one physical instance serves both.
+    pub fn typed_instances(&self, task: &MulticastTask) -> BTreeSet<(VnfId, NodeId)> {
+        self.instances()
+            .into_iter()
+            .filter(|&(stage, _)| stage <= task.sfc().len())
+            .map(|(stage, n)| (task.sfc().stage(stage), n))
+            .collect()
+    }
+
+    /// The `(vnf_type, node)` pairs that require a *new* instance — i.e.
+    /// are not pre-deployed in the network. These are what setup cost and
+    /// capacity consumption are charged for.
+    pub fn new_instances(
+        &self,
+        network: &Network,
+        task: &MulticastTask,
+    ) -> BTreeSet<(VnfId, NodeId)> {
+        self.typed_instances(task)
+            .into_iter()
+            .filter(|&(f, n)| !network.is_deployed(f, n))
+            .collect()
+    }
+
+    /// Nodes hosting an instance for the given 1-based stage.
+    pub fn stage_nodes(&self, stage: usize) -> BTreeSet<NodeId> {
+        self.instances()
+            .into_iter()
+            .filter(|&(s, _)| s == stage)
+            .map(|(_, n)| n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::vnf::{Sfc, VnfCatalog};
+    use sft_graph::Graph;
+
+    /// Line 0-1-2-3 with servers everywhere, chain (f0 -> f1).
+    fn fixture() -> (Network, MulticastTask) {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(5.0)
+            .unwrap()
+            .deploy(crate::vnf::VnfId(0), NodeId(1))
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        (net, task)
+    }
+
+    fn simple_route() -> DestinationRoute {
+        // S=0 -> f0@1 -> f1@2 -> d=3
+        DestinationRoute::new(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(2), NodeId(3)],
+        ])
+    }
+
+    #[test]
+    fn instance_nodes_are_segment_junctions() {
+        let r = simple_route();
+        assert_eq!(r.instance_node(1), Some(NodeId(1)));
+        assert_eq!(r.instance_node(2), Some(NodeId(2)));
+        assert_eq!(r.instance_node(0), None);
+        assert_eq!(r.instance_node(3), None);
+    }
+
+    #[test]
+    fn instances_and_types_are_collected() {
+        let (_, task) = fixture();
+        let emb = Embedding::new(vec![simple_route()]);
+        let inst = emb.instances();
+        assert!(inst.contains(&(1, NodeId(1))));
+        assert!(inst.contains(&(2, NodeId(2))));
+        assert_eq!(inst.len(), 2);
+        let typed = emb.typed_instances(&task);
+        assert!(typed.contains(&(VnfId(0), NodeId(1))));
+        assert!(typed.contains(&(VnfId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn new_instances_exclude_deployed() {
+        let (net, task) = fixture();
+        let emb = Embedding::new(vec![simple_route()]);
+        let new = emb.new_instances(&net, &task);
+        // f0 is pre-deployed on node 1, so only f1@2 is new.
+        assert_eq!(new.len(), 1);
+        assert!(new.contains(&(VnfId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn repeated_type_on_same_node_is_one_instance() {
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0), VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        // Both stages on node 1.
+        let r = DestinationRoute::new(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ]);
+        let emb = Embedding::new(vec![r]);
+        assert_eq!(emb.instances().len(), 2); // two stages...
+        assert_eq!(emb.typed_instances(&task).len(), 1); // ...one instance
+    }
+
+    #[test]
+    fn stage_nodes_aggregate_across_destinations() {
+        let r1 = simple_route();
+        let r2 = DestinationRoute::new(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(3)],
+        ]);
+        let emb = Embedding::new(vec![r1, r2]);
+        let stage2 = emb.stage_nodes(2);
+        assert!(stage2.contains(&NodeId(2)));
+        assert!(stage2.contains(&NodeId(3)));
+        assert_eq!(emb.stage_nodes(1), [NodeId(1)].into_iter().collect());
+    }
+}

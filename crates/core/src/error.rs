@@ -1,0 +1,111 @@
+use sft_graph::GraphError;
+use sft_lp::LpError;
+use std::fmt;
+
+/// Errors produced by the SFT-embedding domain layer and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A node id was out of range for the network.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// A VNF id was out of range for the catalog.
+    VnfOutOfBounds {
+        /// The offending VNF index.
+        vnf: usize,
+        /// Number of VNF types in the catalog.
+        len: usize,
+    },
+    /// A node that must host VNFs is not a server node.
+    NotAServer {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A numeric parameter (cost, capacity, demand) was negative or NaN.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The multicast task was malformed (empty destinations, source listed
+    /// as a destination, empty SFC, duplicate destinations).
+    InvalidTask {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Deployments recorded in the network exceed a node's capacity.
+    CapacityExceeded {
+        /// The overloaded node.
+        node: usize,
+        /// Available capacity.
+        capacity: f64,
+        /// Requested load.
+        load: f64,
+    },
+    /// No feasible embedding exists (disconnectivity or exhausted server
+    /// capacity).
+    Infeasible {
+        /// Human-readable description of what could not be satisfied.
+        reason: String,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+    /// An error bubbled up from the LP substrate.
+    Lp(LpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfBounds { node, len } => {
+                write!(f, "node {node} out of bounds for network of {len} nodes")
+            }
+            CoreError::VnfOutOfBounds { vnf, len } => {
+                write!(f, "VNF {vnf} out of bounds for catalog of {len} types")
+            }
+            CoreError::NotAServer { node } => {
+                write!(f, "node {node} is a switch and cannot host VNF instances")
+            }
+            CoreError::InvalidParameter { context, value } => {
+                write!(f, "invalid {context}: {value}")
+            }
+            CoreError::InvalidTask { reason } => write!(f, "invalid multicast task: {reason}"),
+            CoreError::CapacityExceeded {
+                node,
+                capacity,
+                load,
+            } => {
+                write!(f, "node {node} capacity {capacity} exceeded by load {load}")
+            }
+            CoreError::Infeasible { reason } => write!(f, "no feasible embedding: {reason}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Lp(e) => write!(f, "lp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}

@@ -1,0 +1,392 @@
+//! The multilevel overlay directed (MOD) network — paper §IV-A.
+//!
+//! Algorithm 1 transforms the target network plus an SFC of length `k` into
+//! a `k`-column layered directed graph: each column corresponds to one
+//! chain stage, each row to one server node. Node weights carry VNF setup
+//! costs (zero for pre-deployed instances, §IV-D) and inter-column arc
+//! weights carry shortest-path costs of the physical network.
+//!
+//! For shortest-path search, the MOD network is *expanded* (paper Fig. 4):
+//! every overlay node splits into an in-half and an out-half joined by a
+//! virtual arc weighted with the setup cost, turning node weights into arc
+//! weights. Theorem 2: Dijkstra from the source over the expanded MOD
+//! network yields the cost-optimal single-chain embedding ending at any
+//! chosen last-column node, assuming sufficient capacities.
+
+use crate::network::Network;
+use crate::vnf::Sfc;
+use crate::CoreError;
+use sft_graph::{DiGraph, NodeId, ShortestPaths};
+
+/// The plain (node-weighted) MOD network of paper Fig. 3 — mostly useful
+/// for inspection and tests; the algorithms use [`ExpandedMod`].
+#[derive(Clone, Debug)]
+pub struct ModNetwork {
+    servers: Vec<NodeId>,
+    k: usize,
+    /// `weights[j][row]` = setup cost of stage `j+1`'s VNF on `servers[row]`
+    /// (zero when pre-deployed).
+    weights: Vec<Vec<f64>>,
+}
+
+impl ModNetwork {
+    /// Builds the MOD network for a chain over a target network
+    /// (paper Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::VnfOutOfBounds`] if the chain references unknown
+    ///   types.
+    /// * [`CoreError::Infeasible`] if the network has no server nodes.
+    pub fn build(network: &Network, sfc: &Sfc) -> Result<Self, CoreError> {
+        for (_, f) in sfc.iter() {
+            network.catalog().check(f)?;
+        }
+        let servers: Vec<NodeId> = network.servers().collect();
+        if servers.is_empty() {
+            return Err(CoreError::Infeasible {
+                reason: "network has no server nodes".into(),
+            });
+        }
+        let weights = sfc
+            .iter()
+            .map(|(_, f)| {
+                servers
+                    .iter()
+                    .map(|&s| network.effective_setup_cost(f, s))
+                    .collect()
+            })
+            .collect();
+        Ok(ModNetwork {
+            servers,
+            k: sfc.len(),
+            weights,
+        })
+    }
+
+    /// Number of columns (= chain length `k`).
+    pub fn columns(&self) -> usize {
+        self.k
+    }
+
+    /// The server nodes forming the rows, in index order.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Node weight of column `j` (0-based), row `row`: the effective setup
+    /// cost of the stage-`j+1` VNF on that server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn node_weight(&self, j: usize, row: usize) -> f64 {
+        self.weights[j][row]
+    }
+}
+
+/// The expanded MOD network (paper Fig. 4): a layered DAG rooted at the
+/// multicast source, ready for Dijkstra.
+#[derive(Clone, Debug)]
+pub struct ExpandedMod {
+    digraph: DiGraph,
+    servers: Vec<NodeId>,
+    k: usize,
+}
+
+impl ExpandedMod {
+    /// Builds the expanded MOD network for a task source and chain.
+    ///
+    /// Arcs:
+    /// * source → `in(0, s)` weighted by the physical shortest-path cost
+    ///   from the source to server `s`;
+    /// * `in(j, s)` → `out(j, s)` weighted by the effective setup cost of
+    ///   stage `j+1` on `s`;
+    /// * `out(j, s)` → `in(j+1, s')` weighted by the physical shortest-path
+    ///   cost `s → s'` (zero when `s = s'`, i.e. consecutive VNFs
+    ///   co-located).
+    ///
+    /// Unreachable pairs produce no arc.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NodeOutOfBounds`] for an invalid source.
+    /// * [`CoreError::VnfOutOfBounds`] for unknown chain types.
+    /// * [`CoreError::Infeasible`] if the network has no servers.
+    pub fn build(network: &Network, source: NodeId, sfc: &Sfc) -> Result<Self, CoreError> {
+        network.check_node(source)?;
+        let m = ModNetwork::build(network, sfc)?;
+        let servers = m.servers().to_vec();
+        let ns = servers.len();
+        let k = m.columns();
+
+        // Overlay ids: 0 = source; then (j, row) -> in/out pair.
+        let mut g = DiGraph::new(1 + 2 * ns * k);
+        let node_in = |j: usize, row: usize| NodeId(1 + 2 * (j * ns + row));
+        let node_out = |j: usize, row: usize| NodeId(1 + 2 * (j * ns + row) + 1);
+
+        let dist = network.dist();
+        for (row, &s) in servers.iter().enumerate() {
+            if let Some(d) = dist.distance(source, s) {
+                g.add_arc(NodeId(0), node_in(0, row), d)?;
+            }
+        }
+        for j in 0..k {
+            for row in 0..ns {
+                g.add_arc(node_in(j, row), node_out(j, row), m.node_weight(j, row))?;
+            }
+        }
+        for j in 0..k.saturating_sub(1) {
+            for (row_a, &a) in servers.iter().enumerate() {
+                for (row_b, &b) in servers.iter().enumerate() {
+                    if let Some(d) = dist.distance(a, b) {
+                        g.add_arc(node_out(j, row_a), node_in(j + 1, row_b), d)?;
+                    }
+                }
+            }
+        }
+
+        Ok(ExpandedMod {
+            digraph: g,
+            servers,
+            k,
+        })
+    }
+
+    /// The server nodes forming the rows, in index order.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Number of columns (= chain length).
+    pub fn columns(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying overlay digraph (exposed for inspection and tests).
+    pub fn digraph(&self) -> &DiGraph {
+        &self.digraph
+    }
+
+    /// Overlay id of the source node.
+    pub fn source_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Overlay id of the in-half of column `j`, row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn in_node(&self, j: usize, row: usize) -> NodeId {
+        assert!(
+            j < self.k && row < self.servers.len(),
+            "overlay index out of range"
+        );
+        NodeId(1 + 2 * (j * self.servers.len() + row))
+    }
+
+    /// Overlay id of the out-half of column `j`, row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn out_node(&self, j: usize, row: usize) -> NodeId {
+        assert!(
+            j < self.k && row < self.servers.len(),
+            "overlay index out of range"
+        );
+        NodeId(2 + 2 * (j * self.servers.len() + row))
+    }
+
+    /// Runs Dijkstra from the overlay source; the result prices every
+    /// possible chain embedding prefix.
+    pub fn shortest_paths(&self) -> ShortestPaths {
+        self.digraph.dijkstra(self.source_node())
+    }
+
+    /// Decodes the optimal chain placement ending at last-column row
+    /// `row`: the physical server hosting each chain stage, plus the
+    /// overlay cost (setup + inter-stage link cost). Returns `None` when
+    /// that row is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn placement_for(&self, sp: &ShortestPaths, row: usize) -> Option<(Vec<NodeId>, f64)> {
+        let target = self.out_node(self.k - 1, row);
+        let cost = sp.distance(target)?;
+        let path = sp.path_to(target)?;
+        let ns = self.servers.len();
+        let mut placement = Vec::with_capacity(self.k);
+        for n in path {
+            if n.0 == 0 {
+                continue; // overlay source
+            }
+            let idx = n.0 - 1;
+            if idx % 2 == 0 {
+                // An in-node: records the server hosting its column's stage.
+                let row = (idx / 2) % ns;
+                placement.push(self.servers[row]);
+            }
+        }
+        debug_assert_eq!(placement.len(), self.k, "one in-node per column");
+        Some((placement, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::vnf::{VnfCatalog, VnfId};
+    use sft_graph::Graph;
+
+    /// The 4-node example of paper Fig. 3: nodes A,B,C,D with the
+    /// deployment-cost matrix of Equation (2).
+    fn fig3_network() -> Network {
+        let mut g = Graph::new(4);
+        // Edges/weights chosen to make every pair reachable.
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap(); // A-B
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap(); // B-C
+        g.add_edge(NodeId(2), NodeId(3), 2.0).unwrap(); // C-D
+        g.add_edge(NodeId(0), NodeId(3), 4.0).unwrap(); // A-D
+        let costs = [
+            // f1, f2, f3, f4 per node A,B,C,D (paper Equation 2)
+            [1.0, 4.0, 3.0, 4.0],
+            [2.0, 4.0, 4.0, 3.0],
+            [3.0, 3.0, 3.0, 2.0],
+            [2.0, 3.0, 2.0, 3.0],
+        ];
+        let mut b = Network::builder(g, VnfCatalog::uniform(4))
+            .all_servers(4.0)
+            .unwrap();
+        for (node, row) in costs.iter().enumerate() {
+            for (f, &c) in row.iter().enumerate() {
+                b = b.setup_cost(VnfId(f), NodeId(node), c).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn chain4() -> Sfc {
+        Sfc::new(vec![VnfId(0), VnfId(1), VnfId(2), VnfId(3)]).unwrap()
+    }
+
+    #[test]
+    fn mod_network_has_k_columns_and_matrix_weights() {
+        let net = fig3_network();
+        let m = ModNetwork::build(&net, &chain4()).unwrap();
+        assert_eq!(m.columns(), 4);
+        assert_eq!(m.servers().len(), 4);
+        // Column 0 = f1 on A..D: 1, 2, 3, 2 (matrix column f1).
+        assert_eq!(m.node_weight(0, 0), 1.0);
+        assert_eq!(m.node_weight(0, 1), 2.0);
+        assert_eq!(m.node_weight(0, 2), 3.0);
+        assert_eq!(m.node_weight(0, 3), 2.0);
+        // Column 3 = f4: 4, 3, 2, 3.
+        assert_eq!(m.node_weight(3, 0), 4.0);
+        assert_eq!(m.node_weight(3, 2), 2.0);
+    }
+
+    #[test]
+    fn deployment_zeroes_mod_weights() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(2.0)
+            .unwrap()
+            .uniform_setup_cost(7.0)
+            .unwrap()
+            .deploy(VnfId(1), NodeId(0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let sfc = Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap();
+        let m = ModNetwork::build(&net, &sfc).unwrap();
+        assert_eq!(m.node_weight(0, 0), 7.0);
+        assert_eq!(m.node_weight(1, 0), 0.0); // f1 deployed on node 0
+        assert_eq!(m.node_weight(1, 1), 7.0);
+    }
+
+    #[test]
+    fn expanded_mod_sizes_and_arcs() {
+        let net = fig3_network();
+        let e = ExpandedMod::build(&net, NodeId(0), &chain4()).unwrap();
+        // 1 source + 2 * 4 columns * 4 rows.
+        assert_eq!(e.digraph().node_count(), 1 + 2 * 4 * 4);
+        // Arcs: 4 source arcs + 16 virtual + 3 * 16 inter-column.
+        assert_eq!(e.digraph().arc_count(), 4 + 16 + 3 * 16);
+        assert_eq!(e.columns(), 4);
+    }
+
+    #[test]
+    fn dijkstra_finds_the_optimal_chain_by_brute_force() {
+        let net = fig3_network();
+        let sfc = chain4();
+        let e = ExpandedMod::build(&net, NodeId(0), &sfc).unwrap();
+        let sp = e.shortest_paths();
+
+        // Brute force over all 4^4 placements for each last node.
+        let dist = net.dist();
+        let servers: Vec<NodeId> = net.servers().collect();
+        for (row, &t) in servers.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for a in 0..4_usize {
+                for b in 0..4_usize {
+                    for c in 0..4_usize {
+                        let placement = [servers[a], servers[b], servers[c], t];
+                        let mut cost = dist.distance(NodeId(0), placement[0]).unwrap();
+                        for w in placement.windows(2) {
+                            cost += dist.distance(w[0], w[1]).unwrap();
+                        }
+                        for (j, &n) in placement.iter().enumerate() {
+                            cost += net.effective_setup_cost(sfc.stage(j + 1), n);
+                        }
+                        best = best.min(cost);
+                    }
+                }
+            }
+            let (placement, cost) = e.placement_for(&sp, row).unwrap();
+            assert!((cost - best).abs() < 1e-9, "row {row}: {cost} vs {best}");
+            assert_eq!(placement.len(), 4);
+            assert_eq!(placement[3], t);
+        }
+    }
+
+    #[test]
+    fn placement_decode_tracks_path_columns() {
+        let net = fig3_network();
+        let sfc = chain4();
+        let e = ExpandedMod::build(&net, NodeId(1), &sfc).unwrap();
+        let sp = e.shortest_paths();
+        let (placement, cost) = e.placement_for(&sp, 2).unwrap();
+        assert_eq!(placement.len(), 4);
+        assert_eq!(placement[3], NodeId(2));
+        assert!(cost.is_finite());
+    }
+
+    #[test]
+    fn empty_server_set_is_infeasible() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(1)).build().unwrap();
+        assert!(matches!(
+            ModNetwork::build(&net, &Sfc::new(vec![VnfId(0)]).unwrap()),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_stage_chain_has_no_intercolumn_arcs() {
+        let net = fig3_network();
+        let sfc = Sfc::new(vec![VnfId(0)]).unwrap();
+        let e = ExpandedMod::build(&net, NodeId(0), &sfc).unwrap();
+        assert_eq!(e.digraph().arc_count(), 4 + 4);
+        let sp = e.shortest_paths();
+        // Optimal single-stage placement on A: 0 (distance) + 1 (setup).
+        let (p, c) = e.placement_for(&sp, 0).unwrap();
+        assert_eq!(p, vec![NodeId(0)]);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Stage 1 — the Modified Shortest-path Algorithm (MSA, paper Algorithm 2).
+//!
+//! For every candidate last-VNF server `v`, MSA:
+//!
+//! 1. reads the optimal chain embedding ending at `v` off a single Dijkstra
+//!    over the expanded MOD network (Theorem 2);
+//! 2. repairs capacity violations by moving overloaded stages (§IV-B);
+//! 3. builds a Steiner tree connecting the (possibly moved) last VNF node
+//!    to all destinations;
+//!
+//! and keeps the candidate with the smallest canonical delivery cost
+//! (Theorem 3: the result is feasible).
+
+use crate::chain::{repair_capacity, ChainSolution};
+use crate::mod_network::ExpandedMod;
+use crate::network::Network;
+use crate::task::MulticastTask;
+use crate::CoreError;
+use sft_graph::{NodeId, SteinerTree};
+use std::collections::BTreeMap;
+
+/// Which Steiner-tree construction stage 1 hangs off the last VNF node.
+///
+/// The paper uses KMB (its Theorem 5 charges KMB's complexity); the
+/// Takahashi–Matsuyama variant is kept as an ablation of that design
+/// choice — same approximation class, different tree shapes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SteinerMethod {
+    /// Kou–Markowsky–Berman with the pre-computed distance matrix.
+    #[default]
+    Kmb,
+    /// Takahashi–Matsuyama incremental path heuristic.
+    Takahashi,
+}
+
+/// Runs MSA stage 1, returning the best chain-plus-tree solution.
+///
+/// # Errors
+///
+/// * Task/network mismatches ([`CoreError::NodeOutOfBounds`],
+///   [`CoreError::VnfOutOfBounds`]).
+/// * [`CoreError::Infeasible`] when no candidate yields a feasible
+///   embedding (disconnected destinations or exhausted capacity).
+pub fn stage_one(network: &Network, task: &MulticastTask) -> Result<ChainSolution, CoreError> {
+    stage_one_with(network, task, SteinerMethod::Kmb)
+}
+
+/// Runs MSA stage 1 with an explicit Steiner construction (ablation hook).
+///
+/// # Errors
+///
+/// Same conditions as [`stage_one`].
+pub fn stage_one_with(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+) -> Result<ChainSolution, CoreError> {
+    task.check_against(network)?;
+    let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
+    let sp = emod.shortest_paths();
+
+    // Candidates frequently share their repaired last node; cache the
+    // Steiner tree per root. `None` caches roots whose tree failed (e.g.
+    // disconnected from some destination).
+    let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+    let mut best: Option<(f64, ChainSolution)> = None;
+
+    for row in 0..emod.servers().len() {
+        let Some((mut placement, _)) = emod.placement_for(&sp, row) else {
+            continue;
+        };
+        if repair_capacity(network, task.source(), task.sfc(), &mut placement).is_err() {
+            continue;
+        }
+        let w = *placement.last().expect("chain is non-empty");
+        let tree = steiner_cache
+            .entry(w)
+            .or_insert_with(|| {
+                let mut terminals = vec![w];
+                terminals.extend_from_slice(task.destinations());
+                match method {
+                    SteinerMethod::Kmb => network
+                        .graph()
+                        .steiner_kmb_with_matrix(network.dist(), &terminals)
+                        .ok(),
+                    SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
+                }
+            })
+            .clone();
+        let Some(tree) = tree else { continue };
+        // Stage-1 candidate cost has a closed form: every destination
+        // shares the chain segments, so per-segment dedup leaves exactly
+        // "chain path costs + deduped setups + Steiner tree cost".
+        let cost = chain_cost(network, task, &placement) + tree.cost;
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            best = Some((
+                cost,
+                ChainSolution {
+                    placement,
+                    steiner_edges: tree.edges,
+                },
+            ));
+        }
+    }
+
+    best.map(|(_, c)| c).ok_or_else(|| CoreError::Infeasible {
+        reason: "no feasible chain embedding for any last-VNF candidate".into(),
+    })
+}
+
+/// Cost of an embedded chain alone: inter-stage shortest-path costs plus
+/// setup costs of new instances, deduplicated by `(type, node)` — the
+/// closed form of the canonical cost restricted to segments `0..k`.
+fn chain_cost(network: &Network, task: &MulticastTask, placement: &[NodeId]) -> f64 {
+    let dist = network.dist();
+    let mut cost = 0.0;
+    let mut prev = task.source();
+    let mut seen = std::collections::BTreeSet::new();
+    for (j, &n) in placement.iter().enumerate() {
+        cost += dist
+            .distance(prev, n)
+            .expect("chain nodes reachable by construction");
+        let f = task.sfc().stage(j + 1);
+        if !network.is_deployed(f, n) && seen.insert((f, n)) {
+            cost += network.setup_cost(f, n);
+        }
+        prev = n;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::delivery_cost;
+    use crate::validate::is_valid;
+    use crate::vnf::{Sfc, VnfCatalog, VnfId};
+    use sft_graph::Graph;
+
+    /// A ring of 6 nodes with one chord, all servers.
+    fn ring_net(capacity: f64) -> Network {
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 6), 1.0 + i as f64 * 0.1)
+                .unwrap();
+        }
+        g.add_edge(NodeId(0), NodeId(3), 2.0).unwrap();
+        Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(capacity)
+            .unwrap()
+            .uniform_setup_cost(1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn a_task() -> MulticastTask {
+        MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(2), NodeId(4)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_a_feasible_embedding() {
+        let net = ring_net(5.0);
+        let task = a_task();
+        let chain = stage_one(&net, &task).unwrap();
+        assert_eq!(chain.placement.len(), 2);
+        let emb = chain.to_embedding(&net, &task).unwrap();
+        assert!(is_valid(&net, &task, &emb));
+    }
+
+    #[test]
+    fn respects_tight_capacities() {
+        let net = ring_net(1.0); // one instance per node
+        let task = a_task();
+        let chain = stage_one(&net, &task).unwrap();
+        assert_ne!(chain.placement[0], chain.placement[1]);
+        let emb = chain.to_embedding(&net, &task).unwrap();
+        assert!(is_valid(&net, &task, &emb));
+    }
+
+    #[test]
+    fn reuses_deployed_instances_when_cheaper() {
+        // Make new setups expensive; pre-deploy the whole chain along a
+        // slightly longer route. MSA should ride the free instances.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap(); // short path side
+        g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1.5).unwrap(); // deployed side
+        g.add_edge(NodeId(2), NodeId(3), 1.5).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(3.0)
+            .unwrap()
+            .uniform_setup_cost(50.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(2))
+            .unwrap()
+            .deploy(VnfId(1), NodeId(2))
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        let chain = stage_one(&net, &task).unwrap();
+        assert_eq!(chain.placement, vec![NodeId(2), NodeId(2)]);
+        let emb = chain.to_embedding(&net, &task).unwrap();
+        let cost = delivery_cost(&net, &task, &emb).unwrap();
+        assert_eq!(cost.setup, 0.0);
+    }
+
+    #[test]
+    fn infeasible_when_capacity_is_zero_everywhere() {
+        let net = ring_net(0.0);
+        let task = a_task();
+        assert!(matches!(
+            stage_one(&net, &task),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn takahashi_variant_is_feasible_and_comparable() {
+        let net = ring_net(5.0);
+        let task = a_task();
+        let kmb = stage_one_with(&net, &task, SteinerMethod::Kmb).unwrap();
+        let tm = stage_one_with(&net, &task, SteinerMethod::Takahashi).unwrap();
+        for chain in [&kmb, &tm] {
+            let emb = chain.to_embedding(&net, &task).unwrap();
+            assert!(is_valid(&net, &task, &emb));
+        }
+        // Same approximation class: neither may be worse than 2x the other.
+        let cost = |c: &ChainSolution| {
+            let emb = c.to_embedding(&net, &task).unwrap();
+            delivery_cost(&net, &task, &emb).unwrap().total()
+        };
+        let (a, b) = (cost(&kmb), cost(&tm));
+        assert!(a <= 2.0 * b + 1e-9 && b <= 2.0 * a + 1e-9);
+    }
+
+    #[test]
+    fn single_destination_single_stage() {
+        let net = ring_net(2.0);
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(2)]).unwrap(),
+        )
+        .unwrap();
+        let chain = stage_one(&net, &task).unwrap();
+        let emb = chain.to_embedding(&net, &task).unwrap();
+        assert!(is_valid(&net, &task, &emb));
+    }
+}

@@ -1,0 +1,513 @@
+//! The target network: topology, server nodes, capacities, VNF setup costs
+//! and pre-deployed instances.
+//!
+//! Mirrors the paper's §III-B model: `G = (V, E)` with `V = V_M ∪ V_S`
+//! (servers and switches), per-server capacity `cap(v)`, per-edge link
+//! connection cost `c_uv`, per-(VNF, node) setup cost `γ_{f,u}`, and the
+//! deployment indicator `π_{f,u}` for instances that already exist (whose
+//! reuse is free, §IV-D).
+
+use crate::vnf::{VnfCatalog, VnfId};
+use crate::CoreError;
+use sft_graph::{DistanceMatrix, Graph, NodeId};
+
+/// An immutable (apart from explicit deployment commits) view of the target
+/// network with everything the embedding algorithms need, including a
+/// pre-computed all-pairs shortest-path matrix.
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: Graph,
+    dist: DistanceMatrix,
+    servers: Vec<bool>,
+    capacity: Vec<f64>,
+    catalog: VnfCatalog,
+    setup_cost: Vec<Vec<f64>>,
+    deployed: Vec<Vec<bool>>,
+}
+
+impl Network {
+    /// Starts building a network over a topology and a VNF catalog.
+    pub fn builder(graph: Graph, catalog: VnfCatalog) -> NetworkBuilder {
+        let n = graph.node_count();
+        let nf = catalog.len();
+        NetworkBuilder {
+            graph,
+            catalog,
+            servers: vec![false; n],
+            capacity: vec![0.0; n],
+            setup_cost: vec![vec![1.0; n]; nf],
+            deployed: vec![vec![false; n]; nf],
+        }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes (servers + switches).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Pre-computed all-pairs shortest paths over link-connection costs.
+    pub fn dist(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// The VNF catalog.
+    pub fn catalog(&self) -> &VnfCatalog {
+        &self.catalog
+    }
+
+    /// Whether `v` is a server node (member of `V_M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn is_server(&self, v: NodeId) -> bool {
+        self.servers[v.0]
+    }
+
+    /// Iterator over all server nodes, in index order.
+    pub fn servers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Number of server nodes.
+    pub fn server_count(&self) -> usize {
+        self.servers.iter().filter(|&&s| s).count()
+    }
+
+    /// Deployment capacity `cap(v)` of a node (0 for switches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn capacity(&self, v: NodeId) -> f64 {
+        self.capacity[v.0]
+    }
+
+    /// Total resource demand of the instances already deployed on `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn deployed_load(&self, v: NodeId) -> f64 {
+        self.catalog
+            .ids()
+            .filter(|&f| self.deployed[f.0][v.0])
+            .map(|f| self.catalog.demand(f))
+            .sum()
+    }
+
+    /// Capacity left on `v` after accounting for already-deployed
+    /// instances — the budget available to *new* instances (constraint 1d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn residual_capacity(&self, v: NodeId) -> f64 {
+        self.capacity[v.0] - self.deployed_load(v)
+    }
+
+    /// Whether an instance of `f` is already deployed on `v` (`π_{f,v}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn is_deployed(&self, f: VnfId, v: NodeId) -> bool {
+        self.deployed[f.0][v.0]
+    }
+
+    /// Raw setup cost `γ_{f,v}` of placing a *new* instance of `f` on `v`,
+    /// ignoring any existing deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn setup_cost(&self, f: VnfId, v: NodeId) -> f64 {
+        self.setup_cost[f.0][v.0]
+    }
+
+    /// Setup cost actually incurred by using `f` on `v`: zero when an
+    /// instance is already deployed (§IV-D), `γ_{f,v}` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn effective_setup_cost(&self, f: VnfId, v: NodeId) -> f64 {
+        if self.deployed[f.0][v.0] {
+            0.0
+        } else {
+            self.setup_cost[f.0][v.0]
+        }
+    }
+
+    /// The paper's `l_G`: the average shortest-path cost of the network,
+    /// used by Table I to scale VNF deployment costs.
+    pub fn average_path_cost(&self) -> f64 {
+        self.dist.average_distance()
+    }
+
+    /// Records a new deployment of `f` on `v` (e.g. after committing an
+    /// embedding so later tasks can reuse its instances). Idempotent for
+    /// already-deployed pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NotAServer`] if `v` is a switch.
+    /// * [`CoreError::CapacityExceeded`] if the instance does not fit.
+    /// * [`CoreError::VnfOutOfBounds`] / [`CoreError::NodeOutOfBounds`] for
+    ///   invalid ids.
+    pub fn deploy(&mut self, f: VnfId, v: NodeId) -> Result<(), CoreError> {
+        self.check_node(v)?;
+        self.catalog.check(f)?;
+        if !self.servers[v.0] {
+            return Err(CoreError::NotAServer { node: v.0 });
+        }
+        if self.deployed[f.0][v.0] {
+            return Ok(());
+        }
+        let load = self.deployed_load(v) + self.catalog.demand(f);
+        if load > self.capacity[v.0] + 1e-9 {
+            return Err(CoreError::CapacityExceeded {
+                node: v.0,
+                capacity: self.capacity[v.0],
+                load,
+            });
+        }
+        self.deployed[f.0][v.0] = true;
+        Ok(())
+    }
+
+    /// Commits every new instance of an embedding as a deployment, so that
+    /// later multicast tasks can reuse them for free — the paper's
+    /// "network with deployed VNFs" scenario (§IV-D) arises from exactly
+    /// this kind of instance accretion across tasks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::deploy`]; on error the network may be
+    /// partially updated (instances already committed stay committed).
+    pub fn commit_embedding(
+        &mut self,
+        task: &crate::task::MulticastTask,
+        embedding: &crate::embedding::Embedding,
+    ) -> Result<(), CoreError> {
+        for (f, v) in embedding.new_instances(self, task) {
+            self.deploy(f, v)?;
+        }
+        Ok(())
+    }
+
+    /// Validates a node id against this network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeOutOfBounds`] otherwise.
+    pub fn check_node(&self, v: NodeId) -> Result<(), CoreError> {
+        if v.0 < self.node_count() {
+            Ok(())
+        } else {
+            Err(CoreError::NodeOutOfBounds {
+                node: v.0,
+                len: self.node_count(),
+            })
+        }
+    }
+}
+
+/// Builder for [`Network`]. See [`Network::builder`].
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    graph: Graph,
+    catalog: VnfCatalog,
+    servers: Vec<bool>,
+    capacity: Vec<f64>,
+    setup_cost: Vec<Vec<f64>>,
+    deployed: Vec<Vec<bool>>,
+}
+
+impl NetworkBuilder {
+    /// Marks `v` as a server node with the given deployment capacity.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NodeOutOfBounds`] for an invalid node.
+    /// * [`CoreError::InvalidParameter`] for a negative or non-finite
+    ///   capacity.
+    pub fn server(mut self, v: NodeId, capacity: f64) -> Result<Self, CoreError> {
+        if v.0 >= self.graph.node_count() {
+            return Err(CoreError::NodeOutOfBounds {
+                node: v.0,
+                len: self.graph.node_count(),
+            });
+        }
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "server capacity",
+                value: capacity,
+            });
+        }
+        self.servers[v.0] = true;
+        self.capacity[v.0] = capacity;
+        Ok(self)
+    }
+
+    /// Marks every node as a server with the same capacity — the common
+    /// configuration in the paper's synthetic evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a negative or non-finite
+    /// capacity.
+    pub fn all_servers(mut self, capacity: f64) -> Result<Self, CoreError> {
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "server capacity",
+                value: capacity,
+            });
+        }
+        self.servers.iter_mut().for_each(|s| *s = true);
+        self.capacity.iter_mut().for_each(|c| *c = capacity);
+        Ok(self)
+    }
+
+    /// Sets the setup cost `γ_{f,v}` for one (VNF, node) pair.
+    ///
+    /// # Errors
+    ///
+    /// Invalid ids or a negative / non-finite cost.
+    pub fn setup_cost(mut self, f: VnfId, v: NodeId, cost: f64) -> Result<Self, CoreError> {
+        self.catalog.check(f)?;
+        if v.0 >= self.graph.node_count() {
+            return Err(CoreError::NodeOutOfBounds {
+                node: v.0,
+                len: self.graph.node_count(),
+            });
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "VNF setup cost",
+                value: cost,
+            });
+        }
+        self.setup_cost[f.0][v.0] = cost;
+        Ok(self)
+    }
+
+    /// Sets the same setup cost for every (VNF, node) pair.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a negative / non-finite cost.
+    pub fn uniform_setup_cost(mut self, cost: f64) -> Result<Self, CoreError> {
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "VNF setup cost",
+                value: cost,
+            });
+        }
+        for row in &mut self.setup_cost {
+            row.iter_mut().for_each(|c| *c = cost);
+        }
+        Ok(self)
+    }
+
+    /// Records a pre-deployed instance of `f` on `v` (the paper's
+    /// `π_{f,v} = 1`). Capacity is validated at [`NetworkBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// Invalid ids.
+    pub fn deploy(mut self, f: VnfId, v: NodeId) -> Result<Self, CoreError> {
+        self.catalog.check(f)?;
+        if v.0 >= self.graph.node_count() {
+            return Err(CoreError::NodeOutOfBounds {
+                node: v.0,
+                len: self.graph.node_count(),
+            });
+        }
+        self.deployed[f.0][v.0] = true;
+        Ok(self)
+    }
+
+    /// Finalizes the network: validates deployments against server flags
+    /// and capacities, and computes the all-pairs shortest-path matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NotAServer`] if an instance is deployed on a switch.
+    /// * [`CoreError::CapacityExceeded`] if pre-deployments overload a node.
+    pub fn build(self) -> Result<Network, CoreError> {
+        for f in self.catalog.ids() {
+            for v in 0..self.graph.node_count() {
+                if self.deployed[f.0][v] && !self.servers[v] {
+                    return Err(CoreError::NotAServer { node: v });
+                }
+            }
+        }
+        for v in 0..self.graph.node_count() {
+            let load: f64 = self
+                .catalog
+                .ids()
+                .filter(|&f| self.deployed[f.0][v])
+                .map(|f| self.catalog.demand(f))
+                .sum();
+            if load > self.capacity[v] + 1e-9 {
+                return Err(CoreError::CapacityExceeded {
+                    node: v,
+                    capacity: self.capacity[v],
+                    load,
+                });
+            }
+        }
+        let dist = self.graph.all_pairs_shortest_paths()?;
+        Ok(Network {
+            graph: self.graph,
+            dist,
+            servers: self.servers,
+            capacity: self.capacity,
+            catalog: self.catalog,
+            setup_cost: self.setup_cost,
+            deployed: self.deployed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_graph::Graph;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn builder_marks_servers_and_capacities() {
+        let net = Network::builder(line_graph(4), VnfCatalog::uniform(2))
+            .server(NodeId(1), 3.0)
+            .unwrap()
+            .server(NodeId(2), 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(!net.is_server(NodeId(0)));
+        assert!(net.is_server(NodeId(1)));
+        assert_eq!(net.capacity(NodeId(1)), 3.0);
+        assert_eq!(net.capacity(NodeId(0)), 0.0);
+        assert_eq!(net.server_count(), 2);
+        assert_eq!(
+            net.servers().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn deployment_zeroes_effective_setup_cost() {
+        let net = Network::builder(line_graph(3), VnfCatalog::uniform(2))
+            .all_servers(2.0)
+            .unwrap()
+            .uniform_setup_cost(5.0)
+            .unwrap()
+            .deploy(VnfId(1), NodeId(2))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(net.setup_cost(VnfId(1), NodeId(2)), 5.0);
+        assert_eq!(net.effective_setup_cost(VnfId(1), NodeId(2)), 0.0);
+        assert_eq!(net.effective_setup_cost(VnfId(0), NodeId(2)), 5.0);
+        assert!(net.is_deployed(VnfId(1), NodeId(2)));
+        assert_eq!(net.deployed_load(NodeId(2)), 1.0);
+        assert_eq!(net.residual_capacity(NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn build_rejects_deployment_on_switch() {
+        let err = Network::builder(line_graph(3), VnfCatalog::uniform(1))
+            .server(NodeId(0), 1.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(1))
+            .unwrap()
+            .build();
+        assert!(matches!(err, Err(CoreError::NotAServer { node: 1 })));
+    }
+
+    #[test]
+    fn build_rejects_overloaded_deployments() {
+        let err = Network::builder(line_graph(2), VnfCatalog::uniform(3))
+            .all_servers(1.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(0))
+            .unwrap()
+            .deploy(VnfId(1), NodeId(0))
+            .unwrap()
+            .build();
+        assert!(matches!(
+            err,
+            Err(CoreError::CapacityExceeded { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn post_build_deploy_validates_capacity() {
+        let mut net = Network::builder(line_graph(2), VnfCatalog::uniform(3))
+            .all_servers(1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        net.deploy(VnfId(0), NodeId(0)).unwrap();
+        net.deploy(VnfId(0), NodeId(0)).unwrap(); // idempotent
+        assert!(matches!(
+            net.deploy(VnfId(1), NodeId(0)),
+            Err(CoreError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn distances_and_average_path_cost() {
+        let net = Network::builder(line_graph(4), VnfCatalog::uniform(1))
+            .all_servers(1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(net.dist().distance(NodeId(0), NodeId(3)), Some(3.0));
+        // Ordered pairs of a 4-path: distances 1,1,1,2,2,3 each twice -> avg 10/6.
+        assert!((net.average_path_cost() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validates_parameters() {
+        let b = Network::builder(line_graph(2), VnfCatalog::uniform(1));
+        assert!(matches!(
+            b.clone().server(NodeId(9), 1.0),
+            Err(CoreError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.clone().server(NodeId(0), -1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.clone().setup_cost(VnfId(0), NodeId(0), f64::NAN),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.clone().setup_cost(VnfId(5), NodeId(0), 1.0),
+            Err(CoreError::VnfOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.clone().deploy(VnfId(0), NodeId(7)),
+            Err(CoreError::NodeOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! The *logical* service function tree of an embedding (paper Fig. 5).
+//!
+//! An [`Embedding`] stores physical walks; this module recovers the
+//! logical structure the paper draws: nodes are VNF instances (plus the
+//! source and the destinations), edges are "serves next stage" relations.
+//! Useful for inspection, for asserting Theorem 4 structurally, and for
+//! DOT export ([`crate::viz`]).
+
+use crate::embedding::Embedding;
+use crate::task::MulticastTask;
+use crate::CoreError;
+use sft_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// A node of the logical SFT.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SftNode {
+    /// The multicast source.
+    Source(NodeId),
+    /// A VNF instance: 1-based chain stage and hosting server.
+    Instance {
+        /// Chain stage (1-based).
+        stage: usize,
+        /// Hosting server node.
+        node: NodeId,
+    },
+    /// A destination endpoint.
+    Destination(NodeId),
+}
+
+/// The logical service function tree: instances layered by stage, with
+/// parent links following the flow (source → stage 1 → … → destination).
+#[derive(Clone, Debug)]
+pub struct SftTree {
+    edges: Vec<(SftNode, SftNode)>,
+    instance_counts: Vec<usize>,
+}
+
+impl SftTree {
+    /// Extracts the logical tree of an embedding.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTask`] if the embedding's shape does not match
+    /// the task (wrong route or segment counts).
+    pub fn extract(task: &MulticastTask, embedding: &Embedding) -> Result<Self, CoreError> {
+        let k = task.sfc().len();
+        if embedding.routes().len() != task.destination_count() {
+            return Err(CoreError::InvalidTask {
+                reason: "embedding has the wrong number of routes".into(),
+            });
+        }
+        let mut edges: BTreeMap<(SftNode, SftNode), ()> = BTreeMap::new();
+        for (di, route) in embedding.routes().iter().enumerate() {
+            if route.segments().len() != k + 1 {
+                return Err(CoreError::InvalidTask {
+                    reason: format!("route {di} has the wrong number of segments"),
+                });
+            }
+            let mut prev = SftNode::Source(task.source());
+            for stage in 1..=k {
+                let node = route
+                    .instance_node(stage)
+                    .ok_or_else(|| CoreError::InvalidTask {
+                        reason: format!("route {di} lacks a stage-{stage} instance"),
+                    })?;
+                let cur = SftNode::Instance { stage, node };
+                edges.insert((prev, cur), ());
+                prev = cur;
+            }
+            let dest = SftNode::Destination(task.destinations()[di]);
+            edges.insert((prev, dest), ());
+        }
+        let mut instance_counts = vec![0usize; k + 1];
+        let mut seen = BTreeMap::new();
+        for (_, to) in edges.keys() {
+            if let SftNode::Instance { stage, node } = to {
+                if seen.insert((*stage, *node), ()).is_none() {
+                    instance_counts[*stage] += 1;
+                }
+            }
+        }
+        Ok(SftTree {
+            edges: edges.into_keys().collect(),
+            instance_counts,
+        })
+    }
+
+    /// The logical edges, sorted.
+    pub fn edges(&self) -> &[(SftNode, SftNode)] {
+        &self.edges
+    }
+
+    /// Number of distinct instances serving each stage
+    /// (`instance_count(0)` is always 0; stages are 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` exceeds the chain length.
+    pub fn instance_count(&self, stage: usize) -> usize {
+        self.instance_counts[stage]
+    }
+
+    /// Whether the instance counts are non-decreasing along the chain —
+    /// the structural property of Theorem 4 ("the number of predecessor
+    /// VNFs is smaller than [or equal to] that of successor VNFs").
+    pub fn satisfies_theorem4(&self) -> bool {
+        self.instance_counts
+            .windows(2)
+            .skip(1) // stage 0 is the source, not an instance layer
+            .all(|w| w[0] <= w[1])
+    }
+
+    /// Whether the logical structure branches anywhere (any node with two
+    /// or more children) — i.e. is a genuine *tree* rather than a chain.
+    pub fn is_branching(&self) -> bool {
+        let mut out_degree: BTreeMap<&SftNode, usize> = BTreeMap::new();
+        for (from, _) in &self.edges {
+            *out_degree.entry(from).or_insert(0) += 1;
+        }
+        out_degree.values().any(|&d| d > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::DestinationRoute;
+    use crate::vnf::{Sfc, VnfId};
+
+    fn task2() -> MulticastTask {
+        MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(5), NodeId(6)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Chain-shaped: both destinations share the instances.
+    fn chain_embedding() -> Embedding {
+        let mk = |d: usize| {
+            DestinationRoute::new(vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(d)],
+            ])
+        };
+        Embedding::new(vec![mk(5), mk(6)])
+    }
+
+    /// Tree-shaped: destination 6 is served by a replicated stage-2
+    /// instance on node 3.
+    fn branched_embedding() -> Embedding {
+        Embedding::new(vec![
+            DestinationRoute::new(vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(5)],
+            ]),
+            DestinationRoute::new(vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(3)],
+                vec![NodeId(3), NodeId(6)],
+            ]),
+        ])
+    }
+
+    #[test]
+    fn chain_extracts_one_instance_per_stage() {
+        let t = SftTree::extract(&task2(), &chain_embedding()).unwrap();
+        assert_eq!(t.instance_count(1), 1);
+        assert_eq!(t.instance_count(2), 1);
+        assert!(t.satisfies_theorem4());
+        // source->f1, f1->f2, f2->d5, f2->d6.
+        assert_eq!(t.edges().len(), 4);
+        assert!(t.is_branching(), "the fan-out to two destinations branches");
+    }
+
+    #[test]
+    fn branched_embedding_shows_replication() {
+        let t = SftTree::extract(&task2(), &branched_embedding()).unwrap();
+        assert_eq!(t.instance_count(1), 1);
+        assert_eq!(t.instance_count(2), 2);
+        assert!(t.satisfies_theorem4());
+        assert!(t.is_branching());
+        assert!(t.edges().contains(&(
+            SftNode::Instance {
+                stage: 1,
+                node: NodeId(1)
+            },
+            SftNode::Instance {
+                stage: 2,
+                node: NodeId(3)
+            }
+        )));
+    }
+
+    #[test]
+    fn theorem4_violation_is_detectable() {
+        // Artificial: two stage-1 instances feeding one stage-2 instance.
+        let emb = Embedding::new(vec![
+            DestinationRoute::new(vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(5)],
+            ]),
+            DestinationRoute::new(vec![
+                vec![NodeId(0), NodeId(3)],
+                vec![NodeId(3), NodeId(2)],
+                vec![NodeId(2), NodeId(6)],
+            ]),
+        ]);
+        let t = SftTree::extract(&task2(), &emb).unwrap();
+        assert_eq!(t.instance_count(1), 2);
+        assert_eq!(t.instance_count(2), 1);
+        assert!(!t.satisfies_theorem4());
+    }
+
+    #[test]
+    fn mismatched_embeddings_are_rejected() {
+        let t = task2();
+        let emb = Embedding::new(vec![]);
+        assert!(matches!(
+            SftTree::extract(&t, &emb),
+            Err(CoreError::InvalidTask { .. })
+        ));
+        let wrong_segments = Embedding::new(vec![
+            DestinationRoute::new(vec![vec![NodeId(0)]]),
+            DestinationRoute::new(vec![vec![NodeId(0)]]),
+        ]);
+        assert!(matches!(
+            SftTree::extract(&t, &wrong_segments),
+            Err(CoreError::InvalidTask { .. })
+        ));
+    }
+
+    #[test]
+    fn real_pipeline_produces_theorem4_trees() {
+        // End-to-end: the OPA fixture from the opa module must extract.
+        let mut g = sft_graph::Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 7.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 8.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(5), 1.0).unwrap();
+        g.add_edge(NodeId(5), NodeId(4), 1.0).unwrap();
+        let net = crate::Network::builder(g, crate::VnfCatalog::uniform(2))
+            .all_servers(4.0)
+            .unwrap()
+            .uniform_setup_cost(2.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(1))
+            .unwrap()
+            .deploy(VnfId(1), NodeId(2))
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3), NodeId(4)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        let chain = crate::chain::ChainSolution {
+            placement: vec![NodeId(1), NodeId(2)],
+            steiner_edges: vec![
+                net.graph().find_edge(NodeId(2), NodeId(3)).unwrap(),
+                net.graph().find_edge(NodeId(2), NodeId(4)).unwrap(),
+            ],
+        };
+        let out = crate::opa::optimize(&net, &task, &chain).unwrap();
+        let t = SftTree::extract(&task, &out.embedding).unwrap();
+        assert!(t.satisfies_theorem4());
+        assert_eq!(t.instance_count(2), 2, "OPA replicated the last stage");
+    }
+}

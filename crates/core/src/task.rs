@@ -1,0 +1,181 @@
+//! Multicast tasks (the paper's Definition 2).
+//!
+//! A task `δ = (S, D, ℓ)` asks for one flow from the source `S` to every
+//! destination in `D`, each traversing the SFC `ℓ` in order.
+
+use crate::network::Network;
+use crate::vnf::Sfc;
+use crate::CoreError;
+use sft_graph::NodeId;
+
+/// A multicast task `δ = (S, D, ℓ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MulticastTask {
+    source: NodeId,
+    destinations: Vec<NodeId>,
+    sfc: Sfc,
+}
+
+impl MulticastTask {
+    /// Creates a task, validating its internal shape (non-empty, duplicate
+    /// free destinations that exclude the source).
+    ///
+    /// Use [`MulticastTask::check_against`] to additionally validate the
+    /// task against a concrete network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTask`] for an empty destination set, duplicated
+    /// destinations, or a destination equal to the source.
+    pub fn new(
+        source: NodeId,
+        destinations: impl Into<Vec<NodeId>>,
+        sfc: Sfc,
+    ) -> Result<Self, CoreError> {
+        let destinations = destinations.into();
+        if destinations.is_empty() {
+            return Err(CoreError::InvalidTask {
+                reason: "destination set must be non-empty".into(),
+            });
+        }
+        let mut seen = destinations.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CoreError::InvalidTask {
+                reason: "destination set contains duplicates".into(),
+            });
+        }
+        if destinations.contains(&source) {
+            return Err(CoreError::InvalidTask {
+                reason: format!("source {source} listed as a destination"),
+            });
+        }
+        Ok(MulticastTask {
+            source,
+            destinations,
+            sfc,
+        })
+    }
+
+    /// The source node `S`.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The destination set `D`, in construction order.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.destinations
+    }
+
+    /// Number of destinations `|D|`.
+    pub fn destination_count(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// The SFC requirement `ℓ`.
+    pub fn sfc(&self) -> &Sfc {
+        &self.sfc
+    }
+
+    /// Validates the task against a network: all nodes exist, all chain
+    /// VNFs exist in the catalog, and every destination is reachable from
+    /// the source.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NodeOutOfBounds`] / [`CoreError::VnfOutOfBounds`] for
+    ///   invalid ids.
+    /// * [`CoreError::Infeasible`] for unreachable destinations.
+    pub fn check_against(&self, network: &Network) -> Result<(), CoreError> {
+        network.check_node(self.source)?;
+        for &d in &self.destinations {
+            network.check_node(d)?;
+        }
+        for (_, f) in self.sfc.iter() {
+            network.catalog().check(f)?;
+        }
+        for &d in &self.destinations {
+            if network.dist().distance(self.source, d).is_none() {
+                return Err(CoreError::Infeasible {
+                    reason: format!("destination {d} unreachable from source {}", self.source),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::{VnfCatalog, VnfId};
+    use sft_graph::Graph;
+
+    fn sfc() -> Sfc {
+        Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap()
+    }
+
+    #[test]
+    fn valid_task_roundtrips() {
+        let t = MulticastTask::new(NodeId(0), vec![NodeId(2), NodeId(1)], sfc()).unwrap();
+        assert_eq!(t.source(), NodeId(0));
+        assert_eq!(t.destinations(), &[NodeId(2), NodeId(1)]);
+        assert_eq!(t.destination_count(), 2);
+        assert_eq!(t.sfc().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_destination_sets() {
+        assert!(matches!(
+            MulticastTask::new(NodeId(0), Vec::new(), sfc()),
+            Err(CoreError::InvalidTask { .. })
+        ));
+        assert!(matches!(
+            MulticastTask::new(NodeId(0), vec![NodeId(1), NodeId(1)], sfc()),
+            Err(CoreError::InvalidTask { .. })
+        ));
+        assert!(matches!(
+            MulticastTask::new(NodeId(0), vec![NodeId(0), NodeId(1)], sfc()),
+            Err(CoreError::InvalidTask { .. })
+        ));
+    }
+
+    #[test]
+    fn check_against_validates_ids_and_reachability() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        // Node 2, 3 disconnected from 0.
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(5.0)
+            .unwrap()
+            .build()
+            .unwrap();
+
+        let ok = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc()).unwrap();
+        assert!(ok.check_against(&net).is_ok());
+
+        let unreachable = MulticastTask::new(NodeId(0), vec![NodeId(2)], sfc()).unwrap();
+        assert!(matches!(
+            unreachable.check_against(&net),
+            Err(CoreError::Infeasible { .. })
+        ));
+
+        let bad_node = MulticastTask::new(NodeId(0), vec![NodeId(9)], sfc()).unwrap();
+        assert!(matches!(
+            bad_node.check_against(&net),
+            Err(CoreError::NodeOutOfBounds { .. })
+        ));
+
+        let bad_vnf = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(1)],
+            Sfc::new(vec![VnfId(7)]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            bad_vnf.check_against(&net),
+            Err(CoreError::VnfOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,433 @@
+//! Feasibility validation of embeddings, independent of how they were
+//! produced.
+//!
+//! Every algorithm output in this crate is checked against the same rules,
+//! which mirror the ILP constraints: routes are contiguous physical walks
+//! from the source through the chain stages to each destination (1b, 1c,
+//! 1e), instances sit on server nodes, and no server exceeds its capacity
+//! (1d).
+
+use crate::embedding::Embedding;
+use crate::network::Network;
+use crate::task::MulticastTask;
+use sft_graph::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single validation failure. An embedding may have several.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationIssue {
+    /// The number of routes differs from the number of destinations.
+    RouteCountMismatch {
+        /// Routes present.
+        routes: usize,
+        /// Destinations expected.
+        destinations: usize,
+    },
+    /// A route does not have exactly `k + 1` segments.
+    SegmentCountMismatch {
+        /// Destination index (into the task's destination list).
+        dest: usize,
+        /// Segments present.
+        segments: usize,
+        /// Segments expected (`k + 1`).
+        expected: usize,
+    },
+    /// A segment contains no nodes.
+    EmptySegment {
+        /// Destination index.
+        dest: usize,
+        /// Segment index.
+        segment: usize,
+    },
+    /// The first segment does not start at the task source.
+    WrongStart {
+        /// Destination index.
+        dest: usize,
+        /// Node where the route actually starts.
+        found: NodeId,
+    },
+    /// The last segment does not end at the destination.
+    WrongEnd {
+        /// Destination index.
+        dest: usize,
+        /// Node where the route actually ends.
+        found: NodeId,
+    },
+    /// Consecutive segments do not share their junction node.
+    DisconnectedSegments {
+        /// Destination index.
+        dest: usize,
+        /// The later of the two segment indices.
+        segment: usize,
+    },
+    /// Two consecutive nodes of a segment are not adjacent in the topology.
+    NotAWalk {
+        /// Destination index.
+        dest: usize,
+        /// Segment index.
+        segment: usize,
+        /// First node of the offending step.
+        from: NodeId,
+        /// Second node of the offending step.
+        to: NodeId,
+    },
+    /// A VNF instance is placed on a switch node.
+    InstanceOnSwitch {
+        /// 1-based chain stage.
+        stage: usize,
+        /// The offending node.
+        node: NodeId,
+    },
+    /// New instances overload a server (constraint 1d).
+    CapacityExceeded {
+        /// The overloaded node.
+        node: NodeId,
+        /// Its capacity.
+        capacity: f64,
+        /// Total load including pre-deployed instances.
+        load: f64,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::RouteCountMismatch {
+                routes,
+                destinations,
+            } => {
+                write!(f, "{routes} routes for {destinations} destinations")
+            }
+            ValidationIssue::SegmentCountMismatch {
+                dest,
+                segments,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "destination {dest}: {segments} segments, expected {expected}"
+                )
+            }
+            ValidationIssue::EmptySegment { dest, segment } => {
+                write!(f, "destination {dest}: segment {segment} is empty")
+            }
+            ValidationIssue::WrongStart { dest, found } => {
+                write!(
+                    f,
+                    "destination {dest}: route starts at {found}, not the source"
+                )
+            }
+            ValidationIssue::WrongEnd { dest, found } => {
+                write!(
+                    f,
+                    "destination {dest}: route ends at {found}, not the destination"
+                )
+            }
+            ValidationIssue::DisconnectedSegments { dest, segment } => {
+                write!(
+                    f,
+                    "destination {dest}: segments {} and {segment} do not join",
+                    segment - 1
+                )
+            }
+            ValidationIssue::NotAWalk {
+                dest,
+                segment,
+                from,
+                to,
+            } => {
+                write!(
+                    f,
+                    "destination {dest}: segment {segment} steps over non-edge {from}-{to}"
+                )
+            }
+            ValidationIssue::InstanceOnSwitch { stage, node } => {
+                write!(f, "stage {stage} instance on switch node {node}")
+            }
+            ValidationIssue::CapacityExceeded {
+                node,
+                capacity,
+                load,
+            } => {
+                write!(f, "node {node} capacity {capacity} exceeded by load {load}")
+            }
+        }
+    }
+}
+
+/// Checks an embedding against a network and task. Returns every issue
+/// found (empty means the embedding is feasible).
+pub fn validate(
+    network: &Network,
+    task: &MulticastTask,
+    embedding: &Embedding,
+) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let k = task.sfc().len();
+    let routes = embedding.routes();
+    if routes.len() != task.destination_count() {
+        issues.push(ValidationIssue::RouteCountMismatch {
+            routes: routes.len(),
+            destinations: task.destination_count(),
+        });
+        return issues; // nothing else is meaningfully indexable
+    }
+
+    for (di, route) in routes.iter().enumerate() {
+        let segs = route.segments();
+        if segs.len() != k + 1 {
+            issues.push(ValidationIssue::SegmentCountMismatch {
+                dest: di,
+                segments: segs.len(),
+                expected: k + 1,
+            });
+            continue;
+        }
+        let mut shape_ok = true;
+        for (si, seg) in segs.iter().enumerate() {
+            if seg.is_empty() {
+                issues.push(ValidationIssue::EmptySegment {
+                    dest: di,
+                    segment: si,
+                });
+                shape_ok = false;
+                continue;
+            }
+            for w in seg.windows(2) {
+                if network.graph().find_edge(w[0], w[1]).is_none() {
+                    issues.push(ValidationIssue::NotAWalk {
+                        dest: di,
+                        segment: si,
+                        from: w[0],
+                        to: w[1],
+                    });
+                }
+            }
+        }
+        if !shape_ok {
+            continue;
+        }
+        if segs[0][0] != task.source() {
+            issues.push(ValidationIssue::WrongStart {
+                dest: di,
+                found: segs[0][0],
+            });
+        }
+        let last = *segs[k].last().expect("non-empty checked above");
+        if last != task.destinations()[di] {
+            issues.push(ValidationIssue::WrongEnd {
+                dest: di,
+                found: last,
+            });
+        }
+        for si in 1..segs.len() {
+            let junction_ok = segs[si - 1].last() == segs[si].first();
+            if !junction_ok {
+                issues.push(ValidationIssue::DisconnectedSegments {
+                    dest: di,
+                    segment: si,
+                });
+            }
+        }
+    }
+
+    // Instance placement and capacity.
+    for (stage, node) in embedding.instances() {
+        if stage <= k && !network.is_server(node) {
+            issues.push(ValidationIssue::InstanceOnSwitch { stage, node });
+        }
+    }
+    let mut extra_load: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for (f, n) in embedding.new_instances(network, task) {
+        *extra_load.entry(n).or_insert(0.0) += network.catalog().demand(f);
+    }
+    for (n, extra) in extra_load {
+        let load = network.deployed_load(n) + extra;
+        if load > network.capacity(n) + 1e-9 {
+            issues.push(ValidationIssue::CapacityExceeded {
+                node: n,
+                capacity: network.capacity(n),
+                load,
+            });
+        }
+    }
+
+    issues
+}
+
+/// Convenience wrapper: `true` when [`validate`] finds no issues.
+pub fn is_valid(network: &Network, task: &MulticastTask, embedding: &Embedding) -> bool {
+    validate(network, task, embedding).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::DestinationRoute;
+    use crate::vnf::{Sfc, VnfCatalog, VnfId};
+    use sft_graph::Graph;
+
+    /// Line 0-1-2-3; node 2 is a switch; capacities 1 elsewhere.
+    fn fixture() -> (Network, MulticastTask) {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .server(NodeId(0), 1.0)
+            .unwrap()
+            .server(NodeId(1), 1.0)
+            .unwrap()
+            .server(NodeId(3), 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        (net, task)
+    }
+
+    fn good_route() -> DestinationRoute {
+        // f0@0 (source is a server), f1@1, deliver to 3.
+        DestinationRoute::new(vec![
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ])
+    }
+
+    #[test]
+    fn valid_embedding_passes() {
+        let (net, task) = fixture();
+        let emb = Embedding::new(vec![good_route()]);
+        assert_eq!(validate(&net, &task, &emb), Vec::new());
+        assert!(is_valid(&net, &task, &emb));
+    }
+
+    #[test]
+    fn route_count_mismatch_short_circuits() {
+        let (net, task) = fixture();
+        let emb = Embedding::new(vec![]);
+        let issues = validate(&net, &task, &emb);
+        assert_eq!(
+            issues,
+            vec![ValidationIssue::RouteCountMismatch {
+                routes: 0,
+                destinations: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_wrong_endpoints_and_segment_counts() {
+        let (net, task) = fixture();
+        let wrong_start = DestinationRoute::new(vec![
+            vec![NodeId(1)],
+            vec![NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![wrong_start]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::WrongStart { .. })));
+
+        let wrong_end = DestinationRoute::new(vec![
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![wrong_end]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::WrongEnd { .. })));
+
+        let too_few = DestinationRoute::new(vec![vec![NodeId(0)], vec![NodeId(0), NodeId(3)]]);
+        let issues = validate(&net, &task, &Embedding::new(vec![too_few]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SegmentCountMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_disconnected_segments_and_non_walks() {
+        let (net, task) = fixture();
+        let gap = DestinationRoute::new(vec![
+            vec![NodeId(0)],
+            vec![NodeId(1)], // junction mismatch: segment 0 ends at 0
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![gap]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DisconnectedSegments { segment: 1, .. })));
+
+        let jump = DestinationRoute::new(vec![
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(3)], // 0-3 is not an edge
+            vec![NodeId(3)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![jump]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::NotAWalk { .. })));
+    }
+
+    #[test]
+    fn detects_switch_placement() {
+        let (net, task) = fixture();
+        let on_switch = DestinationRoute::new(vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)], // f0@2 but 2 is a switch
+            vec![NodeId(2)],
+            vec![NodeId(2), NodeId(3)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![on_switch]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::InstanceOnSwitch { stage: 1, .. })));
+    }
+
+    #[test]
+    fn detects_capacity_violation() {
+        let (net, task) = fixture();
+        // Both stages on node 1 (capacity 1, demands 1 each -> load 2).
+        let overload = DestinationRoute::new(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ]);
+        let issues = validate(&net, &task, &Embedding::new(vec![overload]));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::CapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn reused_deployed_instances_do_not_consume_new_capacity() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(1.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(1)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        // Reuses the deployed f0@0: no new load, fits capacity 1.
+        let emb = Embedding::new(vec![DestinationRoute::new(vec![
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(1)],
+        ])]);
+        assert!(is_valid(&net, &task, &emb));
+    }
+}

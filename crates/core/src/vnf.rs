@@ -1,0 +1,264 @@
+//! VNF types, the VNF catalog, and service function chains.
+//!
+//! The paper's model (§III-B): a universe `Φ = {f₁ … f_n}` of VNF types,
+//! each with a resource demand `μ_f`; a multicast task requests a *service
+//! function chain* `ℓ = (l₁ → l₂ → … → l_k)`, `l_i ∈ Φ`, that every flow
+//! must traverse in order.
+
+use crate::CoreError;
+use std::fmt;
+
+/// Identifier of a VNF *type* within a [`VnfCatalog`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VnfId(pub usize);
+
+impl VnfId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for VnfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for VnfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The universe of VNF types available for deployment (the paper's `Φ`),
+/// with each type's resource demand `μ_f`.
+#[derive(Clone, Debug, Default)]
+pub struct VnfCatalog {
+    names: Vec<String>,
+    demands: Vec<f64>,
+}
+
+impl VnfCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        VnfCatalog::default()
+    }
+
+    /// Creates a catalog of `n` types named `f0 … f{n-1}`, all with unit
+    /// resource demand — the configuration the paper's evaluation uses
+    /// (node capacities count "how many VNFs fit", Table I).
+    pub fn uniform(n: usize) -> Self {
+        VnfCatalog {
+            names: (0..n).map(|i| format!("f{i}")).collect(),
+            demands: vec![1.0; n],
+        }
+    }
+
+    /// Registers a VNF type with the given resource demand and returns its
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if the demand is negative or not
+    /// finite.
+    pub fn add(&mut self, name: impl Into<String>, demand: f64) -> Result<VnfId, CoreError> {
+        if !demand.is_finite() || demand < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "VNF resource demand",
+                value: demand,
+            });
+        }
+        self.names.push(name.into());
+        self.demands.push(demand);
+        Ok(VnfId(self.names.len() - 1))
+    }
+
+    /// Number of VNF types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a VNF type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn name(&self, f: VnfId) -> &str {
+        &self.names[f.0]
+    }
+
+    /// Resource demand `μ_f` of a VNF type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn demand(&self, f: VnfId) -> f64 {
+        self.demands[f.0]
+    }
+
+    /// Iterator over all type ids.
+    pub fn ids(&self) -> impl Iterator<Item = VnfId> + '_ {
+        (0..self.len()).map(VnfId)
+    }
+
+    /// Validates that an id belongs to this catalog.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::VnfOutOfBounds`] otherwise.
+    pub fn check(&self, f: VnfId) -> Result<(), CoreError> {
+        if f.0 < self.len() {
+            Ok(())
+        } else {
+            Err(CoreError::VnfOutOfBounds {
+                vnf: f.0,
+                len: self.len(),
+            })
+        }
+    }
+}
+
+/// An ordered service function chain `ℓ = (l₁ → … → l_k)`.
+///
+/// The same VNF type may appear more than once (each occurrence is a
+/// distinct *stage*), although the paper's evaluation always uses distinct
+/// types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sfc {
+    stages: Vec<VnfId>,
+}
+
+impl Sfc {
+    /// Creates a chain from the ordered list of VNF types.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTask`] if the chain is empty.
+    pub fn new(stages: impl Into<Vec<VnfId>>) -> Result<Self, CoreError> {
+        let stages = stages.into();
+        if stages.is_empty() {
+            return Err(CoreError::InvalidTask {
+                reason: "service function chain must contain at least one VNF".into(),
+            });
+        }
+        Ok(Sfc { stages })
+    }
+
+    /// Chain length `k`.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Chains are never empty; this always returns `false` and exists for
+    /// API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The VNF type at 1-based stage `j` (`1 ..= len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is 0 or greater than the chain length.
+    pub fn stage(&self, j: usize) -> VnfId {
+        assert!(j >= 1 && j <= self.stages.len(), "stage {j} out of range");
+        self.stages[j - 1]
+    }
+
+    /// The stages in order, 0-indexed slice (`stages()[0]` is `l₁`).
+    pub fn stages(&self) -> &[VnfId] {
+        &self.stages
+    }
+
+    /// Iterator over `(stage_number, vnf)` pairs, stage numbers 1-based.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, VnfId)> + '_ {
+        self.stages.iter().enumerate().map(|(i, &f)| (i + 1, f))
+    }
+}
+
+impl fmt::Display for Sfc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_catalog_has_unit_demands() {
+        let c = VnfCatalog::uniform(30);
+        assert_eq!(c.len(), 30);
+        assert!(!c.is_empty());
+        for f in c.ids() {
+            assert_eq!(c.demand(f), 1.0);
+        }
+        assert_eq!(c.name(VnfId(3)), "f3");
+    }
+
+    #[test]
+    fn add_validates_demand() {
+        let mut c = VnfCatalog::new();
+        let dpi = c.add("dpi", 2.5).unwrap();
+        assert_eq!(c.demand(dpi), 2.5);
+        assert_eq!(c.name(dpi), "dpi");
+        assert!(matches!(
+            c.add("bad", -1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            c.add("bad", f64::NAN),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_foreign_ids() {
+        let c = VnfCatalog::uniform(2);
+        assert!(c.check(VnfId(1)).is_ok());
+        assert!(matches!(
+            c.check(VnfId(2)),
+            Err(CoreError::VnfOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn sfc_orders_and_indexes_stages() {
+        let sfc = Sfc::new(vec![VnfId(4), VnfId(0), VnfId(4)]).unwrap();
+        assert_eq!(sfc.len(), 3);
+        assert_eq!(sfc.stage(1), VnfId(4));
+        assert_eq!(sfc.stage(2), VnfId(0));
+        assert_eq!(sfc.stage(3), VnfId(4));
+        let collected: Vec<_> = sfc.iter().collect();
+        assert_eq!(collected, vec![(1, VnfId(4)), (2, VnfId(0)), (3, VnfId(4))]);
+        assert_eq!(sfc.to_string(), "f4 -> f0 -> f4");
+    }
+
+    #[test]
+    fn empty_sfc_is_rejected() {
+        assert!(matches!(
+            Sfc::new(Vec::new()),
+            Err(CoreError::InvalidTask { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_zero_panics() {
+        let sfc = Sfc::new(vec![VnfId(0)]).unwrap();
+        sfc.stage(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Runs the ablation studies (SFT vs SFC, Steiner construction choice,
+//! ILP warm-start effect). Pass `--quick` for a fast smoke sweep.
+
+use sft_experiments::{ablations, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let figs = [
+        ablations::opa_gain(effort),
+        ablations::steiner_choice(effort),
+        ablations::dependence_rule(effort),
+        ablations::warm_start_effect(effort),
+    ];
+    for fig in figs {
+        match fig {
+            Ok(fig) => {
+                print!("{}", fig.render());
+                match fig.write_csv(std::path::Path::new("results")) {
+                    Ok(p) => println!("csv: {}", p.display()),
+                    Err(e) => eprintln!("could not write csv: {e}"),
+                }
+                println!();
+            }
+            Err(e) => eprintln!("ablation failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates every figure of the paper's evaluation in sequence.
+//! Pass `--quick` for a fast smoke sweep of all of them.
+
+use sft_experiments::{figures, Effort, FigureData};
+
+type FigureBuilder = fn(Effort) -> Result<FigureData, sft_core::CoreError>;
+
+fn main() {
+    let effort = Effort::from_args();
+    let builders: Vec<(&str, FigureBuilder)> = vec![
+        ("fig08", figures::fig08),
+        ("fig09", figures::fig09),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13_heuristics),
+        ("fig13_opt", figures::fig13_opt),
+        ("fig14", figures::fig14),
+    ];
+    for (name, build) in builders {
+        eprintln!(">> running {name}");
+        match build(effort) {
+            Ok(fig) => {
+                print!("{}", fig.render());
+                match fig.write_csv(std::path::Path::new("results")) {
+                    Ok(p) => println!("csv: {}", p.display()),
+                    Err(e) => eprintln!("could not write csv: {e}"),
+                }
+                println!();
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    }
+}

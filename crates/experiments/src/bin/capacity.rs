@@ -1,0 +1,56 @@
+//! Extension experiment: the impact of node capacity.
+//!
+//! Table I sets node capacities in [1, 5] but the paper never sweeps the
+//! parameter. This experiment does: fixed capacity c ∈ {1, …, 5} across
+//! all servers, everything else at Table-I defaults. Tight capacities
+//! force the chain to spread over more nodes (more link cost, more
+//! distinct setups), so cost should fall as capacity grows and plateau
+//! once co-location is unconstrained.
+//!
+//! Pass `--quick` for fewer seeds.
+
+use sft_experiments::{record::FigureData, runner, Effort};
+use sft_topology::{generate, ScenarioConfig};
+
+fn main() {
+    let effort = Effort::from_args();
+    let mut fig = FigureData::new(
+        "capacity",
+        "traffic delivery cost vs uniform node capacity (|V| = 100, k = 5, mu = 2, ratio 0.2)",
+        "capacity",
+        &runner::HEURISTICS,
+    );
+    for cap in 1..=5u32 {
+        let row = fig.push_x(cap as f64);
+        let config = ScenarioConfig {
+            network_size: 100,
+            capacity_range: (cap, cap),
+            dest_ratio: 0.2,
+            sfc_len: 5,
+            ..ScenarioConfig::default()
+        };
+        for rep in 0..effort.reps() as u64 {
+            let seed = 40 * cap as u64 + rep;
+            match generate(&config, seed).and_then(|s| runner::run_heuristics(&s)) {
+                Ok(runs) => {
+                    for run in runs {
+                        fig.record(row, run.algo, run.cost, run.ms);
+                    }
+                }
+                Err(e) => eprintln!("capacity {cap} seed {seed}: {e}"),
+            }
+        }
+    }
+    // Qualitative check baked into the notes.
+    if let (Some(tight), Some(loose)) = (fig.mean_cost(0, "MSA"), fig.mean_cost(4, "MSA")) {
+        fig.notes.push(format!(
+            "MSA cost at capacity 1 vs 5: {tight:.1} vs {loose:.1} ({:+.1}% from co-location)",
+            100.0 * (loose - tight) / tight
+        ));
+    }
+    print!("{}", fig.render());
+    match fig.write_csv(std::path::Path::new("results")) {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 10. Pass `--quick` for a fast smoke sweep.
+
+use sft_experiments::{figures, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let fig = figures::fig10(effort).expect("figure sweep failed");
+    print!("{}", fig.render());
+    match fig.write_csv(std::path::Path::new("results")) {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Fig. 13: the Palmetto heuristic sweep plus the exact
+//! ILP (OPT) comparison on reduced instances. Pass `--quick` for a fast
+//! smoke sweep.
+
+use sft_experiments::{figures, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    for fig in [
+        figures::fig13_heuristics(effort).expect("fig13 sweep failed"),
+        figures::fig13_opt(effort).expect("fig13 OPT sweep failed"),
+    ] {
+        print!("{}", fig.render());
+        match fig.write_csv(std::path::Path::new("results")) {
+            Ok(p) => println!("csv: {}", p.display()),
+            Err(e) => eprintln!("could not write csv: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,121 @@
+//! Extension experiment: algorithm robustness across topology families.
+//!
+//! The paper evaluates ER networks and one real backbone. This sweep runs
+//! the same Table-I workload over five structurally different families —
+//! ER, random geometric, grid, fat-tree, Palmetto — and checks that the
+//! MSA > SCA/RSA ordering is topology-independent.
+//!
+//! Pass `--quick` for fewer seeds.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sft_core::{CoreError, MulticastTask, Network, Sfc, VnfCatalog, VnfId};
+use sft_experiments::{record::FigureData, runner, Effort};
+use sft_graph::{generate, Graph, NodeId};
+use sft_topology::{palmetto, Scenario};
+
+fn topology(family: &str, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        "er" => {
+            generate::euclidean_er(60, 0.082, 100.0, &mut rng)
+                .unwrap()
+                .graph
+        }
+        "geometric" => {
+            generate::random_geometric(60, 22.0, 100.0, &mut rng)
+                .unwrap()
+                .graph
+        }
+        "grid" => generate::grid(8, 8, 10.0).unwrap(),
+        "fat-tree" => generate::fat_tree(4, 4.0).unwrap(),
+        "palmetto" => palmetto::graph(),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn scenario(family: &str, seed: u64) -> Result<Scenario, CoreError> {
+    let graph = topology(family, seed);
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let l_g = graph
+        .all_pairs_shortest_paths()?
+        .average_distance()
+        .max(1e-9);
+    let mut builder = Network::builder(graph, VnfCatalog::uniform(8))
+        .all_servers(3.0)?
+        .uniform_setup_cost(2.0 * l_g)?;
+    // Scatter some deployments so reuse matters on every family.
+    for _ in 0..n {
+        let f = VnfId(rng.random_range(0..8));
+        let v = NodeId(rng.random_range(0..n));
+        builder = match builder.clone().deploy(f, v) {
+            Ok(b) => b,
+            Err(_) => builder,
+        };
+    }
+    let network = builder.build()?;
+    let source = NodeId(rng.random_range(0..n));
+    let mut dests = Vec::new();
+    while dests.len() < (n / 10).max(3) {
+        let d = NodeId(rng.random_range(0..n));
+        if d != source && !dests.contains(&d) {
+            dests.push(d);
+        }
+    }
+    let task = MulticastTask::new(
+        source,
+        dests,
+        Sfc::new((0..4).map(VnfId).collect::<Vec<_>>())?,
+    )?;
+    task.check_against(&network)?;
+    Ok(Scenario {
+        network,
+        task,
+        seed,
+    })
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let families = ["er", "geometric", "grid", "fat-tree", "palmetto"];
+    let mut fig = FigureData::new(
+        "topologies",
+        "robustness across topology families (60-64 nodes, k = 4, mu = 2)",
+        "family#",
+        &runner::HEURISTICS,
+    );
+    for (fi, family) in families.iter().enumerate() {
+        let row = fig.push_x(fi as f64 + 1.0);
+        for rep in 0..effort.reps() as u64 {
+            let s = match scenario(family, 100 * (fi as u64 + 1) + rep) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{family} seed {rep}: {e}");
+                    continue;
+                }
+            };
+            match runner::run_heuristics(&s) {
+                Ok(runs) => {
+                    for run in runs {
+                        fig.record(row, run.algo, run.cost, run.ms);
+                    }
+                }
+                Err(e) => eprintln!("{family} seed {rep}: {e}"),
+            }
+        }
+        fig.notes.push(format!("family {} = {family}", fi + 1));
+    }
+    if let Some((avg, max)) = fig.saving_vs("MSA", "RSA") {
+        fig.notes.push(format!(
+            "MSA saves {:.2}% on average (max {:.2}%) vs RSA across all families",
+            avg * 100.0,
+            max * 100.0
+        ));
+    }
+    print!("{}", fig.render());
+    match fig.write_csv(std::path::Path::new("results")) {
+        Ok(p) => println!("csv: {}", p.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§V, Figs. 8–14).
+//!
+//! Each paper figure has a builder in [`figures`] that sweeps the same
+//! parameter the paper sweeps, runs MSA / SCA / RSA (and, where the paper
+//! used CPLEX, the exact ILP on reduced instances — see DESIGN.md §5) over
+//! several seeds, and aggregates mean delivery cost and wall-clock runtime
+//! into a [`FigureData`] table. The `fig08` … `fig14` binaries print those
+//! tables and drop CSVs under `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p sft-experiments --bin all
+//! ```
+//!
+//! (`--quick` on any binary shrinks repetitions for a fast smoke run.)
+
+pub mod ablations;
+pub mod figures;
+pub mod record;
+pub mod runner;
+
+pub use record::{CellStats, FigureData};
+pub use runner::{run_heuristics, HeuristicRun};
+
+/// How much work to spend per figure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// A smoke-test sweep: fewer seeds, smaller extremes.
+    Quick,
+    /// The paper-scale sweep.
+    Paper,
+}
+
+impl Effort {
+    /// Parses process arguments: `--quick` selects [`Effort::Quick`].
+    pub fn from_args() -> Effort {
+        if std::env::args().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Paper
+        }
+    }
+
+    /// Seeds per sweep point.
+    pub fn reps(self) -> usize {
+        match self {
+            Effort::Quick => 2,
+            Effort::Paper => 5,
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Aggregated figure data: the rows/series a paper figure plots.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Mean/variance statistics for one (sweep point, algorithm) cell
+/// (Welford's online algorithm).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CellStats {
+    /// Mean traffic delivery cost across the runs.
+    pub mean_cost: f64,
+    /// Mean wall-clock runtime in milliseconds.
+    pub mean_ms: f64,
+    /// Number of successful runs aggregated.
+    pub runs: usize,
+    /// Sum of squared cost deviations (Welford's M2 accumulator).
+    m2_cost: f64,
+}
+
+impl CellStats {
+    /// Folds one run into the statistics.
+    pub fn add(&mut self, cost: f64, ms: f64) {
+        self.runs += 1;
+        let n = self.runs as f64;
+        let delta = cost - self.mean_cost;
+        self.mean_cost += delta / n;
+        self.m2_cost += delta * (cost - self.mean_cost);
+        self.mean_ms += (ms - self.mean_ms) / n;
+    }
+
+    /// Sample standard deviation of the cost (0 for fewer than two runs).
+    pub fn std_cost(&self) -> f64 {
+        if self.runs < 2 {
+            0.0
+        } else {
+            (self.m2_cost / (self.runs as f64 - 1.0)).sqrt()
+        }
+    }
+}
+
+/// One reproduced figure: a table of sweep points × algorithms, carrying
+/// both of the paper's per-figure panels (delivery cost and runtime).
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Identifier, e.g. `fig08`.
+    pub id: String,
+    /// Human-readable description (what the paper's caption says).
+    pub title: String,
+    /// Name of the swept parameter.
+    pub x_label: String,
+    /// Algorithm names, column order.
+    pub algos: Vec<String>,
+    /// Sweep points, row order.
+    pub xs: Vec<f64>,
+    /// `cells[x][algo]` statistics.
+    pub cells: Vec<Vec<CellStats>>,
+    /// Free-form annotations (summary statistics, substitution notes).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Creates an empty figure table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        algos: &[&str],
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            algos: algos.iter().map(|s| s.to_string()).collect(),
+            xs: Vec::new(),
+            cells: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a sweep point and returns its row index.
+    pub fn push_x(&mut self, x: f64) -> usize {
+        self.xs.push(x);
+        self.cells
+            .push(vec![CellStats::default(); self.algos.len()]);
+        self.xs.len() - 1
+    }
+
+    /// Records one run for `(row, algo_name)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown algorithm name or row.
+    pub fn record(&mut self, row: usize, algo: &str, cost: f64, ms: f64) {
+        let a = self
+            .algos
+            .iter()
+            .position(|s| s == algo)
+            .unwrap_or_else(|| panic!("unknown algorithm {algo}"));
+        self.cells[row][a].add(cost, ms);
+    }
+
+    /// Mean cost of `algo` at row `row`, if any runs were recorded.
+    pub fn mean_cost(&self, row: usize, algo: &str) -> Option<f64> {
+        let a = self.algos.iter().position(|s| s == algo)?;
+        let c = self.cells.get(row)?.get(a)?;
+        (c.runs > 0).then_some(c.mean_cost)
+    }
+
+    /// Average and maximum relative cost saving of `better` vs `baseline`
+    /// across rows where both have data: `(base - better) / base`.
+    pub fn saving_vs(&self, better: &str, baseline: &str) -> Option<(f64, f64)> {
+        let mut savings = Vec::new();
+        for row in 0..self.xs.len() {
+            let (b, r) = (self.mean_cost(row, better)?, self.mean_cost(row, baseline)?);
+            if r > 0.0 {
+                savings.push((r - b) / r);
+            }
+        }
+        if savings.is_empty() {
+            return None;
+        }
+        let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+        let max = savings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((avg, max))
+    }
+
+    /// Renders the figure as an aligned text table (cost panel then
+    /// runtime panel, mirroring the paper's (a)/(b) sub-figures).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for (panel, unit) in [
+            ("(a) traffic delivery cost", ""),
+            ("(b) running time", " ms"),
+        ] {
+            let _ = writeln!(out, "{panel}:");
+            let _ = write!(out, "{:>14}", self.x_label);
+            for a in &self.algos {
+                let _ = write!(out, "{a:>14}");
+            }
+            let _ = writeln!(out);
+            for (row, &x) in self.xs.iter().enumerate() {
+                let _ = write!(out, "{x:>14.1}");
+                for (ai, _) in self.algos.iter().enumerate() {
+                    let c = &self.cells[row][ai];
+                    if c.runs == 0 {
+                        let _ = write!(out, "{:>14}", "-");
+                    } else if unit.is_empty() {
+                        let _ = write!(out, "{:>14.2}", c.mean_cost);
+                    } else {
+                        let _ = write!(out, "{:>14.2}", c.mean_ms);
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (one row per sweep point, cost and
+    /// runtime columns per algorithm).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label.replace(',', ";"));
+        for a in &self.algos {
+            let _ = write!(out, ",{a}_cost,{a}_cost_std,{a}_ms,{a}_runs");
+        }
+        let _ = writeln!(out);
+        for (row, &x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (ai, _) in self.algos.iter().enumerate() {
+                let c = &self.cells[row][ai];
+                let _ = write!(
+                    out,
+                    ",{},{},{},{}",
+                    c.mean_cost,
+                    c.std_cost(),
+                    c.mean_ms,
+                    c.runs
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<id>.csv`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from directory creation or the write.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("figX", "test", "|V|", &["MSA", "RSA"]);
+        let r0 = f.push_x(50.0);
+        f.record(r0, "MSA", 10.0, 1.0);
+        f.record(r0, "MSA", 12.0, 3.0);
+        f.record(r0, "RSA", 20.0, 0.5);
+        let r1 = f.push_x(100.0);
+        f.record(r1, "MSA", 30.0, 2.0);
+        f.record(r1, "RSA", 40.0, 1.0);
+        f
+    }
+
+    #[test]
+    fn cell_stats_compute_running_means_and_stddev() {
+        let mut c = CellStats::default();
+        c.add(10.0, 1.0);
+        assert_eq!(c.std_cost(), 0.0);
+        c.add(20.0, 3.0);
+        assert_eq!(c.runs, 2);
+        assert!((c.mean_cost - 15.0).abs() < 1e-12);
+        assert!((c.mean_ms - 2.0).abs() < 1e-12);
+        // Sample std of {10, 20} is sqrt(50).
+        assert!((c.std_cost() - 50.0_f64.sqrt()).abs() < 1e-12);
+        c.add(15.0, 2.0);
+        assert!((c.mean_cost - 15.0).abs() < 1e-12);
+        assert!((c.std_cost() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_cost_and_savings() {
+        let f = sample();
+        assert!((f.mean_cost(0, "MSA").unwrap() - 11.0).abs() < 1e-12);
+        assert_eq!(f.mean_cost(0, "OPT"), None);
+        let (avg, max) = f.saving_vs("MSA", "RSA").unwrap();
+        // Row 0: (20-11)/20 = 0.45; row 1: (40-30)/40 = 0.25.
+        assert!((avg - 0.35).abs() < 1e-12);
+        assert!((max - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_both_panels_and_values() {
+        let s = sample().render();
+        assert!(s.contains("traffic delivery cost"));
+        assert!(s.contains("running time"));
+        assert!(s.contains("11.00"));
+        assert!(s.contains("MSA"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("|V|,MSA_cost"));
+        assert_eq!(lines[1].split(',').count(), 9);
+    }
+
+    #[test]
+    fn empty_cells_render_as_dash() {
+        let mut f = FigureData::new("f", "t", "x", &["A"]);
+        f.push_x(1.0);
+        assert!(f.render().contains('-'));
+        assert_eq!(f.saving_vs("A", "A"), None);
+    }
+}

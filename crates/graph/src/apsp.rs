@@ -1,0 +1,304 @@
+//! All-pairs shortest paths (Floyd–Warshall).
+//!
+//! The paper's Algorithm 1 pre-computes all shortest paths in the physical
+//! network before building the MOD overlay; its complexity analysis
+//! (Theorem 5) explicitly charges O(|V|³) for Floyd's algorithm. The
+//! resulting [`DistanceMatrix`] also yields `l_G`, the average shortest-path
+//! cost that Table I uses to scale VNF deployment costs.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Dense all-pairs shortest-path distances with path reconstruction.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+    // next[u][v] = the node following u on a shortest u->v path.
+    next: Vec<Option<NodeId>>,
+}
+
+impl DistanceMatrix {
+    /// Number of nodes the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance from `u` to `v`, or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let d = self.dist[self.idx(u, v)];
+        d.is_finite().then_some(d)
+    }
+
+    /// The node sequence of a shortest path from `u` to `v` (both endpoints
+    /// included), or `None` if unreachable. The path from a node to itself
+    /// is the singleton `[u]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(u, v)?;
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = self.next[self.idx(cur, v)]?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Average shortest-path distance over all *ordered* pairs of distinct,
+    /// mutually reachable nodes — the paper's `l_G` normalizer for VNF
+    /// deployment costs. Returns 0.0 when no such pair exists.
+    pub fn average_distance(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0_u64;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u == v {
+                    continue;
+                }
+                let d = self.dist[u * self.n + v];
+                if d.is_finite() {
+                    total += d;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// The largest finite pairwise distance (graph diameter under the cost
+    /// metric). Returns 0.0 for graphs with fewer than two nodes.
+    pub fn diameter(&self) -> f64 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    fn idx(&self, u: NodeId, v: NodeId) -> usize {
+        assert!(u.0 < self.n && v.0 < self.n, "node out of bounds");
+        u.0 * self.n + v.0
+    }
+}
+
+impl Graph {
+    /// Computes all-pairs shortest paths with Floyd–Warshall in O(|V|³).
+    ///
+    /// ```
+    /// use sft_graph::{Graph, NodeId};
+    /// # fn main() -> Result<(), sft_graph::GraphError> {
+    /// let mut g = Graph::new(3);
+    /// g.add_edge(NodeId(0), NodeId(1), 1.0)?;
+    /// g.add_edge(NodeId(1), NodeId(2), 1.0)?;
+    /// let m = g.all_pairs_shortest_paths()?;
+    /// assert_eq!(m.distance(NodeId(0), NodeId(2)), Some(2.0));
+    /// assert_eq!(m.path(NodeId(0), NodeId(2)).unwrap().len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Never fails on valid graphs today; the `Result` return keeps room for
+    /// future overflow guards and mirrors the fallible substrate API style.
+    pub fn all_pairs_shortest_paths(&self) -> Result<DistanceMatrix, GraphError> {
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut next: Vec<Option<NodeId>> = vec![None; n * n];
+        for u in 0..n {
+            dist[u * n + u] = 0.0;
+        }
+        for e in self.edges() {
+            let (u, v, w) = (e.u.0, e.v.0, e.weight);
+            // Graph forbids parallel edges, so direct assignment is safe.
+            dist[u * n + v] = w;
+            dist[v * n + u] = w;
+            next[u * n + v] = Some(NodeId(v));
+            next[v * n + u] = Some(NodeId(u));
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik + dist[k * n + j];
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                        next[i * n + j] = next[i * n + k];
+                    }
+                }
+            }
+        }
+        Ok(DistanceMatrix { n, dist, next })
+    }
+}
+
+impl Graph {
+    /// Computes all-pairs shortest paths by running Dijkstra from every
+    /// node — `O(|V| · |E| log |V|)`, which beats Floyd–Warshall's
+    /// `O(|V|³)` on sparse graphs (backbones average degree < 4; the
+    /// `graph/apsp` benchmark quantifies the gap).
+    ///
+    /// Produces a [`DistanceMatrix`] equivalent to
+    /// [`Graph::all_pairs_shortest_paths`] up to shortest-path tie-breaks.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on valid graphs today; kept fallible for symmetry.
+    pub fn all_pairs_shortest_paths_sparse(&self) -> Result<DistanceMatrix, GraphError> {
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut next: Vec<Option<NodeId>> = vec![None; n * n];
+        for s in 0..n {
+            let sp = self.dijkstra(NodeId(s));
+            for (t, d) in sp.reached() {
+                dist[s * n + t.0] = d;
+                // next[s][t]: walk one step from s towards t. Recover it by
+                // following predecessors back from t to the node whose
+                // predecessor is s (or t == that node's own predecessor).
+                if t.0 == s {
+                    continue;
+                }
+                let mut cur = t;
+                loop {
+                    match sp.predecessor(cur) {
+                        Some(p) if p.0 == s => break,
+                        Some(p) => cur = p,
+                        None => break,
+                    }
+                }
+                next[s * n + t.0] = Some(cur);
+            }
+        }
+        Ok(DistanceMatrix { n, dist, next })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 7.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 9.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(4), 14.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 15.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 11.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 2.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 6.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn matches_dijkstra_from_every_source() {
+        let g = sample();
+        let m = g.all_pairs_shortest_paths().unwrap();
+        for s in g.nodes() {
+            let sp = g.dijkstra(s);
+            for t in g.nodes() {
+                assert_eq!(m.distance(s, t), sp.distance(t), "pair {s:?}->{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_and_tight() {
+        let g = sample();
+        let m = g.all_pairs_shortest_paths().unwrap();
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let p = m.path(s, t).unwrap();
+                assert_eq!(*p.first().unwrap(), s);
+                assert_eq!(*p.last().unwrap(), t);
+                let w = g.path_weight(&p).unwrap();
+                assert!((w - m.distance(s, t).unwrap()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero_with_singleton_path() {
+        let m = sample().all_pairs_shortest_paths().unwrap();
+        assert_eq!(m.distance(NodeId(2), NodeId(2)), Some(0.0));
+        assert_eq!(m.path(NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 3.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 4.0).unwrap();
+        let m = g.all_pairs_shortest_paths().unwrap();
+        assert_eq!(m.distance(NodeId(0), NodeId(2)), None);
+        assert!(m.path(NodeId(0), NodeId(3)).is_none());
+        // Average ignores unreachable pairs: (3+3+4+4)/4.
+        assert!((m.average_distance() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_distance_on_connected_graph() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        let m = g.all_pairs_shortest_paths().unwrap();
+        // Ordered pairs: 0-1:1, 1-0:1, 1-2:2, 2-1:2, 0-2:3, 2-0:3 -> avg 2.
+        assert!((m.average_distance() - 2.0).abs() < 1e-12);
+        assert!((m.diameter() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_variant_matches_floyd_warshall() {
+        let g = sample();
+        let dense = g.all_pairs_shortest_paths().unwrap();
+        let sparse = g.all_pairs_shortest_paths_sparse().unwrap();
+        for s in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(dense.distance(s, t), sparse.distance(s, t));
+                // Paths may tie-break differently but must price equally.
+                let p = sparse.path(s, t).unwrap();
+                assert_eq!(*p.first().unwrap(), s);
+                assert_eq!(*p.last().unwrap(), t);
+                let w = g.path_weight(&p).unwrap();
+                assert!((w - dense.distance(s, t).unwrap()).abs() < 1e-12);
+            }
+        }
+        assert!((dense.average_distance() - sparse.average_distance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_variant_handles_disconnection() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 3.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 4.0).unwrap();
+        let m = g.all_pairs_shortest_paths_sparse().unwrap();
+        assert_eq!(m.distance(NodeId(0), NodeId(2)), None);
+        assert!(m.path(NodeId(1), NodeId(3)).is_none());
+        assert_eq!(m.distance(NodeId(2), NodeId(3)), Some(4.0));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let m = Graph::new(0).all_pairs_shortest_paths().unwrap();
+        assert_eq!(m.node_count(), 0);
+        assert_eq!(m.average_distance(), 0.0);
+        let m1 = Graph::new(1).all_pairs_shortest_paths().unwrap();
+        assert_eq!(m1.distance(NodeId(0), NodeId(0)), Some(0.0));
+        assert_eq!(m1.average_distance(), 0.0);
+        assert_eq!(m1.diameter(), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Directed weighted graph storage.
+//!
+//! The paper's stage-1 algorithm runs Dijkstra over the *expanded multilevel
+//! overlay directed* (MOD) network — a layered DAG whose arcs carry either
+//! shortest-path costs from the physical network or VNF setup costs.
+//! [`DiGraph`] is the storage for that overlay. Unlike [`crate::Graph`] it
+//! permits parallel arcs (two columns of the overlay may be connected by
+//! both a "co-locate" zero-cost arc and a physical-path arc) because overlay
+//! construction never needs arc-uniqueness.
+
+use crate::dijkstra::{dijkstra_core, ShortestPaths};
+use crate::{GraphError, NodeId};
+
+/// A directed arc: endpoints and a non-negative weight.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Arc {
+    /// Tail (origin) of the arc.
+    pub from: NodeId,
+    /// Head (target) of the arc.
+    pub to: NodeId,
+    /// Non-negative, finite weight.
+    pub weight: f64,
+}
+
+/// A directed graph with non-negative arc weights and dense node indices.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    out: Vec<Vec<(NodeId, f64)>>,
+    arc_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a directed graph with `n` isolated nodes.
+    ///
+    /// ```
+    /// use sft_graph::DiGraph;
+    /// let g = DiGraph::new(3);
+    /// assert_eq!(g.node_count(), 3);
+    /// ```
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out: vec![Vec::new(); n],
+            arc_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arc_count
+    }
+
+    /// Appends a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        NodeId(self.out.len() - 1)
+    }
+
+    /// Adds a directed arc from `from` to `to`.
+    ///
+    /// Parallel arcs are allowed; self-loops are not (they can never be on a
+    /// shortest path with non-negative weights and only mask bugs).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint does not exist.
+    /// * [`GraphError::SelfLoop`] if `from == to`.
+    /// * [`GraphError::InvalidWeight`] if `weight` is negative or not finite.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<(), GraphError> {
+        let len = self.node_count();
+        for n in [from, to] {
+            if n.0 >= len {
+                return Err(GraphError::NodeOutOfBounds { node: n.0, len });
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { node: from.0 });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        self.out[from.0].push((to, weight));
+        self.arc_count += 1;
+        Ok(())
+    }
+
+    /// Out-neighbors of `u` with arc weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn out_neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.out[u.0].iter().copied()
+    }
+
+    /// Out-degree of `u` (0 for out-of-range nodes).
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.get(u.0).map_or(0, Vec::len)
+    }
+
+    /// Single-source shortest paths from `source` (Dijkstra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn dijkstra(&self, source: NodeId) -> ShortestPaths {
+        dijkstra_core(self.node_count(), source, None, |u, visit| {
+            for &(v, w) in &self.out[u.0] {
+                visit(v, w);
+            }
+        })
+    }
+
+    /// Shortest paths from `source`, stopping early once `target` is settled.
+    ///
+    /// Distances of nodes settled after the early exit are left unreached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn dijkstra_to(&self, source: NodeId, target: NodeId) -> ShortestPaths {
+        dijkstra_core(self.node_count(), source, Some(target), |u, visit| {
+            for &(v, w) in &self.out[u.0] {
+                visit(v, w);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 with asymmetric costs.
+        let mut g = DiGraph::new(4);
+        g.add_arc(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_arc(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_arc(NodeId(0), NodeId(2), 5.0).unwrap();
+        g.add_arc(NodeId(2), NodeId(3), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn arcs_are_directed() {
+        let g = diamond();
+        let from_three = g.dijkstra(NodeId(3));
+        assert_eq!(from_three.distance(NodeId(0)), None);
+        let from_zero = g.dijkstra(NodeId(0));
+        assert_eq!(from_zero.distance(NodeId(3)), Some(2.0));
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheap_branch() {
+        let g = diamond();
+        let sp = g.dijkstra(NodeId(0));
+        assert_eq!(
+            sp.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn parallel_arcs_allowed_and_cheapest_wins() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(NodeId(0), NodeId(1), 5.0).unwrap();
+        g.add_arc(NodeId(0), NodeId(1), 2.0).unwrap();
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_weight() {
+        let mut g = DiGraph::new(2);
+        assert!(matches!(
+            g.add_arc(NodeId(0), NodeId(0), 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_arc(NodeId(0), NodeId(1), -2.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_arc(NodeId(0), NodeId(9), 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn early_exit_settles_target() {
+        let g = diamond();
+        let sp = g.dijkstra_to(NodeId(0), NodeId(1));
+        assert_eq!(sp.distance(NodeId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = diamond();
+        let n = g.add_node();
+        assert_eq!(n, NodeId(4));
+        g.add_arc(NodeId(3), n, 0.5).unwrap();
+        assert_eq!(g.dijkstra(NodeId(0)).distance(n), Some(2.5));
+    }
+}

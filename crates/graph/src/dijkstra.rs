@@ -1,0 +1,264 @@
+//! Single-source shortest paths (Dijkstra's algorithm).
+//!
+//! Both the undirected [`crate::Graph`] and the directed [`crate::DiGraph`]
+//! expose `dijkstra` methods backed by the shared core in this module. The
+//! paper uses Dijkstra twice: over the expanded MOD network to find the
+//! optimal single-chain embedding (Theorem 2), and inside the
+//! Kou–Markowsky–Berman Steiner construction.
+
+use crate::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+///
+/// Unreached nodes have no distance and no predecessor.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    pred: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node the search started from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `t`, or `None` if `t` was not reached.
+    pub fn distance(&self, t: NodeId) -> Option<f64> {
+        let d = *self.dist.get(t.0)?;
+        d.is_finite().then_some(d)
+    }
+
+    /// Predecessor of `t` on the shortest path tree, if reached and not the
+    /// source itself.
+    pub fn predecessor(&self, t: NodeId) -> Option<NodeId> {
+        *self.pred.get(t.0)?
+    }
+
+    /// The node sequence of a shortest path from the source to `t`, or
+    /// `None` if `t` was not reached. The path includes both endpoints; the
+    /// path from the source to itself is `[source]`.
+    pub fn path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(t)?;
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.pred[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Iterator over all reached nodes together with their distances.
+    pub fn reached(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, &d)| (NodeId(i), d))
+    }
+}
+
+/// Total-order wrapper over `f64` distances for the binary heap.
+#[derive(Copy, Clone, PartialEq)]
+struct HeapKey(f64);
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Shared Dijkstra implementation over an adjacency callback.
+///
+/// `expand(u, visit)` must call `visit(v, w)` for every arc `u -> v` of
+/// weight `w >= 0`. When `target` is given the search stops as soon as the
+/// target is settled.
+pub(crate) fn dijkstra_core<F>(
+    n: usize,
+    source: NodeId,
+    target: Option<NodeId>,
+    mut expand: F,
+) -> ShortestPaths
+where
+    F: FnMut(NodeId, &mut dyn FnMut(NodeId, f64)),
+{
+    assert!(source.0 < n, "dijkstra source {source:?} out of bounds");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0] = 0.0;
+    heap.push(Reverse((HeapKey(0.0), source.0)));
+
+    while let Some(Reverse((HeapKey(d), u))) = heap.pop() {
+        if settled[u] {
+            continue;
+        }
+        settled[u] = true;
+        if target == Some(NodeId(u)) {
+            break;
+        }
+        expand(NodeId(u), &mut |v: NodeId, w: f64| {
+            debug_assert!(w >= 0.0, "negative arc weight in dijkstra");
+            let nd = d + w;
+            if nd < dist[v.0] {
+                dist[v.0] = nd;
+                pred[v.0] = Some(NodeId(u));
+                heap.push(Reverse((HeapKey(nd), v.0)));
+            }
+        });
+    }
+
+    ShortestPaths { source, dist, pred }
+}
+
+impl Graph {
+    /// Single-source shortest paths from `source` (Dijkstra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    ///
+    /// ```
+    /// use sft_graph::{Graph, NodeId};
+    /// # fn main() -> Result<(), sft_graph::GraphError> {
+    /// let mut g = Graph::new(3);
+    /// g.add_edge(NodeId(0), NodeId(1), 2.0)?;
+    /// g.add_edge(NodeId(1), NodeId(2), 2.0)?;
+    /// g.add_edge(NodeId(0), NodeId(2), 5.0)?;
+    /// assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(2)), Some(4.0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn dijkstra(&self, source: NodeId) -> ShortestPaths {
+        dijkstra_core(self.node_count(), source, None, |u, visit| {
+            for (v, e) in self.neighbors(u) {
+                visit(v, self.weight(e));
+            }
+        })
+    }
+
+    /// Shortest paths from `source`, stopping early once `target` settles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn dijkstra_to(&self, source: NodeId, target: NodeId) -> ShortestPaths {
+        dijkstra_core(self.node_count(), source, Some(target), |u, visit| {
+            for (v, e) in self.neighbors(u) {
+                visit(v, self.weight(e));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphError;
+
+    fn sample() -> Graph {
+        // Classic 5-node example with a tempting-but-wrong direct edge.
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 7.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 9.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(4), 14.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 15.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 11.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 2.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 6.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let sp = sample().dijkstra(NodeId(0));
+        assert_eq!(sp.distance(NodeId(0)), Some(0.0));
+        assert_eq!(sp.distance(NodeId(1)), Some(7.0));
+        assert_eq!(sp.distance(NodeId(2)), Some(9.0));
+        assert_eq!(sp.distance(NodeId(3)), Some(17.0)); // 0-2-4-3 = 9+2+6, beats 0-2-3 = 20
+        assert_eq!(sp.distance(NodeId(4)), Some(11.0));
+    }
+
+    #[test]
+    fn path_reconstruction_is_consistent_with_distance() {
+        let g = sample();
+        let sp = g.dijkstra(NodeId(0));
+        for t in g.nodes() {
+            let path = sp.path_to(t).unwrap();
+            assert_eq!(path.first(), Some(&NodeId(0)));
+            assert_eq!(path.last(), Some(&t));
+            let w = g.path_weight(&path).unwrap();
+            assert!((w - sp.distance(t).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_distance_or_path() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let sp = g.dijkstra(NodeId(0));
+        assert_eq!(sp.distance(NodeId(2)), None);
+        assert!(sp.path_to(NodeId(2)).is_none());
+        assert_eq!(sp.reached().count(), 2);
+    }
+
+    #[test]
+    fn source_path_is_singleton() {
+        let sp = sample().dijkstra(NodeId(3));
+        assert_eq!(sp.path_to(NodeId(3)).unwrap(), vec![NodeId(3)]);
+        assert_eq!(sp.predecessor(NodeId(3)), None);
+        assert_eq!(sp.source(), NodeId(3));
+    }
+
+    #[test]
+    fn zero_weight_edges_propagate() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.0).unwrap();
+        let sp = g.dijkstra(NodeId(0));
+        assert_eq!(sp.distance(NodeId(2)), Some(0.0));
+        assert_eq!(sp.path_to(NodeId(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_source_panics() {
+        sample().dijkstra(NodeId(99));
+    }
+
+    #[test]
+    fn early_exit_matches_full_run() {
+        let g = sample();
+        let full = g.dijkstra(NodeId(0));
+        let early = g.dijkstra_to(NodeId(0), NodeId(3));
+        assert_eq!(early.distance(NodeId(3)), full.distance(NodeId(3)));
+        assert_eq!(early.path_to(NodeId(3)), full.path_to(NodeId(3)));
+    }
+
+    #[test]
+    fn works_on_disconnected_then_bridged_graph() -> Result<(), GraphError> {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0)?;
+        g.add_edge(NodeId(2), NodeId(3), 1.0)?;
+        assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(3)), None);
+        g.add_edge(NodeId(1), NodeId(2), 1.0)?;
+        assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(3)), Some(3.0));
+        Ok(())
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced while constructing or querying graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was at least the number of nodes in the graph.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge weight was negative or not finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// An edge between the two endpoints already exists.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Both endpoints of an edge were the same node.
+    SelfLoop {
+        /// The node used as both endpoints.
+        node: usize,
+    },
+    /// An operation required a connected graph but the graph was not.
+    Disconnected,
+    /// An operation required a non-empty terminal/node set.
+    EmptySelection,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(
+                    f,
+                    "node index {node} out of bounds for graph of {len} nodes"
+                )
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is negative or not finite")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "an edge between nodes {u} and {v} already exists")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptySelection => write!(f, "operation requires a non-empty selection"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

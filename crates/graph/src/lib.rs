@@ -1,0 +1,70 @@
+//! Graph substrate for the SFT-embedding reproduction.
+//!
+//! This crate provides every graph primitive the paper's algorithms rely on,
+//! implemented from scratch:
+//!
+//! * [`Graph`] — an undirected, non-negatively weighted graph with an
+//!   adjacency-list representation ([`graph`]).
+//! * [`DiGraph`] — a directed weighted graph, used by `sft-core` for the
+//!   multilevel overlay directed (MOD) network ([`digraph`]).
+//! * Single-source shortest paths (Dijkstra, [`dijkstra`]) and all-pairs
+//!   shortest paths (Floyd–Warshall, [`apsp`]).
+//! * Minimum spanning trees (Kruskal and Prim, [`mst`]) on top of a
+//!   union-find structure ([`union_find`]).
+//! * Steiner-tree constructions ([`steiner`]): the Kou–Markowsky–Berman
+//!   2-approximation the paper cites for its stage-1 algorithm, the
+//!   Takahashi–Matsuyama path heuristic as an ablation, and an exact
+//!   brute-force solver used as a test oracle.
+//! * Tree utilities ([`tree`]): rooted views, root-to-leaf decomposition.
+//! * Random topology generators ([`generate`]): Erdős–Rényi graphs over
+//!   Euclidean point placements and random geometric graphs, with
+//!   connectivity augmentation.
+//!
+//! # Example
+//!
+//! ```
+//! use sft_graph::{Graph, NodeId};
+//!
+//! # fn main() -> Result<(), sft_graph::GraphError> {
+//! let mut g = Graph::new(4);
+//! g.add_edge(NodeId(0), NodeId(1), 1.0)?;
+//! g.add_edge(NodeId(1), NodeId(2), 2.0)?;
+//! g.add_edge(NodeId(0), NodeId(3), 10.0)?;
+//! g.add_edge(NodeId(3), NodeId(2), 1.0)?;
+//!
+//! let sp = g.dijkstra(NodeId(0));
+//! assert_eq!(sp.distance(NodeId(2)), Some(3.0));
+//! assert_eq!(sp.path_to(NodeId(2)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apsp;
+pub mod digraph;
+pub mod dijkstra;
+mod error;
+pub mod generate;
+pub mod graph;
+pub mod mst;
+pub mod steiner;
+pub mod tree;
+pub mod union_find;
+
+pub use apsp::DistanceMatrix;
+pub use digraph::DiGraph;
+pub use dijkstra::ShortestPaths;
+pub use error::GraphError;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use steiner::SteinerTree;
+pub use tree::RootedTree;
+pub use union_find::UnionFind;
+
+/// Tolerance used when comparing floating-point costs throughout the crate.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two costs are equal within [`EPS`] (scaled by
+/// magnitude so large costs compare sensibly).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= EPS * scale
+}

@@ -1,0 +1,198 @@
+//! Minimum spanning trees (Kruskal and Prim).
+//!
+//! The Kou–Markowsky–Berman Steiner construction ([`crate::steiner`]) runs
+//! an MST twice: once on the terminals' metric closure and once on the
+//! expanded subgraph. Both algorithms are provided; they must agree on total
+//! weight, which the tests exploit as a cross-check.
+
+use crate::union_find::UnionFind;
+use crate::{EdgeId, Graph, GraphError, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A spanning tree (or forest) of a graph: chosen edges and total weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanningTree {
+    /// The edges of the tree, in discovery order.
+    pub edges: Vec<EdgeId>,
+    /// Sum of the chosen edges' weights.
+    pub weight: f64,
+}
+
+impl Graph {
+    /// Minimum spanning tree via Kruskal's algorithm.
+    ///
+    /// ```
+    /// use sft_graph::{Graph, NodeId};
+    /// # fn main() -> Result<(), sft_graph::GraphError> {
+    /// let mut g = Graph::new(3);
+    /// g.add_edge(NodeId(0), NodeId(1), 1.0)?;
+    /// g.add_edge(NodeId(1), NodeId(2), 2.0)?;
+    /// g.add_edge(NodeId(0), NodeId(2), 9.0)?; // skipped by the MST
+    /// let mst = g.minimum_spanning_tree()?;
+    /// assert_eq!(mst.edges.len(), 2);
+    /// assert_eq!(mst.weight, 3.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the graph is not connected
+    /// (use [`Graph::minimum_spanning_forest`] for that case).
+    pub fn minimum_spanning_tree(&self) -> Result<SpanningTree, GraphError> {
+        let forest = self.minimum_spanning_forest();
+        let n = self.node_count();
+        if n > 0 && forest.edges.len() != n - 1 {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(forest)
+    }
+
+    /// Minimum spanning forest via Kruskal's algorithm: one tree per
+    /// connected component.
+    pub fn minimum_spanning_forest(&self) -> SpanningTree {
+        let mut order: Vec<EdgeId> = self.edge_ids().collect();
+        order.sort_by(|a, b| self.weight(*a).total_cmp(&self.weight(*b)));
+        let mut uf = UnionFind::new(self.node_count());
+        let mut edges = Vec::new();
+        let mut weight = 0.0;
+        for id in order {
+            let e = self.edge(id);
+            if uf.union(e.u.0, e.v.0) {
+                edges.push(id);
+                weight += e.weight;
+            }
+        }
+        SpanningTree { edges, weight }
+    }
+
+    /// Minimum spanning tree via Prim's algorithm, starting from `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for an invalid root and
+    /// [`GraphError::Disconnected`] if some node is unreachable from it.
+    pub fn prim(&self, root: NodeId) -> Result<SpanningTree, GraphError> {
+        let n = self.node_count();
+        if root.0 >= n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: root.0,
+                len: n,
+            });
+        }
+        let mut in_tree = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+        // Keys are weight bit patterns: non-negative finite f64s order
+        // identically as integers.
+        let key = |w: f64| w.to_bits();
+        in_tree[root.0] = true;
+        for (v, e) in self.neighbors(root) {
+            heap.push(Reverse((key(self.weight(e)), e.0, v.0)));
+        }
+        let mut edges = Vec::new();
+        let mut weight = 0.0;
+        while let Some(Reverse((_, eid, v))) = heap.pop() {
+            if in_tree[v] {
+                continue;
+            }
+            in_tree[v] = true;
+            edges.push(EdgeId(eid));
+            weight += self.weight(EdgeId(eid));
+            for (u, e) in self.neighbors(NodeId(v)) {
+                if !in_tree[u.0] {
+                    heap.push(Reverse((key(self.weight(e)), e.0, u.0)));
+                }
+            }
+        }
+        if n > 0 && edges.len() != n - 1 {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(SpanningTree { edges, weight })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_sample() -> Graph {
+        let mut g = Graph::new(6);
+        let edges = [
+            (0, 1, 4.0),
+            (0, 2, 3.0),
+            (1, 2, 1.0),
+            (1, 3, 2.0),
+            (2, 3, 4.0),
+            (3, 4, 2.0),
+            (4, 5, 6.0),
+            (3, 5, 3.0),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn kruskal_weight_matches_hand_computation() {
+        // MST: 1-2 (1), 1-3 (2), 3-4 (2), 0-2 (3), 3-5 (3) = 11.
+        let t = weighted_sample().minimum_spanning_tree().unwrap();
+        assert_eq!(t.edges.len(), 5);
+        assert!((t.weight - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prim_agrees_with_kruskal_from_every_root() {
+        let g = weighted_sample();
+        let k = g.minimum_spanning_tree().unwrap();
+        for r in g.nodes() {
+            let p = g.prim(r).unwrap();
+            assert!((p.weight - k.weight).abs() < 1e-12, "root {r:?}");
+            assert_eq!(p.edges.len(), k.edges.len());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_reported() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        assert_eq!(g.minimum_spanning_tree(), Err(GraphError::Disconnected));
+        assert_eq!(g.prim(NodeId(0)), Err(GraphError::Disconnected));
+        let f = g.minimum_spanning_forest();
+        assert_eq!(f.edges.len(), 2);
+        assert!((f.weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mst_is_acyclic_and_spanning() {
+        let g = weighted_sample();
+        let t = g.minimum_spanning_tree().unwrap();
+        let mut uf = UnionFind::new(g.node_count());
+        for id in &t.edges {
+            let e = g.edge(*id);
+            assert!(uf.union(e.u.0, e.v.0), "cycle detected in MST");
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn singleton_and_empty_graphs() {
+        let g = Graph::new(1);
+        let t = g.minimum_spanning_tree().unwrap();
+        assert!(t.edges.is_empty());
+        assert_eq!(t.weight, 0.0);
+        let e = Graph::new(0);
+        assert!(e.minimum_spanning_tree().unwrap().edges.is_empty());
+    }
+
+    #[test]
+    fn prim_invalid_root() {
+        let g = Graph::new(2);
+        assert!(matches!(
+            g.prim(NodeId(7)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! Rooted views of trees embedded in a graph.
+//!
+//! Stage 2 of the paper's algorithm (OPA) decomposes the stage-1 Steiner
+//! tree, rooted at the last-VNF node, into root-to-leaf paths, and then
+//! classifies them as *dependent* or *independent* of the embedded chain.
+//! [`RootedTree`] provides exactly the traversals that decomposition needs.
+
+use crate::{EdgeId, Graph, GraphError, NodeId};
+use std::collections::BTreeMap;
+
+/// A tree given by a subset of a host graph's edges, rooted at a chosen
+/// node. Construction validates treeness (acyclic, connected, containing
+/// the root).
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    /// parent[n] = (parent node, connecting edge); absent for the root and
+    /// for nodes outside the tree.
+    parent: BTreeMap<NodeId, (NodeId, EdgeId)>,
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Depth-first preorder of the tree's nodes, starting at the root.
+    preorder: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds a rooted view of the tree formed by `edges` within `g`.
+    ///
+    /// A tree with no edges is valid and consists of the root alone.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if the root is invalid.
+    /// * [`GraphError::Disconnected`] if the edges do not form a single tree
+    ///   containing the root (cycles, forests, or a detached root).
+    pub fn from_edges(g: &Graph, root: NodeId, edges: &[EdgeId]) -> Result<Self, GraphError> {
+        if root.0 >= g.node_count() {
+            return Err(GraphError::NodeOutOfBounds {
+                node: root.0,
+                len: g.node_count(),
+            });
+        }
+        // Adjacency restricted to the chosen edges.
+        let mut adj: BTreeMap<NodeId, Vec<(NodeId, EdgeId)>> = BTreeMap::new();
+        for &id in edges {
+            let e = g.edge(id);
+            adj.entry(e.u).or_default().push((e.v, id));
+            adj.entry(e.v).or_default().push((e.u, id));
+        }
+        if !edges.is_empty() && !adj.contains_key(&root) {
+            return Err(GraphError::Disconnected);
+        }
+        let mut parent = BTreeMap::new();
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut preorder = vec![root];
+        let mut stack = vec![root];
+        let mut visited = BTreeMap::new();
+        visited.insert(root, ());
+        while let Some(u) = stack.pop() {
+            if let Some(ns) = adj.get(&u) {
+                for &(v, id) in ns {
+                    if parent.get(&u).map(|&(_, pe)| pe) == Some(id) {
+                        continue;
+                    }
+                    if visited.insert(v, ()).is_some() {
+                        // Reaching an already-visited node means a cycle.
+                        return Err(GraphError::Disconnected);
+                    }
+                    parent.insert(v, (u, id));
+                    children.entry(u).or_default().push(v);
+                    preorder.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        if visited.len() != edges.len() + 1 {
+            // Some edges were never reached: forest or detached component.
+            return Err(GraphError::Disconnected);
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            children,
+            preorder,
+        })
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree (≥ 1; the root counts).
+    pub fn node_count(&self) -> usize {
+        self.preorder.len()
+    }
+
+    /// Whether `n` belongs to the tree.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n == self.root || self.parent.contains_key(&n)
+    }
+
+    /// Parent of `n` and the edge to it, or `None` for the root / outside
+    /// nodes.
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent.get(&n).copied()
+    }
+
+    /// Children of `n`, in discovery order (empty for leaves and outside
+    /// nodes).
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        self.children.get(&n).map_or(&[], Vec::as_slice)
+    }
+
+    /// Depth-first preorder over the tree's nodes, starting at the root.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.preorder.iter().copied()
+    }
+
+    /// The tree's leaves (nodes without children), in preorder. The root is
+    /// a leaf only in the single-node tree.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.preorder
+            .iter()
+            .copied()
+            .filter(|n| self.children(*n).is_empty())
+            .collect()
+    }
+
+    /// The node path from the root down to `n` (both inclusive), or `None`
+    /// if `n` is outside the tree.
+    pub fn path_from_root(&self, n: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(n) {
+            return None;
+        }
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some((p, _)) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The edges on the path from the root down to `n`, or `None` if `n` is
+    /// outside the tree.
+    pub fn path_edges_from_root(&self, n: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.contains(n) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = n;
+        while let Some((p, e)) = self.parent(cur) {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// Decomposes the tree into root-to-leaf node paths, one per leaf, in
+    /// preorder of the leaves. For the single-node tree this is one
+    /// singleton path.
+    pub fn root_to_leaf_paths(&self) -> Vec<Vec<NodeId>> {
+        self.leaves()
+            .into_iter()
+            .map(|l| self.path_from_root(l).expect("leaf is in tree"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small tree:
+    /// ```text
+    ///        0 (root)
+    ///       / \
+    ///      1   2
+    ///     / \    \
+    ///    3   4    5
+    /// ```
+    fn sample() -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::new(6);
+        let e01 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let e02 = g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        let e13 = g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        let e14 = g.add_edge(NodeId(1), NodeId(4), 1.0).unwrap();
+        let e25 = g.add_edge(NodeId(2), NodeId(5), 1.0).unwrap();
+        // An extra graph edge NOT in the tree.
+        g.add_edge(NodeId(4), NodeId(5), 1.0).unwrap();
+        (g, vec![e01, e02, e13, e14, e25])
+    }
+
+    #[test]
+    fn builds_and_reports_structure() {
+        let (g, edges) = sample();
+        let t = RootedTree::from_edges(&g, NodeId(0), &edges).unwrap();
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.node_count(), 6);
+        assert!(t.contains(NodeId(5)));
+        assert_eq!(t.parent(NodeId(5)).unwrap().0, NodeId(2));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.children(NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn leaves_and_paths() {
+        let (g, edges) = sample();
+        let t = RootedTree::from_edges(&g, NodeId(0), &edges).unwrap();
+        let mut leaves = t.leaves();
+        leaves.sort();
+        assert_eq!(leaves, vec![NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            t.path_from_root(NodeId(4)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(4)]
+        );
+        assert_eq!(t.path_edges_from_root(NodeId(4)).unwrap().len(), 2);
+        let paths = t.root_to_leaf_paths();
+        assert_eq!(paths.len(), 3);
+        for p in paths {
+            assert_eq!(p[0], NodeId(0));
+        }
+    }
+
+    #[test]
+    fn rerooting_changes_orientation() {
+        let (g, edges) = sample();
+        let t = RootedTree::from_edges(&g, NodeId(3), &edges).unwrap();
+        assert_eq!(t.parent(NodeId(1)).unwrap().0, NodeId(3));
+        assert_eq!(t.parent(NodeId(0)).unwrap().0, NodeId(1));
+        let mut leaves = t.leaves();
+        leaves.sort();
+        assert_eq!(leaves, vec![NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn empty_tree_is_the_root_alone() {
+        let (g, _) = sample();
+        let t = RootedTree::from_edges(&g, NodeId(2), &[]).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaves(), vec![NodeId(2)]);
+        assert_eq!(t.root_to_leaf_paths(), vec![vec![NodeId(2)]]);
+        assert!(!t.contains(NodeId(0)));
+        assert_eq!(t.path_from_root(NodeId(0)), None);
+    }
+
+    #[test]
+    fn rejects_cycles_forests_and_detached_roots() {
+        let (g, edges) = sample();
+        // Cycle: add the 4-5 edge to the tree edge set.
+        let cyc_edge = g.find_edge(NodeId(4), NodeId(5)).unwrap();
+        let mut cyc = edges.clone();
+        cyc.push(cyc_edge);
+        assert!(matches!(
+            RootedTree::from_edges(&g, NodeId(0), &cyc),
+            Err(GraphError::Disconnected)
+        ));
+        // Forest: drop the 0-2 edge so 2-5 floats.
+        let forest: Vec<EdgeId> = edges
+            .iter()
+            .copied()
+            .filter(|&e| e != g.find_edge(NodeId(0), NodeId(2)).unwrap())
+            .collect();
+        assert!(matches!(
+            RootedTree::from_edges(&g, NodeId(0), &forest),
+            Err(GraphError::Disconnected)
+        ));
+        // Detached root.
+        assert!(matches!(
+            RootedTree::from_edges(&g, NodeId(5), &edges[..1]),
+            Err(GraphError::Disconnected)
+        ));
+        // Invalid root.
+        assert!(matches!(
+            RootedTree::from_edges(&g, NodeId(77), &edges),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Disjoint-set union (union-find) with path halving and union by rank.
+//!
+//! Used by Kruskal's MST ([`crate::mst`]) and by the brute-force Steiner
+//! oracle to test connectivity of induced subgraphs.
+
+/// A disjoint-set forest over dense indices `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    ///
+    /// ```
+    /// use sft_graph::UnionFind;
+    /// let mut uf = UnionFind::new(3);
+    /// assert_eq!(uf.set_count(), 3);
+    /// uf.union(0, 2);
+    /// assert!(uf.connected(0, 2));
+    /// assert_eq!(uf.set_count(), 2);
+    /// ```
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `x` (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(uf.connected(a, b), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn transitivity_over_long_chains() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! Branch-and-bound for mixed-integer programs.
+//!
+//! Best-first search over LP relaxations solved by [`crate::simplex`]:
+//!
+//! * node selection: smallest relaxation bound first (a `BinaryHeap`);
+//! * branching variable: most fractional integer variable;
+//! * incumbents: an optional warm start (e.g. the paper's two-stage
+//!   heuristic solution) plus a cheap round-and-check heuristic at every
+//!   node;
+//! * limits: node budget and wall-clock budget, reported honestly via
+//!   [`MipStatus`].
+
+use crate::problem::{ObjectiveSense, Problem, VarId, VarKind};
+use crate::simplex::{solve_lp_with, LpOutcome, SimplexConfig};
+use crate::LpError;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs and limits for [`solve_mip`].
+#[derive(Clone, Debug)]
+pub struct MipConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Optional wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Prune nodes whose bound is within this absolute distance of the
+    /// incumbent (also the optimality tolerance of the final result).
+    pub absolute_gap: f64,
+    /// Tolerance for considering an LP value integral.
+    pub integrality_tol: f64,
+    /// A known-feasible full assignment used as the initial incumbent
+    /// (e.g. a heuristic solution). Ignored if it is not feasible.
+    pub warm_start: Option<Vec<f64>>,
+    /// Configuration for the underlying LP solves.
+    pub simplex: SimplexConfig,
+}
+
+impl Default for MipConfig {
+    fn default() -> Self {
+        MipConfig {
+            max_nodes: 100_000,
+            time_limit: None,
+            absolute_gap: 1e-6,
+            integrality_tol: 1e-6,
+            warm_start: None,
+            simplex: SimplexConfig::default(),
+        }
+    }
+}
+
+/// An integral feasible solution found by branch-and-bound.
+#[derive(Clone, Debug)]
+pub struct MipSolution {
+    /// Objective value in the problem's own sense.
+    pub objective: f64,
+    values: Vec<f64>,
+}
+
+impl MipSolution {
+    /// Value of a variable (integer variables are exactly rounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// The full assignment, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Resolution status of a mixed-integer solve.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MipStatus {
+    /// The incumbent is optimal within the configured gap.
+    Optimal,
+    /// A limit was hit; the incumbent is feasible but not proved optimal.
+    Feasible,
+    /// The problem has no integral feasible solution.
+    Infeasible,
+    /// The LP relaxation is unbounded (so the MIP is unbounded or
+    /// infeasible; no ray certificate is produced).
+    Unbounded,
+    /// A limit was hit before any feasible solution was found.
+    Unknown,
+}
+
+/// Result of a mixed-integer solve.
+#[derive(Clone, Debug)]
+pub struct MipOutcome {
+    /// Resolution status.
+    pub status: MipStatus,
+    /// Best integral solution found, if any.
+    pub best: Option<MipSolution>,
+    /// Best proven bound on the optimum, in the problem's own sense
+    /// (lower bound when minimizing, upper bound when maximizing).
+    /// `NaN` when no bound was established (e.g. instant infeasibility).
+    pub best_bound: f64,
+    /// Number of branch-and-bound nodes whose relaxation was solved.
+    pub nodes_explored: usize,
+}
+
+/// Key for the best-first heap: node bound in minimize-space.
+#[derive(Clone, Copy, PartialEq)]
+struct BoundKey(f64);
+
+impl Eq for BoundKey {}
+
+impl PartialOrd for BoundKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BoundKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Node {
+    /// Relaxation bound of the parent (minimize-space); used as the heap
+    /// priority until the node's own relaxation is solved.
+    bound: f64,
+    /// Bounds for each integer variable, aligned with `int_vars`.
+    int_bounds: Vec<(f64, f64)>,
+}
+
+/// Solves a mixed-integer program by branch-and-bound.
+///
+/// Integer variables must have finite bounds (enforced at model build
+/// time). Continuous variables are unrestricted.
+///
+/// # Errors
+///
+/// [`LpError::IterationLimit`] if an underlying LP solve exhausts its
+/// iteration budget.
+pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, LpError> {
+    let start = Instant::now();
+    let sign = match problem.sense() {
+        ObjectiveSense::Minimize => 1.0,
+        ObjectiveSense::Maximize => -1.0,
+    };
+    let int_vars = problem.integer_vars();
+
+    // Working copy whose integer bounds are overwritten per node.
+    let mut work = problem.relaxed();
+    let root_bounds: Vec<(f64, f64)> = int_vars
+        .iter()
+        .map(|&v| {
+            let var = problem.variable(v);
+            // Tighten to the integral hull of the domain immediately.
+            (var.lower.ceil(), var.upper.floor())
+        })
+        .collect();
+    for (b, &v) in root_bounds.iter().zip(&int_vars) {
+        if b.0 > b.1 {
+            return Ok(MipOutcome {
+                status: MipStatus::Infeasible,
+                best: None,
+                best_bound: f64::NAN,
+                nodes_explored: 0,
+            });
+        }
+        work.set_bounds(v, b.0, b.1)?;
+    }
+
+    // Incumbent in minimize-space.
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(ws) = &config.warm_start {
+        if ws.len() == problem.var_count() && problem.is_feasible(ws, config.integrality_tol) {
+            let mut vals = ws.clone();
+            round_integers(&mut vals, &int_vars);
+            let obj = sign * problem.objective_value(&vals);
+            incumbent = Some((obj, vals));
+        }
+    }
+
+    let mut heap: BinaryHeap<(Reverse<BoundKey>, usize)> = BinaryHeap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    nodes.push(Node {
+        bound: f64::NEG_INFINITY,
+        int_bounds: root_bounds,
+    });
+    heap.push((Reverse(BoundKey(f64::NEG_INFINITY)), 0));
+
+    let mut explored = 0;
+    let mut unbounded_root = false;
+    let mut limit_hit = false;
+    // The tightest bound among nodes we pruned/deferred due to limits.
+    let mut frontier_bound = f64::INFINITY;
+
+    while let Some((Reverse(BoundKey(parent_bound)), idx)) = heap.pop() {
+        // Prune against the incumbent before paying for the LP.
+        if let Some((inc, _)) = &incumbent {
+            if parent_bound >= inc - config.absolute_gap {
+                continue;
+            }
+        }
+        if explored >= config.max_nodes || config.time_limit.is_some_and(|tl| start.elapsed() >= tl)
+        {
+            limit_hit = true;
+            frontier_bound = frontier_bound.min(nodes[idx].bound);
+            // Drain the rest of the heap for bound bookkeeping.
+            for (Reverse(BoundKey(b)), _) in heap.drain() {
+                frontier_bound = frontier_bound.min(b);
+            }
+            break;
+        }
+
+        // Install the node's integer bounds.
+        for (&v, &(lo, hi)) in int_vars.iter().zip(&nodes[idx].int_bounds) {
+            work.set_bounds(v, lo, hi)?;
+        }
+        explored += 1;
+
+        let outcome = solve_lp_with(&work, &config.simplex)?;
+        let sol = match outcome {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // Only meaningful at the root: deeper nodes restrict the
+                // root polyhedron, and an unbounded child implies an
+                // unbounded root anyway.
+                unbounded_root = true;
+                break;
+            }
+            LpOutcome::Optimal(sol) => sol,
+        };
+        let node_bound = sign * sol.objective;
+        if let Some((inc, _)) = &incumbent {
+            if node_bound >= inc - config.absolute_gap {
+                continue; // dominated
+            }
+        }
+
+        // Integral already?
+        let frac = most_fractional(sol.values(), &int_vars, config.integrality_tol);
+        match frac {
+            None => {
+                let mut vals = sol.values().to_vec();
+                round_integers(&mut vals, &int_vars);
+                let obj = sign * problem.objective_value(&vals);
+                if incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc) {
+                    incumbent = Some((obj, vals));
+                }
+            }
+            Some((vi, value)) => {
+                // Round-and-check heuristic for an early incumbent.
+                let mut rounded = sol.values().to_vec();
+                round_integers(&mut rounded, &int_vars);
+                if problem.is_feasible(&rounded, config.integrality_tol) {
+                    let obj = sign * problem.objective_value(&rounded);
+                    if incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc) {
+                        incumbent = Some((obj, rounded));
+                    }
+                }
+
+                // Branch on the most fractional variable.
+                let (lo, hi) = nodes[idx].int_bounds[vi];
+                let floor = value.floor();
+                let down = (lo, floor);
+                let up = (floor + 1.0, hi);
+                for (nlo, nhi) in [down, up] {
+                    if nlo > nhi {
+                        continue;
+                    }
+                    let mut nb = nodes[idx].int_bounds.clone();
+                    nb[vi] = (nlo, nhi);
+                    nodes.push(Node {
+                        bound: node_bound,
+                        int_bounds: nb,
+                    });
+                    heap.push((Reverse(BoundKey(node_bound)), nodes.len() - 1));
+                }
+            }
+        }
+    }
+
+    // Assemble the outcome, converting back to the problem's own sense.
+    if unbounded_root {
+        return Ok(MipOutcome {
+            status: MipStatus::Unbounded,
+            best: None,
+            best_bound: f64::NAN,
+            nodes_explored: explored,
+        });
+    }
+    let best = incumbent.as_ref().map(|(obj, vals)| MipSolution {
+        objective: sign * obj,
+        values: vals.clone(),
+    });
+    let (status, bound_min_space) = match (&incumbent, limit_hit) {
+        (Some((inc, _)), false) => (MipStatus::Optimal, *inc),
+        (Some((inc, _)), true) => (MipStatus::Feasible, frontier_bound.min(*inc)),
+        (None, false) => (MipStatus::Infeasible, f64::NAN),
+        (None, true) => (MipStatus::Unknown, frontier_bound),
+    };
+    Ok(MipOutcome {
+        status,
+        best,
+        best_bound: sign * bound_min_space,
+        nodes_explored: explored,
+    })
+}
+
+/// Rounds integer variables of an assignment in place.
+fn round_integers(values: &mut [f64], int_vars: &[VarId]) {
+    for &v in int_vars {
+        values[v.0] = values[v.0].round();
+    }
+}
+
+/// The integer variable whose LP value is farthest from integral, if any.
+/// Returns the index *within `int_vars`* and the fractional value.
+fn most_fractional(values: &[f64], int_vars: &[VarId], tol: f64) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (i, &v) in int_vars.iter().enumerate() {
+        let x = values[v.0];
+        let dist = (x - x.round()).abs();
+        if dist > tol && best.is_none_or(|(_, _, d)| dist > d) {
+            best = Some((i, x, dist));
+        }
+    }
+    best.map(|(i, x, _)| (i, x))
+}
+
+/// Convenience: `VarKind` is re-checked nowhere else, keep the import used.
+#[allow(dead_code)]
+fn is_integral_kind(kind: VarKind) -> bool {
+    matches!(kind, VarKind::Integer | VarKind::Binary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Cmp;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary -> a + c (17)...
+        // check by enumeration: a+c: w=5 v=17; b+c: w=6 v=20; a+b: w=7 no.
+        let mut p = Problem::maximize();
+        let a = p.add_binary("a", 10.0).unwrap();
+        let b = p.add_binary("b", 13.0).unwrap();
+        let c = p.add_binary("c", 7.0).unwrap();
+        p.add_constraint("w", [(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0)
+            .unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let s = out.best.unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.value(b), 1.0);
+        assert_close(s.value(c), 1.0);
+        assert_close(s.value(a), 0.0);
+        assert_close(out.best_bound, 20.0);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp_relaxation() {
+        // max x + y s.t. 2x + y <= 5.5, x + 2y <= 5.5, integer.
+        // LP optimum ~ (1.833, 1.833) obj 3.667; integer optimum 3.
+        let mut p = Problem::maximize();
+        let x = p.add_integer("x", 0.0, 10.0, 1.0).unwrap();
+        let y = p.add_integer("y", 0.0, 10.0, 1.0).unwrap();
+        p.add_constraint("c1", [(x, 2.0), (y, 1.0)], Cmp::Le, 5.5)
+            .unwrap();
+        p.add_constraint("c2", [(x, 1.0), (y, 2.0)], Cmp::Le, 5.5)
+            .unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert_close(out.best.unwrap().objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_mip_is_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x", 1.0).unwrap();
+        p.add_constraint("half", [(x, 2.0)], Cmp::Eq, 1.0).unwrap(); // x = 0.5
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn fractional_domain_without_integer_points() {
+        let mut p = Problem::minimize();
+        p.add_integer("x", 0.2, 0.8, 1.0).unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_mip_is_detected() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        let b = p.add_binary("b", 0.0).unwrap();
+        p.add_constraint("tie", [(b, 1.0)], Cmp::Le, 1.0).unwrap();
+        let _ = (x, b);
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Unbounded);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_kept_when_optimal() {
+        let mut p = Problem::maximize();
+        let a = p.add_binary("a", 10.0).unwrap();
+        let b = p.add_binary("b", 13.0).unwrap();
+        let c = p.add_binary("c", 7.0).unwrap();
+        p.add_constraint("w", [(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0)
+            .unwrap();
+        let cfg = MipConfig {
+            warm_start: Some(vec![0.0, 1.0, 1.0]), // the optimum
+            ..MipConfig::default()
+        };
+        let out = solve_mip(&p, &cfg).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert_close(out.best.unwrap().objective, 20.0);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_ignored() {
+        let mut p = Problem::maximize();
+        let a = p.add_binary("a", 1.0).unwrap();
+        p.add_constraint("w", [(a, 1.0)], Cmp::Le, 0.0).unwrap();
+        let cfg = MipConfig {
+            warm_start: Some(vec![1.0]), // violates w
+            ..MipConfig::default()
+        };
+        let out = solve_mip(&p, &cfg).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert_close(out.best.unwrap().objective, 0.0);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_with_bound() {
+        // A knapsack large enough to need several nodes.
+        let mut p = Problem::maximize();
+        let vars: Vec<_> = (0..12)
+            .map(|i| {
+                p.add_binary(format!("x{i}"), (7 + (i * 13) % 11) as f64)
+                    .unwrap()
+            })
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (3 + (i * 7) % 9) as f64))
+            .collect();
+        p.add_constraint("w", terms, Cmp::Le, 20.0).unwrap();
+        let exact = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(exact.status, MipStatus::Optimal);
+        let exact_obj = exact.best.as_ref().unwrap().objective;
+        let cfg = MipConfig {
+            max_nodes: 1,
+            ..MipConfig::default()
+        };
+        let out = solve_mip(&p, &cfg).unwrap();
+        // With a single node the solver may or may not have stumbled on an
+        // incumbent, but it must never claim optimality it cannot prove
+        // (unless the root really was integral) and its reported bound must
+        // dominate the true optimum (maximization: upper bound).
+        match out.status {
+            MipStatus::Optimal => assert_close(out.best.unwrap().objective, exact_obj),
+            MipStatus::Feasible | MipStatus::Unknown => {
+                assert!(out.best_bound >= exact_obj - 1e-6);
+                if let Some(best) = &out.best {
+                    assert!(best.objective <= exact_obj + 1e-6);
+                }
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_continuous_and_integer() {
+        // min 3y - x s.t. x <= 4.3 (cont), y >= x / 2, y integer.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 4.3, -1.0).unwrap();
+        let y = p.add_integer("y", 0.0, 10.0, 3.0).unwrap();
+        p.add_constraint("link", [(y, 2.0), (x, -1.0)], Cmp::Ge, 0.0)
+            .unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let s = out.best.unwrap();
+        // Candidates: y=0,x=0 -> 0; y=1,x=2 -> 1; y=2,x=4 -> 2; y=3,x=4.3 -> 4.7.
+        assert_close(s.objective, 0.0);
+        assert_close(s.value(y), 0.0);
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // 2x2 assignment problem as a MIP; optimal picks the diagonal.
+        let mut p = Problem::minimize();
+        let x00 = p.add_binary("x00", 1.0).unwrap();
+        let x01 = p.add_binary("x01", 5.0).unwrap();
+        let x10 = p.add_binary("x10", 5.0).unwrap();
+        let x11 = p.add_binary("x11", 2.0).unwrap();
+        p.add_constraint("r0", [(x00, 1.0), (x01, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        p.add_constraint("r1", [(x10, 1.0), (x11, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        p.add_constraint("c0", [(x00, 1.0), (x10, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        p.add_constraint("c1", [(x01, 1.0), (x11, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let s = out.best.unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.value(x00), 1.0);
+        assert_close(s.value(x11), 1.0);
+    }
+
+    #[test]
+    fn pure_lp_passes_straight_through() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, 3.0, 2.0).unwrap();
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert_close(out.best.unwrap().value(x), 3.0);
+        assert_eq!(out.nodes_explored, 1);
+    }
+}

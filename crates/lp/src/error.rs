@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+///
+/// Note that infeasibility and unboundedness are *not* errors — they are
+/// legitimate outcomes reported through [`crate::LpOutcome`] /
+/// [`crate::MipStatus`]. `LpError` covers malformed models and solver
+/// resource exhaustion only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable id referenced a different problem or was out of bounds.
+    UnknownVariable {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables in the problem.
+        len: usize,
+    },
+    /// A coefficient, bound, or right-hand side was NaN (infinities are
+    /// allowed in bounds only).
+    NotANumber {
+        /// Where the NaN appeared.
+        context: &'static str,
+    },
+    /// A variable's lower bound exceeded its upper bound.
+    EmptyDomain {
+        /// Variable name.
+        name: String,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// An integer or binary variable had an infinite bound, which
+    /// branch-and-bound cannot enumerate.
+    UnboundedInteger {
+        /// Variable name.
+        name: String,
+    },
+    /// The simplex did not converge within its iteration budget.
+    IterationLimit {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A constraint had duplicate variables (coefficients must be merged by
+    /// the caller; silently summing hides modelling bugs).
+    DuplicateTerm {
+        /// Constraint name.
+        constraint: String,
+        /// The duplicated variable index.
+        var: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { var, len } => {
+                write!(
+                    f,
+                    "variable index {var} out of bounds for problem with {len} variables"
+                )
+            }
+            LpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
+            LpError::EmptyDomain { name, lower, upper } => {
+                write!(f, "variable `{name}` has empty domain [{lower}, {upper}]")
+            }
+            LpError::UnboundedInteger { name } => {
+                write!(f, "integer variable `{name}` has an infinite bound")
+            }
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex exceeded its iteration budget of {iterations}")
+            }
+            LpError::DuplicateTerm { constraint, var } => {
+                write!(
+                    f,
+                    "constraint `{constraint}` mentions variable {var} more than once"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

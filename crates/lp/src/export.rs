@@ -1,0 +1,225 @@
+//! Export of [`Problem`]s in the CPLEX LP file format.
+//!
+//! The paper obtained its optimal solutions with CPLEX; this writer lets
+//! any model built here (in particular the `sft-core` ILP) be dumped and
+//! cross-checked against CPLEX, Gurobi, HiGHS, SCIP, glpsol — all of which
+//! read this format.
+
+use crate::problem::{Cmp, ObjectiveSense, Problem, VarKind};
+use std::fmt::Write as _;
+
+/// Serializes a problem in the CPLEX LP file format.
+///
+/// Variable names are sanitized to `x<N>` if they contain characters the
+/// format forbids; constraint names likewise to `c<N>`. The output ends
+/// with `End`.
+pub fn to_lp_format(problem: &Problem) -> String {
+    let mut out = String::new();
+    let var_name = |i: usize| -> String {
+        let name = &problem.variables()[i].name;
+        if is_clean(name) {
+            name.clone()
+        } else {
+            format!("x{i}")
+        }
+    };
+
+    let _ = writeln!(
+        out,
+        "{}",
+        match problem.sense() {
+            ObjectiveSense::Minimize => "Minimize",
+            ObjectiveSense::Maximize => "Maximize",
+        }
+    );
+    let mut obj = String::from(" obj:");
+    let mut any = false;
+    for (i, v) in problem.variables().iter().enumerate() {
+        if v.objective != 0.0 {
+            let _ = write!(obj, " {} {}", signed(v.objective), var_name(i));
+            any = true;
+        }
+    }
+    if !any {
+        if problem.var_count() == 0 {
+            obj = " obj: 0 x_dummy".into();
+        } else {
+            let _ = write!(obj, " 0 {}", var_name(0));
+        }
+    }
+    let _ = writeln!(out, "{obj}");
+
+    let _ = writeln!(out, "Subject To");
+    for (ci, c) in problem.constraints().iter().enumerate() {
+        let name = if is_clean(&c.name) {
+            c.name.clone()
+        } else {
+            format!("c{ci}")
+        };
+        let mut line = format!(" {name}:");
+        if c.terms.is_empty() {
+            // The LP format needs at least one term; encode `0 <= rhs`
+            // with a zero coefficient on the first variable (if any).
+            if problem.var_count() > 0 {
+                let _ = write!(line, " 0 {}", var_name(0));
+            } else {
+                let _ = write!(line, " 0 x_dummy");
+            }
+        }
+        for (v, coef) in &c.terms {
+            let _ = write!(line, " {} {}", signed(*coef), var_name(v.index()));
+        }
+        let cmp = match c.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, "{line} {cmp} {}", c.rhs);
+    }
+
+    let _ = writeln!(out, "Bounds");
+    for (i, v) in problem.variables().iter().enumerate() {
+        let name = var_name(i);
+        match (v.lower.is_finite(), v.upper.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= {name} <= {}", v.lower, v.upper);
+            }
+            (true, false) => {
+                let _ = writeln!(out, " {} <= {name} <= +inf", v.lower);
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= {name} <= {}", v.upper);
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {name} free");
+            }
+        }
+    }
+
+    let generals: Vec<String> = problem
+        .variables()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(i, _)| var_name(i))
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "Generals");
+        let _ = writeln!(out, " {}", generals.join(" "));
+    }
+    let binaries: Vec<String> = problem
+        .variables()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Binary)
+        .map(|(i, _)| var_name(i))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binaries");
+        let _ = writeln!(out, " {}", binaries.join(" "));
+    }
+    let _ = writeln!(out, "End");
+    out
+}
+
+/// LP-format identifiers: alphanumerics plus a safe punctuation subset,
+/// not starting with a digit, `e`, or `E` (which would parse as numbers).
+fn is_clean(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit() || c == 'e' || c == 'E' || c == '.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_-[]{}".contains(c))
+}
+
+fn signed(x: f64) -> String {
+    if x >= 0.0 {
+        format!("+ {x}")
+    } else {
+        format!("- {}", -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn knapsack() -> Problem {
+        let mut p = Problem::maximize();
+        let a = p.add_binary("take_a", 10.0).unwrap();
+        let b = p.add_binary("take_b", 13.0).unwrap();
+        let y = p.add_integer("count", 0.0, 4.0, 1.0).unwrap();
+        let x = p
+            .add_continuous("slack var!", 0.0, f64::INFINITY, 0.0)
+            .unwrap();
+        p.add_constraint("weight", [(a, 3.0), (b, 4.0), (y, 1.0)], Cmp::Le, 6.0)
+            .unwrap();
+        p.add_constraint("link", [(x, 1.0), (y, -1.0)], Cmp::Ge, 0.0)
+            .unwrap();
+        p.add_constraint("fix", [(a, 1.0), (b, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn sections_appear_in_order() {
+        let s = to_lp_format(&knapsack());
+        let idx = |pat: &str| s.find(pat).unwrap_or_else(|| panic!("missing {pat}"));
+        assert!(idx("Maximize") < idx("Subject To"));
+        assert!(idx("Subject To") < idx("Bounds"));
+        assert!(idx("Bounds") < idx("Generals"));
+        assert!(idx("Generals") < idx("Binaries"));
+        assert!(idx("Binaries") < idx("End"));
+    }
+
+    #[test]
+    fn objective_and_constraints_are_rendered() {
+        let s = to_lp_format(&knapsack());
+        assert!(s.contains("+ 10 take_a"));
+        assert!(s.contains("+ 13 take_b"));
+        assert!(s.contains("weight: + 3 take_a + 4 take_b + 1 count <= 6"));
+        assert!(s.contains("- 1 count >= 0"));
+        assert!(s.contains("= 1"));
+    }
+
+    #[test]
+    fn dirty_names_are_sanitized() {
+        let s = to_lp_format(&knapsack());
+        assert!(!s.contains("slack var!"), "raw dirty name leaked");
+        assert!(s.contains("x3"), "sanitized name missing");
+    }
+
+    #[test]
+    fn bounds_cover_all_variable_shapes() {
+        let mut p = Problem::minimize();
+        p.add_continuous("a", 0.0, 1.0, 1.0).unwrap();
+        p.add_continuous("b", -1.0, f64::INFINITY, 1.0).unwrap();
+        p.add_continuous("c", f64::NEG_INFINITY, 5.0, 1.0).unwrap();
+        p.add_continuous("d", f64::NEG_INFINITY, f64::INFINITY, 1.0)
+            .unwrap();
+        let s = to_lp_format(&p);
+        assert!(s.contains(" 0 <= a <= 1"));
+        assert!(s.contains(" -1 <= b <= +inf"));
+        assert!(s.contains(" -inf <= c <= 5"));
+        assert!(s.contains(" d free"));
+    }
+
+    #[test]
+    fn empty_problem_is_still_well_formed() {
+        let s = to_lp_format(&Problem::minimize());
+        assert!(s.starts_with("Minimize"));
+        assert!(s.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn core_ilp_style_names_survive() {
+        let mut p = Problem::minimize();
+        let v = p.add_binary("w_1_n3", 2.0).unwrap();
+        p.add_constraint("cap_n3", [(v, 1.0)], Cmp::Le, 1.0)
+            .unwrap();
+        let s = to_lp_format(&p);
+        assert!(s.contains("w_1_n3"));
+        assert!(s.contains("cap_n3"));
+    }
+}

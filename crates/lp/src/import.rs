@@ -1,0 +1,397 @@
+//! Import of CPLEX LP-format files into [`Problem`]s.
+//!
+//! The counterpart of [`crate::export`]: together they give a lossless
+//! round trip for the model subset this crate produces (linear objective,
+//! linear constraints, bounds, `Generals` / `Binaries` sections), which is
+//! how the ILP models here can be cross-checked against external solvers
+//! in both directions.
+//!
+//! Supported grammar (a pragmatic subset of the format):
+//!
+//! ```text
+//! Minimize|Maximize
+//!  name: [+|-] coef var [[+|-] coef var]...
+//! Subject To
+//!  name: terms <=|>=|= rhs
+//! Bounds
+//!  lo <= var <= hi | -inf <= var <= hi | lo <= var <= +inf | var free
+//! Generals / Binaries
+//!  var...
+//! End
+//! ```
+
+use crate::problem::{Cmp, Problem};
+use crate::LpError;
+use std::collections::BTreeMap;
+
+/// Parses a problem from LP-format text.
+///
+/// # Errors
+///
+/// [`LpError::NotANumber`] with context for malformed numerics; parse
+/// failures of structure are reported through the same error type with a
+/// descriptive context string.
+pub fn from_lp_format(text: &str) -> Result<Problem, LpError> {
+    let fail = |_context: &'static str| LpError::NotANumber { context: _context };
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Objective,
+        Constraints,
+        Bounds,
+        Generals,
+        Binaries,
+        Done,
+    }
+
+    // First pass: tokenize into logical lines per section.
+    let mut sense_minimize = true;
+    let mut section = None;
+    let mut objective_text = String::new();
+    let mut constraint_lines: Vec<String> = Vec::new();
+    let mut bound_lines: Vec<String> = Vec::new();
+    let mut generals: Vec<String> = Vec::new();
+    let mut binaries: Vec<String> = Vec::new();
+
+    for raw in text.lines() {
+        let line = raw.split('\\').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        match lower.as_str() {
+            "minimize" | "min" => {
+                sense_minimize = true;
+                section = Some(Section::Objective);
+                continue;
+            }
+            "maximize" | "max" => {
+                sense_minimize = false;
+                section = Some(Section::Objective);
+                continue;
+            }
+            "subject to" | "st" | "s.t." => {
+                section = Some(Section::Constraints);
+                continue;
+            }
+            "bounds" => {
+                section = Some(Section::Bounds);
+                continue;
+            }
+            "generals" | "general" | "integers" => {
+                section = Some(Section::Generals);
+                continue;
+            }
+            "binaries" | "binary" => {
+                section = Some(Section::Binaries);
+                continue;
+            }
+            "end" => {
+                section = Some(Section::Done);
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Some(Section::Objective) => {
+                objective_text.push(' ');
+                objective_text.push_str(line);
+            }
+            Some(Section::Constraints) => constraint_lines.push(line.to_string()),
+            Some(Section::Bounds) => bound_lines.push(line.to_string()),
+            Some(Section::Generals) => generals.extend(line.split_whitespace().map(String::from)),
+            Some(Section::Binaries) => binaries.extend(line.split_whitespace().map(String::from)),
+            _ => return Err(fail("unexpected content outside any section")),
+        }
+    }
+
+    // Parse linear expressions of the form `[+|-] [coef] var ...`.
+    fn parse_terms(expr: &str) -> Result<Vec<(String, f64)>, LpError> {
+        let tokens: Vec<&str> = expr.split_whitespace().collect();
+        let mut terms = Vec::new();
+        let mut sign = 1.0;
+        let mut pending_coef: Option<f64> = None;
+        for tok in tokens {
+            match tok {
+                "+" => {
+                    sign = 1.0;
+                }
+                "-" => {
+                    sign = -1.0;
+                }
+                _ => {
+                    if let Ok(num) = tok.parse::<f64>() {
+                        pending_coef = Some(pending_coef.unwrap_or(1.0) * num);
+                    } else {
+                        let coef = sign * pending_coef.unwrap_or(1.0);
+                        terms.push((tok.to_string(), coef));
+                        sign = 1.0;
+                        pending_coef = None;
+                    }
+                }
+            }
+        }
+        if pending_coef.is_some() {
+            return Err(LpError::NotANumber {
+                context: "dangling coefficient in expression",
+            });
+        }
+        Ok(terms)
+    }
+
+    // Objective: strip the `name:` prefix.
+    let obj_body = objective_text
+        .split_once(':')
+        .map(|(_, b)| b)
+        .unwrap_or(&objective_text);
+    let obj_terms = parse_terms(obj_body)?;
+
+    // Collect variables in first-appearance order.
+    let mut var_order: Vec<String> = Vec::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let note = |name: &str, var_order: &mut Vec<String>, seen: &mut BTreeMap<String, usize>| {
+        if !seen.contains_key(name) {
+            seen.insert(name.to_string(), var_order.len());
+            var_order.push(name.to_string());
+        }
+    };
+    for (name, _) in &obj_terms {
+        note(name, &mut var_order, &mut seen);
+    }
+
+    struct RawConstraint {
+        name: String,
+        terms: Vec<(String, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut raw_constraints = Vec::new();
+    for (i, line) in constraint_lines.iter().enumerate() {
+        let body = line.split_once(':').map(|(_, b)| b).unwrap_or(line);
+        let (cmp, split) = if let Some(p) = body.find("<=") {
+            (Cmp::Le, p)
+        } else if let Some(p) = body.find(">=") {
+            (Cmp::Ge, p)
+        } else if let Some(p) = body.find('=') {
+            (Cmp::Eq, p)
+        } else {
+            return Err(fail("constraint without comparison operator"));
+        };
+        let (lhs, rest) = body.split_at(split);
+        let rhs_text = rest.trim_start_matches(['<', '>', '=']).trim();
+        let rhs: f64 = rhs_text
+            .parse()
+            .map_err(|_| fail("unparsable constraint rhs"))?;
+        let terms = parse_terms(lhs)?;
+        for (name, _) in &terms {
+            note(name, &mut var_order, &mut seen);
+        }
+        let name = line
+            .split_once(':')
+            .map(|(n, _)| n.trim().to_string())
+            .unwrap_or_else(|| format!("c{i}"));
+        raw_constraints.push(RawConstraint {
+            name,
+            terms,
+            cmp,
+            rhs,
+        });
+    }
+
+    // Bounds.
+    let mut bounds: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for line in &bound_lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            [var, "free"] => {
+                note(var, &mut var_order, &mut seen);
+                bounds.insert(var.to_string(), (f64::NEG_INFINITY, f64::INFINITY));
+            }
+            [lo, "<=", var, "<=", hi] => {
+                note(var, &mut var_order, &mut seen);
+                let parse_bound = |s: &str, neg: bool| -> Result<f64, LpError> {
+                    match s {
+                        "+inf" | "inf" => Ok(f64::INFINITY),
+                        "-inf" => Ok(f64::NEG_INFINITY),
+                        _ => s.parse().map_err(|_| LpError::NotANumber {
+                            context: if neg { "lower bound" } else { "upper bound" },
+                        }),
+                    }
+                };
+                let lo = parse_bound(lo, true)?;
+                let hi = parse_bound(hi, false)?;
+                bounds.insert(var.to_string(), (lo, hi));
+            }
+            _ => return Err(fail("unsupported bounds line")),
+        }
+    }
+    for v in generals.iter().chain(binaries.iter()) {
+        note(v, &mut var_order, &mut seen);
+    }
+
+    // Assemble the Problem.
+    let mut p = if sense_minimize {
+        Problem::minimize()
+    } else {
+        Problem::maximize()
+    };
+    let obj_map: BTreeMap<&str, f64> = obj_terms.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+    let mut ids = BTreeMap::new();
+    for name in &var_order {
+        let obj = obj_map.get(name.as_str()).copied().unwrap_or(0.0);
+        let id = if binaries.contains(name) {
+            p.add_binary(name.clone(), obj)?
+        } else if generals.contains(name) {
+            let (lo, hi) = bounds.get(name).copied().unwrap_or((0.0, f64::INFINITY));
+            p.add_integer(name.clone(), lo, hi.min(1e18), obj)?
+        } else {
+            let (lo, hi) = bounds.get(name).copied().unwrap_or((0.0, f64::INFINITY));
+            p.add_continuous(name.clone(), lo, hi, obj)?
+        };
+        ids.insert(name.clone(), id);
+    }
+    for rc in raw_constraints {
+        // Merge duplicate mentions (the exporter never produces them, but
+        // hand-written files may).
+        let mut merged: BTreeMap<&str, f64> = BTreeMap::new();
+        for (n, c) in &rc.terms {
+            *merged.entry(n.as_str()).or_insert(0.0) += c;
+        }
+        let terms: Vec<_> = merged.into_iter().map(|(n, c)| (ids[n], c)).collect();
+        p.add_constraint(rc.name, terms, rc.cmp, rc.rhs)?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_lp_format;
+    use crate::problem::VarKind;
+    use crate::{solve_lp, solve_mip, LpOutcome, MipConfig, MipStatus};
+
+    #[test]
+    fn parses_a_hand_written_model() {
+        let text = "\
+Maximize
+ obj: + 3 x + 2 y
+Subject To
+ cap: + 1 x + 1 y <= 4
+ mix: + 1 x + 3 y <= 6
+Bounds
+ 0 <= x <= +inf
+ 0 <= y <= +inf
+End
+";
+        let p = from_lp_format(text).unwrap();
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.constraint_count(), 2);
+        let out = solve_lp(&p).unwrap();
+        let s = out.solution().expect("optimal");
+        assert!((s.objective - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_trips_the_exporter_output() {
+        let mut p = Problem::maximize();
+        let a = p.add_binary("take_a", 10.0).unwrap();
+        let b = p.add_binary("take_b", 13.0).unwrap();
+        let y = p.add_integer("count", 0.0, 4.0, 1.0).unwrap();
+        let z = p.add_continuous("z", -2.0, 5.5, -0.5).unwrap();
+        p.add_constraint("w", [(a, 3.0), (b, 4.0), (y, 1.0)], Cmp::Le, 6.0)
+            .unwrap();
+        p.add_constraint("link", [(z, 1.0), (y, -1.0)], Cmp::Ge, -1.0)
+            .unwrap();
+        p.add_constraint("pick", [(a, 1.0), (b, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+
+        let text = to_lp_format(&p);
+        let q = from_lp_format(&text).unwrap();
+        assert_eq!(q.var_count(), p.var_count());
+        assert_eq!(q.constraint_count(), p.constraint_count());
+        // Kinds survive.
+        assert_eq!(q.variables()[0].kind, VarKind::Binary);
+        assert_eq!(q.variables()[2].kind, VarKind::Integer);
+        assert_eq!(q.variables()[3].kind, VarKind::Continuous);
+        // And, decisively, both models have the same MIP optimum.
+        let orig = solve_mip(&p, &MipConfig::default()).unwrap();
+        let round = solve_mip(&q, &MipConfig::default()).unwrap();
+        assert_eq!(orig.status, MipStatus::Optimal);
+        assert_eq!(round.status, MipStatus::Optimal);
+        let (o, r) = (orig.best.unwrap(), round.best.unwrap());
+        assert!((o.objective - r.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables_and_negative_bounds_round_trip() {
+        let mut p = Problem::minimize();
+        p.add_continuous("f", f64::NEG_INFINITY, f64::INFINITY, 1.0)
+            .unwrap();
+        p.add_continuous("m", f64::NEG_INFINITY, 4.0, 0.0).unwrap();
+        let x = p.add_continuous("x", -3.0, 3.0, 2.0).unwrap();
+        p.add_constraint("c", [(x, 1.0)], Cmp::Ge, -2.0).unwrap();
+        let q = from_lp_format(&to_lp_format(&p)).unwrap();
+        // Variables re-appear in first-mention order; look them up by name.
+        let by_name = |name: &str| {
+            q.variables()
+                .iter()
+                .find(|v| v.name == name)
+                .unwrap_or_else(|| panic!("variable {name} lost in round trip"))
+        };
+        assert_eq!(by_name("f").lower, f64::NEG_INFINITY);
+        assert_eq!(by_name("f").upper, f64::INFINITY);
+        assert_eq!(by_name("m").upper, 4.0);
+        assert_eq!(by_name("m").lower, f64::NEG_INFINITY);
+        assert_eq!(by_name("x").lower, -3.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_lp_format("garbage before any section").is_err());
+        assert!(from_lp_format("Minimize\n obj: x\nSubject To\n c: x 5\nEnd").is_err());
+        assert!(from_lp_format("Minimize\n obj: x\nBounds\n x nonsense line\nEnd").is_err());
+    }
+
+    #[test]
+    fn ilp_sized_round_trip_preserves_the_optimum() {
+        // A small assignment ILP through export -> import -> solve.
+        let mut p = Problem::minimize();
+        let mut xs = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                xs.push(
+                    p.add_binary(format!("x_{i}_{j}"), ((i * 3 + j * 7) % 5 + 1) as f64)
+                        .unwrap(),
+                );
+            }
+        }
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| (xs[i * 3 + j], 1.0)).collect();
+            p.add_constraint(format!("r{i}"), row, Cmp::Eq, 1.0)
+                .unwrap();
+            let col: Vec<_> = (0..3).map(|j| (xs[j * 3 + i], 1.0)).collect();
+            p.add_constraint(format!("col{i}"), col, Cmp::Eq, 1.0)
+                .unwrap();
+        }
+        let orig = solve_mip(&p, &MipConfig::default()).unwrap();
+        let q = from_lp_format(&to_lp_format(&p)).unwrap();
+        let round = solve_mip(&q, &MipConfig::default()).unwrap();
+        assert!((orig.best.unwrap().objective - round.best.unwrap().objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_relaxation_agrees_after_round_trip() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, 10.0, 1.5).unwrap();
+        let y = p.add_continuous("y", 0.0, 10.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 2.0), (y, 1.0)], Cmp::Le, 10.0)
+            .unwrap();
+        let q = from_lp_format(&to_lp_format(&p)).unwrap();
+        let (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) =
+            (solve_lp(&p).unwrap(), solve_lp(&q).unwrap())
+        else {
+            panic!("both must be optimal");
+        };
+        assert!((a.objective - b.objective).abs() < 1e-6);
+    }
+}

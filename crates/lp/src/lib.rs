@@ -1,0 +1,53 @@
+//! Linear and mixed-integer programming substrate.
+//!
+//! The paper obtains optimal SFT embeddings by handing its ILP formulation
+//! (1a)–(1f) to CPLEX (§V-C). CPLEX is proprietary, so this crate is the
+//! from-scratch substitute used by `sft-core::ilp`:
+//!
+//! * [`Problem`] — a model-building API for linear programs with bounded,
+//!   continuous / integer / binary variables ([`problem`]).
+//! * [`solve_lp`] — a dense, two-phase, *bounded-variable* primal simplex
+//!   with Bland's-rule anti-cycling ([`simplex`]).
+//! * [`solve_mip`] — best-first branch-and-bound over the LP relaxation,
+//!   with warm-start incumbents, node/time limits, and optimality gaps
+//!   ([`branch_bound`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sft_lp::{Cmp, LpOutcome, Problem};
+//!
+//! # fn main() -> Result<(), sft_lp::LpError> {
+//! // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut p = Problem::maximize();
+//! let x = p.add_continuous("x", 0.0, f64::INFINITY, 3.0)?;
+//! let y = p.add_continuous("y", 0.0, f64::INFINITY, 2.0)?;
+//! p.add_constraint("cap", [(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)?;
+//! p.add_constraint("mix", [(x, 1.0), (y, 3.0)], Cmp::Le, 6.0)?;
+//! match sft_lp::solve_lp(&p)? {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective - 12.0).abs() < 1e-9);
+//!         assert!((sol.value(x) - 4.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod branch_bound;
+mod error;
+pub mod export;
+pub mod import;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve_mip, MipConfig, MipOutcome, MipSolution, MipStatus};
+pub use error::LpError;
+pub use export::to_lp_format;
+pub use import::from_lp_format;
+pub use problem::{Cmp, ObjectiveSense, Problem, VarId, VarKind};
+pub use simplex::{solve_lp, LpOutcome, LpSolution};
+
+/// Feasibility / optimality tolerance shared across the solvers.
+pub const TOL: f64 = 1e-7;

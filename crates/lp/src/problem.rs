@@ -1,0 +1,508 @@
+//! Model-building API for linear and mixed-integer programs.
+//!
+//! A [`Problem`] collects variables (with bounds, kind, and objective
+//! coefficients) and linear constraints. It is solver-agnostic: the simplex
+//! ([`crate::simplex`]) and branch-and-bound ([`crate::branch_bound`])
+//! consume it read-only.
+
+use crate::LpError;
+use std::fmt;
+
+/// Identifier of a variable within a [`Problem`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Variable integrality class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer variable with bounds `[0, 1]`.
+    Binary,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Direction of optimization.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ObjectiveSense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A decision variable.
+#[derive(Clone, Debug)]
+pub struct Variable {
+    /// Human-readable name (used in error messages and debugging dumps).
+    pub name: String,
+    /// Lower bound (may be `-inf` for continuous variables).
+    pub lower: f64,
+    /// Upper bound (may be `+inf` for continuous variables).
+    pub upper: f64,
+    /// Integrality class.
+    pub kind: VarKind,
+    /// Objective coefficient.
+    pub objective: f64,
+}
+
+/// A linear constraint `Σ coeff·var (cmp) rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Human-readable name.
+    pub name: String,
+    /// Sparse terms, each variable at most once.
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear or mixed-integer program.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    sense: ObjectiveSense,
+    variables: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> Self {
+        Problem {
+            sense: ObjectiveSense::Minimize,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates an empty maximization problem.
+    pub fn maximize() -> Self {
+        Problem {
+            sense: ObjectiveSense::Maximize,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimization direction.
+    pub fn sense(&self) -> ObjectiveSense {
+        self.sense
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variables, indexable by [`VarId::index`].
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The variable with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.variables[id.0]
+    }
+
+    /// Adds a continuous variable and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::NotANumber`] if any argument is NaN.
+    /// * [`LpError::EmptyDomain`] if `lower > upper`.
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Result<VarId, LpError> {
+        self.add_variable(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            kind: VarKind::Continuous,
+            objective,
+        })
+    }
+
+    /// Adds a bounded integer variable and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::add_continuous`], plus
+    /// [`LpError::UnboundedInteger`] if either bound is infinite.
+    pub fn add_integer(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Result<VarId, LpError> {
+        self.add_variable(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            kind: VarKind::Integer,
+            objective,
+        })
+    }
+
+    /// Adds a binary (0/1) variable and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::NotANumber`] if `objective` is NaN.
+    pub fn add_binary(
+        &mut self,
+        name: impl Into<String>,
+        objective: f64,
+    ) -> Result<VarId, LpError> {
+        self.add_variable(Variable {
+            name: name.into(),
+            lower: 0.0,
+            upper: 1.0,
+            kind: VarKind::Binary,
+            objective,
+        })
+    }
+
+    /// Adds an explicitly constructed variable.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::add_continuous`] / [`Problem::add_integer`].
+    pub fn add_variable(&mut self, v: Variable) -> Result<VarId, LpError> {
+        if v.lower.is_nan() || v.upper.is_nan() || v.objective.is_nan() {
+            return Err(LpError::NotANumber {
+                context: "variable definition",
+            });
+        }
+        if v.lower > v.upper {
+            return Err(LpError::EmptyDomain {
+                name: v.name,
+                lower: v.lower,
+                upper: v.upper,
+            });
+        }
+        if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+            && (!v.lower.is_finite() || !v.upper.is_finite())
+        {
+            return Err(LpError::UnboundedInteger { name: v.name });
+        }
+        self.variables.push(v);
+        Ok(VarId(self.variables.len() - 1))
+    }
+
+    /// Adds a linear constraint `Σ coeff·var (cmp) rhs`.
+    ///
+    /// Zero-coefficient terms are dropped. An empty (or all-zero) term list
+    /// is allowed and evaluates as `0 (cmp) rhs` — the simplex reports
+    /// infeasibility if that is violated, which keeps generated models
+    /// uniform.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] for out-of-range variable ids.
+    /// * [`LpError::NotANumber`] for NaN coefficients / rhs or infinite rhs.
+    /// * [`LpError::DuplicateTerm`] if a variable appears twice.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        let name = name.into();
+        if rhs.is_nan() || rhs.is_infinite() {
+            return Err(LpError::NotANumber {
+                context: "constraint rhs",
+            });
+        }
+        let mut seen = vec![false; self.variables.len()];
+        let mut clean = Vec::new();
+        for (v, c) in terms {
+            if v.0 >= self.variables.len() {
+                return Err(LpError::UnknownVariable {
+                    var: v.0,
+                    len: self.variables.len(),
+                });
+            }
+            if c.is_nan() || c.is_infinite() {
+                return Err(LpError::NotANumber {
+                    context: "constraint coefficient",
+                });
+            }
+            if seen[v.0] {
+                return Err(LpError::DuplicateTerm {
+                    constraint: name,
+                    var: v.0,
+                });
+            }
+            seen[v.0] = true;
+            if c != 0.0 {
+                clean.push((v, c));
+            }
+        }
+        self.constraints.push(Constraint {
+            name,
+            terms: clean,
+            cmp,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Evaluates the objective at a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != var_count()`.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.var_count(), "assignment length mismatch");
+        self.variables
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Checks whether a full assignment satisfies every bound, constraint,
+    /// and integrality requirement within tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != var_count()`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        assert_eq!(values.len(), self.var_count(), "assignment length mismatch");
+        for (v, &x) in self.variables.iter().zip(values) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, k)| k * values[v.0]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Ids of all integer and binary variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Returns a copy of the problem with every integrality requirement
+    /// dropped (the LP relaxation).
+    pub fn relaxed(&self) -> Problem {
+        let mut p = self.clone();
+        for v in &mut p.variables {
+            v.kind = VarKind::Continuous;
+        }
+        p
+    }
+
+    /// Overrides the bounds of an existing variable (used by
+    /// branch-and-bound when branching).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] for an out-of-range id.
+    /// * [`LpError::EmptyDomain`] if the new bounds are empty.
+    /// * [`LpError::NotANumber`] if a bound is NaN.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        if var.0 >= self.variables.len() {
+            return Err(LpError::UnknownVariable {
+                var: var.0,
+                len: self.variables.len(),
+            });
+        }
+        if lower.is_nan() || upper.is_nan() {
+            return Err(LpError::NotANumber {
+                context: "bound override",
+            });
+        }
+        if lower > upper {
+            return Err(LpError::EmptyDomain {
+                name: self.variables[var.0].name.clone(),
+                lower,
+                upper,
+            });
+        }
+        self.variables[var.0].lower = lower;
+        self.variables[var.0].upper = upper;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_variables_of_each_kind() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", -1.0, 1.0, 2.0).unwrap();
+        let y = p.add_integer("y", 0.0, 5.0, -1.0).unwrap();
+        let z = p.add_binary("z", 0.5).unwrap();
+        assert_eq!(p.var_count(), 3);
+        assert_eq!(p.variable(x).kind, VarKind::Continuous);
+        assert_eq!(p.variable(y).kind, VarKind::Integer);
+        assert_eq!(p.variable(z).kind, VarKind::Binary);
+        assert_eq!(p.variable(z).upper, 1.0);
+        assert_eq!(p.integer_vars(), vec![y, z]);
+    }
+
+    #[test]
+    fn rejects_bad_variables() {
+        let mut p = Problem::minimize();
+        assert!(matches!(
+            p.add_continuous("x", 2.0, 1.0, 0.0),
+            Err(LpError::EmptyDomain { .. })
+        ));
+        assert!(matches!(
+            p.add_continuous("x", f64::NAN, 1.0, 0.0),
+            Err(LpError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            p.add_integer("y", 0.0, f64::INFINITY, 0.0),
+            Err(LpError::UnboundedInteger { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_constraints() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 0.0).unwrap();
+        assert!(matches!(
+            p.add_constraint("c", [(VarId(9), 1.0)], Cmp::Le, 1.0),
+            Err(LpError::UnknownVariable { .. })
+        ));
+        assert!(matches!(
+            p.add_constraint("c", [(x, f64::NAN)], Cmp::Le, 1.0),
+            Err(LpError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            p.add_constraint("c", [(x, 1.0), (x, 2.0)], Cmp::Le, 1.0),
+            Err(LpError::DuplicateTerm { .. })
+        ));
+        assert!(matches!(
+            p.add_constraint("c", [(x, 1.0)], Cmp::Le, f64::INFINITY),
+            Err(LpError::NotANumber { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_terms_are_dropped() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 0.0).unwrap();
+        let y = p.add_continuous("y", 0.0, 1.0, 0.0).unwrap();
+        p.add_constraint("c", [(x, 0.0), (y, 2.0)], Cmp::Le, 1.0)
+            .unwrap();
+        assert_eq!(p.constraints()[0].terms, vec![(y, 2.0)]);
+    }
+
+    #[test]
+    fn objective_and_feasibility_evaluation() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
+        let y = p.add_binary("y", 3.0).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Cmp::Le, 5.0)
+            .unwrap();
+        assert_eq!(p.objective_value(&[2.0, 1.0]), 5.0);
+        assert!(p.is_feasible(&[2.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[5.0, 1.0], 1e-9)); // violates c
+        assert!(!p.is_feasible(&[2.0, 0.5], 1e-9)); // fractional binary
+        assert!(!p.is_feasible(&[-1.0, 0.0], 1e-9)); // below lower bound
+    }
+
+    #[test]
+    fn relaxation_drops_integrality() {
+        let mut p = Problem::minimize();
+        p.add_binary("y", 1.0).unwrap();
+        let r = p.relaxed();
+        assert!(r.integer_vars().is_empty());
+        assert!(r.is_feasible(&[0.5], 1e-9));
+    }
+
+    #[test]
+    fn set_bounds_validates() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 0.0).unwrap();
+        p.set_bounds(x, 0.5, 0.75).unwrap();
+        assert_eq!(p.variable(x).lower, 0.5);
+        assert!(matches!(
+            p.set_bounds(x, 1.0, 0.0),
+            Err(LpError::EmptyDomain { .. })
+        ));
+        assert!(matches!(
+            p.set_bounds(VarId(4), 0.0, 1.0),
+            Err(LpError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_constraint_is_allowed() {
+        let mut p = Problem::minimize();
+        p.add_constraint("trivial", [], Cmp::Le, 0.0).unwrap();
+        assert!(p.is_feasible(&[], 1e-9));
+        p.add_constraint("impossible", [], Cmp::Ge, 1.0).unwrap();
+        assert!(!p.is_feasible(&[], 1e-9));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the LP / MILP substrate.
+
+use proptest::prelude::*;
+use sft_lp::{solve_lp, solve_mip, Cmp, LpOutcome, MipConfig, MipStatus, Problem, VarId};
+
+/// A random bounded LP in `vars` variables with `rows` <= constraints.
+/// All variables in [0, ub]; coefficients and rhs kept small and tame.
+#[derive(Clone, Debug)]
+struct RandomLp {
+    objective: Vec<f64>,
+    upper: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    maximize: bool,
+}
+
+impl RandomLp {
+    fn build(&self) -> (Problem, Vec<VarId>) {
+        let mut p = if self.maximize {
+            Problem::maximize()
+        } else {
+            Problem::minimize()
+        };
+        let xs: Vec<VarId> = self
+            .objective
+            .iter()
+            .zip(&self.upper)
+            .enumerate()
+            .map(|(i, (&c, &u))| p.add_continuous(format!("x{i}"), 0.0, u, c).unwrap())
+            .collect();
+        for (r, (coefs, rhs)) in self.rows.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = xs
+                .iter()
+                .zip(coefs)
+                .filter(|(_, &c)| c != 0.0)
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            p.add_constraint(format!("r{r}"), terms, Cmp::Le, *rhs)
+                .unwrap();
+        }
+        (p, xs)
+    }
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..7, 1usize..6, any::<bool>()).prop_flat_map(|(nv, nr, maximize)| {
+        let obj = proptest::collection::vec(-5.0f64..5.0, nv);
+        let ub = proptest::collection::vec(0.5f64..8.0, nv);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-3.0f64..3.0, nv), 0.5f64..20.0),
+            nr,
+        );
+        (obj, ub, rows).prop_map(move |(objective, upper, rows)| RandomLp {
+            objective,
+            upper,
+            rows,
+            maximize,
+        })
+    })
+}
+
+/// Evaluates feasibility of a point for a RandomLp.
+fn feasible(lp: &RandomLp, x: &[f64]) -> bool {
+    for (xi, &u) in x.iter().zip(&lp.upper) {
+        if *xi < -1e-7 || *xi > u + 1e-7 {
+            return false;
+        }
+    }
+    lp.rows
+        .iter()
+        .all(|(coefs, rhs)| coefs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() <= rhs + 1e-6)
+}
+
+fn objective(lp: &RandomLp, x: &[f64]) -> f64 {
+    lp.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplex_solutions_are_feasible_and_dominant(lp in arb_lp()) {
+        // Origin is always feasible (x = 0, rhs > 0), so the LP cannot be
+        // infeasible; all variables bounded, so it cannot be unbounded.
+        let (p, _) = lp.build();
+        let out = solve_lp(&p).unwrap();
+        let LpOutcome::Optimal(sol) = out else {
+            return Err(TestCaseError::fail("bounded feasible LP must be optimal"));
+        };
+        prop_assert!(feasible(&lp, sol.values()), "solution violates constraints");
+        prop_assert!((objective(&lp, sol.values()) - sol.objective).abs() < 1e-6);
+
+        // The optimum dominates a grid of random feasible probes built by
+        // scaling corners of the box until feasible.
+        for mask in 0..(1u32 << lp.objective.len().min(5)) {
+            let corner: Vec<f64> = lp
+                .upper
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| if mask >> i & 1 == 1 { u } else { 0.0 })
+                .collect();
+            // Shrink the corner towards the origin until feasible.
+            let mut t = 1.0;
+            let mut probe = corner.clone();
+            for _ in 0..20 {
+                if feasible(&lp, &probe) {
+                    break;
+                }
+                t *= 0.5;
+                probe = corner.iter().map(|c| c * t).collect();
+            }
+            if feasible(&lp, &probe) {
+                let val = objective(&lp, &probe);
+                if lp.maximize {
+                    prop_assert!(sol.objective >= val - 1e-5, "probe beats optimum");
+                } else {
+                    prop_assert!(sol.objective <= val + 1e-5, "probe beats optimum");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mip_relaxation_bounds_and_integrality(lp in arb_lp()) {
+        // Rebuild the LP with all-integer variables (floored bounds).
+        let mut p = if lp.maximize { Problem::maximize() } else { Problem::minimize() };
+        let xs: Vec<VarId> = lp
+            .objective
+            .iter()
+            .zip(&lp.upper)
+            .enumerate()
+            .map(|(i, (&c, &u))| p.add_integer(format!("x{i}"), 0.0, u.floor().max(0.0), c).unwrap())
+            .collect();
+        for (r, (coefs, rhs)) in lp.rows.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = xs
+                .iter()
+                .zip(coefs)
+                .filter(|(_, &c)| c != 0.0)
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            p.add_constraint(format!("r{r}"), terms, Cmp::Le, *rhs).unwrap();
+        }
+        let relaxed = solve_lp(&p.relaxed()).unwrap();
+        let LpOutcome::Optimal(rel) = relaxed else {
+            return Err(TestCaseError::fail("relaxation must solve"));
+        };
+        let out = solve_mip(&p, &MipConfig::default()).unwrap();
+        prop_assert_eq!(out.status, MipStatus::Optimal);
+        let best = out.best.unwrap();
+        // Integrality.
+        for &x in best.values() {
+            prop_assert!((x - x.round()).abs() < 1e-6);
+        }
+        // Feasibility in the original problem.
+        prop_assert!(p.is_feasible(best.values(), 1e-6));
+        // Relaxation dominates.
+        if lp.maximize {
+            prop_assert!(rel.objective >= best.objective - 1e-5);
+        } else {
+            prop_assert!(rel.objective <= best.objective + 1e-5);
+        }
+        // Exhaustive check on small integer boxes.
+        let sizes: Vec<usize> = lp.upper.iter().map(|u| u.floor() as usize + 1).collect();
+        let space: usize = sizes.iter().product();
+        if space <= 4096 {
+            let mut best_brute: Option<f64> = None;
+            let mut idx = vec![0usize; sizes.len()];
+            loop {
+                let x: Vec<f64> = idx.iter().map(|&i| i as f64).collect();
+                if feasible(&lp, &x) {
+                    let v = objective(&lp, &x);
+                    best_brute = Some(match best_brute {
+                        None => v,
+                        Some(b) => if lp.maximize { b.max(v) } else { b.min(v) },
+                    });
+                }
+                let mut pos = 0;
+                loop {
+                    if pos == sizes.len() {
+                        break;
+                    }
+                    idx[pos] += 1;
+                    if idx[pos] < sizes[pos] {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    pos += 1;
+                }
+                if pos == sizes.len() {
+                    break;
+                }
+            }
+            let brute = best_brute.expect("origin feasible");
+            prop_assert!(
+                (brute - best.objective).abs() < 1e-5,
+                "brute force {} vs B&B {}",
+                brute,
+                best.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Topology and workload generation for the SFT reproduction.
+//!
+//! Everything §V-A ("Experiment Design", Table I) of the paper needs:
+//!
+//! * [`settings`] — the Table I parameter set as a typed config;
+//! * [`normal`] — Box–Muller normal deviates (the paper draws VNF
+//!   deployment costs from `N(μ·l_G, (l_G/4)²)`; `rand_distr` is outside
+//!   the allowed dependency set, so the transform is implemented here);
+//! * [`workload`] — end-to-end scenario generation: ER network with
+//!   Euclidean link costs, random capacities, random pre-deployments,
+//!   random multicast tasks;
+//! * [`palmetto`] — the 45-node Palmetto (South Carolina) backbone used by
+//!   §V-C, hand-encoded (see DESIGN.md §5 for the substitution note);
+//! * [`abilene`] — the classic 11-node Abilene/Internet2 backbone, a
+//!   second real-world topology for robustness checks and examples.
+
+pub mod abilene;
+pub mod normal;
+pub mod palmetto;
+pub mod settings;
+pub mod workload;
+
+pub use settings::ScenarioConfig;
+pub use workload::{generate, Scenario};

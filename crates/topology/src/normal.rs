@@ -1,0 +1,93 @@
+//! Normal deviates via the Box–Muller transform.
+//!
+//! Table I draws VNF deployment costs from `N(μ·l_G, σ²)` with
+//! `σ = l_G / 4`. The `rand` crate ships uniform sources only (and
+//! `rand_distr` is outside this project's allowed dependency set), so the
+//! classic Box–Muller transform is implemented here.
+
+use rand::{Rng, RngExt};
+
+/// Draws one `N(mean, std_dev²)` deviate.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or either parameter is not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(mean.is_finite(), "mean must be finite");
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "std_dev must be finite and non-negative"
+    );
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Draws one `N(mean, std_dev²)` deviate truncated below at `floor`
+/// (re-sampling up to a small bound, then clamping) — deployment costs
+/// must stay positive.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64, floor: f64) -> f64 {
+    for _ in 0..16 {
+        let x = normal(rng, mean, std_dev);
+        if x >= floor {
+            return x;
+        }
+    }
+    floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 200_000;
+        let (mean, sd) = (10.0, 2.5);
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, mean, sd)).collect();
+        let m: f64 = samples.iter().sum::<f64>() / n as f64;
+        let v: f64 = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 0.05, "sample mean {m}");
+        assert!((v.sqrt() - sd).abs() < 0.05, "sample sd {}", v.sqrt());
+    }
+
+    #[test]
+    fn zero_std_dev_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(normal(&mut rng, 3.5, 0.0), 3.5);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, 0.1);
+            assert!(x >= 0.1);
+        }
+    }
+
+    #[test]
+    fn truncation_is_harmless_far_from_floor() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let m: f64 = (0..n)
+            .map(|_| truncated_normal(&mut rng, 100.0, 1.0, 0.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((m - 100.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn negative_std_dev_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        normal(&mut rng, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Palmetto network — a 45-node backbone across South Carolina, USA.
+//!
+//! The paper's real-world evaluation (§V-C, Fig. 7) uses "PalmettoNet"
+//! from the Internet Topology Zoo. The Zoo dataset is not available
+//! offline, so this module hand-encodes a 45-node approximation: real
+//! South Carolina cities at plausible planar coordinates, wired as the
+//! ring-and-spur regional backbone such networks use, with Euclidean link
+//! costs (matching Table I's link-cost convention). The experiments rely
+//! only on it being a sparse, connected, ~45-node metric backbone — which
+//! this reproduction preserves (see DESIGN.md §5).
+
+use sft_graph::{Graph, NodeId};
+
+/// Number of nodes in the Palmetto network.
+pub const NODE_COUNT: usize = 45;
+
+/// City names, index-aligned with [`POSITIONS`] and the graph's node ids.
+pub const NAMES: [&str; NODE_COUNT] = [
+    "Greenville",       // 0  (NW metro)
+    "Spartanburg",      // 1
+    "Anderson",         // 2
+    "Clemson",          // 3
+    "Easley",           // 4
+    "Greenwood",        // 5
+    "Laurens",          // 6
+    "Union",            // 7
+    "Gaffney",          // 8
+    "Rock Hill",        // 9  (N)
+    "Chester",          // 10
+    "Lancaster",        // 11
+    "Newberry",         // 12
+    "Columbia",         // 13 (center)
+    "Lexington",        // 14
+    "Aiken",            // 15 (W)
+    "North Augusta",    // 16
+    "Barnwell",         // 17
+    "Orangeburg",       // 18
+    "Sumter",           // 19
+    "Camden",           // 20
+    "Florence",         // 21 (NE)
+    "Darlington",       // 22
+    "Hartsville",       // 23
+    "Marion",           // 24
+    "Myrtle Beach",     // 25 (E coast)
+    "Conway",           // 26
+    "Georgetown",       // 27
+    "Charleston",       // 28 (SE coast)
+    "North Charleston", // 29
+    "Summerville",      // 30
+    "Moncks Corner",    // 31
+    "Walterboro",       // 32
+    "Beaufort",         // 33 (S coast)
+    "Hilton Head",      // 34
+    "Bluffton",         // 35
+    "Hampton",          // 36
+    "Allendale",        // 37
+    "Bamberg",          // 38
+    "Manning",          // 39
+    "Kingstree",        // 40
+    "Lake City",        // 41
+    "Dillon",           // 42
+    "Bennettsville",    // 43
+    "Cheraw",           // 44
+];
+
+/// Planar coordinates (x grows east, y grows north; roughly kilometres).
+pub const POSITIONS: [(f64, f64); NODE_COUNT] = [
+    (40.0, 170.0),  // Greenville
+    (70.0, 175.0),  // Spartanburg
+    (25.0, 145.0),  // Anderson
+    (15.0, 160.0),  // Clemson
+    (30.0, 162.0),  // Easley
+    (55.0, 120.0),  // Greenwood
+    (75.0, 140.0),  // Laurens
+    (95.0, 155.0),  // Union
+    (95.0, 180.0),  // Gaffney
+    (130.0, 175.0), // Rock Hill
+    (115.0, 155.0), // Chester
+    (145.0, 160.0), // Lancaster
+    (90.0, 115.0),  // Newberry
+    (125.0, 100.0), // Columbia
+    (110.0, 95.0),  // Lexington
+    (90.0, 65.0),   // Aiken
+    (75.0, 55.0),   // North Augusta
+    (110.0, 40.0),  // Barnwell
+    (150.0, 65.0),  // Orangeburg
+    (165.0, 100.0), // Sumter
+    (150.0, 125.0), // Camden
+    (210.0, 115.0), // Florence
+    (205.0, 130.0), // Darlington
+    (190.0, 140.0), // Hartsville
+    (235.0, 105.0), // Marion
+    (265.0, 70.0),  // Myrtle Beach
+    (250.0, 85.0),  // Conway
+    (235.0, 45.0),  // Georgetown
+    (205.0, 10.0),  // Charleston
+    (198.0, 16.0),  // North Charleston
+    (185.0, 25.0),  // Summerville
+    (200.0, 35.0),  // Moncks Corner
+    (150.0, 20.0),  // Walterboro
+    (140.0, -10.0), // Beaufort
+    (150.0, -30.0), // Hilton Head
+    (140.0, -25.0), // Bluffton
+    (120.0, 10.0),  // Hampton
+    (115.0, 25.0),  // Allendale
+    (130.0, 50.0),  // Bamberg
+    (180.0, 80.0),  // Manning
+    (200.0, 70.0),  // Kingstree
+    (205.0, 90.0),  // Lake City
+    (240.0, 135.0), // Dillon
+    (225.0, 150.0), // Bennettsville
+    (205.0, 155.0), // Cheraw
+];
+
+/// Undirected backbone links (ring-and-spur structure).
+pub const LINKS: [(usize, usize); 58] = [
+    // Upstate ring.
+    (0, 1),
+    (0, 4),
+    (4, 3),
+    (3, 2),
+    (2, 5),
+    (5, 6),
+    (6, 0),
+    (1, 7),
+    (1, 8),
+    (8, 9),
+    (7, 10),
+    (9, 10),
+    (9, 11),
+    (11, 20),
+    (10, 12),
+    // Midlands.
+    (6, 12),
+    (12, 13),
+    (13, 14),
+    (14, 15),
+    (15, 16),
+    (15, 17),
+    (17, 38),
+    (38, 18),
+    (13, 18),
+    (13, 20),
+    (13, 19),
+    (19, 20),
+    (19, 39),
+    (18, 39),
+    // Pee Dee (NE).
+    (20, 23),
+    (23, 22),
+    (22, 21),
+    (21, 24),
+    (24, 42),
+    (42, 43),
+    (43, 44),
+    (44, 23),
+    (21, 41),
+    (41, 19),
+    (41, 40),
+    (40, 39),
+    // Coast.
+    (24, 26),
+    (26, 25),
+    (25, 27),
+    (27, 28),
+    (27, 40),
+    (28, 29),
+    (29, 30),
+    (30, 31),
+    (31, 40),
+    (30, 18),
+    (30, 32),
+    (32, 36),
+    (32, 33),
+    (33, 34),
+    (34, 35),
+    (35, 36),
+    (36, 37),
+];
+
+/// Euclidean distance between two node positions.
+fn euclid(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Builds the Palmetto graph with Euclidean link costs.
+pub fn graph() -> Graph {
+    let mut g = Graph::new(NODE_COUNT);
+    for &(u, v) in &LINKS {
+        let w = euclid(POSITIONS[u], POSITIONS[v]);
+        g.add_edge(NodeId(u), NodeId(v), w)
+            .expect("link table is well-formed");
+    }
+    g
+}
+
+/// The subgraph induced by the first `count` cities (the upstate ring plus
+/// midlands), used where exact ILP solves need a tractable instance.
+///
+/// # Panics
+///
+/// Panics if `count` is 0, exceeds [`NODE_COUNT`], or induces a
+/// disconnected subgraph (the first 14 cities are safe).
+pub fn reduced_graph(count: usize) -> Graph {
+    assert!((1..=NODE_COUNT).contains(&count), "count out of range");
+    let nodes: Vec<NodeId> = (0..count).map(NodeId).collect();
+    let g = graph()
+        .induced_subgraph(&nodes)
+        .expect("prefix nodes are valid");
+    assert!(g.is_connected(), "first {count} cities must stay connected");
+    g
+}
+
+/// Looks a node up by its city name (exact match).
+pub fn node_by_name(name: &str) -> Option<NodeId> {
+    NAMES.iter().position(|&n| n == name).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_45_connected_nodes() {
+        let g = graph();
+        assert_eq!(g.node_count(), 45);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), LINKS.len());
+    }
+
+    #[test]
+    fn is_a_sparse_backbone() {
+        let g = graph();
+        let avg_degree = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(avg_degree < 4.0, "backbones are sparse, got {avg_degree}");
+        for n in g.nodes() {
+            assert!(g.degree(n) >= 1, "no isolated city");
+        }
+    }
+
+    #[test]
+    fn weights_are_euclidean() {
+        let g = graph();
+        for e in g.edges() {
+            let d = euclid(POSITIONS[e.u.index()], POSITIONS[e.v.index()]);
+            assert!((e.weight - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(u, v) in &LINKS {
+            assert_ne!(u, v, "self loop in link table");
+            let key = (u.min(v), u.max(v));
+            assert!(seen.insert(key), "duplicate link {key:?}");
+        }
+    }
+
+    #[test]
+    fn every_city_is_linked() {
+        let mut touched = [false; NODE_COUNT];
+        for &(u, v) in &LINKS {
+            touched[u] = true;
+            touched[v] = true;
+        }
+        for (i, t) in touched.iter().enumerate() {
+            assert!(t, "city {} has no links", NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn reduced_graphs_stay_connected() {
+        for count in [8, 10, 12, 14] {
+            let g = reduced_graph(count);
+            assert_eq!(g.node_count(), count);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(node_by_name("Columbia"), Some(NodeId(13)));
+        assert_eq!(node_by_name("Hilton Head"), Some(NodeId(34)));
+        assert_eq!(node_by_name("Atlantis"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Table I parameter settings as a typed configuration.
+//!
+//! | Parameter            | Paper setting (Table I)                    |
+//! |----------------------|--------------------------------------------|
+//! | Network size         | [50, 250]                                  |
+//! | Deployed VNFs        | deployed randomly                          |
+//! | Node capacity        | uniform in [1, 5]                          |
+//! | Link connection cost | Euclidean distance                         |
+//! | VNF deployment cost  | `N(μ·l_G, (l_G/4)²)`, `μ ∈ {1,2,3}`        |
+//! | Source/destinations  | selected randomly, `\|D\|/\|V\|` ∈ {0.1, 0.3} |
+//! | SFC length           | [5, 25], 30 VNF types in the catalog       |
+
+use sft_core::CoreError;
+
+/// Full description of one synthetic experiment scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of network nodes, `|V|` (Table I: 50–250).
+    pub network_size: usize,
+    /// ER edge probability; `None` derives `1.2·ln(n)/n` (sparse but
+    /// almost surely connected before augmentation).
+    pub er_probability: Option<f64>,
+    /// Side length of the placement square for Euclidean link costs.
+    pub side: f64,
+    /// Number of VNF types in the catalog (Table I: 30).
+    pub catalog_size: usize,
+    /// Node capacity range, inclusive (Table I: 1–5 unit-demand VNFs).
+    pub capacity_range: (u32, u32),
+    /// The μ multiplier: deployment costs are `N(μ·l_G, (l_G/4)²)`.
+    pub deployment_cost_mu: f64,
+    /// Probability that each unit of a server's capacity starts occupied
+    /// by a randomly chosen pre-deployed VNF ("deployed randomly").
+    pub deployed_density: f64,
+    /// `|D| / |V|` (Table I: 0.1–0.3).
+    pub dest_ratio: f64,
+    /// SFC length `k` (Table I: 5–25).
+    pub sfc_len: usize,
+}
+
+impl Default for ScenarioConfig {
+    /// The paper's base configuration: 100 nodes, μ = 2, ratio 0.2, k = 5.
+    fn default() -> Self {
+        ScenarioConfig {
+            network_size: 100,
+            er_probability: None,
+            side: 100.0,
+            catalog_size: 30,
+            capacity_range: (1, 5),
+            deployment_cost_mu: 2.0,
+            deployed_density: 0.3,
+            dest_ratio: 0.2,
+            sfc_len: 5,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The effective ER probability for this configuration.
+    pub fn er_probability(&self) -> f64 {
+        self.er_probability.unwrap_or_else(|| {
+            let n = self.network_size.max(2) as f64;
+            (1.2 * n.ln() / n).min(1.0)
+        })
+    }
+
+    /// Number of destinations implied by `dest_ratio` (at least 1).
+    pub fn destination_count(&self) -> usize {
+        ((self.network_size as f64 * self.dest_ratio).round() as usize).max(1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTask`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |reason: String| Err(CoreError::InvalidTask { reason });
+        if self.network_size < 2 {
+            return fail("network size must be at least 2".into());
+        }
+        if self.catalog_size == 0 {
+            return fail("catalog must contain at least one VNF type".into());
+        }
+        if self.sfc_len == 0 || self.sfc_len > self.catalog_size {
+            return fail(format!(
+                "SFC length {} must be in [1, catalog size {}]",
+                self.sfc_len, self.catalog_size
+            ));
+        }
+        if self.capacity_range.0 > self.capacity_range.1 {
+            return fail("capacity range is inverted".into());
+        }
+        if !(0.0..=1.0).contains(&self.deployed_density) {
+            return fail("deployed density must be in [0, 1]".into());
+        }
+        if self.dest_ratio <= 0.0 || self.dest_ratio >= 1.0 {
+            return fail("destination ratio must be in (0, 1)".into());
+        }
+        if self.destination_count() >= self.network_size {
+            return fail("destination count must leave room for the source".into());
+        }
+        if let Some(p) = self.er_probability {
+            if !(0.0..=1.0).contains(&p) {
+                return fail("ER probability must be in [0, 1]".into());
+            }
+        }
+        if self.deployment_cost_mu < 0.0 || !self.deployment_cost_mu.is_finite() {
+            return fail("deployment cost multiplier must be non-negative".into());
+        }
+        if self.side <= 0.0 || !self.side.is_finite() {
+            return fail("placement square side must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_one() {
+        let c = ScenarioConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.catalog_size, 30);
+        assert_eq!(c.capacity_range, (1, 5));
+        assert!((50..=250).contains(&c.network_size));
+        assert!((5..=25).contains(&c.sfc_len));
+    }
+
+    #[test]
+    fn derived_er_probability_is_sane() {
+        let mut c = ScenarioConfig::default();
+        for n in [50, 100, 250] {
+            c.network_size = n;
+            let p = c.er_probability();
+            assert!(p > 0.0 && p < 0.2, "n={n} p={p}");
+        }
+        c.er_probability = Some(0.5);
+        assert_eq!(c.er_probability(), 0.5);
+    }
+
+    #[test]
+    fn destination_count_rounds_and_floors() {
+        let mut c = ScenarioConfig {
+            network_size: 50,
+            dest_ratio: 0.1,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(c.destination_count(), 5);
+        c.dest_ratio = 0.01;
+        assert_eq!(c.destination_count(), 1);
+    }
+
+    #[test]
+    fn rejects_inconsistent_configs() {
+        let base = ScenarioConfig::default();
+        type Mutation = Box<dyn Fn(&mut ScenarioConfig)>;
+        let cases: Vec<Mutation> = vec![
+            Box::new(|c| c.network_size = 1),
+            Box::new(|c| c.catalog_size = 0),
+            Box::new(|c| c.sfc_len = 0),
+            Box::new(|c| c.sfc_len = 99),
+            Box::new(|c| c.capacity_range = (5, 1)),
+            Box::new(|c| c.deployed_density = 1.5),
+            Box::new(|c| c.dest_ratio = 0.0),
+            Box::new(|c| c.dest_ratio = 0.999),
+            Box::new(|c| c.er_probability = Some(2.0)),
+            Box::new(|c| c.deployment_cost_mu = f64::NAN),
+            Box::new(|c| c.side = 0.0),
+        ];
+        for (i, mutate) in cases.iter().enumerate() {
+            let mut c = base.clone();
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "case {i} should fail");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the SFT-embedding reproduction.
+//!
+//! Re-exports the public API of the workspace crates so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate ([`sft_graph`]).
+//! * [`lp`] — LP / MILP solver substrate ([`sft_lp`]).
+//! * [`core`] — the paper's domain model and algorithms ([`sft_core`]).
+//! * [`topology`] — topology and workload generators ([`sft_topology`]).
+
+pub use sft_core as core;
+pub use sft_graph as graph;
+pub use sft_lp as lp;
+pub use sft_topology as topology;

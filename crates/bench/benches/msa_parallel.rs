@@ -1,0 +1,95 @@
+//! Sequential vs parallel MSA stage-1 sweep on the large Table-I
+//! workload (|V| = 250, |D|/|V| = 0.1, k = 5).
+//!
+//! Besides the usual console report this bench writes
+//! `BENCH_msa_parallel.json` at the workspace root recording the host
+//! core count next to the measured times, so the speedup claim can be
+//! judged against the hardware it actually ran on: with a single core
+//! the parallel path degenerates to the sequential one and no speedup
+//! is possible (or expected).
+
+use criterion::{criterion_group, Criterion};
+use sft_core::msa::{self, SteinerMethod};
+use sft_graph::Parallelism;
+use sft_topology::{generate, Scenario, ScenarioConfig};
+use std::hint::black_box;
+use std::io::Write;
+
+fn large_scenario() -> Scenario {
+    let config = ScenarioConfig {
+        network_size: 250,
+        dest_ratio: 0.1,
+        sfc_len: 5,
+        ..ScenarioConfig::default()
+    };
+    generate(&config, 42).unwrap()
+}
+
+fn bench_stage_one_sweep(c: &mut Criterion) {
+    let s = large_scenario();
+    let auto = Parallelism::auto();
+    let mut group = c.benchmark_group("msa_parallel/stage1_250n_k5_d10");
+    group.sample_size(10);
+    group.bench_function("threads_1", |b| {
+        b.iter(|| {
+            black_box(
+                msa::stage_one_with_options(
+                    &s.network,
+                    &s.task,
+                    SteinerMethod::default(),
+                    Parallelism::sequential(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function(format!("auto_{}", auto.threads()).as_str(), |b| {
+        b.iter(|| {
+            black_box(
+                msa::stage_one_with_options(&s.network, &s.task, SteinerMethod::default(), auto)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn write_report(c: &Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut seq_ms = None;
+    let mut par = None;
+    for s in c.summaries() {
+        if s.id.ends_with("/threads_1") {
+            seq_ms = Some(s.median_ns / 1e6);
+        } else if let Some((_, t)) = s.id.rsplit_once("/auto_") {
+            if let Ok(n) = t.parse::<usize>() {
+                par = Some((n, s.median_ns / 1e6));
+            }
+        }
+    }
+    let (Some(seq_ms), Some((threads, par_ms))) = (seq_ms, par) else {
+        return; // filtered or test-mode run: nothing measured
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"msa_stage1_sweep\",\n  \"workload\": {{ \"network_size\": 250, \"dest_ratio\": 0.1, \"sfc_len\": 5, \"seed\": 42 }},\n  \"host_cores\": {cores},\n  \"sequential_median_ms\": {seq_ms:.3},\n  \"parallel_threads\": {threads},\n  \"parallel_median_ms\": {par_ms:.3},\n  \"speedup\": {:.3},\n  \"note\": \"speedup is bounded by host_cores; on a single-core host the parallel path runs the same sequential sweep inline, so ~1.0x is the expected result there\"\n}}\n",
+        seq_ms / par_ms
+    );
+    // cargo runs benches with cwd = the package dir; anchor the report
+    // at the workspace root where readers expect it.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_msa_parallel.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_stage_one_sweep);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    write_report(&c);
+    c.final_summary();
+}

@@ -28,6 +28,9 @@ SOLVE / EXACT FLAGS:
   --dests <a,b,c>       destination node indices (required)
   --sfc <k>             chain length, types 0..k (default 3)
   --strategy <msa|sca|rsa>   stage-1 algorithm (default msa)
+  --threads <n>         worker threads for the stage-1 sweep; 0 = all
+                        cores (default). Results are identical for every
+                        value — only the runtime changes.
   --no-opa              skip stage 2
   --stats               print embedding statistics
   --dot <file>          write the physical embedding as DOT

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sft_core::ilp::IlpModel;
 use sft_core::{
-    solve_with_rng, viz, MulticastTask, Network, Sfc, SftTree, StageTwo, Strategy, VnfCatalog,
-    VnfId,
+    solve_with_rng, solve_with_rng_options, viz, MulticastTask, Network, Parallelism, Sfc, SftTree,
+    SolveOptions, StageTwo, Strategy, VnfCatalog, VnfId,
 };
 use sft_graph::NodeId;
 use sft_lp::MipConfig;
@@ -89,9 +89,16 @@ pub fn solve(args: &Args) -> Result<String, ParseError> {
     } else {
         StageTwo::Opa
     };
+    // --threads 0 (the default) means one worker per available core; any
+    // count produces identical output, so the flag only affects wall time.
+    let parallelism = Parallelism::new(args.parse_or("threads", 0usize)?);
+    let options = SolveOptions {
+        stage_two: stage2,
+        parallelism,
+    };
     let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
     let start = Instant::now();
-    let result = solve_with_rng(&network, &task, strategy, stage2, &mut rng)
+    let result = solve_with_rng_options(&network, &task, strategy, options, &mut rng)
         .map_err(|e| ParseError(e.to_string()))?;
     let ms = start.elapsed().as_secs_f64() * 1e3;
 
@@ -261,6 +268,24 @@ mod tests {
         let out =
             run("solve --topology er:25 --seed 3 --source 0 --dests 5,9 --sfc 2 --no-opa").unwrap();
         assert!(out.contains("Skip"));
+    }
+
+    #[test]
+    fn threads_flag_never_changes_the_answer() {
+        let base = "solve --topology er:25 --seed 3 --source 0 --dests 5,9 --sfc 2";
+        let reference = run(&format!("{base} --threads 1")).unwrap();
+        for threads in [0usize, 2, 4] {
+            let out = run(&format!("{base} --threads {threads}")).unwrap();
+            // Strip the runtime line, then the reports must match verbatim.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("runtime"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&reference), strip(&out), "--threads {threads}");
+        }
+        assert!(run(&format!("{base} --threads x")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::opa;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use rand::Rng;
+use sft_graph::Parallelism;
 
 /// Which stage-1 algorithm to run (stage 2 / OPA is shared, §V-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -29,6 +30,38 @@ pub enum StageTwo {
     Opa,
     /// Stop after stage 1 (ablation: chain embedding only).
     Skip,
+}
+
+/// Knobs shared by every solve entry point.
+///
+/// `Default` runs the full two-stage pipeline on all available cores.
+/// Every algorithm is bit-deterministic in `parallelism`:
+/// [`Parallelism::sequential`] reproduces the single-threaded code path
+/// exactly, and larger thread counts return identical results faster.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SolveOptions {
+    /// Whether to run the stage-2 optimization (default: run OPA).
+    pub stage_two: StageTwo,
+    /// Worker threads for the parallel stages — today the MSA stage-1
+    /// candidate sweep (default: available cores).
+    pub parallelism: Parallelism,
+}
+
+impl SolveOptions {
+    /// Options running the given stage-2 choice on all available cores.
+    pub fn new(stage_two: StageTwo) -> Self {
+        SolveOptions {
+            stage_two,
+            parallelism: Parallelism::auto(),
+        }
+    }
+
+    /// Returns the options with the thread count replaced.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// Result of a complete solve.
@@ -83,8 +116,27 @@ pub fn solve(
     strategy: Strategy,
     stage_two: StageTwo,
 ) -> Result<SolveResult, CoreError> {
+    solve_with_options(network, task, strategy, SolveOptions::new(stage_two))
+}
+
+/// [`solve`] with explicit [`SolveOptions`] (stage-2 choice + thread count).
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_options(
+    network: &Network,
+    task: &MulticastTask,
+    strategy: Strategy,
+    options: SolveOptions,
+) -> Result<SolveResult, CoreError> {
     let chain = match strategy {
-        Strategy::Msa => crate::msa::stage_one(network, task)?,
+        Strategy::Msa => crate::msa::stage_one_with_options(
+            network,
+            task,
+            crate::msa::SteinerMethod::default(),
+            options.parallelism,
+        )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => {
             return Err(CoreError::InvalidTask {
@@ -92,7 +144,7 @@ pub fn solve(
             })
         }
     };
-    finish(network, task, chain, stage_two)
+    finish(network, task, chain, options.stage_two)
 }
 
 /// Solves with an explicit RNG; required for [`Strategy::Rsa`], accepted
@@ -109,12 +161,32 @@ pub fn solve_with_rng<R: Rng + ?Sized>(
     stage_two: StageTwo,
     rng: &mut R,
 ) -> Result<SolveResult, CoreError> {
+    solve_with_rng_options(network, task, strategy, SolveOptions::new(stage_two), rng)
+}
+
+/// [`solve_with_rng`] with explicit [`SolveOptions`].
+///
+/// # Errors
+///
+/// Any stage-1 error ([`CoreError::Infeasible`], id mismatches).
+pub fn solve_with_rng_options<R: Rng + ?Sized>(
+    network: &Network,
+    task: &MulticastTask,
+    strategy: Strategy,
+    options: SolveOptions,
+    rng: &mut R,
+) -> Result<SolveResult, CoreError> {
     let chain = match strategy {
-        Strategy::Msa => crate::msa::stage_one(network, task)?,
+        Strategy::Msa => crate::msa::stage_one_with_options(
+            network,
+            task,
+            crate::msa::SteinerMethod::default(),
+            options.parallelism,
+        )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => crate::rsa::stage_one(network, task, rng)?,
     };
-    finish(network, task, chain, stage_two)
+    finish(network, task, chain, options.stage_two)
 }
 
 fn finish(

@@ -16,7 +16,8 @@ use crate::mod_network::ExpandedMod;
 use crate::network::Network;
 use crate::task::MulticastTask;
 use crate::CoreError;
-use sft_graph::{NodeId, SteinerTree};
+use sft_graph::parallel::{run_partitioned, Parallelism};
+use sft_graph::{NodeId, ShortestPaths, SteinerTree};
 use std::collections::BTreeMap;
 
 /// Which Steiner-tree construction stage 1 hangs off the last VNF node.
@@ -55,57 +56,144 @@ pub fn stage_one_with(
     task: &MulticastTask,
     method: SteinerMethod,
 ) -> Result<ChainSolution, CoreError> {
+    stage_one_with_options(network, task, method, Parallelism::auto())
+}
+
+/// Runs MSA stage 1 with an explicit Steiner construction and thread count.
+///
+/// The candidate sweep is embarrassingly parallel: each last-VNF server row
+/// is evaluated independently (the per-root Steiner cache is a pure
+/// memoization). Workers sweep contiguous row blocks with their own caches
+/// and the block winners are merged in row order with the same strict-`<`
+/// rule the sequential loop uses, so every thread count — including
+/// [`Parallelism::sequential`], which runs the classic single-threaded
+/// loop — returns bit-identical placements, Steiner edges and costs.
+///
+/// # Errors
+///
+/// Same conditions as [`stage_one`].
+pub fn stage_one_with_options(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    parallelism: Parallelism,
+) -> Result<ChainSolution, CoreError> {
     task.check_against(network)?;
     let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
     let sp = emod.shortest_paths();
+    let rows = emod.servers().len();
 
-    // Candidates frequently share their repaired last node; cache the
-    // Steiner tree per root. `None` caches roots whose tree failed (e.g.
-    // disconnected from some destination).
-    let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
-    let mut best: Option<(f64, ChainSolution)> = None;
+    // Each worker sweeps a contiguous row block with its own Steiner cache
+    // and keeps its block's best candidate; the block winners come back in
+    // row order. Ties break toward the lowest row both inside a block
+    // (first strict improvement wins) and across blocks (left fold below),
+    // exactly matching the sequential sweep.
+    let block_best = run_partitioned(parallelism, rows, |range| {
+        let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+        let mut best: Option<(f64, ChainSolution)> = None;
+        for row in range {
+            let Some((cost, chain)) =
+                evaluate_candidate(network, task, method, &emod, &sp, &mut steiner_cache, row)
+            else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, chain));
+            }
+        }
+        best
+    });
 
-    for row in 0..emod.servers().len() {
-        let Some((mut placement, _)) = emod.placement_for(&sp, row) else {
-            continue;
-        };
-        if repair_capacity(network, task.source(), task.sfc(), &mut placement).is_err() {
-            continue;
-        }
-        let w = *placement.last().expect("chain is non-empty");
-        let tree = steiner_cache
-            .entry(w)
-            .or_insert_with(|| {
-                let mut terminals = vec![w];
-                terminals.extend_from_slice(task.destinations());
-                match method {
-                    SteinerMethod::Kmb => network
-                        .graph()
-                        .steiner_kmb_with_matrix(network.dist(), &terminals)
-                        .ok(),
-                    SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
-                }
-            })
-            .clone();
-        let Some(tree) = tree else { continue };
-        // Stage-1 candidate cost has a closed form: every destination
-        // shares the chain segments, so per-segment dedup leaves exactly
-        // "chain path costs + deduped setups + Steiner tree cost".
-        let cost = chain_cost(network, task, &placement) + tree.cost;
-        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
-            best = Some((
-                cost,
-                ChainSolution {
-                    placement,
-                    steiner_edges: tree.edges,
-                },
-            ));
-        }
-    }
+    let best = block_best.into_iter().flatten().fold(
+        None::<(f64, ChainSolution)>,
+        |acc, (cost, chain)| {
+            if acc.as_ref().is_none_or(|(b, _)| cost < *b) {
+                Some((cost, chain))
+            } else {
+                acc
+            }
+        },
+    );
 
     best.map(|(_, c)| c).ok_or_else(|| CoreError::Infeasible {
         reason: "no feasible chain embedding for any last-VNF candidate".into(),
     })
+}
+
+/// Enumerates every feasible stage-1 candidate as `(closed-form cost,
+/// solution)` pairs in row order — the exact set the sweep minimizes over.
+///
+/// Exposed so tests can check the DESIGN §6 invariant that the closed-form
+/// cost of each candidate equals the canonical [`crate::cost::delivery_cost`]
+/// of its embedding.
+///
+/// # Errors
+///
+/// Task/network mismatches, as in [`stage_one`].
+pub fn stage_one_candidates(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+) -> Result<Vec<(f64, ChainSolution)>, CoreError> {
+    task.check_against(network)?;
+    let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
+    let sp = emod.shortest_paths();
+    let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for row in 0..emod.servers().len() {
+        if let Some(candidate) =
+            evaluate_candidate(network, task, method, &emod, &sp, &mut steiner_cache, row)
+        {
+            out.push(candidate);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates one last-VNF candidate row: chain readout, capacity repair,
+/// Steiner tree, closed-form cost. Returns `None` when the row yields no
+/// feasible embedding. The cache memoizes Steiner trees per (repaired)
+/// last node; `None` entries record roots whose tree construction failed
+/// (e.g. disconnected from some destination).
+fn evaluate_candidate(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    emod: &ExpandedMod,
+    sp: &ShortestPaths,
+    steiner_cache: &mut BTreeMap<NodeId, Option<SteinerTree>>,
+    row: usize,
+) -> Option<(f64, ChainSolution)> {
+    let (mut placement, _) = emod.placement_for(sp, row)?;
+    if repair_capacity(network, task.source(), task.sfc(), &mut placement).is_err() {
+        return None;
+    }
+    let w = *placement.last().expect("chain is non-empty");
+    let tree = steiner_cache
+        .entry(w)
+        .or_insert_with(|| {
+            let mut terminals = vec![w];
+            terminals.extend_from_slice(task.destinations());
+            match method {
+                SteinerMethod::Kmb => network
+                    .graph()
+                    .steiner_kmb_with_matrix(network.dist(), &terminals)
+                    .ok(),
+                SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
+            }
+        })
+        .clone()?;
+    // Stage-1 candidate cost has a closed form: every destination
+    // shares the chain segments, so per-segment dedup leaves exactly
+    // "chain path costs + deduped setups + Steiner tree cost".
+    let cost = chain_cost(network, task, &placement) + tree.cost;
+    Some((
+        cost,
+        ChainSolution {
+            placement,
+            steiner_edges: tree.edges,
+        },
+    ))
 }
 
 /// Cost of an embedded chain alone: inter-stage shortest-path costs plus
@@ -243,6 +331,46 @@ mod tests {
         };
         let (a, b) = (cost(&kmb), cost(&tm));
         assert!(a <= 2.0 * b + 1e-9 && b <= 2.0 * a + 1e-9);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        for capacity in [1.0, 5.0] {
+            let net = ring_net(capacity);
+            let task = a_task();
+            let seq =
+                stage_one_with_options(&net, &task, SteinerMethod::Kmb, Parallelism::sequential())
+                    .unwrap();
+            for threads in [2usize, 3, 8] {
+                let par = stage_one_with_options(
+                    &net,
+                    &task,
+                    SteinerMethod::Kmb,
+                    Parallelism::new(threads),
+                )
+                .unwrap();
+                assert_eq!(seq.placement, par.placement, "threads={threads}");
+                assert_eq!(seq.steiner_edges, par.steiner_edges, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_include_the_sweep_winner() {
+        let net = ring_net(5.0);
+        let task = a_task();
+        let winner = stage_one(&net, &task).unwrap();
+        let candidates = stage_one_candidates(&net, &task, SteinerMethod::Kmb).unwrap();
+        assert!(!candidates.is_empty());
+        let min = candidates
+            .iter()
+            .map(|(c, _)| *c)
+            .fold(f64::INFINITY, f64::min);
+        let best = candidates
+            .iter()
+            .find(|(c, _)| *c == min)
+            .expect("min exists");
+        assert_eq!(best.1.placement, winner.placement);
     }
 
     #[test]

@@ -367,7 +367,17 @@ impl NetworkBuilder {
                 });
             }
         }
-        let dist = self.graph.all_pairs_shortest_paths()?;
+        // Density dispatch: per-source Dijkstra beats Floyd–Warshall well
+        // below |E| ≈ |V|²/8 (backbones sit far under that line), while the
+        // cubic sweep wins on dense matrices through cache locality. Both
+        // variants produce shortest-path-equivalent matrices, so embeddings
+        // price identically either way.
+        let n = self.graph.node_count();
+        let dist = if self.graph.edge_count() * 8 < n * n {
+            self.graph.all_pairs_shortest_paths_sparse()?
+        } else {
+            self.graph.all_pairs_shortest_paths()?
+        };
         Ok(Network {
             graph: self.graph,
             dist,

@@ -10,6 +10,7 @@
 //! Pass `--quick` for fewer seeds.
 
 use sft_experiments::{record::FigureData, runner, Effort};
+use sft_graph::parallel::{run_partitioned, Parallelism};
 use sft_topology::{generate, ScenarioConfig};
 
 fn main() {
@@ -29,9 +30,21 @@ fn main() {
             sfc_len: 5,
             ..ScenarioConfig::default()
         };
-        for rep in 0..effort.reps() as u64 {
-            let seed = 40 * cap as u64 + rep;
-            match generate(&config, seed).and_then(|s| runner::run_heuristics(&s)) {
+        // Seeds are independent: run them on worker threads, record in
+        // seed order so the figure matches the serial sweep exactly.
+        let per_seed = run_partitioned(Parallelism::auto(), effort.reps(), |range| {
+            range
+                .map(|rep| {
+                    let seed = 40 * cap as u64 + rep as u64;
+                    (
+                        seed,
+                        generate(&config, seed).and_then(|s| runner::run_heuristics(&s)),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (seed, result) in per_seed.into_iter().flatten() {
+            match result {
                 Ok(runs) => {
                     for run in runs {
                         fig.record(row, run.algo, run.cost, run.ms);

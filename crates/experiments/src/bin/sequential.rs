@@ -41,7 +41,7 @@ fn main() {
         // destinations, a random 4-chain.
         let source = NodeId(rng.random_range(0..n));
         let mut dests = Vec::new();
-        let want = 4 + rng.random_range(0..5);
+        let want = 4 + rng.random_range(0..5usize);
         while dests.len() < want {
             let d = NodeId(rng.random_range(0..n));
             if d != source && !dests.contains(&d) {

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sft_core::{CoreError, MulticastTask, Network, Sfc, VnfCatalog, VnfId};
 use sft_experiments::{record::FigureData, runner, Effort};
+use sft_graph::parallel::{run_partitioned, Parallelism};
 use sft_graph::{generate, Graph, NodeId};
 use sft_topology::{palmetto, Scenario};
 
@@ -87,15 +88,18 @@ fn main() {
     );
     for (fi, family) in families.iter().enumerate() {
         let row = fig.push_x(fi as f64 + 1.0);
-        for rep in 0..effort.reps() as u64 {
-            let s = match scenario(family, 100 * (fi as u64 + 1) + rep) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("{family} seed {rep}: {e}");
-                    continue;
-                }
-            };
-            match runner::run_heuristics(&s) {
+        // Per-seed parallel sweep; records land in seed order either way.
+        let per_seed = run_partitioned(Parallelism::auto(), effort.reps(), |range| {
+            range
+                .map(|rep| {
+                    let result = scenario(family, 100 * (fi as u64 + 1) + rep as u64)
+                        .and_then(|s| runner::run_heuristics(&s));
+                    (rep, result)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (rep, result) in per_seed.into_iter().flatten() {
+            match result {
                 Ok(runs) => {
                     for run in runs {
                         fig.record(row, run.algo, run.cost, run.ms);

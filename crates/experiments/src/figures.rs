@@ -7,10 +7,11 @@
 //! §5, substitution 1).
 
 use crate::record::FigureData;
-use crate::runner::run_heuristics;
+use crate::runner::{run_heuristics, HeuristicRun};
 use crate::Effort;
 use sft_core::ilp::IlpModel;
 use sft_core::{CoreError, StageTwo, Strategy};
+use sft_graph::parallel::{run_partitioned, Parallelism};
 use sft_lp::{MipConfig, MipStatus};
 use sft_topology::{generate, palmetto, workload, Scenario, ScenarioConfig};
 use std::time::{Duration, Instant};
@@ -32,18 +33,32 @@ fn sfc_lengths(effort: Effort) -> Vec<usize> {
 }
 
 /// Runs the heuristics over `reps` seeds of each `(x, config)` point.
+///
+/// The seeds of one point are independent, so they run on worker threads
+/// (one per available core); results are recorded in seed order, so the
+/// figure data is identical to the serial sweep's.
 fn sweep(
     fig: &mut FigureData,
     points: &[(f64, ScenarioConfig)],
     effort: Effort,
-    make: impl Fn(&ScenarioConfig, u64) -> Result<Scenario, CoreError>,
+    make: impl Fn(&ScenarioConfig, u64) -> Result<Scenario, CoreError> + Sync,
 ) -> Result<(), CoreError> {
     for (pi, (x, config)) in points.iter().enumerate() {
         let row = fig.push_x(*x);
-        for rep in 0..effort.reps() {
-            let seed = 1000 * (pi as u64 + 1) + rep as u64;
-            let scenario = make(config, seed)?;
-            for run in run_heuristics(&scenario)? {
+        let per_seed: Vec<Result<Vec<HeuristicRun>, CoreError>> =
+            run_partitioned(Parallelism::auto(), effort.reps(), |range| {
+                range
+                    .map(|rep| {
+                        let seed = 1000 * (pi as u64 + 1) + rep as u64;
+                        run_heuristics(&make(config, seed)?)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        for runs in per_seed {
+            for run in runs? {
                 fig.record(row, run.algo, run.cost, run.ms);
             }
         }

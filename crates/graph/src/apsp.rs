@@ -6,6 +6,7 @@
 //! resulting [`DistanceMatrix`] also yields `l_G`, the average shortest-path
 //! cost that Table I uses to scale VNF deployment costs.
 
+use crate::parallel::{chunk_ranges, Parallelism};
 use crate::{Graph, GraphError, NodeId};
 
 /// Dense all-pairs shortest-path distances with path reconstruction.
@@ -159,31 +160,78 @@ impl Graph {
     ///
     /// Never fails on valid graphs today; kept fallible for symmetry.
     pub fn all_pairs_shortest_paths_sparse(&self) -> Result<DistanceMatrix, GraphError> {
+        self.all_pairs_shortest_paths_sparse_with(Parallelism::auto())
+    }
+
+    /// [`Graph::all_pairs_shortest_paths_sparse`] with an explicit thread
+    /// count. The matrix rows are disjoint per source, so workers fill
+    /// contiguous row blocks independently — the output is bit-identical
+    /// for every thread count, including [`Parallelism::sequential`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails on valid graphs today; kept fallible for symmetry.
+    pub fn all_pairs_shortest_paths_sparse_with(
+        &self,
+        parallelism: Parallelism,
+    ) -> Result<DistanceMatrix, GraphError> {
         let n = self.node_count();
         let mut dist = vec![f64::INFINITY; n * n];
         let mut next: Vec<Option<NodeId>> = vec![None; n * n];
-        for s in 0..n {
-            let sp = self.dijkstra(NodeId(s));
-            for (t, d) in sp.reached() {
-                dist[s * n + t.0] = d;
-                // next[s][t]: walk one step from s towards t. Recover it by
-                // following predecessors back from t to the node whose
-                // predecessor is s (or t == that node's own predecessor).
-                if t.0 == s {
-                    continue;
-                }
-                let mut cur = t;
-                loop {
-                    match sp.predecessor(cur) {
-                        Some(p) if p.0 == s => break,
-                        Some(p) => cur = p,
-                        None => break,
-                    }
-                }
-                next[s * n + t.0] = Some(cur);
+        let ranges = chunk_ranges(n, parallelism.threads());
+        if ranges.len() <= 1 {
+            for s in 0..n {
+                self.sparse_row(
+                    s,
+                    &mut dist[s * n..(s + 1) * n],
+                    &mut next[s * n..(s + 1) * n],
+                );
             }
+        } else {
+            std::thread::scope(|scope| {
+                let mut dist_rest = dist.as_mut_slice();
+                let mut next_rest = next.as_mut_slice();
+                for range in ranges {
+                    let (dist_chunk, dtail) = dist_rest.split_at_mut(range.len() * n);
+                    let (next_chunk, ntail) = next_rest.split_at_mut(range.len() * n);
+                    dist_rest = dtail;
+                    next_rest = ntail;
+                    scope.spawn(move || {
+                        for (off, (drow, nrow)) in dist_chunk
+                            .chunks_mut(n)
+                            .zip(next_chunk.chunks_mut(n))
+                            .enumerate()
+                        {
+                            self.sparse_row(range.start + off, drow, nrow);
+                        }
+                    });
+                }
+            });
         }
         Ok(DistanceMatrix { n, dist, next })
+    }
+
+    /// Fills row `s` of the sparse APSP matrices with one Dijkstra run.
+    fn sparse_row(&self, s: usize, dist: &mut [f64], next: &mut [Option<NodeId>]) {
+        let sp = self.dijkstra(NodeId(s));
+        for (t, d) in sp.reached() {
+            dist[t.0] = d;
+            // next[s][t]: walk one step from s towards t. Recover it by
+            // following predecessors back from t to the node whose
+            // predecessor is s (or t == that node's own predecessor).
+            if t.0 == s {
+                continue;
+            }
+            let mut cur = t;
+            loop {
+                match sp.predecessor(cur) {
+                    Some(p) if p.0 == s => break,
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            next[t.0] = Some(cur);
+        }
     }
 }
 
@@ -289,6 +337,22 @@ mod tests {
         assert_eq!(m.distance(NodeId(0), NodeId(2)), None);
         assert!(m.path(NodeId(1), NodeId(3)).is_none());
         assert_eq!(m.distance(NodeId(2), NodeId(3)), Some(4.0));
+    }
+
+    #[test]
+    fn sparse_variant_is_bit_identical_across_thread_counts() {
+        let g = sample();
+        let seq = g
+            .all_pairs_shortest_paths_sparse_with(Parallelism::sequential())
+            .unwrap();
+        for threads in [2usize, 3, 4, 16] {
+            let par = g
+                .all_pairs_shortest_paths_sparse_with(Parallelism::new(threads))
+                .unwrap();
+            // Not just equal costs: the full matrices, tie-breaks included.
+            assert_eq!(seq.dist, par.dist, "threads={threads}");
+            assert_eq!(seq.next, par.next, "threads={threads}");
+        }
     }
 
     #[test]

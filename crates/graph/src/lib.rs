@@ -46,6 +46,7 @@ mod error;
 pub mod generate;
 pub mod graph;
 pub mod mst;
+pub mod parallel;
 pub mod steiner;
 pub mod tree;
 pub mod union_find;
@@ -55,6 +56,7 @@ pub use digraph::DiGraph;
 pub use dijkstra::ShortestPaths;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
+pub use parallel::Parallelism;
 pub use steiner::SteinerTree;
 pub use tree::RootedTree;
 pub use union_find::UnionFind;

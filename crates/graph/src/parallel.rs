@@ -1,0 +1,178 @@
+//! Thread-count knob and scoped fan-out helpers.
+//!
+//! Everything here is built on `std::thread::scope` — the workspace has no
+//! external dependencies, so there is no rayon-style pool. The helpers keep
+//! the two invariants every caller relies on:
+//!
+//! 1. **Determinism**: work is partitioned into contiguous index chunks and
+//!    per-chunk results are returned in chunk order, so reductions can
+//!    replay the sequential left-to-right order exactly.
+//! 2. **Zero overhead at 1**: [`Parallelism::sequential`] (or one item)
+//!    runs the worker inline on the calling thread — no spawn, identical
+//!    code path to a plain loop.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// How many worker threads a parallel algorithm may use.
+///
+/// The default ([`Parallelism::auto`]) matches the machine's available
+/// cores; [`Parallelism::sequential`] (= 1 thread) reproduces the
+/// single-threaded code path exactly. All algorithms in this workspace are
+/// bit-deterministic in the knob: any thread count produces identical
+/// output, only wall-clock time changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// One worker per available core (falls back to 1 when the platform
+    /// cannot report a count).
+    pub fn auto() -> Self {
+        Parallelism(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// Exactly one worker: the sequential code path.
+    pub const fn sequential() -> Self {
+        Parallelism(NonZeroUsize::MIN)
+    }
+
+    /// An explicit thread count; `0` means [`Parallelism::auto`].
+    pub fn new(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(t) => Parallelism(t),
+            None => Parallelism::auto(),
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn threads(self) -> usize {
+        self.0.get()
+    }
+
+    /// Whether this is the single-threaded code path.
+    pub fn is_sequential(self) -> bool {
+        self.0.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl From<usize> for Parallelism {
+    fn from(threads: usize) -> Self {
+        Parallelism::new(threads)
+    }
+}
+
+/// Splits `0..items` into at most `parts` contiguous, non-empty,
+/// near-equal ranges (the first `items % parts` ranges get one extra item).
+pub fn chunk_ranges(items: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, items.max(1));
+    if items == 0 {
+        return Vec::new();
+    }
+    let base = items / parts;
+    let extra = items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `worker` over contiguous chunks of `0..items` on up to
+/// `parallelism.threads()` scoped threads and returns the per-chunk results
+/// **in chunk order**.
+///
+/// With one thread (or zero/one items) the worker runs inline on the
+/// calling thread. Workers receive disjoint index ranges covering `0..items`
+/// exactly once, so a left-fold over the returned vector reproduces the
+/// sequential reduction order.
+pub fn run_partitioned<R, F>(parallelism: Parallelism, items: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(items, parallelism.threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(worker).collect();
+    }
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || worker(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_and_sequential_are_sane() {
+        assert!(Parallelism::auto().threads() >= 1);
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert!(Parallelism::sequential().is_sequential());
+        assert_eq!(Parallelism::new(0), Parallelism::auto());
+        assert_eq!(Parallelism::from(3).threads(), 3);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for items in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(items, parts);
+                let mut covered = 0;
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start, "{items} items / {parts} parts");
+                    assert!(!r.is_empty(), "{items} items / {parts} parts");
+                    covered += r.len();
+                    expect_start = r.end;
+                }
+                assert_eq!(covered, items);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn run_partitioned_preserves_chunk_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let chunks = run_partitioned(Parallelism::new(threads), 23, |r| r.clone());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..23).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_partitioned_reduces_like_a_sequential_fold() {
+        let seq: u64 = (0..1000u64).map(|x| x * x).sum();
+        for threads in [1usize, 3, 8] {
+            let par: u64 = run_partitioned(Parallelism::new(threads), 1000, |r: Range<usize>| {
+                r.map(|x| (x as u64) * (x as u64)).sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn zero_items_runs_no_worker() {
+        let out = run_partitioned(Parallelism::new(4), 0, |_r| panic!("no work expected"));
+        assert!(out.is_empty());
+    }
+}

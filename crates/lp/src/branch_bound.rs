@@ -243,9 +243,15 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
             None => {
                 let mut vals = sol.values().to_vec();
                 round_integers(&mut vals, &int_vars);
-                let obj = sign * problem.objective_value(&vals);
-                if incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc) {
-                    incumbent = Some((obj, vals));
+                // LP-optimal for the node means feasible in exact arithmetic,
+                // but rounding plus simplex round-off can still break a tight
+                // constraint — never let an infeasible point become the
+                // incumbent the search certifies as Optimal.
+                if problem.is_feasible(&vals, config.integrality_tol) {
+                    let obj = sign * problem.objective_value(&vals);
+                    if incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc) {
+                        incumbent = Some((obj, vals));
+                    }
                 }
             }
             Some((vi, value)) => {

@@ -1,0 +1,91 @@
+//! Regression tests for the density-dispatched APSP in `Network::build`:
+//! the Dijkstra-based sparse variant and Floyd–Warshall must price every
+//! pair identically (paths may tie-break differently but cost the same),
+//! on both a generated ER topology and the Palmetto backbone.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sft::graph::{generate, Graph, NodeId, Parallelism};
+use sft::topology::palmetto;
+
+fn assert_price_identically(g: &Graph, label: &str) {
+    let dense = g.all_pairs_shortest_paths().unwrap();
+    let sparse = g.all_pairs_shortest_paths_sparse().unwrap();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            let (dd, ds) = (dense.distance(u, v), sparse.distance(u, v));
+            match (dd, ds) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "{label}: {u:?}->{v:?}: {a} vs {b}");
+                    // Tie-breaks may differ, but every reported path must
+                    // exist in the graph and cost exactly the distance.
+                    for m in [&dense, &sparse] {
+                        let p = m.path(u, v).unwrap();
+                        let w = g.path_weight(&p).unwrap();
+                        assert!((w - a).abs() < 1e-9, "{label}: loose path {u:?}->{v:?}");
+                    }
+                }
+                _ => panic!("{label}: reachability disagrees on {u:?}->{v:?}: {dd:?} vs {ds:?}"),
+            }
+        }
+    }
+    assert!(
+        (dense.average_distance() - sparse.average_distance()).abs() < 1e-9,
+        "{label}: l_G normalizer diverges"
+    );
+    assert!(
+        (dense.diameter() - sparse.diameter()).abs() < 1e-9,
+        "{label}"
+    );
+}
+
+#[test]
+fn er_topology_prices_identically_under_both_apsp_variants() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let topo = generate::euclidean_er(60, 0.08, 100.0, &mut rng).unwrap();
+    assert_price_identically(&topo.graph, "ER n=60");
+}
+
+#[test]
+fn palmetto_prices_identically_under_both_apsp_variants() {
+    let g = palmetto::graph();
+    // Palmetto is firmly in sparse territory: Network::build dispatches it
+    // to the Dijkstra variant (|E| * 8 < |V|^2).
+    assert!(g.edge_count() * 8 < g.node_count() * g.node_count());
+    assert_price_identically(&g, "Palmetto");
+}
+
+#[test]
+fn dense_graphs_price_identically_too() {
+    // A near-complete graph lands on the Floyd–Warshall side of the
+    // dispatch; the variants must still agree.
+    let mut g = Graph::new(12);
+    for u in 0..12 {
+        for v in (u + 1)..12 {
+            if (u + v) % 7 != 0 {
+                g.add_edge(NodeId(u), NodeId(v), 1.0 + ((u * 5 + v * 3) % 9) as f64)
+                    .unwrap();
+            }
+        }
+    }
+    assert!(g.edge_count() * 8 >= g.node_count() * g.node_count());
+    assert_price_identically(&g, "dense n=12");
+}
+
+#[test]
+fn sparse_apsp_is_thread_count_invariant_on_palmetto() {
+    let g = palmetto::graph();
+    let seq = g
+        .all_pairs_shortest_paths_sparse_with(Parallelism::sequential())
+        .unwrap();
+    let par = g
+        .all_pairs_shortest_paths_sparse_with(Parallelism::new(4))
+        .unwrap();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(seq.distance(u, v), par.distance(u, v));
+            assert_eq!(seq.path(u, v), par.path(u, v), "{u:?}->{v:?}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-crate invariants of the MSA stage-1 sweep (DESIGN §6).
+//!
+//! 1. The closed-form candidate cost (`chain_cost` + Steiner tree cost)
+//!    must equal the canonical `delivery_cost` of the candidate's decoded
+//!    embedding — the sweep minimizes the closed form precisely because the
+//!    two are interchangeable.
+//! 2. The sweep's winner must be reachable by taking the minimum of the
+//!    candidate enumeration.
+
+use sft::core::msa::{stage_one_candidates, stage_one_with_options, SteinerMethod};
+use sft::core::{delivery_cost, Parallelism};
+use sft::topology::{generate, ScenarioConfig};
+
+#[test]
+fn closed_form_cost_matches_canonical_delivery_cost_on_every_candidate() {
+    // A seeded Table-I scenario (paper base config, scaled to test time).
+    let config = ScenarioConfig {
+        network_size: 40,
+        dest_ratio: 0.2,
+        sfc_len: 5,
+        ..ScenarioConfig::default()
+    };
+    for seed in [7u64, 21, 1001] {
+        let s = generate(&config, seed).unwrap();
+        let candidates = stage_one_candidates(&s.network, &s.task, SteinerMethod::Kmb).unwrap();
+        assert!(
+            !candidates.is_empty(),
+            "seed {seed}: generated scenarios are solvable"
+        );
+        for (i, (closed_form, chain)) in candidates.iter().enumerate() {
+            let emb = chain.to_embedding(&s.network, &s.task).unwrap();
+            let canonical = delivery_cost(&s.network, &s.task, &emb).unwrap().total();
+            assert!(
+                (closed_form - canonical).abs() <= 1e-6 * canonical.max(1.0),
+                "seed {seed} candidate {i}: closed form {closed_form} vs canonical {canonical}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_winner_is_the_candidate_minimum() {
+    let config = ScenarioConfig {
+        network_size: 40,
+        dest_ratio: 0.2,
+        sfc_len: 5,
+        ..ScenarioConfig::default()
+    };
+    let s = generate(&config, 13).unwrap();
+    let winner = stage_one_with_options(
+        &s.network,
+        &s.task,
+        SteinerMethod::Kmb,
+        Parallelism::sequential(),
+    )
+    .unwrap();
+    let candidates = stage_one_candidates(&s.network, &s.task, SteinerMethod::Kmb).unwrap();
+    let min = candidates
+        .iter()
+        .map(|(c, _)| *c)
+        .fold(f64::INFINITY, f64::min);
+    let winner_emb = winner.to_embedding(&s.network, &s.task).unwrap();
+    let winner_cost = delivery_cost(&s.network, &s.task, &winner_emb)
+        .unwrap()
+        .total();
+    assert!((winner_cost - min).abs() <= 1e-6 * min.max(1.0));
+}

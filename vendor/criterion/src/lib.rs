@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` / [`Criterion`]
+//! subset the workspace's benches use, backed by a simple wall-clock
+//! harness: warm-up, automatic batching so one sample lasts long enough
+//! to time reliably, and a median-of-samples report. Under `cargo test`
+//! (which passes `--test` to `harness = false` bench binaries) every
+//! benchmark body runs exactly once so the tier-1 suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` if they prefer it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark id (`group/name` or the bare `bench_function` name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-iteration time observed, in nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 20,
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments cargo passes to
+    /// `harness = false` bench binaries. Unknown flags are ignored; a bare
+    /// positional argument becomes a substring filter.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => c.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.skipped(id) {
+            return self;
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.default_sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((median_ns, min_ns)) = b.result {
+            println!("{id:<56} time: [median {}]", fmt_ns(median_ns));
+            self.summaries.push(Summary {
+                id: id.to_string(),
+                median_ns,
+                min_ns,
+            });
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks inside get `group/name` ids.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Everything measured so far (used by benches that post-process
+    /// results, e.g. into JSON reports).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    /// Final banner; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("\n{} benchmark(s) measured", self.summaries.len());
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.skipped(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            result: None,
+        };
+        f(&mut b);
+        if let Some((median_ns, min_ns)) = b.result {
+            println!("{full:<56} time: [median {}]", fmt_ns(median_ns));
+            self.criterion.summaries.push(Summary {
+                id: full,
+                median_ns,
+                min_ns,
+            });
+        }
+        self
+    }
+
+    /// Ends the group (report-flushing no-op in this harness).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then `sample_size` samples, each
+    /// batched so a sample lasts at least ~2 ms. In test mode the routine
+    /// runs once and no measurement is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up & batch-size calibration: time single calls until ~50 ms
+        // or 10 calls, whichever first.
+        let calib_start = Instant::now();
+        let mut calls = 0u32;
+        while calls < 10 && calib_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calib_start.elapsed().as_secs_f64() / f64::from(calls);
+        let batch = (2e-3 / per_call.max(1e-9)).ceil().max(1.0) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        self.result = Some((median, min));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

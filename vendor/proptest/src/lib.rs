@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`any`], the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test seed, so failures reproduce exactly; there is no
+//! shrinking — the failure report carries the case index instead.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+
+/// Deterministic generation source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the RNG for one test case.
+    pub fn new(test_seed: u64, case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.0.random_range(0..bound.max(1))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.random()
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.0.random()
+    }
+}
+
+/// Outcome of one generated test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the string explains which.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection (skips the case).
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and samples that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.unit() * (hi - lo)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, G);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` and friends).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Runs the cases of one `proptest!`-generated test function.
+///
+/// Not part of the public proptest API — the macro expansion calls it.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut ran = 0u32;
+    let mut attempts = 0u64;
+    // Cap rejections so a too-strict prop_assume! fails loudly instead of
+    // spinning forever.
+    let max_attempts = u64::from(config.cases) * 16 + 256;
+    while ran < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest '{test_name}': too many prop_assume! rejections \
+             ({attempts} attempts for {ran} accepted cases)"
+        );
+        let case = attempts;
+        attempts += 1;
+        let mut rng = TestRng::new(seed, case);
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{test_name}' failed at case #{case}: {msg}")
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests. Mirrors the upstream surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn it_works(x in 0u64..10, y in 0.0f64..1.0) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_cases(
+                stringify!($name),
+                &config,
+                ($($strat,)+),
+                |($($arg,)+)| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

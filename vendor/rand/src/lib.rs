@@ -1,0 +1,251 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the (small) subset of the rand 0.10 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`] core
+//! trait, and the [`RngExt`] extension methods `random` / `random_range`.
+//!
+//! Determinism is the only contract the workspace relies on — every
+//! experiment seeds its generator explicitly — so the generator here is
+//! xoshiro256++ seeded via SplitMix64, a well-studied pair with good
+//! statistical quality and a tiny implementation. Streams are *not*
+//! compatible with the upstream crate's ChaCha-based `StdRng`; no test or
+//! figure in this repository asserts a specific upstream stream.
+
+pub mod rngs;
+
+/// A source of random bits. Object-safe; `&mut R` forwards automatically.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their "standard" distribution:
+/// `f64`/`f32` in `[0, 1)`, integers over their full range, `bool` fair.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) on the f64 grid.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-enough bounded sampling: widening multiply keeps the
+/// modulo bias below 2^-64, which is irrelevant for simulation workloads.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(bounded_u64(rng, span) as i64)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64).wrapping_add(1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i64).wrapping_add(bounded_u64(rng, span) as i64)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution of `T` (`[0, 1)` for
+    /// floats, full range for integers, fair coin for `bool`).
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, RngExt, SeedableRng};
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let x: f64 = rng.random();
+    /// assert!((0.0..1.0).contains(&x));
+    /// ```
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        // Sanity: samples actually spread over the interval.
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    #[test]
+    fn ranges_hit_all_values_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(3u32..=5);
+            assert!((3..=5).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn trait_object_and_reference_forwarding() {
+        fn takes_dyn(rng: &mut dyn super::Rng) -> u64 {
+            rng.next_u64()
+        }
+        fn takes_generic<R: super::Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        takes_dyn(&mut rng);
+        takes_generic(&mut rng);
+        takes_generic(&mut &mut rng);
+    }
+}

@@ -8,7 +8,7 @@ pub const USAGE: &str = "\
 sft — service function tree embedding for NFV multicast
 
 USAGE:
-  sft <info|solve|exact|help> [--flag value]...
+  sft <info|solve|exact|batch|serve|help> [--flag value]...
 
 TOPOLOGIES (--topology):
   palmetto          the 45-node Palmetto backbone
@@ -38,10 +38,25 @@ SOLVE / EXACT FLAGS:
   --max-nodes <n>       (exact) branch-and-bound node budget
   --time-limit <secs>   (exact) wall-clock budget
 
+BATCH / SERVE FLAGS (long-running service; APSP built once, shared
+Steiner cache; tasks are JSONL lines
+  {\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}):
+  --tasks <file.jsonl>  (batch) the task stream to solve (required)
+  --mode <sequential|independent>
+                        (batch) sequential = solve-and-commit each task
+                        in arrival order; independent = fan dry-run
+                        solves across threads (default sequential)
+  --sfc <k>             VNF catalog size; task types must be < k
+  --strategy <msa|sca>  stage-1 algorithm (default msa; rsa is
+                        randomized and not reproducible, so the
+                        service rejects it)
+
 EXAMPLES:
   sft info  --topology palmetto
   sft solve --topology er:50 --seed 7 --source 0 --dests 5,12,31 --sfc 3
   sft exact --topology grid:3x4 --source 0 --dests 7,11 --sfc 2
+  sft batch --topology palmetto --tasks examples/palmetto_tasks.jsonl
+  sft serve --topology abilene < tasks.jsonl
 ";
 
 /// A parse failure with a human-readable description.

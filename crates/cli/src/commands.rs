@@ -11,6 +11,7 @@ use sft_core::{
 };
 use sft_graph::NodeId;
 use sft_lp::MipConfig;
+use sft_service::{jsonl, BatchMode, EmbedService};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -226,6 +227,130 @@ pub fn exact(args: &Args) -> Result<String, ParseError> {
     Ok(out)
 }
 
+/// Builds the long-running service `batch` / `serve` operate on. `--sfc`
+/// sets the catalog size (each JSONL task names its own chain from types
+/// `0..k`).
+fn build_service(args: &Args) -> Result<EmbedService, ParseError> {
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let graph = topology_spec::build(args.require("topology")?, seed)?;
+    let capacity: f64 = args.parse_or("capacity", 3.0)?;
+    let setup_cost: f64 = args.parse_or("setup-cost", 1.0)?;
+    let k: usize = args.parse_or("sfc", 3)?;
+    if k == 0 {
+        return Err(ParseError("--sfc must be at least 1".into()));
+    }
+    let network = Network::builder(graph, VnfCatalog::uniform(k))
+        .all_servers(capacity)
+        .map_err(|e| ParseError(e.to_string()))?
+        .uniform_setup_cost(setup_cost)
+        .map_err(|e| ParseError(e.to_string()))?
+        .build()
+        .map_err(|e| ParseError(e.to_string()))?;
+    let strategy = match args.get("strategy").unwrap_or("msa") {
+        "msa" => Strategy::Msa,
+        "sca" => Strategy::Sca,
+        other => {
+            return Err(ParseError(format!(
+                "unknown service strategy `{other}` (msa or sca)"
+            )))
+        }
+    };
+    let options = SolveOptions {
+        stage_two: if args.flag("no-opa") {
+            StageTwo::Skip
+        } else {
+            StageTwo::Opa
+        },
+        parallelism: Parallelism::new(args.parse_or("threads", 0usize)?),
+    };
+    EmbedService::new(network, strategy, options).map_err(|e| ParseError(e.to_string()))
+}
+
+/// Feeds a JSONL stream through the service and renders per-task cost
+/// breakdowns plus the service statistics. Malformed or infeasible lines
+/// are reported in place; the stream keeps going.
+fn run_stream(svc: &mut EmbedService, text: &str, mode: BatchMode) -> String {
+    enum Line {
+        Task(usize),
+        Bad(String),
+    }
+    let mut tasks = Vec::new();
+    let mut lines = Vec::new();
+    for (lineno, parsed) in jsonl::parse_stream(text) {
+        match parsed.and_then(|spec| spec.to_task().map_err(|e| e.to_string())) {
+            Ok(task) => {
+                lines.push((lineno, Line::Task(tasks.len())));
+                tasks.push(task);
+            }
+            Err(reason) => lines.push((lineno, Line::Bad(reason))),
+        }
+    }
+    let results = svc.submit_batch(&tasks, mode);
+    let mut out = String::new();
+    for (lineno, line) in lines {
+        match line {
+            Line::Task(i) => match &results[i] {
+                Ok(r) => {
+                    let _ = writeln!(
+                        out,
+                        "task line {lineno:>3}: cost {:>10.2} (setup {:>8.2} + links {:>8.2})",
+                        r.cost.total(),
+                        r.cost.setup,
+                        r.cost.link
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "task line {lineno:>3}: error: {e}");
+                }
+            },
+            Line::Bad(reason) => {
+                let _ = writeln!(out, "task line {lineno:>3}: bad line: {reason}");
+            }
+        }
+    }
+    let _ = writeln!(out, "\n{}", svc.stats().render().trim_end());
+    out
+}
+
+/// `sft batch`: run a JSONL task file through one shared network.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags, topology specs, or an unreadable task
+/// file. Per-task failures are reported inline, not as errors.
+pub fn batch(args: &Args) -> Result<String, ParseError> {
+    let mut svc = build_service(args)?;
+    let path = args.require("tasks")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError(format!("cannot read {path}: {e}")))?;
+    let mode = match args.get("mode").unwrap_or("sequential") {
+        "sequential" => BatchMode::Sequential,
+        "independent" => BatchMode::Independent,
+        other => {
+            return Err(ParseError(format!(
+                "unknown mode `{other}` (sequential or independent)"
+            )))
+        }
+    };
+    Ok(run_stream(&mut svc, &text, mode))
+}
+
+/// `sft serve`: read JSONL task lines from stdin until EOF and embed them
+/// in arrival order against one evolving network (each success commits).
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags, topology specs, or stdin I/O failures.
+pub fn serve(args: &Args) -> Result<String, ParseError> {
+    let mut svc = build_service(args)?;
+    let mut text = String::new();
+    use std::io::Read as _;
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| ParseError(format!("cannot read stdin: {e}")))?;
+    Ok(run_stream(&mut svc, &text, BatchMode::Sequential))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +362,7 @@ mod tests {
             "info" => info(&args),
             "solve" => solve(&args),
             "exact" => exact(&args),
+            "batch" => batch(&args),
             _ => unreachable!(),
         }
     }
@@ -311,6 +437,64 @@ mod tests {
         assert!(out.contains("instances:"));
         assert!(out.contains("hops"));
         assert!(out.contains("segments"));
+    }
+
+    #[test]
+    fn batch_runs_a_jsonl_stream_and_reports_stats() {
+        let dir = std::env::temp_dir().join("sft_cli_batch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tasks.jsonl");
+        std::fs::write(
+            &file,
+            "# demo\n\
+             {\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}\n\
+             {\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}\n\
+             {\"source\": 3, \"dests\": [8], \"sfc\": [2]}\n\
+             not json at all\n",
+        )
+        .unwrap();
+        for mode in ["sequential", "independent"] {
+            let out = run(&format!(
+                "batch --topology grid:3x4 --tasks {} --mode {mode}",
+                file.display()
+            ))
+            .unwrap();
+            assert!(out.contains("task line   2: cost"), "{mode}: {out}");
+            assert!(out.contains("task line   5: bad line:"), "{mode}: {out}");
+            assert!(out.contains("tasks served   : 3"), "{mode}: {out}");
+            assert!(out.contains("apsp builds    : 1"), "{mode}: {out}");
+            // The duplicate task guarantees Steiner-cache hits.
+            assert!(!out.contains("hit rate 0.0%"), "{mode}: {out}");
+        }
+        // Sequential mode commits, so the repeated task pays no setup.
+        let seq = run(&format!(
+            "batch --topology grid:3x4 --tasks {}",
+            file.display()
+        ))
+        .unwrap();
+        assert!(seq.contains("commits        : 3"), "{seq}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_rejects_bad_flags() {
+        assert!(run("batch --topology grid:3x4").is_err()); // no --tasks
+        assert!(run("batch --topology grid:3x4 --tasks /nonexistent.jsonl").is_err());
+        let dir = std::env::temp_dir().join("sft_cli_batch_flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.jsonl");
+        std::fs::write(&file, "{\"source\": 0, \"dests\": [3], \"sfc\": [0]}\n").unwrap();
+        assert!(run(&format!(
+            "batch --topology grid:2x2 --tasks {} --mode warp",
+            file.display()
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "batch --topology grid:2x2 --tasks {} --strategy rsa",
+            file.display()
+        ))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

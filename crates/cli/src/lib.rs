@@ -7,7 +7,13 @@
 //!   — run the two-stage embedding and print the result (optionally
 //!   exporting DOT renderings);
 //! * `sft exact …` — additionally solve the ILP exactly and report the
-//!   approximation ratio.
+//!   approximation ratio;
+//! * `sft batch --topology <spec> --tasks <file.jsonl>` — run a JSONL task
+//!   stream through a long-running [`sft_service::EmbedService`] (one
+//!   shared network, APSP built once, persistent Steiner cache) and print
+//!   per-task cost breakdowns plus service statistics;
+//! * `sft serve --topology <spec>` — the same, reading JSONL task lines
+//!   from stdin until EOF (sequential-arrival semantics).
 //!
 //! Argument parsing is hand-rolled (the project's dependency set is
 //! deliberately tiny); see [`args`] for the grammar and [`run`] for the
@@ -32,6 +38,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "info" => commands::info(&args).map_err(|e| e.to_string()),
         "solve" => commands::solve(&args).map_err(|e| e.to_string()),
         "exact" => commands::exact(&args).map_err(|e| e.to_string()),
+        "batch" => commands::batch(&args).map_err(|e| e.to_string()),
+        "serve" => commands::serve(&args).map_err(|e| e.to_string()),
         "help" => Ok(args::USAGE.to_string()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", args::USAGE)),
     }

@@ -8,7 +8,7 @@ use crate::opa;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use rand::Rng;
-use sft_graph::Parallelism;
+use sft_graph::{Parallelism, TreeCache};
 
 /// Which stage-1 algorithm to run (stage 2 / OPA is shared, §V-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -136,6 +136,44 @@ pub fn solve_with_options(
             task,
             crate::msa::SteinerMethod::default(),
             options.parallelism,
+        )?,
+        Strategy::Sca => crate::sca::stage_one(network, task)?,
+        Strategy::Rsa => {
+            return Err(CoreError::InvalidTask {
+                reason: "RSA is randomized; call solve_with_rng".into(),
+            })
+        }
+    };
+    finish(network, task, chain, options.stage_two)
+}
+
+/// [`solve_with_options`] against a persistent, caller-owned Steiner
+/// cache — the entry point for long-running services that solve many
+/// tasks over one network.
+///
+/// For [`Strategy::Msa`] the stage-1 sweep reads and populates `cache`
+/// instead of a throwaway per-solve map (see
+/// [`crate::msa::stage_one_with_cache`] for the validity contract); the
+/// other strategies ignore the cache. Results are bit-identical to
+/// [`solve_with_options`] for every cache state and thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_cache<C: TreeCache>(
+    network: &Network,
+    task: &MulticastTask,
+    strategy: Strategy,
+    options: SolveOptions,
+    cache: &C,
+) -> Result<SolveResult, CoreError> {
+    let chain = match strategy {
+        Strategy::Msa => crate::msa::stage_one_with_cache(
+            network,
+            task,
+            crate::msa::SteinerMethod::default(),
+            options.parallelism,
+            cache,
         )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => {

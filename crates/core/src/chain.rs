@@ -11,6 +11,7 @@ use crate::network::Network;
 use crate::task::MulticastTask;
 use crate::vnf::{Sfc, VnfId};
 use crate::CoreError;
+use sft_graph::numeric::exceeds;
 use sft_graph::{EdgeId, NodeId, RootedTree};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -118,8 +119,10 @@ pub(crate) fn repair_capacity(
     for _round in 0..(2 * k + 2) {
         let usage = new_instance_usage(network, sfc, placement);
         let overloaded = |n: NodeId| {
-            network.deployed_load(n) + usage.get(&n).copied().unwrap_or(0.0)
-                > network.capacity(n) + 1e-9
+            exceeds(
+                network.deployed_load(n) + usage.get(&n).copied().unwrap_or(0.0),
+                network.capacity(n),
+            )
         };
         // First stage whose (new) instance sits on an overloaded node.
         let Some(j) = (1..=k).find(|&j| {
@@ -147,7 +150,7 @@ pub(crate) fn repair_capacity(
                     .any(|(i, &n)| i != j - 1 && n == v && sfc.stage(i + 1) == f);
             let extra = if already_counted { 0.0 } else { demand };
             let load = network.deployed_load(v) + usage.get(&v).copied().unwrap_or(0.0) + extra;
-            if load > network.capacity(v) + 1e-9 {
+            if exceeds(load, network.capacity(v)) {
                 continue;
             }
             let Some(d_in) = dist.distance(prev, v) else {
@@ -175,7 +178,7 @@ pub(crate) fn repair_capacity(
     // Converged or not, verify the result.
     let usage = new_instance_usage(network, sfc, placement);
     for (n, extra) in usage {
-        if network.deployed_load(n) + extra > network.capacity(n) + 1e-9 {
+        if exceeds(network.deployed_load(n) + extra, network.capacity(n)) {
             return Err(CoreError::Infeasible {
                 reason: format!("capacity repair failed to unload node {n}"),
             });

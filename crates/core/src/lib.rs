@@ -73,8 +73,8 @@ pub mod viz;
 pub mod vnf;
 
 pub use api::{
-    solve, solve_with_options, solve_with_rng, solve_with_rng_options, SolveOptions, SolveResult,
-    StageTwo, Strategy,
+    solve, solve_with_cache, solve_with_options, solve_with_rng, solve_with_rng_options,
+    SolveOptions, SolveResult, StageTwo, Strategy,
 };
 pub use chain::ChainSolution;
 pub use cost::{delivery_cost, CostBreakdown};
@@ -82,7 +82,7 @@ pub use embedding::{DestinationRoute, Embedding};
 pub use error::CoreError;
 pub use network::{Network, NetworkBuilder};
 pub use sequential::SequentialEmbedder;
-pub use sft_graph::Parallelism;
+pub use sft_graph::{Parallelism, SteinerCache, TreeCache};
 pub use sft_tree::{SftNode, SftTree};
 pub use stats::EmbeddingStats;
 pub use task::MulticastTask;

@@ -17,7 +17,7 @@ use crate::network::Network;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use sft_graph::parallel::{run_partitioned, Parallelism};
-use sft_graph::{NodeId, ShortestPaths, SteinerTree};
+use sft_graph::{NodeId, ShortestPaths, SteinerCache, SteinerTree, TreeCache};
 use std::collections::BTreeMap;
 
 /// Which Steiner-tree construction stage 1 hangs off the last VNF node.
@@ -78,22 +78,63 @@ pub fn stage_one_with_options(
     method: SteinerMethod,
     parallelism: Parallelism,
 ) -> Result<ChainSolution, CoreError> {
+    sweep::<SteinerCache>(network, task, method, parallelism, None)
+}
+
+/// Runs MSA stage 1 against a persistent, externally owned Steiner cache.
+///
+/// This is the long-running-service entry point: the cache outlives the
+/// solve, so trees built for one task are reused by later tasks that share
+/// a root and destination set. Entries are keyed `(root, destinations)`;
+/// a Steiner tree depends only on the graph topology and edge weights —
+/// never on capacities or deployments — so the cache stays valid across
+/// committed embeddings and must only be flushed when the graph itself
+/// changes (see [`sft_graph::cache`] for the full contract). Results are
+/// bit-identical to [`stage_one_with_options`] at every thread count: a
+/// cached tree is exactly the tree a fresh computation would build.
+///
+/// One cache must serve a single [`SteinerMethod`] — trees are keyed by
+/// terminals only, so mixing constructions on one cache would conflate
+/// their (different) trees.
+///
+/// # Errors
+///
+/// Same conditions as [`stage_one`].
+pub fn stage_one_with_cache<C: TreeCache>(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    parallelism: Parallelism,
+    cache: &C,
+) -> Result<ChainSolution, CoreError> {
+    sweep(network, task, method, parallelism, Some(cache))
+}
+
+/// The shared sweep behind [`stage_one_with_options`] (per-solve local
+/// caches) and [`stage_one_with_cache`] (one persistent shared cache).
+fn sweep<C: TreeCache>(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    parallelism: Parallelism,
+    shared: Option<&C>,
+) -> Result<ChainSolution, CoreError> {
     task.check_against(network)?;
     let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
     let sp = emod.shortest_paths();
     let rows = emod.servers().len();
 
     // Each worker sweeps a contiguous row block with its own Steiner cache
-    // and keeps its block's best candidate; the block winners come back in
-    // row order. Ties break toward the lowest row both inside a block
-    // (first strict improvement wins) and across blocks (left fold below),
-    // exactly matching the sequential sweep.
+    // (or the shared one) and keeps its block's best candidate; the block
+    // winners come back in row order. Ties break toward the lowest row both
+    // inside a block (first strict improvement wins) and across blocks
+    // (left fold below), exactly matching the sequential sweep.
     let block_best = run_partitioned(parallelism, rows, |range| {
-        let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+        let mut local: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
         let mut best: Option<(f64, ChainSolution)> = None;
         for row in range {
             let Some((cost, chain)) =
-                evaluate_candidate(network, task, method, &emod, &sp, &mut steiner_cache, row)
+                evaluate_candidate(network, task, method, &emod, &sp, &mut local, shared, row)
             else {
                 continue;
             };
@@ -138,30 +179,59 @@ pub fn stage_one_candidates(
     task.check_against(network)?;
     let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
     let sp = emod.shortest_paths();
-    let mut steiner_cache: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+    let mut local: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
     let mut out = Vec::new();
     for row in 0..emod.servers().len() {
-        if let Some(candidate) =
-            evaluate_candidate(network, task, method, &emod, &sp, &mut steiner_cache, row)
-        {
+        if let Some(candidate) = evaluate_candidate(
+            network,
+            task,
+            method,
+            &emod,
+            &sp,
+            &mut local,
+            None::<&SteinerCache>,
+            row,
+        ) {
             out.push(candidate);
         }
     }
     Ok(out)
 }
 
+/// Builds the delivery Steiner tree rooted at `w` reaching every task
+/// destination (the pure computation both cache flavors memoize).
+fn build_tree(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    w: NodeId,
+) -> Option<SteinerTree> {
+    let mut terminals = vec![w];
+    terminals.extend_from_slice(task.destinations());
+    match method {
+        SteinerMethod::Kmb => network
+            .graph()
+            .steiner_kmb_with_matrix(network.dist(), &terminals)
+            .ok(),
+        SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
+    }
+}
+
 /// Evaluates one last-VNF candidate row: chain readout, capacity repair,
 /// Steiner tree, closed-form cost. Returns `None` when the row yields no
-/// feasible embedding. The cache memoizes Steiner trees per (repaired)
-/// last node; `None` entries record roots whose tree construction failed
-/// (e.g. disconnected from some destination).
-fn evaluate_candidate(
+/// feasible embedding. Trees are memoized per (repaired) last node —
+/// through `shared` when a persistent cache is plugged in, through the
+/// per-worker `local` map otherwise; `None` entries record roots whose
+/// tree construction failed (e.g. disconnected from some destination).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidate<C: TreeCache>(
     network: &Network,
     task: &MulticastTask,
     method: SteinerMethod,
     emod: &ExpandedMod,
     sp: &ShortestPaths,
-    steiner_cache: &mut BTreeMap<NodeId, Option<SteinerTree>>,
+    local: &mut BTreeMap<NodeId, Option<SteinerTree>>,
+    shared: Option<&C>,
     row: usize,
 ) -> Option<(f64, ChainSolution)> {
     let (mut placement, _) = emod.placement_for(sp, row)?;
@@ -169,20 +239,15 @@ fn evaluate_candidate(
         return None;
     }
     let w = *placement.last().expect("chain is non-empty");
-    let tree = steiner_cache
-        .entry(w)
-        .or_insert_with(|| {
-            let mut terminals = vec![w];
-            terminals.extend_from_slice(task.destinations());
-            match method {
-                SteinerMethod::Kmb => network
-                    .graph()
-                    .steiner_kmb_with_matrix(network.dist(), &terminals)
-                    .ok(),
-                SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
-            }
-        })
-        .clone()?;
+    let tree = match shared {
+        Some(cache) => cache.get_or_insert_with(w, task.destinations(), || {
+            build_tree(network, task, method, w)
+        }),
+        None => local
+            .entry(w)
+            .or_insert_with(|| build_tree(network, task, method, w))
+            .clone(),
+    }?;
     // Stage-1 candidate cost has a closed form: every destination
     // shares the chain segments, so per-segment dedup leaves exactly
     // "chain path costs + deduped setups + Steiner tree cost".
@@ -353,6 +418,39 @@ mod tests {
                 assert_eq!(seq.steiner_edges, par.steiner_edges, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn shared_cache_is_bit_identical_and_reused_across_solves() {
+        let net = ring_net(5.0);
+        let task = a_task();
+        let plain = stage_one(&net, &task).unwrap();
+        let cache = SteinerCache::new();
+        let first = stage_one_with_cache(
+            &net,
+            &task,
+            SteinerMethod::Kmb,
+            Parallelism::sequential(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(plain, first);
+        assert!(cache.misses() > 0, "first solve populates the cache");
+        let hits_before = cache.hits();
+        // Same task again, different thread count: every tree is served
+        // from the cache and the answer does not change.
+        for threads in [1usize, 2, 5] {
+            let again = stage_one_with_cache(
+                &net,
+                &task,
+                SteinerMethod::Kmb,
+                Parallelism::new(threads),
+                &cache,
+            )
+            .unwrap();
+            assert_eq!(plain, again, "threads={threads}");
+        }
+        assert!(cache.hits() > hits_before, "repeat solves must hit");
     }
 
     #[test]

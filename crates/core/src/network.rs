@@ -9,6 +9,7 @@
 
 use crate::vnf::{VnfCatalog, VnfId};
 use crate::CoreError;
+use sft_graph::numeric::exceeds;
 use sft_graph::{DistanceMatrix, Graph, NodeId};
 
 /// An immutable (apart from explicit deployment commits) view of the target
@@ -174,7 +175,7 @@ impl Network {
             return Ok(());
         }
         let load = self.deployed_load(v) + self.catalog.demand(f);
-        if load > self.capacity[v.0] + 1e-9 {
+        if exceeds(load, self.capacity[v.0]) {
             return Err(CoreError::CapacityExceeded {
                 node: v.0,
                 capacity: self.capacity[v.0],
@@ -359,7 +360,7 @@ impl NetworkBuilder {
                 .filter(|&f| self.deployed[f.0][v])
                 .map(|f| self.catalog.demand(f))
                 .sum();
-            if load > self.capacity[v] + 1e-9 {
+            if exceeds(load, self.capacity[v]) {
                 return Err(CoreError::CapacityExceeded {
                     node: v,
                     capacity: self.capacity[v],

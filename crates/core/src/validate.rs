@@ -244,7 +244,7 @@ pub fn validate(
     }
     for (n, extra) in extra_load {
         let load = network.deployed_load(n) + extra;
-        if load > network.capacity(n) + 1e-9 {
+        if sft_graph::numeric::exceeds(load, network.capacity(n)) {
             issues.push(ValidationIssue::CapacityExceeded {
                 node: n,
                 capacity: network.capacity(n),

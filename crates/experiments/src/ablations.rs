@@ -10,7 +10,7 @@
 //!   heuristic warm start when solving the exact ILP.
 
 use crate::record::FigureData;
-use crate::Effort;
+use crate::{Effort, ExperimentError};
 use sft_core::ilp::IlpModel;
 use sft_core::msa::{self, SteinerMethod};
 use sft_core::{opa, CoreError, StageTwo, Strategy};
@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 /// never fires, because metric costs plus MSA's exhaustive last-node sweep
 /// leave no replication slack) and the `clustered` Fig.-6-style family
 /// built to contain genuine branching opportunities.
-pub fn opa_gain(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn opa_gain(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "ablation_opa",
         "SFT vs SFC: the stage-2 (OPA) gain over the same stage-1 chains, per workload family",
@@ -42,7 +42,7 @@ pub fn opa_gain(effort: Effort) -> Result<FigureData, CoreError> {
                       row: usize,
                       label: &str,
                       make: &dyn Fn(u64) -> Result<sft_topology::Scenario, CoreError>|
-     -> Result<(usize, usize), CoreError> {
+     -> Result<(usize, usize), ExperimentError> {
         let mut improved = 0;
         for seed in 0..reps as u64 {
             let s = make(seed)?;
@@ -54,8 +54,8 @@ pub fn opa_gain(effort: Effort) -> Result<FigureData, CoreError> {
             let t1 = Instant::now();
             let out = opa::optimize(&s.network, &s.task, &chain)?;
             let opa_ms = t1.elapsed().as_secs_f64() * 1e3;
-            fig.record(row, "SFC (stage1)", sfc_cost, stage1_ms);
-            fig.record(row, "SFT (stage1+OPA)", out.cost, stage1_ms + opa_ms);
+            fig.record(row, "SFC (stage1)", sfc_cost, stage1_ms)?;
+            fig.record(row, "SFT (stage1+OPA)", out.cost, stage1_ms + opa_ms)?;
             if out.cost < sfc_cost - 1e-9 {
                 improved += 1;
             }
@@ -103,7 +103,7 @@ pub fn opa_gain(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// KMB vs Takahashi–Matsuyama as the stage-1 Steiner construction.
-pub fn steiner_choice(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn steiner_choice(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "ablation_steiner",
         "stage-1 Steiner construction: KMB (paper) vs Takahashi-Matsuyama, vs network size",
@@ -133,7 +133,7 @@ pub fn steiner_choice(effort: Effort) -> Result<FigureData, CoreError> {
                 let chain = msa::stage_one_with(&s.network, &s.task, method)?;
                 let out = opa::optimize(&s.network, &s.task, &chain)?;
                 let ms = t.elapsed().as_secs_f64() * 1e3;
-                fig.record(row, label, out.cost, ms);
+                fig.record(row, label, out.cost, ms)?;
             }
         }
     }
@@ -151,7 +151,7 @@ pub fn steiner_choice(effort: Effort) -> Result<FigureData, CoreError> {
 /// found this blocks a share of genuine improvements; this ablation runs
 /// OPA with and without the rule on the clustered (Fig.-6) family, where
 /// the canonical-cost acceptance check keeps the permissive variant safe.
-pub fn dependence_rule(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn dependence_rule(effort: Effort) -> Result<FigureData, ExperimentError> {
     use sft_core::opa::OpaConfig;
     let mut fig = FigureData::new(
         "ablation_dependence",
@@ -182,8 +182,8 @@ pub fn dependence_rule(effort: Effort) -> Result<FigureData, CoreError> {
             },
         )?;
         let perm_ms = t1.elapsed().as_secs_f64() * 1e3;
-        fig.record(row, "OPA (paper)", strict.cost, strict_ms);
-        fig.record(row, "OPA (incl. dependent)", perm.cost, perm_ms);
+        fig.record(row, "OPA (paper)", strict.cost, strict_ms)?;
+        fig.record(row, "OPA (incl. dependent)", perm.cost, perm_ms)?;
         if strict.cost < strict.initial_cost - 1e-9 {
             fired_strict += 1;
         }
@@ -205,7 +205,7 @@ pub fn dependence_rule(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Branch-and-bound effort with vs without the heuristic warm start.
-pub fn warm_start_effect(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn warm_start_effect(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "ablation_warmstart",
         "exact ILP solve effort with vs without the heuristic warm start (reduced Palmetto)",
@@ -250,7 +250,7 @@ pub fn warm_start_effect(effort: Effort) -> Result<FigureData, CoreError> {
                 let out = model.solve(&s.network, &s.task, &mip)?;
                 let ms = t.elapsed().as_secs_f64() * 1e3;
                 if let Some(obj) = out.objective {
-                    fig.record(row, label, obj, ms);
+                    fig.record(row, label, obj, ms)?;
                 }
                 node_note.push(format!("{label} |D|={d} seed {seed}: {} nodes", out.nodes));
             }

@@ -3,7 +3,7 @@
 
 use sft_experiments::{figures, Effort, FigureData};
 
-type FigureBuilder = fn(Effort) -> Result<FigureData, sft_core::CoreError>;
+type FigureBuilder = fn(Effort) -> Result<FigureData, sft_experiments::ExperimentError>;
 
 fn main() {
     let effort = Effort::from_args();

@@ -47,7 +47,9 @@ fn main() {
             match result {
                 Ok(runs) => {
                     for run in runs {
-                        fig.record(row, run.algo, run.cost, run.ms);
+                        if let Err(e) = fig.record(row, run.algo, run.cost, run.ms) {
+                            eprintln!("capacity {cap} seed {seed}: {e}");
+                        }
                     }
                 }
                 Err(e) => eprintln!("capacity {cap} seed {seed}: {e}"),

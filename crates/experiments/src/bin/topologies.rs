@@ -9,34 +9,39 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sft_core::{CoreError, MulticastTask, Network, Sfc, VnfCatalog, VnfId};
-use sft_experiments::{record::FigureData, runner, Effort};
+use sft_core::{MulticastTask, Network, Sfc, VnfCatalog, VnfId};
+use sft_experiments::{record::FigureData, runner, Effort, ExperimentError};
 use sft_graph::parallel::{run_partitioned, Parallelism};
 use sft_graph::{generate, Graph, NodeId};
 use sft_topology::{palmetto, Scenario};
 
-fn topology(family: &str, seed: u64) -> Graph {
+fn topology(family: &str, seed: u64) -> Result<Graph, ExperimentError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    match family {
+    let graph = match family {
         "er" => {
             generate::euclidean_er(60, 0.082, 100.0, &mut rng)
-                .unwrap()
+                .map_err(sft_core::CoreError::from)?
                 .graph
         }
         "geometric" => {
             generate::random_geometric(60, 22.0, 100.0, &mut rng)
-                .unwrap()
+                .map_err(sft_core::CoreError::from)?
                 .graph
         }
-        "grid" => generate::grid(8, 8, 10.0).unwrap(),
-        "fat-tree" => generate::fat_tree(4, 4.0).unwrap(),
+        "grid" => generate::grid(8, 8, 10.0).map_err(sft_core::CoreError::from)?,
+        "fat-tree" => generate::fat_tree(4, 4.0).map_err(sft_core::CoreError::from)?,
         "palmetto" => palmetto::graph(),
-        other => panic!("unknown family {other}"),
-    }
+        other => {
+            return Err(ExperimentError::Config(format!(
+                "unknown topology family `{other}` (er, geometric, grid, fat-tree, palmetto)"
+            )))
+        }
+    };
+    Ok(graph)
 }
 
-fn scenario(family: &str, seed: u64) -> Result<Scenario, CoreError> {
-    let graph = topology(family, seed);
+fn scenario(family: &str, seed: u64) -> Result<Scenario, ExperimentError> {
+    let graph = topology(family, seed)?;
     let n = graph.node_count();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     let l_g = graph
@@ -77,7 +82,7 @@ fn scenario(family: &str, seed: u64) -> Result<Scenario, CoreError> {
     })
 }
 
-fn main() {
+fn main() -> Result<(), ExperimentError> {
     let effort = Effort::from_args();
     let families = ["er", "geometric", "grid", "fat-tree", "palmetto"];
     let mut fig = FigureData::new(
@@ -93,7 +98,7 @@ fn main() {
             range
                 .map(|rep| {
                     let result = scenario(family, 100 * (fi as u64 + 1) + rep as u64)
-                        .and_then(|s| runner::run_heuristics(&s));
+                        .and_then(|s| Ok(runner::run_heuristics(&s)?));
                     (rep, result)
                 })
                 .collect::<Vec<_>>()
@@ -102,7 +107,7 @@ fn main() {
             match result {
                 Ok(runs) => {
                     for run in runs {
-                        fig.record(row, run.algo, run.cost, run.ms);
+                        fig.record(row, run.algo, run.cost, run.ms)?;
                     }
                 }
                 Err(e) => eprintln!("{family} seed {rep}: {e}"),
@@ -122,4 +127,5 @@ fn main() {
         Ok(p) => println!("csv: {}", p.display()),
         Err(e) => eprintln!("could not write csv: {e}"),
     }
+    Ok(())
 }

@@ -8,7 +8,7 @@
 
 use crate::record::FigureData;
 use crate::runner::{run_heuristics, HeuristicRun};
-use crate::Effort;
+use crate::{Effort, ExperimentError};
 use sft_core::ilp::IlpModel;
 use sft_core::{CoreError, StageTwo, Strategy};
 use sft_graph::parallel::{run_partitioned, Parallelism};
@@ -42,7 +42,7 @@ fn sweep(
     points: &[(f64, ScenarioConfig)],
     effort: Effort,
     make: impl Fn(&ScenarioConfig, u64) -> Result<Scenario, CoreError> + Sync,
-) -> Result<(), CoreError> {
+) -> Result<(), ExperimentError> {
     for (pi, (x, config)) in points.iter().enumerate() {
         let row = fig.push_x(*x);
         let per_seed: Vec<Result<Vec<HeuristicRun>, CoreError>> =
@@ -59,7 +59,7 @@ fn sweep(
             .collect();
         for runs in per_seed {
             for run in runs? {
-                fig.record(row, run.algo, run.cost, run.ms);
+                fig.record(row, run.algo, run.cost, run.ms)?;
             }
         }
     }
@@ -79,7 +79,7 @@ fn size_sweep_figure(
     effort: Effort,
     dest_ratio: f64,
     mu: f64,
-) -> Result<FigureData, CoreError> {
+) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(id, title, "|V|", &crate::runner::HEURISTICS);
     let points: Vec<(f64, ScenarioConfig)> = sizes(effort)
         .into_iter()
@@ -101,7 +101,7 @@ fn size_sweep_figure(
 }
 
 /// Fig. 8: cost & runtime vs network size at `|D|/|V| = 0.1`.
-pub fn fig08(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig08(effort: Effort) -> Result<FigureData, ExperimentError> {
     size_sweep_figure(
         "fig08",
         "traffic delivery cost and running time vs network size, |D|/|V| = 0.1 (k = 5, mu = 2)",
@@ -112,7 +112,7 @@ pub fn fig08(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 9: cost & runtime vs network size at `|D|/|V| = 0.3`.
-pub fn fig09(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig09(effort: Effort) -> Result<FigureData, ExperimentError> {
     size_sweep_figure(
         "fig09",
         "traffic delivery cost and running time vs network size, |D|/|V| = 0.3 (k = 5, mu = 2)",
@@ -123,7 +123,7 @@ pub fn fig09(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 10: cost & runtime vs network size with setup cost `1 × l_G`.
-pub fn fig10(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig10(effort: Effort) -> Result<FigureData, ExperimentError> {
     size_sweep_figure(
         "fig10",
         "traffic delivery cost and running time vs network size, setup cost 1 x l_G (ratio 0.2)",
@@ -134,7 +134,7 @@ pub fn fig10(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 11: cost & runtime vs network size with setup cost `3 × l_G`.
-pub fn fig11(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig11(effort: Effort) -> Result<FigureData, ExperimentError> {
     size_sweep_figure(
         "fig11",
         "traffic delivery cost and running time vs network size, setup cost 3 x l_G (ratio 0.2)",
@@ -145,7 +145,7 @@ pub fn fig11(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 12: cost & runtime vs SFC length on 200-node networks.
-pub fn fig12(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig12(effort: Effort) -> Result<FigureData, ExperimentError> {
     let network_size = match effort {
         Effort::Quick => 60,
         Effort::Paper => 200,
@@ -178,7 +178,7 @@ pub fn fig12(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 13 (heuristic panel): Palmetto network, cost & runtime vs `|D|`.
-pub fn fig13_heuristics(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig13_heuristics(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "fig13",
         "PalmettoNet: traffic delivery cost and running time vs |D| (k = 10, mu = 2)",
@@ -213,7 +213,7 @@ pub fn fig13_heuristics(effort: Effort) -> Result<FigureData, CoreError> {
 /// Fig. 13 (OPT panel): exact ILP vs the heuristics on reduced Palmetto
 /// instances (first 10 cities, k = 2) where branch-and-bound is
 /// tractable — the paper used CPLEX on the full network; see DESIGN.md §5.
-pub fn fig13_opt(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig13_opt(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "fig13_opt",
         "reduced PalmettoNet (10 cities, k = 2): exact ILP optimum vs the heuristics",
@@ -248,7 +248,7 @@ pub fn fig13_opt(effort: Effort) -> Result<FigureData, CoreError> {
                 .map(|r| r.cost)
                 .expect("MSA always runs");
             for run in &runs {
-                fig.record(row, run.algo, run.cost, run.ms);
+                fig.record(row, run.algo, run.cost, run.ms)?;
             }
 
             // Exact solve, warm-started from the MSA solution.
@@ -277,7 +277,7 @@ pub fn fig13_opt(effort: Effort) -> Result<FigureData, CoreError> {
             let out = model.solve(&scenario.network, &scenario.task, &mip)?;
             let ms = start.elapsed().as_secs_f64() * 1e3;
             if let Some(obj) = out.objective {
-                fig.record(row, "OPT", obj, ms);
+                fig.record(row, "OPT", obj, ms)?;
                 if obj > 0.0 {
                     ratios.push(msa_cost / obj);
                 }
@@ -307,7 +307,7 @@ pub fn fig13_opt(effort: Effort) -> Result<FigureData, CoreError> {
 }
 
 /// Fig. 14: Palmetto network, cost & runtime vs SFC length at `|D| = 15`.
-pub fn fig14(effort: Effort) -> Result<FigureData, CoreError> {
+pub fn fig14(effort: Effort) -> Result<FigureData, ExperimentError> {
     let mut fig = FigureData::new(
         "fig14",
         "PalmettoNet: traffic delivery cost and running time vs SFC length (|D| = 15, mu = 2)",

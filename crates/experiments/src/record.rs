@@ -1,7 +1,45 @@
 //! Aggregated figure data: the rows/series a paper figure plots.
 
+use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// A `(row, algorithm)` cell that does not exist in the figure table.
+///
+/// Returned by [`FigureData::record`] instead of panicking, so sweep
+/// drivers can surface a typo in an algorithm label as a normal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The algorithm name is not one of the table's columns.
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        algo: String,
+        /// The column names the table does have.
+        known: Vec<String>,
+    },
+    /// The row index is past the sweep points pushed so far.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::UnknownAlgorithm { algo, known } => {
+                write!(f, "unknown algorithm `{algo}` (table has {known:?})")
+            }
+            RecordError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for table of {rows} sweep points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
 
 /// Mean/variance statistics for one (sweep point, algorithm) cell
 /// (Welford's online algorithm).
@@ -87,16 +125,30 @@ impl FigureData {
 
     /// Records one run for `(row, algo_name)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown algorithm name or row.
-    pub fn record(&mut self, row: usize, algo: &str, cost: f64, ms: f64) {
-        let a = self
-            .algos
-            .iter()
-            .position(|s| s == algo)
-            .unwrap_or_else(|| panic!("unknown algorithm {algo}"));
-        self.cells[row][a].add(cost, ms);
+    /// [`RecordError`] on an unknown algorithm name or an out-of-range
+    /// row index.
+    pub fn record(
+        &mut self,
+        row: usize,
+        algo: &str,
+        cost: f64,
+        ms: f64,
+    ) -> Result<(), RecordError> {
+        let a = self.algos.iter().position(|s| s == algo).ok_or_else(|| {
+            RecordError::UnknownAlgorithm {
+                algo: algo.to_string(),
+                known: self.algos.clone(),
+            }
+        })?;
+        let rows = self.cells.len();
+        let cell = self
+            .cells
+            .get_mut(row)
+            .ok_or(RecordError::RowOutOfRange { row, rows })?;
+        cell[a].add(cost, ms);
+        Ok(())
     }
 
     /// Mean cost of `algo` at row `row`, if any runs were recorded.
@@ -207,13 +259,25 @@ mod tests {
     fn sample() -> FigureData {
         let mut f = FigureData::new("figX", "test", "|V|", &["MSA", "RSA"]);
         let r0 = f.push_x(50.0);
-        f.record(r0, "MSA", 10.0, 1.0);
-        f.record(r0, "MSA", 12.0, 3.0);
-        f.record(r0, "RSA", 20.0, 0.5);
+        f.record(r0, "MSA", 10.0, 1.0).unwrap();
+        f.record(r0, "MSA", 12.0, 3.0).unwrap();
+        f.record(r0, "RSA", 20.0, 0.5).unwrap();
         let r1 = f.push_x(100.0);
-        f.record(r1, "MSA", 30.0, 2.0);
-        f.record(r1, "RSA", 40.0, 1.0);
+        f.record(r1, "MSA", 30.0, 2.0).unwrap();
+        f.record(r1, "RSA", 40.0, 1.0).unwrap();
         f
+    }
+
+    #[test]
+    fn record_reports_unknown_cells_instead_of_panicking() {
+        let mut f = sample();
+        let err = f.record(0, "CPLEX", 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, RecordError::UnknownAlgorithm { ref algo, .. } if algo == "CPLEX"));
+        assert!(err.to_string().contains("CPLEX"));
+        let err = f.record(9, "MSA", 1.0, 1.0).unwrap_err();
+        assert_eq!(err, RecordError::RowOutOfRange { row: 9, rows: 2 });
+        // Failed records leave the table untouched.
+        assert!((f.mean_cost(0, "MSA").unwrap() - 11.0).abs() < 1e-12);
     }
 
     #[test]

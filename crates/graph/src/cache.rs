@@ -1,0 +1,271 @@
+//! Persistent Steiner-tree caching shared across embedding requests.
+//!
+//! A Steiner tree built by [`crate::steiner`] is a pure function of the
+//! graph topology, the edge weights and the ordered terminal list — it does
+//! not depend on any capacity or deployment state layered on top of the
+//! graph. A long-running service can therefore keep one [`SteinerCache`]
+//! alive across many requests and reuse trees between tasks that share a
+//! root and destination set, even while per-node state (deployed VNF
+//! instances, residual capacities) evolves between requests.
+//!
+//! The contract that makes this sound:
+//!
+//! * **Keys** are `(root, terminals)` with the terminal list in the exact
+//!   order the caller passes it. Construction heuristics (KMB,
+//!   Takahashi–Matsuyama) are deterministic in that order, so a cached
+//!   value is bit-identical to a fresh computation — callers that need
+//!   reproducible results get them for free.
+//! * **Values** may be `None`, recording that tree construction failed for
+//!   that key (e.g. a terminal disconnected from the root); negative
+//!   results are as cacheable as positive ones.
+//! * **Invalidation** is the owner's job exactly when the *graph* changes
+//!   (topology or edge weights). Mutations of node state that do not touch
+//!   the graph — committing an embedding, deploying an instance, debiting
+//!   capacity — must NOT invalidate the cache; that independence is what
+//!   makes cross-request reuse profitable. [`SteinerCache::invalidate`]
+//!   clears every entry and bumps an epoch counter so owners can assert
+//!   the flush happened.
+
+use crate::steiner::SteinerTree;
+use crate::NodeId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Interface for shared Steiner-tree caches.
+///
+/// Implementations must be safe to consult from parallel solver workers
+/// (`Sync`); the provided [`TreeCache::get_or_insert_with`] is the usual
+/// entry point. Because values are pure functions of their key, a racy
+/// double-compute is benign: both racers produce identical trees.
+pub trait TreeCache: Sync {
+    /// Returns the cached outcome for `(root, terminals)`: `Some(outcome)`
+    /// on a hit (where the outcome itself may be a recorded failure),
+    /// `None` on a miss.
+    fn lookup(&self, root: NodeId, terminals: &[NodeId]) -> Option<Option<SteinerTree>>;
+
+    /// Stores the outcome for `(root, terminals)`.
+    fn store(&self, root: NodeId, terminals: &[NodeId], tree: Option<SteinerTree>);
+
+    /// Drops every entry. Owners call this when the underlying graph
+    /// changes; see the module docs for what does *not* require it.
+    fn invalidate(&self);
+
+    /// Looks up `(root, terminals)`, computing and storing the outcome via
+    /// `build` on a miss.
+    fn get_or_insert_with<F>(
+        &self,
+        root: NodeId,
+        terminals: &[NodeId],
+        build: F,
+    ) -> Option<SteinerTree>
+    where
+        F: FnOnce() -> Option<SteinerTree>,
+        Self: Sized,
+    {
+        if let Some(cached) = self.lookup(root, terminals) {
+            return cached;
+        }
+        let tree = build();
+        self.store(root, terminals, tree.clone());
+        tree
+    }
+}
+
+/// A mutex-protected `(root, terminals) -> Option<SteinerTree>` map with
+/// hit/miss counters and an invalidation epoch.
+///
+/// This is the cache a long-running embedding service shares across
+/// requests and across parallel sweep workers. Contention is modest by
+/// construction: workers hold the lock only for a map probe or insert,
+/// never while building a tree.
+#[derive(Debug, Default)]
+pub struct SteinerCache {
+    entries: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    epoch: AtomicU64,
+}
+
+/// `(root, terminal sequence)` to computed tree (or cached failure).
+type CacheMap = BTreeMap<(NodeId, Vec<NodeId>), Option<SteinerTree>>;
+
+impl SteinerCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> Self {
+        SteinerCache::default()
+    }
+
+    /// Number of cached entries (including recorded failures).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// How many times [`SteinerCache::invalidate`] has run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+impl TreeCache for SteinerCache {
+    fn lookup(&self, root: NodeId, terminals: &[NodeId]) -> Option<Option<SteinerTree>> {
+        let key = (root, terminals.to_vec());
+        let found = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key)
+            .cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, root: NodeId, terminals: &[NodeId], tree: Option<SteinerTree>) {
+        let key = (root, terminals.to_vec());
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, tree);
+    }
+
+    fn invalidate(&self) {
+        self.entries.lock().expect("cache lock poisoned").clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn caches_and_counts_hits() {
+        let g = diamond();
+        let cache = SteinerCache::new();
+        let terminals = [NodeId(3)];
+        let build = || g.steiner_kmb(&[NodeId(0), NodeId(3)]).ok();
+        let first = cache
+            .get_or_insert_with(NodeId(0), &terminals, build)
+            .unwrap();
+        let second = cache
+            .get_or_insert_with(NodeId(0), &terminals, build)
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_are_cached_too() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        // Node 2 is disconnected: tree construction fails.
+        let cache = SteinerCache::new();
+        let build = || g.steiner_kmb(&[NodeId(0), NodeId(2)]).ok();
+        assert!(cache
+            .get_or_insert_with(NodeId(0), &[NodeId(2)], build)
+            .is_none());
+        assert!(cache
+            .get_or_insert_with(NodeId(0), &[NodeId(2)], || panic!("must be cached"))
+            .is_none());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let g = diamond();
+        let cache = SteinerCache::new();
+        let t1 = cache
+            .get_or_insert_with(NodeId(0), &[NodeId(3)], || {
+                g.steiner_kmb(&[NodeId(0), NodeId(3)]).ok()
+            })
+            .unwrap();
+        let t2 = cache
+            .get_or_insert_with(NodeId(1), &[NodeId(2)], || {
+                g.steiner_kmb(&[NodeId(1), NodeId(2)]).ok()
+            })
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_ne!(t1.edges, t2.edges);
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_epoch() {
+        let g = diamond();
+        let cache = SteinerCache::new();
+        cache.get_or_insert_with(NodeId(0), &[NodeId(3)], || {
+            g.steiner_kmb(&[NodeId(0), NodeId(3)]).ok()
+        });
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let g = diamond();
+        let cache = SteinerCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let t = cache
+                            .get_or_insert_with(NodeId(0), &[NodeId(3)], || {
+                                g.steiner_kmb(&[NodeId(0), NodeId(3)]).ok()
+                            })
+                            .unwrap();
+                        assert!((t.cost - 2.0).abs() < 1e-12);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 40);
+        assert_eq!(cache.len(), 1);
+    }
+}

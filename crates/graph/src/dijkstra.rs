@@ -261,4 +261,34 @@ mod tests {
         assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(3)), Some(3.0));
         Ok(())
     }
+
+    #[test]
+    fn heap_key_is_a_total_order_even_for_nan() {
+        // The heap ordering must be total: a NaN that slipped past input
+        // validation may sort arbitrarily but must not corrupt the heap's
+        // internal invariants (which a partial-order comparator would).
+        use std::cmp::Ordering;
+        let nan = HeapKey(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(HeapKey(1.0).cmp(&HeapKey(1.0)), Ordering::Equal);
+        assert_eq!(HeapKey(1.0).cmp(&HeapKey(2.0)), Ordering::Less);
+        // total_cmp sorts every NaN above every real number (positive NaN).
+        assert_eq!(HeapKey(1.0).cmp(&nan), Ordering::Less);
+        assert_eq!(nan.partial_cmp(&nan), Some(Ordering::Equal));
+        let mut keys = [nan, HeapKey(2.0), HeapKey(-1.0), HeapKey(0.0)];
+        keys.sort(); // would panic under a broken Ord in debug builds
+        assert_eq!(keys[0].0, -1.0);
+    }
+
+    #[test]
+    fn nan_weights_never_reach_the_heap() {
+        // First line of defense: construction rejects non-finite weights,
+        // so dijkstra never sees a NaN distance.
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(NodeId(0), NodeId(1), f64::NAN).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(1), f64::INFINITY).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(1), -1.0).is_err());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.dijkstra(NodeId(0)).distance(NodeId(1)), None);
+    }
 }

@@ -16,6 +16,9 @@
 //!   Takahashi–Matsuyama path heuristic as an ablation, and an exact
 //!   brute-force solver used as a test oracle.
 //! * Tree utilities ([`tree`]): rooted views, root-to-leaf decomposition.
+//! * A persistent, shareable Steiner-tree cache ([`cache`]) for
+//!   long-running services that solve many requests over one graph, and
+//!   the workspace-wide numeric tolerances ([`numeric`]).
 //! * Random topology generators ([`generate`]): Erdős–Rényi graphs over
 //!   Euclidean point placements and random geometric graphs, with
 //!   connectivity augmentation.
@@ -40,33 +43,27 @@
 //! ```
 
 pub mod apsp;
+pub mod cache;
 pub mod digraph;
 pub mod dijkstra;
 mod error;
 pub mod generate;
 pub mod graph;
 pub mod mst;
+pub mod numeric;
 pub mod parallel;
 pub mod steiner;
 pub mod tree;
 pub mod union_find;
 
 pub use apsp::DistanceMatrix;
+pub use cache::{SteinerCache, TreeCache};
 pub use digraph::DiGraph;
 pub use dijkstra::ShortestPaths;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
+pub use numeric::{approx_eq, approx_le, EPS};
 pub use parallel::Parallelism;
 pub use steiner::SteinerTree;
 pub use tree::RootedTree;
 pub use union_find::UnionFind;
-
-/// Tolerance used when comparing floating-point costs throughout the crate.
-pub const EPS: f64 = 1e-9;
-
-/// Returns `true` when two costs are equal within [`EPS`] (scaled by
-/// magnitude so large costs compare sensibly).
-pub fn approx_eq(a: f64, b: f64) -> bool {
-    let scale = 1.0_f64.max(a.abs()).max(b.abs());
-    (a - b).abs() <= EPS * scale
-}

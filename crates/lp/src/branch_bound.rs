@@ -41,8 +41,11 @@ impl Default for MipConfig {
         MipConfig {
             max_nodes: 100_000,
             time_limit: None,
-            absolute_gap: 1e-6,
-            integrality_tol: 1e-6,
+            // Both default tolerances come from the workspace-wide numeric
+            // module, so incumbent acceptance here and capacity/validator
+            // slack in the embedding crates move together.
+            absolute_gap: sft_graph::numeric::MIP_TOL,
+            integrality_tol: sft_graph::numeric::MIP_TOL,
             warm_start: None,
             simplex: SimplexConfig::default(),
         }

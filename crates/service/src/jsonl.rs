@@ -1,0 +1,276 @@
+//! Newline-delimited JSON task ingestion for `sft batch` / `sft serve`.
+//!
+//! One task per line:
+//!
+//! ```text
+//! {"source": 0, "dests": [12, 31, 40], "sfc": [0, 1, 2]}
+//! ```
+//!
+//! The parser is hand-rolled (the workspace has no serde) and deliberately
+//! strict: the three keys above, in any order, with non-negative integer
+//! values. Blank lines and lines starting with `#` are skipped. A
+//! malformed line produces a per-line error — callers report it and keep
+//! going, so one bad line can never take down a long-running service.
+
+use sft_core::{CoreError, MulticastTask, Sfc, VnfId};
+use sft_graph::NodeId;
+
+/// One parsed task line, before domain validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Source node index.
+    pub source: usize,
+    /// Destination node indices.
+    pub dests: Vec<usize>,
+    /// Service function chain as VNF type indices.
+    pub sfc: Vec<usize>,
+}
+
+impl TaskSpec {
+    /// Converts the spec into a validated [`MulticastTask`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] for an empty/duplicated destination set, an empty
+    /// chain, or a source listed as a destination.
+    pub fn to_task(&self) -> Result<MulticastTask, CoreError> {
+        let sfc = Sfc::new(self.sfc.iter().map(|&f| VnfId(f)).collect::<Vec<_>>())?;
+        MulticastTask::new(
+            NodeId(self.source),
+            self.dests.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
+            sfc,
+        )
+    }
+}
+
+/// Parses one JSONL line into a [`TaskSpec`].
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax or schema problem.
+pub fn parse_line(line: &str) -> Result<TaskSpec, String> {
+    let mut s = Scanner::new(line);
+    s.skip_ws();
+    s.expect(b'{')?;
+    let mut source: Option<usize> = None;
+    let mut dests: Option<Vec<usize>> = None;
+    let mut sfc: Option<Vec<usize>> = None;
+    loop {
+        s.skip_ws();
+        if s.eat(b'}') {
+            break;
+        }
+        let key = s.parse_string()?;
+        s.skip_ws();
+        s.expect(b':')?;
+        s.skip_ws();
+        match key.as_str() {
+            "source" => source = Some(s.parse_uint()?),
+            "dests" => dests = Some(s.parse_uint_array()?),
+            "sfc" => sfc = Some(s.parse_uint_array()?),
+            other => return Err(format!("unknown key \"{other}\"")),
+        }
+        s.skip_ws();
+        if s.eat(b',') {
+            continue;
+        }
+        s.expect(b'}')?;
+        break;
+    }
+    s.skip_ws();
+    if !s.at_end() {
+        return Err(format!("trailing input at byte {}", s.pos));
+    }
+    Ok(TaskSpec {
+        source: source.ok_or("missing key \"source\"")?,
+        dests: dests.ok_or("missing key \"dests\"")?,
+        sfc: sfc.ok_or("missing key \"sfc\"")?,
+    })
+}
+
+/// Parses a whole JSONL stream; returns `(1-based line number, outcome)`
+/// for every non-blank, non-comment line.
+pub fn parse_stream(text: &str) -> Vec<(usize, Result<TaskSpec, String>)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(i, l)| (i + 1, parse_line(l)))
+        .collect()
+}
+
+/// Minimal byte scanner over one line.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Self {
+        Scanner {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `c` if it is next; returns whether it did.
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {}",
+                c as char,
+                self.pos,
+                match self.peek() {
+                    Some(b) => format!("`{}`", b as char),
+                    None => "end of line".into(),
+                }
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?
+                    .to_string();
+                self.pos += 1;
+                if s.contains('\\') {
+                    return Err("escape sequences are not supported".into());
+                }
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_uint(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a non-negative integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| format!("integer out of range at byte {start}"))
+    }
+
+    fn parse_uint_array(&mut self) -> Result<Vec<usize>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_uint()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_shape() {
+        let spec = parse_line(r#"{"source": 0, "dests": [12, 31, 40], "sfc": [0, 1, 2]}"#).unwrap();
+        assert_eq!(
+            spec,
+            TaskSpec {
+                source: 0,
+                dests: vec![12, 31, 40],
+                sfc: vec![0, 1, 2],
+            }
+        );
+        let task = spec.to_task().unwrap();
+        assert_eq!(task.destination_count(), 3);
+    }
+
+    #[test]
+    fn key_order_and_whitespace_are_free() {
+        let spec = parse_line(r#"  { "sfc":[1] ,"source":5,  "dests":[ 2 ] }  "#).unwrap();
+        assert_eq!(spec.source, 5);
+        assert_eq!(spec.dests, vec![2]);
+        assert_eq!(spec.sfc, vec![1]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_reasons() {
+        for (line, needle) in [
+            ("", "expected `{`"),
+            ("{", "expected `\"`"),
+            (r#"{"source": 1}"#, "missing key \"dests\""),
+            (r#"{"source": 1, "dests": [2], "sfc": [0]} x"#, "trailing"),
+            (r#"{"source": -1, "dests": [2], "sfc": [0]}"#, "integer"),
+            (r#"{"bogus": 1}"#, "unknown key"),
+            (r#"{"source": 1, "dests": 2, "sfc": [0]}"#, "expected `[`"),
+            (r#"{"source": 1, "dests": [2,], "sfc": [0]}"#, "integer"),
+        ] {
+            let err = parse_line(line).unwrap_err();
+            assert!(err.contains(needle), "line {line:?}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn stream_skips_blanks_and_comments_and_numbers_lines() {
+        let text =
+            "\n# palmetto demo tasks\n{\"source\": 0, \"dests\": [1], \"sfc\": [0]}\nnot json\n";
+        let parsed = parse_stream(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, 3);
+        assert!(parsed[0].1.is_ok());
+        assert_eq!(parsed[1].0, 4);
+        assert!(parsed[1].1.is_err());
+    }
+
+    #[test]
+    fn spec_to_task_validates_domain_rules() {
+        // Source among destinations is a domain error, not a parse error.
+        let spec = parse_line(r#"{"source": 2, "dests": [2], "sfc": [0]}"#).unwrap();
+        assert!(spec.to_task().is_err());
+        // Empty chain.
+        let spec = parse_line(r#"{"source": 0, "dests": [1], "sfc": []}"#).unwrap();
+        assert!(spec.to_task().is_err());
+    }
+}

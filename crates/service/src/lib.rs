@@ -1,0 +1,34 @@
+//! Long-running SFT-embedding service.
+//!
+//! The paper's setting (§I, §IV-D) is inherently online: pre-deployed VNF
+//! instances are reused at zero setup cost, so each admitted multicast
+//! task changes the cost landscape for the next one. This crate turns the
+//! per-call solvers of `sft-core` into a process-shaped component:
+//!
+//! * [`EmbedService`] owns one [`sft_core::Network`] whose all-pairs
+//!   shortest-path matrix is computed **once** (at `Network::build`) and
+//!   shared by every request for the service's lifetime.
+//! * A persistent [`sft_graph::SteinerCache`] lives across requests:
+//!   delivery trees built for one task are served from the cache to later
+//!   tasks with the same root and destination set. Trees depend only on
+//!   the graph topology and edge weights — never on capacities or
+//!   deployments — so committed placements do not invalidate them (see
+//!   [`sft_graph::cache`] for the exact contract and
+//!   [`EmbedService::invalidate_caches`] for the topology-change hook).
+//! * [`EmbedService::submit_batch`] fans independent tasks across
+//!   [`sft_graph::parallel::run_partitioned`] with the workspace's
+//!   ordered-merge determinism guarantee: results are bit-identical to
+//!   per-task one-shot solves at every thread count.
+//! * [`jsonl`] ingests newline-delimited task files (`sft batch` /
+//!   `sft serve`); a malformed line yields a per-line error, never a
+//!   service crash.
+//! * [`ServiceStats`] reports tasks served, cache hit rate and p50/p99
+//!   solve latency.
+
+pub mod jsonl;
+pub mod service;
+pub mod stats;
+
+pub use jsonl::TaskSpec;
+pub use service::{BatchMode, EmbedService, ServiceError};
+pub use stats::ServiceStats;

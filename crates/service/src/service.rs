@@ -1,0 +1,373 @@
+//! The [`EmbedService`]: one network, many tasks, shared caches.
+
+use crate::stats::ServiceStats;
+use sft_core::{
+    solve_with_cache, CoreError, MulticastTask, Network, SolveOptions, SolveResult, Strategy,
+};
+use sft_graph::parallel::run_partitioned;
+use sft_graph::{Parallelism, SteinerCache, TreeCache};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors surfaced by the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A solver or domain error for one task (the service itself stays up).
+    Core(CoreError),
+    /// The requested strategy cannot run in the service (RSA needs an RNG
+    /// and would break the bit-determinism contract of the batch API).
+    UnsupportedStrategy(Strategy),
+    /// A malformed JSONL input line (1-based line number).
+    Parse {
+        /// 1-based line number in the input stream.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::UnsupportedStrategy(s) => {
+                write!(f, "strategy {s:?} is not supported by the service")
+            }
+            ServiceError::Parse { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// How [`EmbedService::submit_batch`] treats the tasks of one batch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Tasks arrive in order and accrete state: each successful embedding
+    /// is committed before the next task solves, so later tasks reuse the
+    /// instances earlier ones placed (the paper's §IV-D online regime).
+    /// Equivalent to calling [`EmbedService::submit`] per task.
+    #[default]
+    Sequential,
+    /// Tasks are independent snapshots of the current network: the batch
+    /// fans across worker threads, nothing is committed, and every result
+    /// is bit-identical to a one-shot `solve_with_options` against the
+    /// same frozen network — at every thread count.
+    Independent,
+}
+
+/// A long-running embedding service.
+///
+/// Owns the network (APSP built exactly once, inside `Network::build`),
+/// a persistent Steiner cache shared across requests and worker threads,
+/// and running latency/serving statistics.
+#[derive(Debug)]
+pub struct EmbedService {
+    network: Network,
+    strategy: Strategy,
+    options: SolveOptions,
+    cache: SteinerCache,
+    tasks_served: u64,
+    failures: u64,
+    commits: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl EmbedService {
+    /// Creates a service around `network`, solving every task with
+    /// `strategy` under `options`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnsupportedStrategy`] for [`Strategy::Rsa`]: the
+    /// batch API guarantees bit-identical results at every thread count,
+    /// which a randomized stage 1 cannot provide.
+    pub fn new(
+        network: Network,
+        strategy: Strategy,
+        options: SolveOptions,
+    ) -> Result<Self, ServiceError> {
+        if matches!(strategy, Strategy::Rsa) {
+            return Err(ServiceError::UnsupportedStrategy(strategy));
+        }
+        Ok(EmbedService {
+            network,
+            strategy,
+            options,
+            cache: SteinerCache::new(),
+            tasks_served: 0,
+            failures: 0,
+            commits: 0,
+            latencies_ns: Vec::new(),
+        })
+    }
+
+    /// A service with the default strategy (MSA) and options (OPA, all
+    /// cores).
+    pub fn with_defaults(network: Network) -> Self {
+        EmbedService::new(network, Strategy::Msa, SolveOptions::default())
+            .expect("MSA is always supported")
+    }
+
+    /// The current network state (including committed instances).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The shared Steiner cache (for hit-rate inspection).
+    pub fn cache(&self) -> &SteinerCache {
+        &self.cache
+    }
+
+    /// Flushes the Steiner cache. Call this if the underlying *graph*
+    /// (topology or edge weights) changes; committing embeddings does not
+    /// require it — deployments and capacities are not cache inputs.
+    pub fn invalidate_caches(&self) {
+        self.cache.invalidate();
+    }
+
+    /// Solves one task against the current network **without** committing
+    /// its instances (a dry-run / quote).
+    ///
+    /// # Errors
+    ///
+    /// Solver errors for this task; the service stays usable.
+    pub fn solve(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+        let (result, ns) = self.timed_solve(task);
+        self.note(&result, ns);
+        result.map_err(ServiceError::Core)
+    }
+
+    /// Solves one task and commits its new instances, so later tasks reuse
+    /// them at zero setup cost (sequential-arrival semantics, §IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Solver errors for this task; the network is only mutated on
+    /// success.
+    pub fn submit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+        let (result, ns) = self.timed_solve(task);
+        self.note(&result, ns);
+        let result = result?;
+        self.network.commit_embedding(task, &result.embedding)?;
+        self.commits += 1;
+        Ok(result)
+    }
+
+    /// Serves a batch of tasks; see [`BatchMode`] for the two semantics.
+    /// Per-task failures are reported in place — one infeasible or
+    /// malformed task never aborts the rest of the batch. The returned
+    /// vector is index-aligned with `tasks`.
+    pub fn submit_batch(
+        &mut self,
+        tasks: &[MulticastTask],
+        mode: BatchMode,
+    ) -> Vec<Result<SolveResult, ServiceError>> {
+        match mode {
+            BatchMode::Sequential => tasks.iter().map(|t| self.submit(t)).collect(),
+            BatchMode::Independent => self.batch_independent(tasks),
+        }
+    }
+
+    /// Fans independent tasks across worker threads against the frozen
+    /// network. Workers solve whole tasks (each internally sequential, so
+    /// thread fan-out happens at exactly one level) over contiguous index
+    /// chunks; chunk results concatenate back in task order, so the output
+    /// is deterministic in the thread count.
+    fn batch_independent(
+        &mut self,
+        tasks: &[MulticastTask],
+    ) -> Vec<Result<SolveResult, ServiceError>> {
+        let network = &self.network;
+        let cache = &self.cache;
+        let strategy = self.strategy;
+        let inner = self.options.with_parallelism(Parallelism::sequential());
+        let chunks = run_partitioned(self.options.parallelism, tasks.len(), |range| {
+            range
+                .map(|i| {
+                    let start = Instant::now();
+                    let r = solve_with_cache(network, &tasks[i], strategy, inner, cache);
+                    (r, start.elapsed().as_nanos() as u64)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(tasks.len());
+        for (result, ns) in chunks.into_iter().flatten() {
+            self.note(&result, ns);
+            out.push(result.map_err(ServiceError::Core));
+        }
+        out
+    }
+
+    /// A snapshot of the serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::from_latencies(
+            self.tasks_served,
+            self.failures,
+            self.commits,
+            self.cache.len(),
+            self.cache.hits(),
+            self.cache.misses(),
+            &self.latencies_ns,
+        )
+    }
+
+    fn timed_solve(&self, task: &MulticastTask) -> (Result<SolveResult, CoreError>, u64) {
+        let start = Instant::now();
+        let result = solve_with_cache(
+            &self.network,
+            task,
+            self.strategy,
+            self.options,
+            &self.cache,
+        );
+        (result, start.elapsed().as_nanos() as u64)
+    }
+
+    fn note(&mut self, result: &Result<SolveResult, CoreError>, ns: u64) {
+        self.latencies_ns.push(ns);
+        match result {
+            Ok(_) => self.tasks_served += 1,
+            Err(_) => self.failures += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_core::{solve_with_options, SequentialEmbedder, Sfc, VnfCatalog, VnfId};
+    use sft_graph::{Graph, NodeId};
+
+    fn ring_network(n: usize, capacity: f64) -> Network {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0 + (i % 3) as f64 * 0.2)
+                .unwrap();
+        }
+        Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(capacity)
+            .unwrap()
+            .uniform_setup_cost(2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn task(source: usize, dests: &[usize], sfc: &[usize]) -> MulticastTask {
+        MulticastTask::new(
+            NodeId(source),
+            dests.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
+            Sfc::new(sfc.iter().map(|&f| VnfId(f)).collect::<Vec<_>>()).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_rsa() {
+        let net = ring_network(6, 2.0);
+        assert!(matches!(
+            EmbedService::new(net, Strategy::Rsa, SolveOptions::default()),
+            Err(ServiceError::UnsupportedStrategy(Strategy::Rsa))
+        ));
+    }
+
+    #[test]
+    fn independent_batch_matches_oneshot_solves() {
+        let net = ring_network(10, 3.0);
+        let tasks = vec![
+            task(0, &[3, 6], &[0, 1]),
+            task(2, &[5, 9], &[1, 2]),
+            task(0, &[3, 6], &[0, 1]), // duplicate: served from cache
+            task(7, &[1, 4], &[0]),
+        ];
+        for threads in [1usize, 2, 4] {
+            let mut svc = EmbedService::new(
+                ring_network(10, 3.0),
+                Strategy::Msa,
+                SolveOptions::default().with_parallelism(Parallelism::new(threads)),
+            )
+            .unwrap();
+            let batch = svc.submit_batch(&tasks, BatchMode::Independent);
+            for (t, r) in tasks.iter().zip(&batch) {
+                let one =
+                    solve_with_options(&net, t, Strategy::Msa, SolveOptions::default()).unwrap();
+                let r = r.as_ref().unwrap();
+                assert_eq!(one.embedding, r.embedding, "threads={threads}");
+                assert_eq!(one.cost.setup, r.cost.setup);
+                assert_eq!(one.cost.link, r.cost.link);
+            }
+            // The duplicate task must be answered from the shared cache.
+            assert!(svc.cache().hits() > 0, "threads={threads}");
+            let stats = svc.stats();
+            assert_eq!(stats.tasks_served, 4);
+            assert_eq!(stats.commits, 0, "independent mode never commits");
+        }
+    }
+
+    #[test]
+    fn sequential_batch_matches_sequential_embedder() {
+        let tasks = vec![
+            task(0, &[3, 6], &[0, 1]),
+            task(2, &[5, 9], &[1, 2]),
+            task(0, &[3, 6], &[0, 1]),
+        ];
+        let mut svc = EmbedService::new(
+            ring_network(10, 3.0),
+            Strategy::Msa,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        let batch = svc.submit_batch(&tasks, BatchMode::Sequential);
+
+        // Reference: the existing SequentialEmbedder (solve + commit).
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut reference = SequentialEmbedder::new(ring_network(10, 3.0), Strategy::Msa);
+        let mut rng = StdRng::seed_from_u64(0); // unused by MSA
+        for (t, r) in tasks.iter().zip(&batch) {
+            let want = reference.embed(t, &mut rng).unwrap();
+            let got = r.as_ref().unwrap();
+            assert_eq!(want.embedding, got.embedding);
+            assert_eq!(want.cost.setup, got.cost.setup);
+            assert_eq!(want.cost.link, got.cost.link);
+        }
+        // The repeated task pays no setup the second time around.
+        assert_eq!(batch[2].as_ref().unwrap().cost.setup, 0.0);
+        assert_eq!(svc.stats().commits, 3);
+    }
+
+    #[test]
+    fn failures_do_not_kill_the_batch() {
+        let mut svc = EmbedService::new(
+            ring_network(6, 0.0), // zero capacity: everything infeasible
+            Strategy::Msa,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        let tasks = vec![task(0, &[2], &[0]), task(1, &[4], &[1])];
+        let out = svc.submit_batch(&tasks, BatchMode::Sequential);
+        assert!(out.iter().all(Result::is_err));
+        let stats = svc.stats();
+        assert_eq!(stats.failures, 2);
+        assert_eq!(stats.tasks_served, 0);
+        assert_eq!(stats.commits, 0);
+    }
+
+    #[test]
+    fn invalidate_flushes_the_cache() {
+        let mut svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        svc.solve(&task(0, &[3, 5], &[0, 1])).unwrap();
+        assert!(!svc.cache().is_empty());
+        svc.invalidate_caches();
+        assert!(svc.cache().is_empty());
+        assert_eq!(svc.cache().epoch(), 1);
+    }
+}

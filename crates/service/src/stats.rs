@@ -1,0 +1,145 @@
+//! Serving statistics: throughput, cache effectiveness, latency tails.
+
+use std::fmt::Write as _;
+
+/// A snapshot of a service's lifetime statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceStats {
+    /// Tasks solved successfully.
+    pub tasks_served: u64,
+    /// Tasks that failed (infeasible, invalid ids, …).
+    pub failures: u64,
+    /// Successful embeddings committed into the network.
+    pub commits: u64,
+    /// APSP matrices computed over the service lifetime — always 1: the
+    /// matrix is built once when the network is, and shared ever after.
+    pub apsp_builds: u64,
+    /// Entries currently in the Steiner cache.
+    pub cache_entries: usize,
+    /// Steiner lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Steiner lookups that had to compute.
+    pub cache_misses: u64,
+    /// Median solve latency in milliseconds (0 before any solve).
+    pub p50_ms: f64,
+    /// 99th-percentile solve latency in milliseconds (0 before any solve).
+    pub p99_ms: f64,
+    /// Mean solve latency in milliseconds (0 before any solve).
+    pub mean_ms: f64,
+}
+
+impl ServiceStats {
+    /// Assembles a snapshot from raw counters and per-solve latencies
+    /// (nanoseconds, arrival order).
+    pub fn from_latencies(
+        tasks_served: u64,
+        failures: u64,
+        commits: u64,
+        cache_entries: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+        latencies_ns: &[u64],
+    ) -> Self {
+        let mut sorted = latencies_ns.to_vec();
+        sorted.sort_unstable();
+        let to_ms = |ns: u64| ns as f64 / 1e6;
+        let mean_ms = if sorted.is_empty() {
+            0.0
+        } else {
+            to_ms(sorted.iter().sum::<u64>() / sorted.len() as u64)
+        };
+        ServiceStats {
+            tasks_served,
+            failures,
+            commits,
+            apsp_builds: 1,
+            cache_entries,
+            cache_hits,
+            cache_misses,
+            p50_ms: to_ms(percentile_ns(&sorted, 50.0)),
+            p99_ms: to_ms(percentile_ns(&sorted, 99.0)),
+            mean_ms,
+        }
+    }
+
+    /// Fraction of Steiner lookups answered from the cache (0.0 before any
+    /// lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the snapshot as an aligned text block (the `sft batch`
+    /// summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "tasks served   : {}", self.tasks_served);
+        let _ = writeln!(out, "failures       : {}", self.failures);
+        let _ = writeln!(out, "commits        : {}", self.commits);
+        let _ = writeln!(out, "apsp builds    : {}", self.apsp_builds);
+        let _ = writeln!(
+            out,
+            "steiner cache  : {} entries, {} hits / {} misses (hit rate {:.1}%)",
+            self.cache_entries,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        );
+        let _ = writeln!(
+            out,
+            "solve latency  : p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
+            self.p50_ms, self.p99_ms, self.mean_ms
+        );
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert_eq!(percentile_ns(&lat, 50.0), 50_000_000);
+        assert_eq!(percentile_ns(&lat, 99.0), 99_000_000);
+        assert_eq!(percentile_ns(&lat, 100.0), 100_000_000);
+        assert_eq!(percentile_ns(&[7], 50.0), 7);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn snapshot_computes_rates_and_tails() {
+        let lat: Vec<u64> = (1..=10).map(|i| i * 1_000_000).collect();
+        let s = ServiceStats::from_latencies(9, 1, 9, 5, 30, 10, &lat);
+        assert_eq!(s.apsp_builds, 1);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.p50_ms - 5.0).abs() < 1e-9);
+        assert!((s.p99_ms - 10.0).abs() < 1e-9);
+        assert!((s.mean_ms - 5.5).abs() < 1e-9);
+        let text = s.render();
+        assert!(text.contains("hit rate 75.0%"));
+        assert!(text.contains("apsp builds    : 1"));
+    }
+
+    #[test]
+    fn empty_service_reports_zeroes() {
+        let s = ServiceStats::from_latencies(0, 0, 0, 0, 0, 0, &[]);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+}

@@ -7,8 +7,10 @@
 //! * [`lp`] — LP / MILP solver substrate ([`sft_lp`]).
 //! * [`core`] — the paper's domain model and algorithms ([`sft_core`]).
 //! * [`topology`] — topology and workload generators ([`sft_topology`]).
+//! * [`service`] — the long-running embedding service ([`sft_service`]).
 
 pub use sft_core as core;
 pub use sft_graph as graph;
 pub use sft_lp as lp;
+pub use sft_service as service;
 pub use sft_topology as topology;

@@ -12,6 +12,7 @@ USAGE:
 
 TOPOLOGIES (--topology):
   palmetto          the 45-node Palmetto backbone
+  palmetto:<n>      the first n Palmetto cities (connected prefix)
   abilene           the 11-node Abilene/Internet2 backbone
   er:<n>            Erdős–Rényi, n nodes, Euclidean costs (use --seed)
   geo:<n>           random geometric, n nodes (use --seed)
@@ -37,6 +38,10 @@ SOLVE / EXACT FLAGS:
   --sft-dot <file>      write the logical SFT as DOT
   --max-nodes <n>       (exact) branch-and-bound node budget
   --time-limit <secs>   (exact) wall-clock budget
+  --lp-backend <dense|revised|auto>
+                        (exact) LP relaxation solver: dense tableau,
+                        sparse revised simplex, or size-based choice
+                        (default auto)
 
 BATCH / SERVE FLAGS (long-running service; APSP built once, shared
 Steiner cache; tasks are JSONL lines
@@ -50,6 +55,8 @@ Steiner cache; tasks are JSONL lines
   --strategy <msa|sca>  stage-1 algorithm (default msa; rsa is
                         randomized and not reproducible, so the
                         service rejects it)
+  --cache-cap <n>       bound the Steiner cache to n entries with
+                        CLOCK eviction (default unbounded)
 
 EXAMPLES:
   sft info  --topology palmetto

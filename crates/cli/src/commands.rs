@@ -10,7 +10,7 @@ use sft_core::{
     SolveOptions, StageTwo, Strategy, VnfCatalog, VnfId,
 };
 use sft_graph::NodeId;
-use sft_lp::MipConfig;
+use sft_lp::{BackendChoice, MipConfig};
 use sft_service::{jsonl, BatchMode, EmbedService};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -181,10 +181,12 @@ pub fn exact(args: &Args) -> Result<String, ParseError> {
         .map_err(|e| ParseError(e.to_string()))?;
 
     let model = IlpModel::build(&network, &task).map_err(|e| ParseError(e.to_string()))?;
+    let backend: BackendChoice = args.parse_or("lp-backend", BackendChoice::Auto)?;
     let mip = MipConfig {
         max_nodes: args.parse_or("max-nodes", 4000)?,
         time_limit: Some(Duration::from_secs(args.parse_or("time-limit", 120)?)),
         warm_start: model.warm_start(&network, &task, &heuristic.embedding),
+        backend,
         ..MipConfig::default()
     };
     let start = Instant::now();
@@ -206,6 +208,7 @@ pub fn exact(args: &Args) -> Result<String, ParseError> {
         "status     : {:?} ({} B&B nodes, {ms:.1} ms)",
         outc.status, outc.nodes
     );
+    let _ = writeln!(out, "lp backend : {backend} ({})", outc.lp_stats);
     match outc.objective {
         Some(obj) => {
             let _ = writeln!(out, "optimum    : {obj:.2}");
@@ -263,7 +266,17 @@ fn build_service(args: &Args) -> Result<EmbedService, ParseError> {
         },
         parallelism: Parallelism::new(args.parse_or("threads", 0usize)?),
     };
-    EmbedService::new(network, strategy, options).map_err(|e| ParseError(e.to_string()))
+    let svc =
+        EmbedService::new(network, strategy, options).map_err(|e| ParseError(e.to_string()))?;
+    Ok(match args.get("cache-cap") {
+        Some(raw) => {
+            let cap: usize = raw
+                .parse()
+                .map_err(|_| ParseError(format!("cannot parse --cache-cap value `{raw}`")))?;
+            svc.with_cache_capacity(cap)
+        }
+        None => svc,
+    })
 }
 
 /// Feeds a JSONL stream through the service and renders per-task cost
@@ -419,6 +432,32 @@ mod tests {
         let out = run("exact --topology grid:3x3 --source 0 --dests 8 --sfc 1").unwrap();
         assert!(out.contains("status     : Optimal"), "{out}");
         assert!(out.contains("ratio      : 1.0000"), "{out}");
+        assert!(out.contains("lp backend : auto"), "{out}");
+    }
+
+    #[test]
+    fn exact_backends_agree_on_the_optimum() {
+        let base = "exact --topology palmetto:10 --source 0 --dests 6,9 --sfc 1";
+        let mut optima = Vec::new();
+        for backend in ["dense", "revised", "auto"] {
+            let out = run(&format!("{base} --lp-backend {backend}")).unwrap();
+            assert!(out.contains("status     : Optimal"), "{backend}: {out}");
+            assert!(
+                out.contains(&format!("lp backend : {backend}")),
+                "{backend}: {out}"
+            );
+            let obj = out
+                .lines()
+                .find(|l| l.starts_with("optimum"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("{backend}: no optimum in {out}"));
+            optima.push(obj);
+        }
+        for pair in optima.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-6, "{optima:?}");
+        }
+        assert!(run(&format!("{base} --lp-backend fancy")).is_err());
     }
 
     #[test]
@@ -473,6 +512,19 @@ mod tests {
         ))
         .unwrap();
         assert!(seq.contains("commits        : 3"), "{seq}");
+        // A capacity-1 cache still serves the stream; evictions show up.
+        let capped = run(&format!(
+            "batch --topology grid:3x4 --tasks {} --cache-cap 1",
+            file.display()
+        ))
+        .unwrap();
+        assert!(capped.contains("tasks served   : 3"), "{capped}");
+        assert!(!capped.contains("0 evictions"), "{capped}");
+        assert!(run(&format!(
+            "batch --topology grid:3x4 --tasks {} --cache-cap lots",
+            file.display()
+        ))
+        .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -3,13 +3,13 @@
 use crate::args::ParseError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sft_graph::{generate, Graph};
+use sft_graph::{generate, Graph, NodeId};
 use sft_topology::{abilene, palmetto};
 
 /// Builds a graph from a topology spec string.
 ///
-/// Accepted forms: `palmetto`, `er:<n>`, `geo:<n>`, `grid:<r>x<c>`,
-/// `fat-tree:<k>`.
+/// Accepted forms: `palmetto`, `palmetto:<n>`, `er:<n>`, `geo:<n>`,
+/// `grid:<r>x<c>`, `fat-tree:<k>`.
 ///
 /// # Errors
 ///
@@ -21,6 +21,29 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
     }
     if spec == "abilene" {
         return Ok(abilene::graph());
+    }
+    if let Some(n) = spec.strip_prefix("palmetto:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| ParseError(format!("bad node count in `{spec}`")))?;
+        if !(1..=palmetto::NODE_COUNT).contains(&n) {
+            return Err(ParseError(format!(
+                "palmetto prefix must be 1..={} (got {n})",
+                palmetto::NODE_COUNT
+            )));
+        }
+        // `palmetto::reduced_graph` panics on a disconnected prefix, so
+        // build the induced subgraph here and report the failure instead.
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let g = palmetto::graph()
+            .induced_subgraph(&nodes)
+            .map_err(|e| ParseError(format!("cannot reduce palmetto: {e}")))?;
+        if !g.is_connected() {
+            return Err(ParseError(format!(
+                "palmetto:{n} is disconnected; pick a larger prefix"
+            )));
+        }
+        return Ok(g);
     }
     if let Some(n) = spec.strip_prefix("er:") {
         let n: usize = n
@@ -60,7 +83,7 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
             .map_err(|e| ParseError(format!("cannot generate `{spec}`: {e}")));
     }
     Err(ParseError(format!(
-        "unknown topology `{spec}` (try palmetto, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>)"
+        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>)"
     )))
 }
 
@@ -71,6 +94,8 @@ mod tests {
     #[test]
     fn builds_every_family() {
         assert_eq!(build("palmetto", 0).unwrap().node_count(), 45);
+        assert_eq!(build("palmetto:14", 0).unwrap().node_count(), 14);
+        assert!(build("palmetto:14", 0).unwrap().is_connected());
         assert_eq!(build("abilene", 0).unwrap().node_count(), 11);
         assert_eq!(build("er:30", 1).unwrap().node_count(), 30);
         assert_eq!(build("geo:25", 2).unwrap().node_count(), 25);
@@ -104,6 +129,9 @@ mod tests {
             "grid:ax2",
             "fat-tree:three",
             "mesh:9",
+            "palmetto:",
+            "palmetto:0",
+            "palmetto:46",
         ] {
             assert!(build(bad, 0).is_err(), "`{bad}` should fail");
         }

@@ -23,7 +23,7 @@ use crate::network::Network;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use sft_graph::{EdgeId, NodeId};
-use sft_lp::{solve_mip, Cmp, MipConfig, MipStatus, Problem, VarId};
+use sft_lp::{solve_mip, Cmp, MipConfig, MipSolution, MipStatus, Problem, SimplexStats, VarId};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A built ILP instance with its variable maps, ready to solve.
@@ -50,6 +50,9 @@ pub struct IlpOutcome {
     pub bound: f64,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// LP work accumulated across every node relaxation (iterations,
+    /// refactorizations, fill-in).
+    pub lp_stats: SimplexStats,
     /// The decoded embedding of the best solution, if any.
     pub embedding: Option<Embedding>,
 }
@@ -296,13 +299,14 @@ impl IlpModel {
         let embedding = out
             .best
             .as_ref()
-            .map(|best| self.decode(network, task, best.values()))
+            .map(|best| self.decode(network, task, best))
             .transpose()?;
         Ok(IlpOutcome {
             status: out.status,
             objective: out.best.as_ref().map(|b| b.objective),
             bound: out.best_bound,
             nodes: out.nodes_explored,
+            lp_stats: out.lp_stats,
             embedding,
         })
     }
@@ -314,17 +318,21 @@ impl IlpModel {
         &self,
         network: &Network,
         task: &MulticastTask,
-        values: &[f64],
+        best: &MipSolution,
     ) -> Result<Embedding, CoreError> {
         let dist = network.dist();
         let mut routes = Vec::with_capacity(task.destination_count());
         for (d, &dest) in task.destinations().iter().enumerate() {
             let mut nodes = vec![task.source()];
             for j in 1..=self.k {
+                // `get` (not `value`) so a stale id from a model/solution
+                // mismatch surfaces as Infeasible instead of a panic.
                 let s = self
                     .phi
                     .iter()
-                    .find(|((dd, jj, _), v)| *dd == d && *jj == j && values[v.index()] > 0.5)
+                    .find(|((dd, jj, _), v)| {
+                        *dd == d && *jj == j && best.get(**v).is_some_and(|x| x > 0.5)
+                    })
                     .map(|((_, _, s), _)| *s)
                     .ok_or_else(|| CoreError::Infeasible {
                         reason: format!(
@@ -341,7 +349,7 @@ impl IlpModel {
                     .arcs
                     .iter()
                     .enumerate()
-                    .filter(|(ai, _)| values[self.tau[&(d, j, *ai)].index()] > 0.5)
+                    .filter(|(ai, _)| best.get(self.tau[&(d, j, *ai)]).is_some_and(|x| x > 0.5))
                     .map(|(_, &(a, b, _))| (a, b))
                     .collect();
                 let seg = trace_path(&selected, nodes[j], nodes[j + 1])

@@ -1,0 +1,47 @@
+//! Regenerates the LP-format corpus under `crates/lp/tests/corpus/`.
+//!
+//! Each file is a real `sft-core` ILP (paper model (1a)–(1g)) built on a
+//! small topology and dumped with [`sft_lp::export::to_lp_format`]. The
+//! LP differential suite re-imports them and pins the revised simplex
+//! against the dense oracle on production problems, not just random LPs.
+//!
+//! Run from anywhere in the workspace:
+//! `cargo run -p sft-experiments --bin export_corpus`
+
+use sft_core::ilp::IlpModel;
+use sft_topology::{palmetto, workload, ScenarioConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../lp/tests/corpus");
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+
+    // (file stem, palmetto prefix size, destinations, chain length, seed)
+    let instances = [
+        ("palmetto08_d2_k1", 8usize, 2usize, 1usize, 11u64),
+        ("palmetto10_d2_k2", 10, 2, 2, 23),
+        ("palmetto10_d3_k1", 10, 3, 1, 37),
+        ("palmetto12_d3_k2", 12, 3, 2, 41),
+        ("palmetto14_d4_k2", 14, 4, 2, 53),
+    ];
+    for (stem, nodes, dests, k, seed) in instances {
+        let config = ScenarioConfig {
+            dest_ratio: dests as f64 / nodes as f64,
+            deployment_cost_mu: 2.0,
+            sfc_len: k,
+            ..ScenarioConfig::default()
+        };
+        let scenario = workload::on_graph(palmetto::reduced_graph(nodes), &config, seed)
+            .expect("scenario generation");
+        let model = IlpModel::build(&scenario.network, &scenario.task).expect("ILP construction");
+        let text = sft_lp::export::to_lp_format(model.problem());
+        let path = dir.join(format!("{stem}.lp"));
+        std::fs::write(&path, text).expect("write corpus file");
+        println!(
+            "{}: {} variables, {} constraints",
+            path.display(),
+            model.problem().var_count(),
+            model.problem().constraint_count()
+        );
+    }
+}

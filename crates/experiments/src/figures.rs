@@ -6,7 +6,7 @@
 //! instances where the from-scratch branch-and-bound is exact (DESIGN.md
 //! §5, substitution 1).
 
-use crate::record::FigureData;
+use crate::record::{FigureData, SolverTelemetry};
 use crate::runner::{run_heuristics, HeuristicRun};
 use crate::{Effort, ExperimentError};
 use sft_core::ilp::IlpModel;
@@ -276,6 +276,12 @@ pub fn fig13_opt(effort: Effort) -> Result<FigureData, ExperimentError> {
             let start = Instant::now();
             let out = model.solve(&scenario.network, &scenario.task, &mip)?;
             let ms = start.elapsed().as_secs_f64() * 1e3;
+            fig.telemetry.push(SolverTelemetry {
+                row,
+                backend: mip.backend.resolve(model.problem()).name().to_string(),
+                bb_nodes: out.nodes as u64,
+                lp_stats: out.lp_stats,
+            });
             if let Some(obj) = out.objective {
                 fig.record(row, "OPT", obj, ms)?;
                 if obj > 0.0 {

@@ -1,5 +1,6 @@
 //! Aggregated figure data: the rows/series a paper figure plots.
 
+use sft_lp::SimplexStats;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -76,6 +77,20 @@ impl CellStats {
     }
 }
 
+/// Telemetry from one exact solve behind a figure cell: which LP backend
+/// ran and how much simplex work the branch-and-bound did in total.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverTelemetry {
+    /// Row index of the sweep point the solve belongs to.
+    pub row: usize,
+    /// Resolved LP backend name (`dense tableau` / `revised simplex`).
+    pub backend: String,
+    /// Branch-and-bound nodes explored.
+    pub bb_nodes: u64,
+    /// Simplex work accumulated across every node relaxation.
+    pub lp_stats: SimplexStats,
+}
+
 /// One reproduced figure: a table of sweep points × algorithms, carrying
 /// both of the paper's per-figure panels (delivery cost and runtime).
 #[derive(Clone, Debug)]
@@ -94,6 +109,8 @@ pub struct FigureData {
     pub cells: Vec<Vec<CellStats>>,
     /// Free-form annotations (summary statistics, substitution notes).
     pub notes: Vec<String>,
+    /// Exact-solve telemetry, one entry per ILP solve feeding the table.
+    pub telemetry: Vec<SolverTelemetry>,
 }
 
 impl FigureData {
@@ -112,6 +129,7 @@ impl FigureData {
             xs: Vec::new(),
             cells: Vec::new(),
             notes: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -208,6 +226,13 @@ impl FigureData {
         }
         for n in &self.notes {
             let _ = writeln!(out, "note: {n}");
+        }
+        for t in &self.telemetry {
+            let _ = writeln!(
+                out,
+                "lp:   {} = {:.1}: {} backend, {} B&B nodes, {}",
+                self.x_label, self.xs[t.row], t.backend, t.bb_nodes, t.lp_stats
+            );
         }
         out
     }
@@ -323,6 +348,32 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("|V|,MSA_cost"));
         assert_eq!(lines[1].split(',').count(), 9);
+    }
+
+    #[test]
+    fn telemetry_lines_render_after_notes() {
+        let mut f = sample();
+        f.telemetry.push(SolverTelemetry {
+            row: 1,
+            backend: "revised simplex".into(),
+            bb_nodes: 17,
+            lp_stats: SimplexStats {
+                phase1_iterations: 40,
+                phase2_iterations: 60,
+                refactorizations: 2,
+                fill_in: 123,
+            },
+        });
+        let s = f.render();
+        assert!(
+            s.contains("lp:   |V| = 100.0: revised simplex backend"),
+            "{s}"
+        );
+        assert!(s.contains("17 B&B nodes"), "{s}");
+        assert!(
+            s.contains("phase1=40 phase2=60 refactor=2 fill-in=123"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -25,12 +25,44 @@
 //!   makes cross-request reuse profitable. [`SteinerCache::invalidate`]
 //!   clears every entry and bumps an epoch counter so owners can assert
 //!   the flush happened.
+//! * **Bounding** is optional: [`SteinerCache::bounded`] caps the entry
+//!   count and evicts with the CLOCK (second-chance) policy — entries
+//!   touched since the clock hand last passed survive one sweep — so a
+//!   long-running service's memory stays bounded under an unbounded
+//!   request stream. The default remains unbounded.
 
 use crate::steiner::SteinerTree;
 use crate::NodeId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A point-in-time snapshot of a cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently cached (including recorded failures).
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// How many times the cache has been invalidated.
+    pub epoch: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Interface for shared Steiner-tree caches.
 ///
@@ -73,7 +105,8 @@ pub trait TreeCache: Sync {
 }
 
 /// A mutex-protected `(root, terminals) -> Option<SteinerTree>` map with
-/// hit/miss counters and an invalidation epoch.
+/// hit/miss/eviction counters, an invalidation epoch, and an optional
+/// capacity bound enforced by CLOCK eviction.
 ///
 /// This is the cache a long-running embedding service shares across
 /// requests and across parallel sweep workers. Contention is modest by
@@ -81,24 +114,60 @@ pub trait TreeCache: Sync {
 /// never while building a tree.
 #[derive(Debug, Default)]
 pub struct SteinerCache {
-    entries: Mutex<CacheMap>,
+    entries: Mutex<CacheInner>,
+    /// Maximum entries; `None` means unbounded.
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     epoch: AtomicU64,
 }
 
-/// `(root, terminal sequence)` to computed tree (or cached failure).
-type CacheMap = BTreeMap<(NodeId, Vec<NodeId>), Option<SteinerTree>>;
+/// `(root, terminal sequence)` — the cache key.
+type CacheKey = (NodeId, Vec<NodeId>);
+
+/// A cached outcome plus its CLOCK reference bit.
+#[derive(Debug)]
+struct Slot {
+    value: Option<SteinerTree>,
+    /// Set on every touch; cleared when the clock hand sweeps past. An
+    /// entry is evicted only if the hand finds this bit already clear.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: BTreeMap<CacheKey, Slot>,
+    /// The clock ring: every cached key, in insertion-slot order.
+    ring: Vec<CacheKey>,
+    /// Next ring position the eviction hand examines.
+    hand: usize,
+}
 
 impl SteinerCache {
-    /// An empty cache at epoch 0.
+    /// An empty unbounded cache at epoch 0.
     pub fn new() -> Self {
         SteinerCache::default()
     }
 
+    /// An empty cache holding at most `max_entries` entries, evicting with
+    /// the CLOCK (second-chance) policy once full. A zero capacity caches
+    /// nothing (every lookup misses).
+    pub fn bounded(max_entries: usize) -> Self {
+        SteinerCache {
+            capacity: Some(max_entries),
+            ..SteinerCache::default()
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of cached entries (including recorded failures).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock poisoned").len()
+        self.entries.lock().expect("cache lock poisoned").map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -126,23 +195,36 @@ impl SteinerCache {
         }
     }
 
+    /// Entries evicted so far to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// How many times [`SteinerCache::invalidate`] has run.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of every counter at once.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            epoch: self.epoch(),
+        }
     }
 }
 
 impl TreeCache for SteinerCache {
     fn lookup(&self, root: NodeId, terminals: &[NodeId]) -> Option<Option<SteinerTree>> {
         let key = (root, terminals.to_vec());
-        let found = self
-            .entries
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&key)
-            .cloned();
-        match found {
-            Some(v) => {
+        let mut inner = self.entries.lock().expect("cache lock poisoned");
+        match inner.map.get_mut(&key) {
+            Some(slot) => {
+                slot.referenced = true;
+                let v = slot.value.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
@@ -155,14 +237,52 @@ impl TreeCache for SteinerCache {
 
     fn store(&self, root: NodeId, terminals: &[NodeId], tree: Option<SteinerTree>) {
         let key = (root, terminals.to_vec());
-        self.entries
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, tree);
+        let mut inner = self.entries.lock().expect("cache lock poisoned");
+        if let Some(slot) = inner.map.get_mut(&key) {
+            slot.value = tree;
+            slot.referenced = true;
+            return;
+        }
+        let slot = Slot {
+            value: tree,
+            referenced: true,
+        };
+        match self.capacity {
+            Some(0) => {} // degenerate bound: cache nothing
+            Some(cap) if inner.map.len() >= cap => {
+                // CLOCK: sweep the hand, clearing reference bits, until an
+                // unreferenced victim appears (at most one full revolution
+                // plus one step). The victim's ring slot is recycled for
+                // the new key.
+                loop {
+                    let hand = inner.hand % inner.ring.len();
+                    let victim = inner.ring[hand].clone();
+                    let vslot = inner.map.get_mut(&victim).expect("ring key is cached");
+                    if vslot.referenced {
+                        vslot.referenced = false;
+                        inner.hand = (hand + 1) % inner.ring.len();
+                    } else {
+                        inner.map.remove(&victim);
+                        inner.ring[hand] = key.clone();
+                        inner.hand = (hand + 1) % inner.ring.len();
+                        inner.map.insert(key, slot);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            _ => {
+                inner.ring.push(key.clone());
+                inner.map.insert(key, slot);
+            }
+        }
     }
 
     fn invalidate(&self) {
-        self.entries.lock().expect("cache lock poisoned").clear();
+        let mut inner = self.entries.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.ring.clear();
+        inner.hand = 0;
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -245,6 +365,97 @@ mod tests {
         cache.invalidate();
         assert!(cache.is_empty());
         assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_at_capacity() {
+        let g = diamond();
+        let cache = SteinerCache::bounded(2);
+        let build = |a: usize, b: usize| g.steiner_kmb(&[NodeId(a), NodeId(b)]).ok();
+        cache.store(NodeId(0), &[NodeId(1)], build(0, 1));
+        cache.store(NodeId(0), &[NodeId(2)], build(0, 2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        cache.store(NodeId(0), &[NodeId(3)], build(0, 3));
+        assert_eq!(cache.len(), 2, "capacity bound must hold");
+        assert_eq!(cache.evictions(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn clock_second_chance_protects_touched_entries() {
+        let g = diamond();
+        let cache = SteinerCache::bounded(2);
+        let build = |a: usize, b: usize| g.steiner_kmb(&[NodeId(a), NodeId(b)]).ok();
+        cache.store(NodeId(0), &[NodeId(1)], build(0, 1));
+        cache.store(NodeId(0), &[NodeId(2)], build(0, 2));
+        // One full hand sweep clears both reference bits, then evicts the
+        // oldest slot; touching (0,[1]) afterwards re-arms its bit.
+        cache.store(NodeId(0), &[NodeId(3)], build(0, 3)); // evicts (0,[1])
+        assert!(cache.lookup(NodeId(0), &[NodeId(1)]).is_none());
+        cache.store(NodeId(0), &[NodeId(1)], build(0, 1)); // evicts one of the rest
+        assert!(cache.lookup(NodeId(0), &[NodeId(1)]).is_some());
+        // Touch (0,[1]) then overflow again: the touched entry survives
+        // because the hand finds its reference bit set and spares it.
+        cache.lookup(NodeId(0), &[NodeId(1)]);
+        cache.store(NodeId(2), &[NodeId(3)], build(2, 3));
+        assert!(
+            cache.lookup(NodeId(0), &[NodeId(1)]).is_some(),
+            "recently touched entry must get a second chance"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let g = diamond();
+        let cache = SteinerCache::bounded(0);
+        let t = cache.get_or_insert_with(NodeId(0), &[NodeId(3)], || {
+            g.steiner_kmb(&[NodeId(0), NodeId(3)]).ok()
+        });
+        assert!(t.is_some(), "build result still returned");
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let g = diamond();
+        let cache = SteinerCache::new();
+        assert_eq!(cache.capacity(), None);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    cache.store(
+                        NodeId(a),
+                        &[NodeId(b)],
+                        g.steiner_kmb(&[NodeId(a), NodeId(b)]).ok(),
+                    );
+                }
+            }
+        }
+        assert_eq!(cache.len(), 12);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_invalidate_resets_the_ring() {
+        let g = diamond();
+        let cache = SteinerCache::bounded(2);
+        let build = |a: usize, b: usize| g.steiner_kmb(&[NodeId(a), NodeId(b)]).ok();
+        cache.store(NodeId(0), &[NodeId(1)], build(0, 1));
+        cache.store(NodeId(0), &[NodeId(2)], build(0, 2));
+        cache.store(NodeId(0), &[NodeId(3)], build(0, 3));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        // Refilling after a flush must work without phantom ring slots.
+        cache.store(NodeId(0), &[NodeId(1)], build(0, 1));
+        cache.store(NodeId(0), &[NodeId(2)], build(0, 2));
+        cache.store(NodeId(0), &[NodeId(3)], build(0, 3));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod tree;
 pub mod union_find;
 
 pub use apsp::DistanceMatrix;
-pub use cache::{SteinerCache, TreeCache};
+pub use cache::{CacheStats, SteinerCache, TreeCache};
 pub use digraph::DiGraph;
 pub use dijkstra::ShortestPaths;
 pub use error::GraphError;

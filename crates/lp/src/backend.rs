@@ -1,0 +1,303 @@
+//! Pluggable LP solver backends.
+//!
+//! [`LpBackend`] abstracts "solve the LP relaxation of a [`Problem`]" so
+//! branch-and-bound and callers above it can switch between:
+//!
+//! * [`DenseBackend`] — the original full-tableau two-phase simplex
+//!   ([`crate::simplex`]), kept as the oracle implementation;
+//! * [`RevisedBackend`] — the sparse revised simplex ([`crate::revised`])
+//!   with LU-factorized bases, eta-file updates, and warm starts from a
+//!   [`BasisSnapshot`].
+//!
+//! Every solve returns [`SimplexStats`] alongside the outcome so callers
+//! can report iteration, refactorization, and fill-in counts.
+
+use crate::problem::Problem;
+use crate::simplex::{LpOutcome, SimplexConfig};
+use crate::LpError;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Work counters of a simplex solve.
+///
+/// The dense backend reports iterations only; `refactorizations` and
+/// `fill_in` are specific to the revised path (`fill_in` is the peak
+/// number of nonzeros in the LU factors of the basis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplexStats {
+    /// Pivots spent restoring feasibility (phase 1).
+    pub phase1_iterations: usize,
+    /// Pivots spent optimizing the real objective (phase 2).
+    pub phase2_iterations: usize,
+    /// Basis refactorizations after the initial factorization.
+    pub refactorizations: usize,
+    /// Peak nonzero count of the LU factors across refactorizations.
+    pub fill_in: usize,
+}
+
+impl SimplexStats {
+    /// Total pivots across both phases.
+    pub fn iterations(&self) -> usize {
+        self.phase1_iterations + self.phase2_iterations
+    }
+
+    /// Accumulates another solve's counters (fill-in takes the maximum).
+    pub fn absorb(&mut self, other: &SimplexStats) {
+        self.phase1_iterations += other.phase1_iterations;
+        self.phase2_iterations += other.phase2_iterations;
+        self.refactorizations += other.refactorizations;
+        self.fill_in = self.fill_in.max(other.fill_in);
+    }
+}
+
+impl fmt::Display for SimplexStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase1={} phase2={} refactor={} fill-in={}",
+            self.phase1_iterations, self.phase2_iterations, self.refactorizations, self.fill_in
+        )
+    }
+}
+
+/// A basis captured at the end of a revised-simplex solve, reusable as the
+/// starting basis of a closely related problem (branch-and-bound child
+/// nodes, which only tighten variable bounds).
+///
+/// Columns are identified by *working-column* ids in the revised layout
+/// (structural columns first, then one slack per row), which are stable
+/// across bound changes because the structural layout depends only on
+/// which bounds are finite.
+#[derive(Clone, Debug)]
+pub struct BasisSnapshot {
+    pub(crate) nstruct: usize,
+    pub(crate) ncols: usize,
+    /// Basic working column per basis position (one per row).
+    pub(crate) basic: Vec<usize>,
+    /// Nonbasic working columns sitting at their upper bound.
+    pub(crate) at_upper: Vec<usize>,
+}
+
+/// Outcome of a backend solve: the LP result, its work counters, and (for
+/// backends that support warm starts) the final basis.
+#[derive(Clone, Debug)]
+pub struct LpReport {
+    /// The LP outcome in the problem's own sense.
+    pub outcome: LpOutcome,
+    /// Work counters of this solve.
+    pub stats: SimplexStats,
+    /// Final basis, present when the backend supports warm starts.
+    pub basis: Option<Arc<BasisSnapshot>>,
+}
+
+/// A linear-programming solver backend.
+pub trait LpBackend: Sync {
+    /// Short stable identifier (`"dense"` / `"revised"`).
+    fn name(&self) -> &'static str;
+
+    /// Solves the LP relaxation of `problem`, optionally warm-starting
+    /// from a basis captured on a related problem. Backends that cannot
+    /// use `warm` must ignore it.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::IterationLimit`] if the iteration budget is exhausted.
+    fn solve(
+        &self,
+        problem: &Problem,
+        config: &SimplexConfig,
+        warm: Option<&BasisSnapshot>,
+    ) -> Result<LpReport, LpError>;
+}
+
+/// The dense full-tableau two-phase simplex — the oracle implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseBackend;
+
+impl LpBackend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        config: &SimplexConfig,
+        _warm: Option<&BasisSnapshot>,
+    ) -> Result<LpReport, LpError> {
+        let (outcome, stats) = crate::simplex::solve_dense_with_stats(problem, config)?;
+        Ok(LpReport {
+            outcome,
+            stats,
+            basis: None,
+        })
+    }
+}
+
+/// The sparse revised simplex with LU-factorized bases and eta updates.
+///
+/// On (rare) numerical failure the solve is retried once from a cold
+/// basis, and if that also fails it falls back to the dense oracle, so
+/// callers always get an answer consistent with the dense path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RevisedBackend;
+
+impl LpBackend for RevisedBackend {
+    fn name(&self) -> &'static str {
+        "revised"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        config: &SimplexConfig,
+        warm: Option<&BasisSnapshot>,
+    ) -> Result<LpReport, LpError> {
+        match crate::revised::solve_revised(problem, config, warm)? {
+            Some(report) => Ok(report),
+            None => {
+                // Numerical failure from the warm basis: retry cold.
+                let cold = if warm.is_some() {
+                    crate::revised::solve_revised(problem, config, None)?
+                } else {
+                    None
+                };
+                match cold {
+                    Some(report) => Ok(report),
+                    None => DenseBackend.solve(problem, config, None),
+                }
+            }
+        }
+    }
+}
+
+static DENSE: DenseBackend = DenseBackend;
+static REVISED: RevisedBackend = RevisedBackend;
+
+/// Dense-tableau work estimate: rows × columns of the full tableau. Above
+/// this, `Auto` switches to the revised backend.
+const AUTO_DENSE_CELLS: usize = 50_000;
+
+/// Backend selection policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Always the dense full-tableau oracle.
+    Dense,
+    /// Always the sparse revised simplex.
+    Revised,
+    /// Pick per problem: dense for small tableaus (where its cache-friendly
+    /// pivots win), revised once the dense tableau would exceed
+    /// [`AUTO_DENSE_CELLS`] cells.
+    #[default]
+    Auto,
+}
+
+impl BackendChoice {
+    /// Resolves the policy for a concrete problem.
+    pub fn resolve(self, problem: &Problem) -> &'static dyn LpBackend {
+        match self {
+            BackendChoice::Dense => &DENSE,
+            BackendChoice::Revised => &REVISED,
+            BackendChoice::Auto => {
+                let m = problem.constraint_count();
+                // The dense tableau allocates structural + slack +
+                // artificial columns: roughly n + 2m.
+                let cells = m.saturating_mul(problem.var_count() + 2 * m);
+                if cells > AUTO_DENSE_CELLS {
+                    &REVISED
+                } else {
+                    &DENSE
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(BackendChoice::Dense),
+            "revised" => Ok(BackendChoice::Revised),
+            "auto" => Ok(BackendChoice::Auto),
+            other => Err(format!(
+                "unknown LP backend `{other}` (expected dense, revised, or auto)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Dense => "dense",
+            BackendChoice::Revised => "revised",
+            BackendChoice::Auto => "auto",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Cmp;
+
+    #[test]
+    fn choice_parses_and_displays() {
+        for (s, c) in [
+            ("dense", BackendChoice::Dense),
+            ("revised", BackendChoice::Revised),
+            ("auto", BackendChoice::Auto),
+        ] {
+            assert_eq!(s.parse::<BackendChoice>().unwrap(), c);
+            assert_eq!(c.to_string(), s);
+        }
+        assert!("simplex".parse::<BackendChoice>().is_err());
+    }
+
+    #[test]
+    fn auto_prefers_dense_for_small_problems() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0)], Cmp::Le, 1.0).unwrap();
+        assert_eq!(BackendChoice::Auto.resolve(&p).name(), "dense");
+        assert_eq!(BackendChoice::Revised.resolve(&p).name(), "revised");
+    }
+
+    #[test]
+    fn auto_switches_to_revised_at_scale() {
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = (0..200)
+            .map(|i| p.add_binary(format!("x{i}"), 1.0).unwrap())
+            .collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.add_constraint(format!("c{i}"), [(v, 1.0)], Cmp::Le, 1.0)
+                .unwrap();
+        }
+        assert_eq!(BackendChoice::Auto.resolve(&p).name(), "revised");
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = SimplexStats {
+            phase1_iterations: 2,
+            phase2_iterations: 3,
+            refactorizations: 1,
+            fill_in: 10,
+        };
+        let b = SimplexStats {
+            phase1_iterations: 5,
+            phase2_iterations: 7,
+            refactorizations: 0,
+            fill_in: 4,
+        };
+        a.absorb(&b);
+        assert_eq!(a.phase1_iterations, 7);
+        assert_eq!(a.phase2_iterations, 10);
+        assert_eq!(a.iterations(), 17);
+        assert_eq!(a.refactorizations, 1);
+        assert_eq!(a.fill_in, 10);
+    }
+}

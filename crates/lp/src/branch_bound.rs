@@ -1,20 +1,26 @@
 //! Branch-and-bound for mixed-integer programs.
 //!
-//! Best-first search over LP relaxations solved by [`crate::simplex`]:
+//! Best-first search over LP relaxations solved through an
+//! [`LpBackend`] selected by [`MipConfig::backend`]:
 //!
 //! * node selection: smallest relaxation bound first (a `BinaryHeap`);
 //! * branching variable: most fractional integer variable;
+//! * basis reuse: each child node warm-starts its LP from the parent's
+//!   final basis (backends that support [`BasisSnapshot`]s, i.e. the
+//!   revised simplex; the dense oracle solves cold);
 //! * incumbents: an optional warm start (e.g. the paper's two-stage
 //!   heuristic solution) plus a cheap round-and-check heuristic at every
 //!   node;
 //! * limits: node budget and wall-clock budget, reported honestly via
 //!   [`MipStatus`].
 
+use crate::backend::{BackendChoice, BasisSnapshot, LpBackend, SimplexStats};
 use crate::problem::{ObjectiveSense, Problem, VarId, VarKind};
-use crate::simplex::{solve_lp_with, LpOutcome, SimplexConfig};
+use crate::simplex::{LpOutcome, SimplexConfig};
 use crate::LpError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs and limits for [`solve_mip`].
@@ -34,6 +40,8 @@ pub struct MipConfig {
     pub warm_start: Option<Vec<f64>>,
     /// Configuration for the underlying LP solves.
     pub simplex: SimplexConfig,
+    /// Which LP backend solves the node relaxations.
+    pub backend: BackendChoice,
 }
 
 impl Default for MipConfig {
@@ -48,6 +56,7 @@ impl Default for MipConfig {
             integrality_tol: sft_graph::numeric::MIP_TOL,
             warm_start: None,
             simplex: SimplexConfig::default(),
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -68,6 +77,12 @@ impl MipSolution {
     /// Panics if the id is out of bounds.
     pub fn value(&self, v: VarId) -> f64 {
         self.values[v.0]
+    }
+
+    /// Value of a variable, or `None` if the id does not belong to the
+    /// solved problem (e.g. a stale id from a different [`Problem`]).
+    pub fn get(&self, v: VarId) -> Option<f64> {
+        self.values.get(v.0).copied()
     }
 
     /// The full assignment, indexed by [`VarId::index`].
@@ -105,6 +120,8 @@ pub struct MipOutcome {
     pub best_bound: f64,
     /// Number of branch-and-bound nodes whose relaxation was solved.
     pub nodes_explored: usize,
+    /// LP work accumulated across every node relaxation solved.
+    pub lp_stats: SimplexStats,
 }
 
 /// Key for the best-first heap: node bound in minimize-space.
@@ -131,6 +148,8 @@ struct Node {
     bound: f64,
     /// Bounds for each integer variable, aligned with `int_vars`.
     int_bounds: Vec<(f64, f64)>,
+    /// The parent's final basis, to warm-start this node's relaxation.
+    basis: Option<Arc<BasisSnapshot>>,
 }
 
 /// Solves a mixed-integer program by branch-and-bound.
@@ -149,9 +168,13 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
         ObjectiveSense::Maximize => -1.0,
     };
     let int_vars = problem.integer_vars();
+    let mut lp_stats = SimplexStats::default();
 
-    // Working copy whose integer bounds are overwritten per node.
+    // Working copy whose integer bounds are overwritten per node. Cloning
+    // shares the problem's CSC view, and `set_bounds` keeps it valid, so
+    // sparse backends build the matrix once for the whole search.
     let mut work = problem.relaxed();
+    let backend: &dyn LpBackend = config.backend.resolve(&work);
     let root_bounds: Vec<(f64, f64)> = int_vars
         .iter()
         .map(|&v| {
@@ -167,6 +190,7 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
                 best: None,
                 best_bound: f64::NAN,
                 nodes_explored: 0,
+                lp_stats,
             });
         }
         work.set_bounds(v, b.0, b.1)?;
@@ -188,6 +212,7 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
     nodes.push(Node {
         bound: f64::NEG_INFINITY,
         int_bounds: root_bounds,
+        basis: None,
     });
     heap.push((Reverse(BoundKey(f64::NEG_INFINITY)), 0));
 
@@ -221,8 +246,9 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
         }
         explored += 1;
 
-        let outcome = solve_lp_with(&work, &config.simplex)?;
-        let sol = match outcome {
+        let report = backend.solve(&work, &config.simplex, nodes[idx].basis.as_deref())?;
+        lp_stats.absorb(&report.stats);
+        let sol = match report.outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
                 // Only meaningful at the root: deeper nodes restrict the
@@ -282,6 +308,7 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
                     nodes.push(Node {
                         bound: node_bound,
                         int_bounds: nb,
+                        basis: report.basis.clone(),
                     });
                     heap.push((Reverse(BoundKey(node_bound)), nodes.len() - 1));
                 }
@@ -296,6 +323,7 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
             best: None,
             best_bound: f64::NAN,
             nodes_explored: explored,
+            lp_stats,
         });
     }
     let best = incumbent.as_ref().map(|(obj, vals)| MipSolution {
@@ -313,6 +341,7 @@ pub fn solve_mip(problem: &Problem, config: &MipConfig) -> Result<MipOutcome, Lp
         best,
         best_bound: sign * bound_min_space,
         nodes_explored: explored,
+        lp_stats,
     })
 }
 
@@ -526,6 +555,51 @@ mod tests {
         assert_close(s.objective, 3.0);
         assert_close(s.value(x00), 1.0);
         assert_close(s.value(x11), 1.0);
+    }
+
+    #[test]
+    fn every_backend_reaches_the_same_mip_optimum() {
+        let mut p = Problem::maximize();
+        let vars: Vec<_> = (0..14)
+            .map(|i| {
+                p.add_binary(format!("x{i}"), (5 + (i * 17) % 13) as f64)
+                    .unwrap()
+            })
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (2 + (i * 5) % 8) as f64))
+            .collect();
+        p.add_constraint("w", terms, Cmp::Le, 23.0).unwrap();
+        for pair in vars.chunks(2) {
+            if let [a, b] = pair {
+                p.add_constraint(
+                    format!("pair{}", a.index()),
+                    [(*a, 1.0), (*b, 1.0)],
+                    Cmp::Le,
+                    1.0,
+                )
+                .unwrap();
+            }
+        }
+        let mut objectives = Vec::new();
+        for backend in [
+            BackendChoice::Dense,
+            BackendChoice::Revised,
+            BackendChoice::Auto,
+        ] {
+            let cfg = MipConfig {
+                backend,
+                ..MipConfig::default()
+            };
+            let out = solve_mip(&p, &cfg).unwrap();
+            assert_eq!(out.status, MipStatus::Optimal, "{backend}");
+            assert!(out.lp_stats.iterations() > 0, "{backend}");
+            objectives.push(out.best.unwrap().objective);
+        }
+        assert_close(objectives[0], objectives[1]);
+        assert_close(objectives[0], objectives[2]);
     }
 
     #[test]

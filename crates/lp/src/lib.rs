@@ -5,11 +5,16 @@
 //! from-scratch substitute used by `sft-core::ilp`:
 //!
 //! * [`Problem`] — a model-building API for linear programs with bounded,
-//!   continuous / integer / binary variables ([`problem`]).
-//! * [`solve_lp`] — a dense, two-phase, *bounded-variable* primal simplex
-//!   with Bland's-rule anti-cycling ([`simplex`]).
-//! * [`solve_mip`] — best-first branch-and-bound over the LP relaxation,
-//!   with warm-start incumbents, node/time limits, and optimality gaps
+//!   continuous / integer / binary variables ([`problem`]), exposing a
+//!   cached compressed sparse-column view of the constraint matrix.
+//! * [`LpBackend`] — pluggable LP solver backends ([`backend`]): the dense
+//!   two-phase tableau oracle ([`simplex`], also reachable directly via
+//!   [`solve_lp`]) and a sparse revised simplex with LU-factorized bases,
+//!   eta-file updates, and warm starts ([`revised`]); [`BackendChoice`]
+//!   selects one by name or by problem size.
+//! * [`solve_mip`] — best-first branch-and-bound over the LP relaxation
+//!   through a backend (reusing parent bases on child nodes), with
+//!   warm-start incumbents, node/time limits, and optimality gaps
 //!   ([`branch_bound`]).
 //!
 //! # Example
@@ -35,19 +40,25 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod branch_bound;
 mod error;
 pub mod export;
 pub mod import;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+mod standard;
 
+pub use backend::{
+    BackendChoice, BasisSnapshot, DenseBackend, LpBackend, LpReport, RevisedBackend, SimplexStats,
+};
 pub use branch_bound::{solve_mip, MipConfig, MipOutcome, MipSolution, MipStatus};
 pub use error::LpError;
 pub use export::to_lp_format;
 pub use import::from_lp_format;
-pub use problem::{Cmp, ObjectiveSense, Problem, VarId, VarKind};
-pub use simplex::{solve_lp, LpOutcome, LpSolution};
+pub use problem::{Cmp, CscMatrix, ObjectiveSense, Problem, VarId, VarKind};
+pub use simplex::{solve_lp, solve_lp_with, LpOutcome, LpSolution, SimplexConfig};
 
 /// Feasibility / optimality tolerance shared across the solvers.
 pub const TOL: f64 = 1e-7;

@@ -7,6 +7,7 @@
 
 use crate::LpError;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a variable within a [`Problem`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -84,12 +85,99 @@ pub struct Constraint {
     pub rhs: f64,
 }
 
+/// Compressed sparse-column view of a problem's constraint matrix.
+///
+/// Column `j` holds the raw coefficients of variable `j` across all
+/// constraints, with row indices strictly increasing (constraints are
+/// scanned in insertion order and each mentions a variable at most once).
+/// Bounds, senses, and objective coefficients are *not* part of the view,
+/// so [`Problem::set_bounds`] — the only mutation branch-and-bound applies
+/// per node — never invalidates it.
+#[derive(Clone, Debug)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    fn build(problem: &Problem) -> CscMatrix {
+        let ncols = problem.var_count();
+        let nrows = problem.constraint_count();
+        let mut counts = vec![0usize; ncols + 1];
+        for c in &problem.constraints {
+            for &(v, _) in &c.terms {
+                counts[v.0 + 1] += 1;
+            }
+        }
+        for j in 0..ncols {
+            counts[j + 1] += counts[j];
+        }
+        let col_ptr = counts;
+        let nnz = col_ptr[ncols];
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        for (i, c) in problem.constraints.iter().enumerate() {
+            for &(v, coef) in &c.terms {
+                let slot = cursor[v.0];
+                row_idx[slot] = i;
+                values[slot] = coef;
+                cursor[v.0] += 1;
+            }
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of constraint rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of variable columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row, coefficient)` entries of column `j`, rows ascending.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in column `j`.
+    pub fn column_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+}
+
 /// A linear or mixed-integer program.
 #[derive(Clone, Debug)]
 pub struct Problem {
     sense: ObjectiveSense,
     variables: Vec<Variable>,
     constraints: Vec<Constraint>,
+    /// Lazily built CSC view, shared by clones (branch-and-bound clones the
+    /// problem once and then only calls `set_bounds`, so the view is built
+    /// once per MIP solve). Reset by any structural mutation.
+    csc: OnceLock<Arc<CscMatrix>>,
 }
 
 impl Problem {
@@ -99,6 +187,7 @@ impl Problem {
             sense: ObjectiveSense::Minimize,
             variables: Vec::new(),
             constraints: Vec::new(),
+            csc: OnceLock::new(),
         }
     }
 
@@ -108,7 +197,17 @@ impl Problem {
             sense: ObjectiveSense::Maximize,
             variables: Vec::new(),
             constraints: Vec::new(),
+            csc: OnceLock::new(),
         }
+    }
+
+    /// The CSC view of the constraint matrix, built on first use and cached
+    /// for the problem's lifetime (clones share it; structural mutations
+    /// reset it, bound overrides do not).
+    pub fn csc(&self) -> Arc<CscMatrix> {
+        self.csc
+            .get_or_init(|| Arc::new(CscMatrix::build(self)))
+            .clone()
     }
 
     /// The optimization direction.
@@ -232,6 +331,7 @@ impl Problem {
             return Err(LpError::UnboundedInteger { name: v.name });
         }
         self.variables.push(v);
+        self.csc = OnceLock::new();
         Ok(VarId(self.variables.len() - 1))
     }
 
@@ -291,6 +391,7 @@ impl Problem {
             cmp,
             rhs,
         });
+        self.csc = OnceLock::new();
         Ok(())
     }
 
@@ -495,6 +596,65 @@ mod tests {
             p.set_bounds(VarId(4), 0.0, 1.0),
             Err(LpError::UnknownVariable { .. })
         ));
+    }
+
+    #[test]
+    fn csc_view_matches_constraints() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 0.0).unwrap();
+        let y = p.add_continuous("y", 0.0, 1.0, 0.0).unwrap();
+        let z = p.add_continuous("z", 0.0, 1.0, 0.0).unwrap();
+        p.add_constraint("c0", [(x, 2.0), (z, -1.0)], Cmp::Le, 1.0)
+            .unwrap();
+        p.add_constraint("c1", [(y, 3.0)], Cmp::Eq, 2.0).unwrap();
+        p.add_constraint("c2", [(x, 1.0), (y, -4.0), (z, 5.0)], Cmp::Ge, 0.0)
+            .unwrap();
+        let csc = p.csc();
+        assert_eq!(csc.nrows(), 3);
+        assert_eq!(csc.ncols(), 3);
+        assert_eq!(csc.nnz(), 6);
+        let col = |j: usize| csc.column(j).collect::<Vec<_>>();
+        assert_eq!(col(0), vec![(0, 2.0), (2, 1.0)]);
+        assert_eq!(col(1), vec![(1, 3.0), (2, -4.0)]);
+        assert_eq!(col(2), vec![(0, -1.0), (2, 5.0)]);
+        assert_eq!(csc.column_nnz(1), 2);
+    }
+
+    #[test]
+    fn csc_view_is_cached_and_shared_across_set_bounds_and_clones() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0)], Cmp::Le, 1.0).unwrap();
+        let first = p.csc();
+        p.set_bounds(x, 0.0, 0.5).unwrap();
+        let after_bounds = p.csc();
+        assert!(
+            Arc::ptr_eq(&first, &after_bounds),
+            "set_bounds must keep the view"
+        );
+        let clone = p.clone();
+        assert!(
+            Arc::ptr_eq(&first, &clone.csc()),
+            "clones must share the view"
+        );
+    }
+
+    #[test]
+    fn csc_view_is_reset_by_structural_mutation() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0)], Cmp::Le, 1.0).unwrap();
+        let first = p.csc();
+        assert_eq!(first.nnz(), 1);
+        let y = p.add_continuous("y", 0.0, 1.0, 1.0).unwrap();
+        let second = p.csc();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.ncols(), 2);
+        p.add_constraint("c2", [(x, 1.0), (y, 1.0)], Cmp::Le, 2.0)
+            .unwrap();
+        let third = p.csc();
+        assert_eq!(third.nnz(), 3);
+        assert_eq!(third.nrows(), 2);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Sparse LU factorization of a simplex basis with Markowitz-style
+//! pivoting, plus the FTRAN/BTRAN triangular solves.
+//!
+//! The factorization is a right-looking, column-oriented Gaussian
+//! elimination over dynamic sparse columns. At every step the pivot is
+//! chosen to limit fill-in: the sparsest active column, and within it the
+//! entry whose row touches the fewest active columns, subject to a
+//! relative stability threshold against the column's largest active
+//! entry. `L` is stored as per-step multiplier columns in original row
+//! space, `U` column-wise in elimination order.
+
+use std::collections::BTreeSet;
+
+/// Relative pivot threshold: an entry qualifies as pivot only if its
+/// magnitude is at least this fraction of the column's largest active
+/// entry (classic Markowitz compromise between sparsity and stability).
+const REL_PIVOT: f64 = 0.1;
+
+/// Entries smaller than this are dropped during elimination.
+const DROP_TOL: f64 = 1e-12;
+
+/// Pivots smaller than this make the basis numerically singular.
+const SINGULAR_TOL: f64 = 1e-10;
+
+/// LU factors of an `m × m` basis matrix whose columns were given in
+/// *basis-position* order. Row/column permutations are implicit in the
+/// recorded elimination order.
+#[derive(Clone, Debug)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// `(pivot row, basis position)` of each elimination step.
+    perm: Vec<(usize, usize)>,
+    /// Per-step `L` multipliers `(row, l)` in original row space.
+    lcols: Vec<Vec<(usize, f64)>>,
+    /// Per-step off-diagonal `U` entries `(earlier step, u)`.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// `U` diagonal per step.
+    udiag: Vec<f64>,
+    /// Total nonzeros in `L` and `U` (including the diagonal).
+    pub nnz: usize,
+}
+
+/// Factorizes the basis given as `m` sparse columns (`(row, value)`
+/// pairs, one column per basis position). Returns `None` if the matrix is
+/// numerically singular.
+pub(crate) fn factorize(m: usize, cols: &[Vec<(usize, f64)>]) -> Option<LuFactors> {
+    debug_assert_eq!(cols.len(), m);
+    // Dynamic sparse working copy: per column, (row -> value) kept as a
+    // sorted vec for cheap scans; per active row, the set of active
+    // columns containing it.
+    let mut work: Vec<Vec<(usize, f64)>> = cols.to_vec();
+    let mut row_cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+    for (j, col) in work.iter().enumerate() {
+        for &(r, _) in col {
+            row_cols[r].insert(j);
+        }
+    }
+    let mut row_active = vec![true; m];
+    let mut col_active = vec![true; m];
+    let mut row_step = vec![usize::MAX; m];
+    // Active-row nonzero count per column, maintained incrementally so
+    // pivot-column selection is an O(m) scan.
+    let mut col_nnz: Vec<usize> = work.iter().map(Vec::len).collect();
+
+    let mut perm = Vec::with_capacity(m);
+    let mut lcols = Vec::with_capacity(m);
+    let mut ucols = Vec::with_capacity(m);
+    let mut udiag = Vec::with_capacity(m);
+    let mut nnz = 0usize;
+
+    for step in 0..m {
+        // Pivot column: the sparsest active column (counting active rows).
+        let mut best_col: Option<(usize, usize)> = None;
+        for j in 0..m {
+            if !col_active[j] {
+                continue;
+            }
+            if best_col.is_none_or(|(_, n)| col_nnz[j] < n) {
+                best_col = Some((j, col_nnz[j]));
+            }
+        }
+        let (c, _) = best_col?;
+        // Pivot row within the column: largest-magnitude fallback, but
+        // prefer the fewest-active-columns row among entries passing the
+        // relative threshold.
+        let col_max = work[c]
+            .iter()
+            .filter(|&&(r, _)| row_active[r])
+            .map(|&(_, v)| v.abs())
+            .fold(0.0f64, f64::max);
+        if col_max < SINGULAR_TOL {
+            return None;
+        }
+        let mut best_row: Option<(usize, usize, f64)> = None; // (row, row count, |v|)
+        for &(r, v) in &work[c] {
+            if !row_active[r] || v.abs() < REL_PIVOT * col_max {
+                continue;
+            }
+            let count = row_cols[r].len();
+            if best_row.is_none_or(|(_, n, a)| count < n || (count == n && v.abs() > a)) {
+                best_row = Some((r, count, v.abs()));
+            }
+        }
+        let (r, _, _) = best_row?;
+        let pivot = work[c].iter().find(|&&(row, _)| row == r).unwrap().1;
+
+        // Record U entries (rows already pivoted) and L multipliers
+        // (still-active rows) of the pivot column.
+        let mut ucol = Vec::new();
+        let mut lcol = Vec::new();
+        for &(row, v) in &work[c] {
+            if row == r {
+                continue;
+            }
+            if row_active[row] {
+                lcol.push((row, v / pivot));
+            } else {
+                ucol.push((row_step[row], v));
+            }
+        }
+        nnz += 1 + ucol.len() + lcol.len();
+
+        // Right-looking update of every other active column touching the
+        // pivot row.
+        let touched: Vec<usize> = row_cols[r].iter().copied().filter(|&j| j != c).collect();
+        for j in touched {
+            if !col_active[j] {
+                continue;
+            }
+            let Some(fpos) = work[j].iter().position(|&(row, _)| row == r) else {
+                continue;
+            };
+            let f = work[j][fpos].1;
+            if f == 0.0 {
+                continue;
+            }
+            for &(i, l) in &lcol {
+                let delta = f * l;
+                match work[j].iter().position(|&(row, _)| row == i) {
+                    Some(pos) => {
+                        work[j][pos].1 -= delta;
+                        if work[j][pos].1.abs() < DROP_TOL {
+                            work[j].remove(pos);
+                            row_cols[i].remove(&j);
+                            col_nnz[j] -= 1;
+                        }
+                    }
+                    None => {
+                        if delta.abs() >= DROP_TOL {
+                            work[j].push((i, -delta));
+                            row_cols[i].insert(j);
+                            col_nnz[j] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Retire the pivot row and column: drop them from the active
+        // bookkeeping so Markowitz counts keep meaning "active".
+        for &(row, _) in &work[c] {
+            if row != r && row_active[row] {
+                row_cols[row].remove(&c);
+            }
+        }
+        for &j in &row_cols[r] {
+            if col_active[j] && j != c {
+                col_nnz[j] -= 1;
+            }
+        }
+        row_active[r] = false;
+        col_active[c] = false;
+        row_step[r] = step;
+        perm.push((r, c));
+        lcols.push(lcol);
+        ucols.push(ucol);
+        udiag.push(pivot);
+    }
+
+    Some(LuFactors {
+        m,
+        perm,
+        lcols,
+        ucols,
+        udiag,
+        nnz,
+    })
+}
+
+impl LuFactors {
+    /// Solves `B x = a`. Input `a` is a dense vector in row space; the
+    /// result is written into `out`, indexed by basis position. `a` is
+    /// consumed as scratch.
+    pub fn ftran(&self, a: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), self.m);
+        debug_assert_eq!(out.len(), self.m);
+        // Forward: coordinates in the L column basis.
+        for k in 0..self.m {
+            let t = a[self.perm[k].0];
+            if t != 0.0 {
+                for &(i, l) in &self.lcols[k] {
+                    a[i] -= l * t;
+                }
+            }
+        }
+        // Backward: column-oriented U solve, scattering into basis
+        // positions.
+        for k in (0..self.m).rev() {
+            let (r, pos) = self.perm[k];
+            let z = a[r] / self.udiag[k];
+            if z != 0.0 {
+                for &(j, u) in &self.ucols[k] {
+                    a[self.perm[j].0] -= u * z;
+                }
+            }
+            out[pos] = z;
+        }
+    }
+
+    /// Solves `Bᵀ y = c`. Input `c` is indexed by basis position; the
+    /// result is written into `out` in row space. `scratch` must be a
+    /// zeroed length-`m` buffer and is returned zeroed-by-overwrite.
+    pub fn btran(&self, c: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.m);
+        // Forward: Uᵀ is lower triangular in elimination order.
+        for k in 0..self.m {
+            let mut acc = c[self.perm[k].1];
+            for &(j, u) in &self.ucols[k] {
+                acc -= u * scratch[j];
+            }
+            scratch[k] = acc / self.udiag[k];
+        }
+        // Backward: peel the transposed L ops newest-first.
+        for k in 0..self.m {
+            out[self.perm[k].0] = scratch[k];
+        }
+        for k in (0..self.m).rev() {
+            let mut acc = 0.0;
+            for &(i, l) in &self.lcols[k] {
+                acc += l * out[i];
+            }
+            out[self.perm[k].0] -= acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference multiply `B x` for columns in basis-position order.
+    fn mat_vec(m: usize, cols: &[Vec<(usize, f64)>], x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        for (pos, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                out[r] += v * x[pos];
+            }
+        }
+        out
+    }
+
+    fn mat_t_vec(m: usize, cols: &[Vec<(usize, f64)>], y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        for (pos, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                out[pos] += v * y[r];
+            }
+        }
+        out
+    }
+
+    /// A deterministic sparse nonsingular test matrix: strong diagonal
+    /// plus scattered off-diagonal entries.
+    fn test_matrix(m: usize) -> Vec<Vec<(usize, f64)>> {
+        (0..m)
+            .map(|j| {
+                let mut col = vec![(j, 4.0 + (j % 3) as f64)];
+                if j > 0 && (j * 7) % 3 != 0 {
+                    col.push((j - 1, 1.0 + ((j * 5) % 4) as f64 * 0.5));
+                }
+                if j + 2 < m && (j * 11) % 4 == 1 {
+                    col.push((j + 2, -1.5));
+                }
+                col.sort_by_key(|&(r, _)| r);
+                col
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ftran_solves_against_reference() {
+        for m in [1, 2, 5, 17, 40] {
+            let cols = test_matrix(m);
+            let lu = factorize(m, &cols).expect("nonsingular");
+            let x_true: Vec<f64> = (0..m).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+            let mut rhs = mat_vec(m, &cols, &x_true);
+            let mut x = vec![0.0; m];
+            lu.ftran(&mut rhs, &mut x);
+            for i in 0..m {
+                assert!((x[i] - x_true[i]).abs() < 1e-9, "m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_solves_against_reference() {
+        for m in [1, 2, 5, 17, 40] {
+            let cols = test_matrix(m);
+            let lu = factorize(m, &cols).expect("nonsingular");
+            let y_true: Vec<f64> = (0..m).map(|i| ((i * 5) % 9) as f64 * 0.5 - 2.0).collect();
+            let c = mat_t_vec(m, &cols, &y_true);
+            let mut scratch = vec![0.0; m];
+            let mut y = vec![0.0; m];
+            lu.btran(&c, &mut scratch, &mut y);
+            for i in 0..m {
+                assert!((y[i] - y_true[i]).abs() < 1e-9, "m={m} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_identity_and_signs_factorize() {
+        // Slack-style basis: ± unit columns in scrambled positions.
+        let m = 6;
+        let cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| vec![((j + 3) % m, if j % 2 == 0 { 1.0 } else { -1.0 })])
+            .collect();
+        let lu = factorize(m, &cols).expect("nonsingular");
+        assert_eq!(lu.nnz, m);
+        let mut rhs: Vec<f64> = (0..m).map(|i| i as f64 + 1.0).collect();
+        let expected = {
+            let mut x = vec![0.0; m];
+            for (j, col) in cols.iter().enumerate() {
+                let (r, v) = col[0];
+                x[j] = (r as f64 + 1.0) / v;
+            }
+            x
+        };
+        let mut x = vec![0.0; m];
+        lu.ftran(&mut rhs, &mut x);
+        for i in 0..m {
+            assert!((x[i] - expected[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Two identical columns.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        assert!(factorize(2, &cols).is_none());
+        // A structurally empty column.
+        let cols = vec![vec![(0, 1.0)], vec![]];
+        assert!(factorize(2, &cols).is_none());
+    }
+}

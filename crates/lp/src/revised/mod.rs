@@ -1,0 +1,809 @@
+//! Sparse revised simplex with bounded variables.
+//!
+//! Unlike the dense tableau ([`crate::simplex`]), this solver never forms
+//! `B⁻¹A`. It keeps the basis as a sparse LU factorization
+//! ([`lu`], Markowitz-style pivoting) updated by a product-form eta file,
+//! refactorizing every [`REFACTOR_EVERY`] basis changes. Per iteration it
+//! runs BTRAN (simplex multipliers), prices the nonbasic columns against
+//! the problem's CSC view, FTRANs the entering column, and applies the
+//! same bounded-variable ratio test — including bound flips — and
+//! Dantzig-then-Bland pricing discipline as the dense oracle.
+//!
+//! Phase 1 is a *composite* infeasibility minimization: basic variables
+//! outside their bounds get cost ∓1 (recomputed every iteration) and the
+//! solver minimizes total bound violation. Because that works from any
+//! starting basis, a cold start (the all-slack basis) and a warm start
+//! from a parent node's [`BasisSnapshot`] are the same algorithm — which
+//! is how branch-and-bound reuses bases between parent and child nodes.
+
+mod lu;
+
+use crate::backend::{BasisSnapshot, LpReport, SimplexStats};
+use crate::problem::{Cmp, CscMatrix, Problem};
+use crate::simplex::{LpOutcome, LpSolution, SimplexConfig};
+use crate::standard::{self, StandardForm};
+use crate::{LpError, TOL};
+use lu::LuFactors;
+use std::sync::Arc;
+
+/// Basis changes between refactorizations of the LU factors.
+const REFACTOR_EVERY: usize = 64;
+
+/// Bound-violation tolerance: basic values within this of their bounds
+/// count as feasible (mirrors the dense path's phase-1 acceptance).
+const FEAS: f64 = 1e-6;
+
+/// Eta entries below this are dropped.
+const ETA_DROP: f64 = 1e-11;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+/// A product-form eta: basis position `pos` was replaced by a column
+/// whose FTRAN image had diagonal `diag` and off-diagonals `rest`.
+struct Eta {
+    pos: usize,
+    diag: f64,
+    rest: Vec<(usize, f64)>,
+}
+
+const NO_POS: usize = usize::MAX;
+
+struct Solver<'a> {
+    problem: &'a Problem,
+    csc: Arc<CscMatrix>,
+    sf: StandardForm,
+    m: usize,
+    nstruct: usize,
+    /// Working columns: structural, then one slack per row.
+    ncols: usize,
+    span: Vec<f64>,
+    /// Phase-2 minimization cost per working column.
+    cost: Vec<f64>,
+    slack_sign: Vec<f64>,
+    /// Adjusted right-hand side (bound shifts folded in).
+    rhs: Vec<f64>,
+    status: Vec<ColStatus>,
+    /// Basis position -> working column.
+    basis: Vec<usize>,
+    /// Working column -> basis position (or `NO_POS`).
+    pos_of: Vec<usize>,
+    /// Basic values, by basis position.
+    values: Vec<f64>,
+    factors: LuFactors,
+    etas: Vec<Eta>,
+    stats: SimplexStats,
+}
+
+/// Solves the LP relaxation of `problem` with the revised simplex.
+///
+/// Returns `Ok(None)` on numerical failure (singular refactorization or a
+/// phase-1 ray, both of which indicate the factors have degraded); the
+/// backend retries cold and ultimately falls back to the dense oracle.
+///
+/// # Errors
+///
+/// [`LpError::IterationLimit`] if the iteration budget is exhausted.
+pub(crate) fn solve_revised(
+    problem: &Problem,
+    config: &SimplexConfig,
+    warm: Option<&BasisSnapshot>,
+) -> Result<Option<LpReport>, LpError> {
+    let Some(mut solver) = Solver::init(problem, warm) else {
+        return Ok(None);
+    };
+    solver.run(config)
+}
+
+impl<'a> Solver<'a> {
+    /// Builds the solver state, warm-starting from `warm` when it is
+    /// structurally valid and factorizable, else from the all-slack
+    /// basis. Returns `None` only if even the slack basis fails to
+    /// factorize (impossible in practice — it is diagonal).
+    fn init(problem: &'a Problem, warm: Option<&BasisSnapshot>) -> Option<Solver<'a>> {
+        let sf = standard::standardize(problem);
+        let csc = problem.csc();
+        let m = problem.constraint_count();
+        let nstruct = sf.nstruct();
+        let ncols = nstruct + m;
+
+        let mut span = sf.span.clone();
+        let mut cost = sf.cost.clone();
+        let mut slack_sign = Vec::with_capacity(m);
+        for con in problem.constraints() {
+            let (sign, s) = match con.cmp {
+                Cmp::Le => (1.0, f64::INFINITY),
+                Cmp::Ge => (-1.0, f64::INFINITY),
+                Cmp::Eq => (1.0, 0.0),
+            };
+            slack_sign.push(sign);
+            span.push(s);
+            cost.push(0.0);
+        }
+        let rhs = standard::adjusted_rhs(problem, &sf.transforms);
+
+        let mut solver = Solver {
+            problem,
+            csc,
+            sf,
+            m,
+            nstruct,
+            ncols,
+            span,
+            cost,
+            slack_sign,
+            rhs,
+            status: vec![ColStatus::AtLower; ncols],
+            basis: Vec::new(),
+            pos_of: vec![NO_POS; ncols],
+            values: vec![0.0; m],
+            factors: lu::factorize(0, &[])?,
+            etas: Vec::new(),
+            stats: SimplexStats::default(),
+        };
+
+        if let Some(snap) = warm {
+            let layout_matches = snap.nstruct == nstruct && snap.ncols == ncols;
+            if layout_matches && solver.install_basis(&snap.basic, &snap.at_upper) {
+                return Some(solver);
+            }
+            // Fall through to the cold basis; reset any partial statuses.
+            solver.status.fill(ColStatus::AtLower);
+            solver.pos_of.fill(NO_POS);
+        }
+        let slack_basis: Vec<usize> = (0..m).map(|i| nstruct + i).collect();
+        if solver.install_basis(&slack_basis, &[]) {
+            Some(solver)
+        } else {
+            None
+        }
+    }
+
+    /// Installs a basis (and upper-bound statuses), factorizes it, and
+    /// refreshes the basic values. Returns `false` if the candidate is
+    /// structurally invalid or singular.
+    fn install_basis(&mut self, basic: &[usize], at_upper: &[usize]) -> bool {
+        if basic.len() != self.m {
+            return false;
+        }
+        let mut seen = vec![false; self.ncols];
+        for &j in basic {
+            if j >= self.ncols || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        for &j in at_upper {
+            if j >= self.ncols || seen[j] || !self.span[j].is_finite() {
+                return false;
+            }
+        }
+        let cols: Vec<Vec<(usize, f64)>> = basic.iter().map(|&j| self.sparse_column(j)).collect();
+        let Some(factors) = lu::factorize(self.m, &cols) else {
+            return false;
+        };
+        self.stats.fill_in = self.stats.fill_in.max(factors.nnz);
+        self.factors = factors;
+        self.etas.clear();
+        self.basis = basic.to_vec();
+        for (p, &j) in basic.iter().enumerate() {
+            self.status[j] = ColStatus::Basic;
+            self.pos_of[j] = p;
+        }
+        for &j in at_upper {
+            self.status[j] = ColStatus::AtUpper;
+        }
+        self.refresh_values();
+        true
+    }
+
+    /// Applies `f(row, coefficient)` over the entries of working column
+    /// `j`.
+    fn for_each_entry(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.nstruct {
+            let (var, sign) = self.sf.src[j];
+            for (r, v) in self.csc.column(var) {
+                f(r, sign * v);
+            }
+        } else {
+            let i = j - self.nstruct;
+            f(i, self.slack_sign[i]);
+        }
+    }
+
+    fn sparse_column(&self, j: usize) -> Vec<(usize, f64)> {
+        let mut col = Vec::new();
+        self.for_each_entry(j, |r, v| col.push((r, v)));
+        col
+    }
+
+    /// `y·A_j` against a row-space vector.
+    fn dot_column(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_entry(j, |r, v| acc += y[r] * v);
+        acc
+    }
+
+    /// FTRAN: `B⁻¹ a` for a row-space vector, through LU then the eta
+    /// file oldest-first. Result indexed by basis position.
+    fn ftran(&self, a: &mut [f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.m];
+        self.factors.ftran(a, &mut out);
+        for eta in &self.etas {
+            let xp = out[eta.pos] / eta.diag;
+            if xp != 0.0 {
+                for &(i, v) in &eta.rest {
+                    out[i] -= v * xp;
+                }
+            }
+            out[eta.pos] = xp;
+        }
+        out
+    }
+
+    /// BTRAN: `B⁻ᵀ c` for a basis-position vector, through the eta file
+    /// newest-first then LU. Result in row space.
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let mut c = c.to_vec();
+        for eta in self.etas.iter().rev() {
+            let mut acc = c[eta.pos];
+            for &(i, v) in &eta.rest {
+                acc -= v * c[i];
+            }
+            c[eta.pos] = acc / eta.diag;
+        }
+        let mut scratch = vec![0.0; self.m];
+        let mut out = vec![0.0; self.m];
+        self.factors.btran(&c, &mut scratch, &mut out);
+        out
+    }
+
+    /// Recomputes every basic value from the right-hand side and the
+    /// nonbasic columns at their upper bounds.
+    fn refresh_values(&mut self) {
+        let mut r = self.rhs.clone();
+        for j in 0..self.ncols {
+            if self.status[j] == ColStatus::AtUpper {
+                let s = self.span[j];
+                self.for_each_entry(j, |row, v| r[row] -= v * s);
+            }
+        }
+        self.values = self.ftran(&mut r);
+    }
+
+    /// Refactorizes the current basis from scratch. `false` on a
+    /// (numerically) singular basis.
+    fn refactorize(&mut self) -> bool {
+        let cols: Vec<Vec<(usize, f64)>> =
+            self.basis.iter().map(|&j| self.sparse_column(j)).collect();
+        let Some(factors) = lu::factorize(self.m, &cols) else {
+            return false;
+        };
+        self.stats.refactorizations += 1;
+        self.stats.fill_in = self.stats.fill_in.max(factors.nnz);
+        self.factors = factors;
+        self.etas.clear();
+        self.refresh_values();
+        true
+    }
+
+    /// Composite phase-1 costs of the basic variables (∓1 per violated
+    /// bound) and the total violation.
+    fn infeasibility(&self) -> (Vec<f64>, f64) {
+        let mut cb = vec![0.0; self.m];
+        let mut total = 0.0;
+        for (p, c) in cb.iter_mut().enumerate() {
+            let x = self.values[p];
+            let s = self.span[self.basis[p]];
+            if x < -FEAS {
+                *c = -1.0;
+                total += -x;
+            } else if x > s + FEAS {
+                *c = 1.0;
+                total += x - s;
+            }
+        }
+        (cb, total)
+    }
+
+    /// Picks an entering column given the simplex multipliers, or `None`
+    /// at (phase-local) optimality.
+    fn choose_entering(&self, y: &[f64], phase1: bool, bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.ncols {
+            if self.status[j] == ColStatus::Basic || self.span[j] <= TOL {
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { self.cost[j] };
+            let rc = cj - self.dot_column(j, y);
+            let violation = match self.status[j] {
+                ColStatus::AtLower => -rc,
+                ColStatus::AtUpper => rc,
+                ColStatus::Basic => unreachable!(),
+            };
+            if violation > TOL {
+                if bland {
+                    return Some(j);
+                }
+                if best.is_none_or(|(_, v)| violation > v) {
+                    best = Some((j, violation));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    fn run(&mut self, config: &SimplexConfig) -> Result<Option<LpReport>, LpError> {
+        let mut iterations = 0usize;
+        loop {
+            let (cb_phase1, infeas) = self.infeasibility();
+            let phase1 = infeas > 0.0;
+            let cb = if phase1 {
+                cb_phase1
+            } else {
+                self.basis.iter().map(|&j| self.cost[j]).collect()
+            };
+            let y = self.btran(&cb);
+            let bland = iterations >= config.bland_after;
+            let Some(e) = self.choose_entering(&y, phase1, bland) else {
+                if phase1 {
+                    return Ok(Some(self.report(LpOutcome::Infeasible, false)));
+                }
+                return Ok(Some(self.optimal_report()));
+            };
+            if iterations >= config.max_iterations {
+                return Err(LpError::IterationLimit { iterations });
+            }
+            iterations += 1;
+            if phase1 {
+                self.stats.phase1_iterations += 1;
+            } else {
+                self.stats.phase2_iterations += 1;
+            }
+
+            let mut a = vec![0.0; self.m];
+            self.for_each_entry(e, |r, v| a[r] += v);
+            let d = self.ftran(&mut a);
+            match self.ratio_test(e, &d) {
+                RatioOutcome::Unbounded => {
+                    if phase1 {
+                        // A phase-1 ray contradicts the bounded-below
+                        // composite objective: the factors have degraded.
+                        return Ok(None);
+                    }
+                    return Ok(Some(self.report(LpOutcome::Unbounded, false)));
+                }
+                RatioOutcome::BoundFlip => {
+                    let t = self.span[e];
+                    let dir = if self.status[e] == ColStatus::AtLower {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    for (v, dp) in self.values.iter_mut().zip(&d) {
+                        *v -= dp * dir * t;
+                    }
+                    self.status[e] = match self.status[e] {
+                        ColStatus::AtLower => ColStatus::AtUpper,
+                        ColStatus::AtUpper => ColStatus::AtLower,
+                        ColStatus::Basic => unreachable!(),
+                    };
+                }
+                RatioOutcome::Pivot {
+                    row: r,
+                    step: t,
+                    leaver_status,
+                } => {
+                    let dir = if self.status[e] == ColStatus::AtLower {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    let entering_value = if dir > 0.0 { t } else { self.span[e] - t };
+                    for (p, (v, dp)) in self.values.iter_mut().zip(&d).enumerate() {
+                        if p != r {
+                            *v -= dp * dir * t;
+                        }
+                    }
+                    let old = self.basis[r];
+                    self.status[old] = leaver_status;
+                    self.pos_of[old] = NO_POS;
+                    self.basis[r] = e;
+                    self.status[e] = ColStatus::Basic;
+                    self.pos_of[e] = r;
+                    self.values[r] = entering_value;
+                    let rest: Vec<(usize, f64)> = d
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, &v)| p != r && v.abs() >= ETA_DROP)
+                        .map(|(p, &v)| (p, v))
+                        .collect();
+                    self.etas.push(Eta {
+                        pos: r,
+                        diag: d[r],
+                        rest,
+                    });
+                    if self.etas.len() >= REFACTOR_EVERY && !self.refactorize() {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The bounded-variable ratio test over the FTRAN image `d` of the
+    /// entering column. Mirrors the dense path, extended with the
+    /// composite phase-1 rule: a basic variable outside its bounds blocks
+    /// when it *reaches* the violated bound and leaves there.
+    fn ratio_test(&self, e: usize, d: &[f64]) -> RatioOutcome {
+        let dir = if self.status[e] == ColStatus::AtLower {
+            1.0
+        } else {
+            -1.0
+        };
+        let mut t_best = self.span[e];
+        let mut leave: Option<(usize, ColStatus)> = None;
+        const TIE: f64 = 1e-10;
+        for (p, &dp) in d.iter().enumerate() {
+            let coef = dp * dir;
+            if coef.abs() <= TOL {
+                continue;
+            }
+            let x = self.values[p];
+            let s = self.span[self.basis[p]];
+            let (ratio, leaver_status) = if x < -FEAS {
+                // Infeasible below: blocks at its lower bound only while
+                // increasing towards it.
+                if coef < -TOL {
+                    (-x / -coef, ColStatus::AtLower)
+                } else {
+                    continue;
+                }
+            } else if x > s + FEAS {
+                // Infeasible above: blocks at its upper bound only while
+                // decreasing towards it.
+                if coef > TOL {
+                    ((x - s) / coef, ColStatus::AtUpper)
+                } else {
+                    continue;
+                }
+            } else if coef > TOL {
+                (x.max(0.0) / coef, ColStatus::AtLower)
+            } else {
+                if !s.is_finite() {
+                    continue;
+                }
+                ((s - x).max(0.0) / -coef, ColStatus::AtUpper)
+            };
+            if ratio < t_best - TIE {
+                t_best = ratio;
+                leave = Some((p, leaver_status));
+            } else if ratio <= t_best + TIE {
+                // Bland tie-break among minimum-ratio rows: smallest
+                // basic working-column id leaves.
+                match leave {
+                    Some((q, _)) if self.basis[p] < self.basis[q] => {
+                        t_best = t_best.min(ratio);
+                        leave = Some((p, leaver_status));
+                    }
+                    None if ratio <= t_best => {
+                        t_best = ratio;
+                        leave = Some((p, leaver_status));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if t_best.is_infinite() {
+            return RatioOutcome::Unbounded;
+        }
+        match leave {
+            None => RatioOutcome::BoundFlip,
+            Some((row, leaver_status)) => RatioOutcome::Pivot {
+                row,
+                step: t_best,
+                leaver_status,
+            },
+        }
+    }
+
+    fn optimal_report(&self) -> LpReport {
+        let col_value = |j: usize| -> f64 {
+            match self.status[j] {
+                ColStatus::Basic => self.values[self.pos_of[j]],
+                ColStatus::AtLower => 0.0,
+                ColStatus::AtUpper => self.span[j],
+            }
+        };
+        let values = standard::reconstruct(self.problem, &self.sf.transforms, col_value);
+        let objective = self.problem.objective_value(&values);
+        self.report(LpOutcome::Optimal(LpSolution::new(objective, values)), true)
+    }
+
+    fn report(&self, outcome: LpOutcome, with_basis: bool) -> LpReport {
+        let basis = with_basis.then(|| {
+            let at_upper: Vec<usize> = (0..self.ncols)
+                .filter(|&j| self.status[j] == ColStatus::AtUpper)
+                .collect();
+            Arc::new(BasisSnapshot {
+                nstruct: self.nstruct,
+                ncols: self.ncols,
+                basic: self.basis.clone(),
+                at_upper,
+            })
+        });
+        LpReport {
+            outcome,
+            stats: self.stats,
+            basis,
+        }
+    }
+}
+
+enum RatioOutcome {
+    Unbounded,
+    BoundFlip,
+    Pivot {
+        row: usize,
+        step: f64,
+        leaver_status: ColStatus,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LpBackend, RevisedBackend};
+    use crate::problem::Problem;
+
+    fn solve(p: &Problem) -> LpReport {
+        RevisedBackend
+            .solve(p, &SimplexConfig::default(), None)
+            .unwrap()
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 3.0).unwrap();
+        let y = p.add_continuous("y", 0.0, f64::INFINITY, 5.0).unwrap();
+        p.add_constraint("c1", [(x, 1.0)], Cmp::Le, 4.0).unwrap();
+        p.add_constraint("c2", [(y, 2.0)], Cmp::Le, 12.0).unwrap();
+        p.add_constraint("c3", [(x, 3.0), (y, 2.0)], Cmp::Le, 18.0)
+            .unwrap();
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+        assert!(rep.basis.is_some());
+    }
+
+    #[test]
+    fn minimization_with_ge_and_eq() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 2.0).unwrap();
+        let y = p.add_continuous("y", 0.0, f64::INFINITY, 3.0).unwrap();
+        p.add_constraint("sum", [(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0)
+            .unwrap();
+        p.add_constraint("xmin", [(x, 1.0)], Cmp::Ge, 3.0).unwrap();
+        p.add_constraint("ymin", [(y, 1.0)], Cmp::Ge, 2.0).unwrap();
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert_close(s.objective, 22.0);
+        assert_close(s.value(x), 8.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn detects_infeasibility_and_unboundedness() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint("hi", [(x, 1.0)], Cmp::Ge, 2.0).unwrap();
+        assert!(matches!(solve(&p).outcome, LpOutcome::Infeasible));
+
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        p.add_constraint("lo", [(x, 1.0)], Cmp::Ge, 1.0).unwrap();
+        assert!(matches!(solve(&p).outcome, LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn bound_flips_without_constraints() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", -3.0, 7.0, -1.0).unwrap();
+        let y = p.add_continuous("y", -4.0, 9.0, 2.0).unwrap();
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert_close(s.value(x), 7.0);
+        assert_close(s.value(y), -4.0);
+        assert_close(s.objective, -15.0);
+    }
+
+    #[test]
+    fn mirrored_and_free_variables() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", f64::NEG_INFINITY, 4.0, 1.0).unwrap();
+        let rep = solve(&p);
+        assert_close(rep.outcome.solution().expect("optimal").value(x), 4.0);
+
+        let mut p = Problem::minimize();
+        let x = p
+            .add_continuous("x", f64::NEG_INFINITY, f64::INFINITY, 1.0)
+            .unwrap();
+        p.add_constraint("lo", [(x, 1.0)], Cmp::Ge, -7.0).unwrap();
+        let rep = solve(&p);
+        assert_close(rep.outcome.solution().expect("optimal").value(x), -7.0);
+    }
+
+    #[test]
+    fn equality_with_negative_rhs() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", -10.0, 10.0, 1.0).unwrap();
+        p.add_constraint("eq", [(x, 1.0)], Cmp::Eq, -4.0).unwrap();
+        let rep = solve(&p);
+        assert_close(rep.outcome.solution().expect("optimal").value(x), -4.0);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
+        let y = p.add_continuous("y", 0.0, 10.0, 1.0).unwrap();
+        p.add_constraint("e1", [(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0)
+            .unwrap();
+        p.add_constraint("e2", [(x, 2.0), (y, 2.0)], Cmp::Eq, 8.0)
+            .unwrap();
+        let rep = solve(&p);
+        assert_close(rep.outcome.solution().expect("optimal").objective, 4.0);
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_resolves_in_zero_phase1_pivots() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 3.0).unwrap();
+        let y = p.add_continuous("y", 0.0, f64::INFINITY, 5.0).unwrap();
+        p.add_constraint("c1", [(x, 1.0)], Cmp::Le, 4.0).unwrap();
+        p.add_constraint("c2", [(y, 2.0)], Cmp::Le, 12.0).unwrap();
+        p.add_constraint("c3", [(x, 3.0), (y, 2.0)], Cmp::Le, 18.0)
+            .unwrap();
+        let first = solve(&p);
+        let basis = first.basis.clone().unwrap();
+        let again = RevisedBackend
+            .solve(&p, &SimplexConfig::default(), Some(&basis))
+            .unwrap();
+        let s = again.outcome.solution().expect("optimal");
+        assert_close(s.objective, 36.0);
+        assert_eq!(
+            again.stats.iterations(),
+            0,
+            "optimal basis must be re-certified pivot-free"
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_bound_tightening() {
+        // Branch-and-bound's move: same problem, tighter variable bound.
+        let mut p = Problem::maximize();
+        let x = p.add_integer("x", 0.0, 10.0, 1.0).unwrap();
+        let y = p.add_integer("y", 0.0, 10.0, 1.0).unwrap();
+        p.add_constraint("c1", [(x, 2.0), (y, 1.0)], Cmp::Le, 5.5)
+            .unwrap();
+        p.add_constraint("c2", [(x, 1.0), (y, 2.0)], Cmp::Le, 5.5)
+            .unwrap();
+        let relaxed = p.relaxed();
+        let parent = solve(&relaxed);
+        let basis = parent.basis.clone().unwrap();
+        let mut child = relaxed.clone();
+        child.set_bounds(x, 0.0, 1.0).unwrap();
+        let rep = RevisedBackend
+            .solve(&child, &SimplexConfig::default(), Some(&basis))
+            .unwrap();
+        let s = rep.outcome.solution().expect("optimal");
+        assert!(s.value(x) <= 1.0 + 1e-9);
+        assert!(child.is_feasible(s.values(), 1e-6));
+        // The warm basis must beat a cold start on work: the parent basis
+        // is one bound change away from child-optimal.
+        let cold = solve(&child);
+        assert_close(s.objective, cold.outcome.solution().unwrap().objective);
+    }
+
+    #[test]
+    fn stale_snapshot_from_a_different_problem_falls_back_cold() {
+        let mut small = Problem::minimize();
+        let x = small.add_continuous("x", 0.0, 1.0, 1.0).unwrap();
+        small.add_constraint("c", [(x, 1.0)], Cmp::Le, 1.0).unwrap();
+        let snap = solve(&small).basis.unwrap();
+
+        let mut big = Problem::maximize();
+        let a = big.add_continuous("a", 0.0, 5.0, 1.0).unwrap();
+        let b = big.add_continuous("b", 0.0, 5.0, 1.0).unwrap();
+        big.add_constraint("c1", [(a, 1.0), (b, 1.0)], Cmp::Le, 6.0)
+            .unwrap();
+        big.add_constraint("c2", [(a, 1.0)], Cmp::Le, 4.0).unwrap();
+        let rep = RevisedBackend
+            .solve(&big, &SimplexConfig::default(), Some(&snap))
+            .unwrap();
+        assert_close(rep.outcome.solution().expect("optimal").objective, 6.0);
+    }
+
+    #[test]
+    fn refactorization_kicks_in_on_long_runs() {
+        // 100 Ge rows each force a phase-1 pivot (the slack basis starts
+        // every surplus negative), crossing the refactorization threshold.
+        let n = 100;
+        let mut p = Problem::minimize();
+        let xs: Vec<_> = (0..n)
+            .map(|i| {
+                p.add_continuous(format!("x{i}"), 0.0, f64::INFINITY, 1.0)
+                    .unwrap()
+            })
+            .collect();
+        let mut expected = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            let b = (i + 1) as f64;
+            p.add_constraint(format!("lo{i}"), [(x, 1.0)], Cmp::Ge, b)
+                .unwrap();
+            expected += b;
+        }
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert!((s.objective - expected).abs() / expected < 1e-9);
+        assert!(
+            rep.stats.iterations() >= n,
+            "every row needs a pivot, got {:?}",
+            rep.stats
+        );
+        assert!(
+            rep.stats.refactorizations >= 1,
+            "expected at least one refactorization, got {:?}",
+            rep.stats
+        );
+        assert!(rep.stats.fill_in > 0);
+    }
+
+    #[test]
+    fn fixed_variables_are_honored() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 2.0, 2.0, 10.0).unwrap();
+        let y = p.add_continuous("y", 0.0, 5.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)
+            .unwrap();
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let p = Problem::minimize();
+        let rep = solve(&p);
+        let s = rep.outcome.solution().expect("optimal");
+        assert_eq!(s.values().len(), 0);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = Problem::maximize();
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 3.0).unwrap();
+        p.add_constraint("c", [(x, 3.0)], Cmp::Le, 18.0).unwrap();
+        let cfg = SimplexConfig {
+            max_iterations: 0,
+            bland_after: 0,
+        };
+        assert!(matches!(
+            solve_revised(&p, &cfg, None),
+            Err(LpError::IterationLimit { .. })
+        ));
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared standard-form machinery for the simplex backends.
+//!
+//! Both the dense tableau ([`crate::simplex`]) and the sparse revised
+//! simplex ([`crate::revised`]) rewrite every original variable into one or
+//! two non-negative *structural columns* with an optional finite span
+//! (shifted upper bound). Keeping the rewrite in one place guarantees the
+//! backends agree on variable handling, which the differential test suite
+//! then pins down end to end.
+
+use crate::problem::{ObjectiveSense, Problem};
+
+/// How an original variable was rewritten into non-negative columns.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Transform {
+    /// `x = lower + col`, column bounded by `[0, upper - lower]`.
+    Shift { col: usize, lower: f64 },
+    /// `x = upper - col` for `(-inf, upper]` variables.
+    Mirror { col: usize, upper: f64 },
+    /// `x = pos - neg` for free variables.
+    Split { pos: usize, neg: usize },
+}
+
+/// The structural-column layout of a problem: per-variable transforms plus
+/// per-column span, minimization cost, and source `(variable, sign)`.
+#[derive(Clone, Debug)]
+pub(crate) struct StandardForm {
+    pub transforms: Vec<Transform>,
+    /// Upper bound of each structural column's shifted domain (`inf` if none).
+    pub span: Vec<f64>,
+    /// Minimization-sense objective coefficient of each structural column.
+    pub cost: Vec<f64>,
+    /// `(original variable index, sign)` feeding each structural column.
+    pub src: Vec<(usize, f64)>,
+}
+
+impl StandardForm {
+    /// Number of structural columns.
+    pub fn nstruct(&self) -> usize {
+        self.span.len()
+    }
+}
+
+/// Builds the structural-column layout of `problem`.
+///
+/// The layout depends only on which bounds are finite, so branch-and-bound
+/// nodes that merely tighten finite integer bounds keep identical column
+/// ids — the property basis snapshots rely on.
+pub(crate) fn standardize(problem: &Problem) -> StandardForm {
+    let minimize = problem.sense() == ObjectiveSense::Minimize;
+    let mut transforms = Vec::with_capacity(problem.var_count());
+    let mut span = Vec::new();
+    let mut cost = Vec::new();
+    let mut src = Vec::new();
+    for (vi, v) in problem.variables().iter().enumerate() {
+        let c = if minimize { v.objective } else { -v.objective };
+        if v.lower.is_finite() {
+            transforms.push(Transform::Shift {
+                col: span.len(),
+                lower: v.lower,
+            });
+            span.push(v.upper - v.lower);
+            cost.push(c);
+            src.push((vi, 1.0));
+        } else if v.upper.is_finite() {
+            transforms.push(Transform::Mirror {
+                col: span.len(),
+                upper: v.upper,
+            });
+            span.push(f64::INFINITY);
+            cost.push(-c);
+            src.push((vi, -1.0));
+        } else {
+            transforms.push(Transform::Split {
+                pos: span.len(),
+                neg: span.len() + 1,
+            });
+            span.push(f64::INFINITY);
+            cost.push(c);
+            src.push((vi, 1.0));
+            span.push(f64::INFINITY);
+            cost.push(-c);
+            src.push((vi, -1.0));
+        }
+    }
+    StandardForm {
+        transforms,
+        span,
+        cost,
+        src,
+    }
+}
+
+/// Per-row right-hand side after folding the bound shifts of every
+/// variable into constants (`rhs' = rhs - Σ c·lower - Σ c·upper` for
+/// shifted / mirrored terms respectively).
+pub(crate) fn adjusted_rhs(problem: &Problem, transforms: &[Transform]) -> Vec<f64> {
+    problem
+        .constraints()
+        .iter()
+        .map(|con| {
+            let mut rhs = con.rhs;
+            for &(v, c) in &con.terms {
+                match transforms[v.0] {
+                    Transform::Shift { lower, .. } => rhs -= c * lower,
+                    Transform::Mirror { upper, .. } => rhs -= c * upper,
+                    Transform::Split { .. } => {}
+                }
+            }
+            rhs
+        })
+        .collect()
+}
+
+/// Maps structural-column values back to original-variable values,
+/// clamping round-off noise into each variable's domain.
+pub(crate) fn reconstruct(
+    problem: &Problem,
+    transforms: &[Transform],
+    col_value: impl Fn(usize) -> f64,
+) -> Vec<f64> {
+    let mut values = Vec::with_capacity(problem.var_count());
+    for tr in transforms {
+        let x = match *tr {
+            Transform::Shift { col, lower } => lower + col_value(col),
+            Transform::Mirror { col, upper } => upper - col_value(col),
+            Transform::Split { pos, neg } => col_value(pos) - col_value(neg),
+        };
+        values.push(x);
+    }
+    for (v, x) in problem.variables().iter().zip(values.iter_mut()) {
+        *x = x.clamp(v.lower, v.upper);
+    }
+    values
+}

@@ -1,0 +1,114 @@
+//! Degenerate-pivot regression tests.
+//!
+//! Beale's example makes Dantzig-rule simplex cycle forever through six
+//! degenerate bases; an all-zero right-hand side makes every phase-1 basis
+//! degenerate from the start. Both backends must terminate at the optimum
+//! even with Bland's rule forced from the first pivot.
+
+use sft_lp::{Cmp, DenseBackend, LpBackend, LpOutcome, Problem, RevisedBackend, SimplexConfig};
+
+fn backends() -> [(&'static str, &'static dyn LpBackend); 2] {
+    [("dense", &DenseBackend), ("revised", &RevisedBackend)]
+}
+
+/// Solves with the given config and asserts an optimal outcome close to
+/// `expected` on both backends.
+fn assert_optimum(problem: &Problem, config: &SimplexConfig, expected: f64) {
+    for (name, backend) in backends() {
+        let report = backend.solve(problem, config, None).unwrap();
+        let LpOutcome::Optimal(sol) = report.outcome else {
+            panic!("{name}: expected Optimal, got {:?}", report.outcome);
+        };
+        assert!(
+            (sol.objective - expected).abs() < 1e-6,
+            "{name}: objective {} (expected {expected})",
+            sol.objective
+        );
+        assert!(
+            problem.is_feasible(sol.values(), 1e-6),
+            "{name}: optimum violates constraints"
+        );
+    }
+}
+
+/// Beale (1955): minimize -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4 over two
+/// degenerate rows and x3 <= 1. The optimum is -0.05 at (0.04, 0, 1, 0);
+/// Dantzig pricing with an unlucky tie-break cycles on it forever.
+fn beale() -> Problem {
+    let mut p = Problem::minimize();
+    let x1 = p.add_continuous("x1", 0.0, f64::INFINITY, -0.75).unwrap();
+    let x2 = p.add_continuous("x2", 0.0, f64::INFINITY, 150.0).unwrap();
+    let x3 = p.add_continuous("x3", 0.0, f64::INFINITY, -0.02).unwrap();
+    let x4 = p.add_continuous("x4", 0.0, f64::INFINITY, 6.0).unwrap();
+    p.add_constraint(
+        "r1",
+        [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Cmp::Le,
+        0.0,
+    )
+    .unwrap();
+    p.add_constraint(
+        "r2",
+        [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Cmp::Le,
+        0.0,
+    )
+    .unwrap();
+    p.add_constraint("r3", [(x3, 1.0)], Cmp::Le, 1.0).unwrap();
+    p
+}
+
+/// Every constraint has rhs 0, so the all-slack start is fully degenerate
+/// and phase 1 must pivot through zero-step bases without stalling.
+fn zero_rhs() -> Problem {
+    let mut p = Problem::minimize();
+    let x1 = p.add_continuous("x1", 0.0, 1.0, -1.0).unwrap();
+    let x2 = p.add_continuous("x2", 0.0, 1.0, -1.0).unwrap();
+    let x3 = p.add_continuous("x3", 0.0, 1.0, 0.5).unwrap();
+    p.add_constraint("balance", [(x1, 1.0), (x2, -1.0)], Cmp::Eq, 0.0)
+        .unwrap();
+    p.add_constraint("split", [(x1, 1.0), (x2, 1.0), (x3, -2.0)], Cmp::Eq, 0.0)
+        .unwrap();
+    p.add_constraint("cap", [(x1, 1.0), (x3, -1.0)], Cmp::Ge, 0.0)
+        .unwrap();
+    p
+}
+
+#[test]
+fn beale_terminates_under_default_pricing() {
+    assert_optimum(&beale(), &SimplexConfig::default(), -0.05);
+}
+
+#[test]
+fn beale_terminates_with_bland_from_the_first_pivot() {
+    let config = SimplexConfig {
+        bland_after: 0,
+        ..SimplexConfig::default()
+    };
+    assert_optimum(&beale(), &config, -0.05);
+}
+
+#[test]
+fn all_zero_rhs_phase1_terminates_on_both_backends() {
+    // Optimum: x1 = x2 = 1 forces x3 = 1; objective -1 - 1 + 0.5 = -1.5.
+    assert_optimum(&zero_rhs(), &SimplexConfig::default(), -1.5);
+    let bland = SimplexConfig {
+        bland_after: 0,
+        ..SimplexConfig::default()
+    };
+    assert_optimum(&zero_rhs(), &bland, -1.5);
+}
+
+#[test]
+fn tight_iteration_budget_is_reported_not_looped() {
+    // One pivot is never enough for Beale; both backends must come back
+    // with the iteration-limit error rather than spinning.
+    let config = SimplexConfig {
+        max_iterations: 1,
+        ..SimplexConfig::default()
+    };
+    for (name, backend) in backends() {
+        let err = backend.solve(&beale(), &config, None);
+        assert!(err.is_err(), "{name}: expected IterationLimit");
+    }
+}

@@ -1,0 +1,214 @@
+//! Differential tests: the sparse revised simplex against the dense
+//! tableau oracle.
+//!
+//! Two sources of problems:
+//!
+//! * random bounded-variable LPs with every bound shape (boxed, one-sided,
+//!   free) and every comparison sense, so Infeasible and Unbounded
+//!   outcomes occur alongside Optimal ones;
+//! * real `sft-core` ILP exports committed under `tests/corpus/`
+//!   (regenerate with `cargo run -p sft-experiments --bin export_corpus`).
+//!
+//! Both backends must agree on the outcome class and, when optimal, on the
+//! objective to within `MIP_TOL`.
+
+use proptest::prelude::*;
+use sft_graph::numeric::MIP_TOL;
+use sft_lp::{
+    solve_mip, BackendChoice, Cmp, DenseBackend, LpBackend, LpOutcome, MipConfig, MipStatus,
+    Problem, RevisedBackend, SimplexConfig, VarId,
+};
+
+/// A random LP with heterogeneous bounds and mixed constraint senses.
+#[derive(Clone, Debug)]
+struct RandomLp {
+    maximize: bool,
+    objective: Vec<f64>,
+    bounds: Vec<(f64, f64)>,
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+impl RandomLp {
+    fn build(&self) -> Problem {
+        let mut p = if self.maximize {
+            Problem::maximize()
+        } else {
+            Problem::minimize()
+        };
+        let xs: Vec<VarId> = self
+            .objective
+            .iter()
+            .zip(&self.bounds)
+            .enumerate()
+            .map(|(i, (&c, &(lo, up)))| p.add_continuous(format!("x{i}"), lo, up, c).unwrap())
+            .collect();
+        for (r, (coefs, cmp, rhs)) in self.rows.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = xs
+                .iter()
+                .zip(coefs)
+                .filter(|(_, &c)| c != 0.0)
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            p.add_constraint(format!("r{r}"), terms, *cmp, *rhs)
+                .unwrap();
+        }
+        p
+    }
+}
+
+/// One variable's bounds: boxed, lower-only, upper-only, or free.
+fn arb_bound() -> impl Strategy<Value = (f64, f64)> {
+    (0u8..4, -4.0f64..4.0, 0.5f64..8.0).prop_map(|(shape, lo, span)| match shape {
+        0 => (lo, lo + span),
+        1 => (lo, f64::INFINITY),
+        2 => (f64::NEG_INFINITY, lo + span),
+        _ => (f64::NEG_INFINITY, f64::INFINITY),
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = Cmp> {
+    (0u8..3).prop_map(|c| match c {
+        0 => Cmp::Le,
+        1 => Cmp::Ge,
+        _ => Cmp::Eq,
+    })
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..8, 1usize..7, any::<bool>()).prop_flat_map(|(nv, nr, maximize)| {
+        let obj = proptest::collection::vec(-5.0f64..5.0, nv);
+        let bounds = proptest::collection::vec(arb_bound(), nv);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-3.0f64..3.0, nv),
+                arb_cmp(),
+                -10.0f64..10.0,
+            ),
+            nr,
+        );
+        (obj, bounds, rows).prop_map(move |(objective, bounds, rows)| RandomLp {
+            maximize,
+            objective,
+            bounds,
+            rows,
+        })
+    })
+}
+
+fn class(outcome: &LpOutcome) -> &'static str {
+    match outcome {
+        LpOutcome::Optimal(_) => "optimal",
+        LpOutcome::Infeasible => "infeasible",
+        LpOutcome::Unbounded => "unbounded",
+    }
+}
+
+/// Solves with both backends and checks class + objective agreement.
+fn assert_backends_agree(problem: &Problem, context: &str) -> Result<(), TestCaseError> {
+    let config = SimplexConfig::default();
+    let dense = DenseBackend.solve(problem, &config, None).unwrap().outcome;
+    let revised = RevisedBackend
+        .solve(problem, &config, None)
+        .unwrap()
+        .outcome;
+    prop_assert_eq!(
+        class(&dense),
+        class(&revised),
+        "{}: dense {:?} vs revised {:?}",
+        context,
+        dense,
+        revised
+    );
+    if let (LpOutcome::Optimal(d), LpOutcome::Optimal(r)) = (&dense, &revised) {
+        let tol = MIP_TOL * (1.0 + d.objective.abs());
+        prop_assert!(
+            (d.objective - r.objective).abs() <= tol,
+            "{}: dense {} vs revised {}",
+            context,
+            d.objective,
+            r.objective
+        );
+        prop_assert!(
+            problem.is_feasible(r.values(), 1e-6),
+            "{}: revised optimum violates constraints",
+            context
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn revised_matches_dense_on_random_lps(lp in arb_lp()) {
+        assert_backends_agree(&lp.build(), "random LP")?;
+    }
+}
+
+/// Real ILP exports: the paper model (1a)–(1g) on reduced Palmetto
+/// instances of increasing size.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "palmetto08_d2_k1",
+        include_str!("corpus/palmetto08_d2_k1.lp"),
+    ),
+    (
+        "palmetto10_d2_k2",
+        include_str!("corpus/palmetto10_d2_k2.lp"),
+    ),
+    (
+        "palmetto10_d3_k1",
+        include_str!("corpus/palmetto10_d3_k1.lp"),
+    ),
+    (
+        "palmetto12_d3_k2",
+        include_str!("corpus/palmetto12_d3_k2.lp"),
+    ),
+    (
+        "palmetto14_d4_k2",
+        include_str!("corpus/palmetto14_d4_k2.lp"),
+    ),
+];
+
+#[test]
+fn corpus_lp_relaxations_match_the_oracle() {
+    for (name, text) in CORPUS {
+        let problem = sft_lp::import::from_lp_format(text)
+            .unwrap_or_else(|e| panic!("{name}: corpus file does not parse: {e}"));
+        assert!(
+            problem.var_count() > 50,
+            "{name}: corpus instance suspiciously small"
+        );
+        let relaxed = problem.relaxed();
+        assert_backends_agree(&relaxed, name).unwrap();
+    }
+}
+
+#[test]
+fn corpus_mip_backends_agree() {
+    let problem = sft_lp::import::from_lp_format(CORPUS[0].1).unwrap();
+    let mut objectives = Vec::new();
+    for backend in [BackendChoice::Dense, BackendChoice::Revised] {
+        let out = solve_mip(
+            &problem,
+            &MipConfig {
+                backend,
+                max_nodes: 20_000,
+                ..MipConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal, "{backend:?}");
+        let best = out.best.expect("optimal MIP has an incumbent");
+        assert!(problem.is_feasible(best.values(), MIP_TOL), "{backend:?}");
+        objectives.push(best.objective);
+    }
+    assert!(
+        (objectives[0] - objectives[1]).abs() <= MIP_TOL * (1.0 + objectives[0].abs()),
+        "MIP optima diverge: {objectives:?}"
+    );
+}

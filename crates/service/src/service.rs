@@ -110,6 +110,15 @@ impl EmbedService {
         })
     }
 
+    /// Caps the Steiner cache at `max_entries` entries (CLOCK eviction),
+    /// so an unbounded request stream cannot grow the service's memory
+    /// without bound. Replaces the cache, dropping anything cached so far;
+    /// call before serving traffic.
+    pub fn with_cache_capacity(mut self, max_entries: usize) -> Self {
+        self.cache = SteinerCache::bounded(max_entries);
+        self
+    }
+
     /// A service with the default strategy (MSA) and options (OPA, all
     /// cores).
     pub fn with_defaults(network: Network) -> Self {
@@ -213,9 +222,7 @@ impl EmbedService {
             self.tasks_served,
             self.failures,
             self.commits,
-            self.cache.len(),
-            self.cache.hits(),
-            self.cache.misses(),
+            self.cache.stats(),
             &self.latencies_ns,
         )
     }
@@ -359,6 +366,23 @@ mod tests {
         assert_eq!(stats.failures, 2);
         assert_eq!(stats.tasks_served, 0);
         assert_eq!(stats.commits, 0);
+    }
+
+    #[test]
+    fn bounded_cache_stays_within_capacity_and_reports_evictions() {
+        let mut svc = EmbedService::with_defaults(ring_network(10, 3.0)).with_cache_capacity(2);
+        assert_eq!(svc.cache().capacity(), Some(2));
+        // Distinct (root, terminals) keys than the capacity, forcing churn.
+        for s in 0..6 {
+            let _ = svc.solve(&task(s, &[(s + 4) % 10], &[0]));
+        }
+        assert!(svc.cache().len() <= 2, "cache exceeded its bound");
+        let stats = svc.stats();
+        assert!(
+            stats.cache_evictions > 0,
+            "distinct keys beyond capacity must evict"
+        );
+        assert!(stats.render().contains("evictions"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Serving statistics: throughput, cache effectiveness, latency tails.
 
+use sft_graph::CacheStats;
 use std::fmt::Write as _;
 
 /// A snapshot of a service's lifetime statistics.
@@ -20,6 +21,9 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Steiner lookups that had to compute.
     pub cache_misses: u64,
+    /// Steiner cache entries evicted to respect a capacity bound (0 for
+    /// an unbounded cache).
+    pub cache_evictions: u64,
     /// Median solve latency in milliseconds (0 before any solve).
     pub p50_ms: f64,
     /// 99th-percentile solve latency in milliseconds (0 before any solve).
@@ -29,15 +33,13 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Assembles a snapshot from raw counters and per-solve latencies
-    /// (nanoseconds, arrival order).
+    /// Assembles a snapshot from raw counters, a cache snapshot, and
+    /// per-solve latencies (nanoseconds, arrival order).
     pub fn from_latencies(
         tasks_served: u64,
         failures: u64,
         commits: u64,
-        cache_entries: usize,
-        cache_hits: u64,
-        cache_misses: u64,
+        cache: CacheStats,
         latencies_ns: &[u64],
     ) -> Self {
         let mut sorted = latencies_ns.to_vec();
@@ -53,9 +55,10 @@ impl ServiceStats {
             failures,
             commits,
             apsp_builds: 1,
-            cache_entries,
-            cache_hits,
-            cache_misses,
+            cache_entries: cache.entries,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
             p50_ms: to_ms(percentile_ns(&sorted, 50.0)),
             p99_ms: to_ms(percentile_ns(&sorted, 99.0)),
             mean_ms,
@@ -83,11 +86,12 @@ impl ServiceStats {
         let _ = writeln!(out, "apsp builds    : {}", self.apsp_builds);
         let _ = writeln!(
             out,
-            "steiner cache  : {} entries, {} hits / {} misses (hit rate {:.1}%)",
+            "steiner cache  : {} entries, {} hits / {} misses (hit rate {:.1}%), {} evictions",
             self.cache_entries,
             self.cache_hits,
             self.cache_misses,
-            100.0 * self.cache_hit_rate()
+            100.0 * self.cache_hit_rate(),
+            self.cache_evictions
         );
         let _ = writeln!(
             out,
@@ -124,20 +128,29 @@ mod tests {
     #[test]
     fn snapshot_computes_rates_and_tails() {
         let lat: Vec<u64> = (1..=10).map(|i| i * 1_000_000).collect();
-        let s = ServiceStats::from_latencies(9, 1, 9, 5, 30, 10, &lat);
+        let cache = CacheStats {
+            entries: 5,
+            hits: 30,
+            misses: 10,
+            evictions: 3,
+            epoch: 0,
+        };
+        let s = ServiceStats::from_latencies(9, 1, 9, cache, &lat);
         assert_eq!(s.apsp_builds, 1);
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.cache_evictions, 3);
         assert!((s.p50_ms - 5.0).abs() < 1e-9);
         assert!((s.p99_ms - 10.0).abs() < 1e-9);
         assert!((s.mean_ms - 5.5).abs() < 1e-9);
         let text = s.render();
         assert!(text.contains("hit rate 75.0%"));
+        assert!(text.contains("3 evictions"));
         assert!(text.contains("apsp builds    : 1"));
     }
 
     #[test]
     fn empty_service_reports_zeroes() {
-        let s = ServiceStats::from_latencies(0, 0, 0, 0, 0, 0, &[]);
+        let s = ServiceStats::from_latencies(0, 0, 0, CacheStats::default(), &[]);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.p50_ms, 0.0);
         assert_eq!(s.p99_ms, 0.0);

@@ -1,0 +1,199 @@
+//! Throughput and tail latency of the socket front-end under concurrent
+//! load.
+//!
+//! A server with a 4-thread worker pool serves the recurring 20-task
+//! Palmetto stream to 8 concurrent TCP connections in quote mode (the
+//! bit-deterministic default). Two measurements:
+//!
+//! * `socket/wave_8conn_20req` — criterion-timed full waves (8 clients ×
+//!   20 pipelined requests each); the median yields requests/sec;
+//! * a synchronous write→read pass per connection records per-request
+//!   round-trip latencies for p50/p99.
+//!
+//! Writes `BENCH_service_socket.json` at the workspace root.
+
+use criterion::{criterion_group, Criterion};
+use sft_core::{MulticastTask, Network, SolveOptions, Strategy};
+use sft_service::protocol::EmbedRequest;
+use sft_service::{serve, EmbedService, ServerConfig, ServerHandle};
+use sft_topology::{palmetto, workload, ScenarioConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const CONNECTIONS: usize = 8;
+const STREAM_LEN: usize = 20;
+const DISTINCT_GROUPS: usize = 5;
+const WORKERS: usize = 4;
+
+/// The recurring-groups Palmetto stream used by the batch bench, as wire
+/// requests (ids are stream positions).
+fn shared_workload() -> (Network, Vec<EmbedRequest>) {
+    let config = ScenarioConfig {
+        dest_ratio: 0.2,
+        sfc_len: 5,
+        ..ScenarioConfig::default()
+    };
+    let network = workload::on_graph(palmetto::graph(), &config, 0)
+        .expect("base scenario")
+        .network;
+    let distinct: Vec<MulticastTask> = (0..DISTINCT_GROUPS as u64)
+        .map(|seed| {
+            workload::on_graph(palmetto::graph(), &config, seed)
+                .expect("sibling scenario")
+                .task
+        })
+        .collect();
+    let requests = (0..STREAM_LEN)
+        .map(|i| {
+            let task = &distinct[i % DISTINCT_GROUPS];
+            let mut req = EmbedRequest::new(
+                task.source().index(),
+                task.destinations().iter().map(|d| d.index()).collect(),
+                task.sfc().stages().iter().map(|f| f.index()).collect(),
+            );
+            req.id = Some(i as u64 + 1);
+            req
+        })
+        .collect();
+    (network, requests)
+}
+
+fn start_server(network: Network) -> ServerHandle {
+    let svc = EmbedService::new(network, Strategy::Msa, SolveOptions::default()).unwrap();
+    // The wave pipelines CONNECTIONS × STREAM_LEN requests at once; the
+    // queue bound must clear that or the default backpressure (correctly)
+    // sheds part of the load as `overloaded`.
+    let mut config = ServerConfig {
+        workers: WORKERS,
+        ..ServerConfig::default()
+    };
+    config.admission.queue_bound = 4 * CONNECTIONS * STREAM_LEN;
+    serve(svc, "127.0.0.1:0", config).unwrap()
+}
+
+/// One client replaying the stream pipelined; returns when every response
+/// has been read back.
+fn pipelined_client(addr: SocketAddr, requests: &[EmbedRequest]) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    for req in requests {
+        writeln!(writer, "{}", req.to_json()).unwrap();
+    }
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..requests.len() {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "unexpected: {line}");
+    }
+}
+
+/// One full wave: `CONNECTIONS` concurrent clients, each replaying the
+/// whole stream.
+fn wave(addr: SocketAddr, requests: &[EmbedRequest]) {
+    std::thread::scope(|scope| {
+        for _ in 0..CONNECTIONS {
+            scope.spawn(|| pipelined_client(addr, requests));
+        }
+    });
+}
+
+/// Synchronous write→read round trips, one request at a time per
+/// connection; returns every observed per-request latency in nanoseconds.
+fn latency_pass(addr: SocketAddr, requests: &[EmbedRequest]) -> Vec<u64> {
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..CONNECTIONS {
+            workers.push(scope.spawn(|| {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                let mut out = Vec::with_capacity(requests.len());
+                for req in requests {
+                    let start = Instant::now();
+                    writeln!(writer, "{}", req.to_json()).unwrap();
+                    writer.flush().unwrap();
+                    line.clear();
+                    reader.read_line(&mut line).unwrap();
+                    out.push(start.elapsed().as_nanos() as u64);
+                }
+                out
+            }));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let mut all: Vec<u64> = lat.into_iter().flatten().collect();
+    all.sort_unstable();
+    all
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)] as f64
+}
+
+fn bench_service_socket(c: &mut Criterion) {
+    let (network, requests) = shared_workload();
+    let mut handle = start_server(network);
+    let addr = handle.local_addr().unwrap();
+    let mut group = c.benchmark_group("socket/palmetto_8conn_20req");
+    group.sample_size(10);
+    group.bench_function("wave", |b| b.iter(|| wave(addr, &requests)));
+    group.finish();
+    handle.shutdown();
+    handle.join();
+}
+
+fn write_report(c: &Criterion) {
+    let mut wave_ns = None;
+    for s in c.summaries() {
+        if s.id.ends_with("/wave") {
+            wave_ns = Some(s.median_ns);
+        }
+    }
+    let Some(wave_ns) = wave_ns else {
+        return; // filtered or test-mode run: nothing measured
+    };
+    // Tail latency is measured outside criterion: synchronous round trips
+    // against a fresh server, one request in flight per connection.
+    let (network, requests) = shared_workload();
+    let mut handle = start_server(network);
+    let addr = handle.local_addr().unwrap();
+    let lat = latency_pass(addr, &requests);
+    let stats = handle.stats();
+    handle.shutdown();
+    handle.join();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let total_requests = (CONNECTIONS * STREAM_LEN) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"service_socket\",\n  \"workload\": {{ \"topology\": \"palmetto\", \"connections\": {CONNECTIONS}, \"requests_per_connection\": {STREAM_LEN}, \"distinct_groups\": {DISTINCT_GROUPS}, \"sfc_len\": 5, \"mode\": \"quote\" }},\n  \"server_workers\": {WORKERS},\n  \"host_cores\": {cores},\n  \"wave_median_ms\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \"rtt_p50_ms\": {:.3},\n  \"rtt_p99_ms\": {:.3},\n  \"steiner_cache_hit_rate\": {:.3},\n  \"note\": \"wave = 8 concurrent pipelined clients; requests_per_sec from the wave median; p50/p99 from synchronous one-in-flight round trips on 8 concurrent connections\"\n}}\n",
+        wave_ns / 1e6,
+        total_requests / (wave_ns / 1e9),
+        percentile(&lat, 50.0) / 1e6,
+        percentile(&lat, 99.0) / 1e6,
+        stats.cache_hit_rate()
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_service_socket.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_service_socket);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    write_report(&c);
+    c.final_summary();
+}

@@ -8,7 +8,7 @@ pub const USAGE: &str = "\
 sft — service function tree embedding for NFV multicast
 
 USAGE:
-  sft <info|solve|exact|batch|serve|help> [--flag value]...
+  sft <info|solve|exact|batch|serve|client|help> [--flag value]...
 
 TOPOLOGIES (--topology):
   palmetto          the 45-node Palmetto backbone
@@ -44,9 +44,9 @@ SOLVE / EXACT FLAGS:
                         (default auto)
 
 BATCH / SERVE FLAGS (long-running service; APSP built once, shared
-Steiner cache; tasks are JSONL lines
-  {\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}):
-  --tasks <file.jsonl>  (batch) the task stream to solve (required)
+Steiner cache; requests are versioned JSONL lines, see docs/service.md:
+  {\"v\": 1, \"id\": 7, \"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}):
+  --tasks <file.jsonl>  (batch/client) the task stream to solve (required)
   --mode <sequential|independent>
                         (batch) sequential = solve-and-commit each task
                         in arrival order; independent = fan dry-run
@@ -58,12 +58,33 @@ Steiner cache; tasks are JSONL lines
   --cache-cap <n>       bound the Steiner cache to n entries with
                         CLOCK eviction (default unbounded)
 
+SOCKET FLAGS (sft serve --listen / sft client):
+  --listen <addr>       (serve) accept connections on a TCP host:port
+                        or a Unix socket (unix:/path); runs until a
+                        client sends {\"op\": \"shutdown\"}
+  --workers <n>         (serve) worker threads (default 4)
+  --queue-bound <n>     (serve) pending-request bound before new work
+                        is rejected as `overloaded` (default 128)
+  --deadline-ms <ms>    (serve) default per-request deadline; requests
+                        still unanswered when it expires are rejected
+                        as `deadline_exceeded` (default none)
+  --default-mode <quote|commit>
+                        solve semantics for requests without a `mode`
+                        field: quote = dry-run against the frozen
+                        network (socket default), commit = update the
+                        network (stdin serve default)
+  --connect <addr>      (client) server address to send --tasks to;
+                        responses print ordered by id
+  --mode <quote|commit> (client) override the mode on every request
+
 EXAMPLES:
   sft info  --topology palmetto
   sft solve --topology er:50 --seed 7 --source 0 --dests 5,12,31 --sfc 3
   sft exact --topology grid:3x4 --source 0 --dests 7,11 --sfc 2
   sft batch --topology palmetto --tasks examples/palmetto_tasks.jsonl
   sft serve --topology abilene < tasks.jsonl
+  sft serve --topology palmetto --listen 127.0.0.1:7070 --workers 8
+  sft client --connect 127.0.0.1:7070 --tasks examples/palmetto_tasks.jsonl
 ";
 
 /// A parse failure with a human-readable description.

@@ -11,12 +11,16 @@ use sft_core::{
 };
 use sft_graph::NodeId;
 use sft_lp::{BackendChoice, MipConfig};
-use sft_service::{jsonl, BatchMode, EmbedService};
+use sft_service::protocol::{self, EmbedResponse, Request, RequestMode};
+use sft_service::{AdmissionConfig, BatchMode, EmbedService, ServerConfig, ServiceError};
 use std::fmt::Write as _;
+use std::io::{BufRead, Write as IoWrite};
 use std::time::{Duration, Instant};
 
-/// Builds the network and task that `solve` / `exact` operate on.
-fn setup(args: &Args) -> Result<(Network, MulticastTask), ParseError> {
+/// Builds the physical network every subcommand operates on — the one
+/// place the `--topology`/`--capacity`/`--setup-cost`/`--sfc` flags are
+/// interpreted. Returns the network and the catalog size `k`.
+fn build_network(args: &Args) -> Result<(Network, usize), ParseError> {
     let seed: u64 = args.parse_or("seed", 0)?;
     let graph = topology_spec::build(args.require("topology")?, seed)?;
     let capacity: f64 = args.parse_or("capacity", 3.0)?;
@@ -32,7 +36,12 @@ fn setup(args: &Args) -> Result<(Network, MulticastTask), ParseError> {
         .map_err(|e| ParseError(e.to_string()))?
         .build()
         .map_err(|e| ParseError(e.to_string()))?;
+    Ok((network, k))
+}
 
+/// Builds the network and task that `solve` / `exact` operate on.
+fn setup(args: &Args) -> Result<(Network, MulticastTask), ParseError> {
+    let (network, k) = build_network(args)?;
     let source = NodeId(args.parse_or("source", usize::MAX)?);
     if source.index() == usize::MAX {
         return Err(ParseError("missing required flag --source".into()));
@@ -234,21 +243,7 @@ pub fn exact(args: &Args) -> Result<String, ParseError> {
 /// sets the catalog size (each JSONL task names its own chain from types
 /// `0..k`).
 fn build_service(args: &Args) -> Result<EmbedService, ParseError> {
-    let seed: u64 = args.parse_or("seed", 0)?;
-    let graph = topology_spec::build(args.require("topology")?, seed)?;
-    let capacity: f64 = args.parse_or("capacity", 3.0)?;
-    let setup_cost: f64 = args.parse_or("setup-cost", 1.0)?;
-    let k: usize = args.parse_or("sfc", 3)?;
-    if k == 0 {
-        return Err(ParseError("--sfc must be at least 1".into()));
-    }
-    let network = Network::builder(graph, VnfCatalog::uniform(k))
-        .all_servers(capacity)
-        .map_err(|e| ParseError(e.to_string()))?
-        .uniform_setup_cost(setup_cost)
-        .map_err(|e| ParseError(e.to_string()))?
-        .build()
-        .map_err(|e| ParseError(e.to_string()))?;
+    let (network, _k) = build_network(args)?;
     let strategy = match args.get("strategy").unwrap_or("msa") {
         "msa" => Strategy::Msa,
         "sca" => Strategy::Sca,
@@ -279,47 +274,59 @@ fn build_service(args: &Args) -> Result<EmbedService, ParseError> {
     })
 }
 
-/// Feeds a JSONL stream through the service and renders per-task cost
-/// breakdowns plus the service statistics. Malformed or infeasible lines
-/// are reported in place; the stream keeps going.
+/// Feeds a JSONL stream through the service and renders one canonical
+/// protocol response line per input line (id = the request's `id`, or its
+/// 1-based line number), followed by the service statistics. Malformed or
+/// infeasible lines are reported as structured error responses in place;
+/// the stream keeps going.
 fn run_stream(svc: &mut EmbedService, text: &str, mode: BatchMode) -> String {
     enum Line {
-        Task(usize),
-        Bad(String),
+        Task { id: Option<u64>, index: usize },
+        Done(EmbedResponse),
     }
     let mut tasks = Vec::new();
     let mut lines = Vec::new();
-    for (lineno, parsed) in jsonl::parse_stream(text) {
-        match parsed.and_then(|spec| spec.to_task().map_err(|e| e.to_string())) {
-            Ok(task) => {
-                lines.push((lineno, Line::Task(tasks.len())));
-                tasks.push(task);
+    for (lineno, parsed) in protocol::parse_stream(text) {
+        let line_id = Some(lineno as u64);
+        match parsed {
+            Ok(Request::Embed(req)) => {
+                let id = req.id.or(line_id);
+                match req.to_task() {
+                    Ok(task) => {
+                        lines.push(Line::Task {
+                            id,
+                            index: tasks.len(),
+                        });
+                        tasks.push(task);
+                    }
+                    Err(e) => {
+                        lines.push(Line::Done(EmbedResponse::failure(
+                            id,
+                            &ServiceError::Core(e),
+                        )));
+                    }
+                }
             }
-            Err(reason) => lines.push((lineno, Line::Bad(reason))),
+            Ok(Request::Shutdown { id, .. }) => {
+                // A shutdown line ends the stream after what came before.
+                lines.push(Line::Done(EmbedResponse::draining(id.or(line_id))));
+                break;
+            }
+            Err(e) => lines.push(Line::Done(EmbedResponse::wire_failure(line_id, e))),
         }
     }
+    let committed = matches!(mode, BatchMode::Sequential);
     let results = svc.submit_batch(&tasks, mode);
     let mut out = String::new();
-    for (lineno, line) in lines {
-        match line {
-            Line::Task(i) => match &results[i] {
-                Ok(r) => {
-                    let _ = writeln!(
-                        out,
-                        "task line {lineno:>3}: cost {:>10.2} (setup {:>8.2} + links {:>8.2})",
-                        r.cost.total(),
-                        r.cost.setup,
-                        r.cost.link
-                    );
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "task line {lineno:>3}: error: {e}");
-                }
+    for line in lines {
+        let resp = match line {
+            Line::Task { id, index } => match &results[index] {
+                Ok(r) => EmbedResponse::success(id, r, committed),
+                Err(e) => EmbedResponse::failure(id, e),
             },
-            Line::Bad(reason) => {
-                let _ = writeln!(out, "task line {lineno:>3}: bad line: {reason}");
-            }
-        }
+            Line::Done(resp) => resp,
+        };
+        let _ = writeln!(out, "{}", resp.to_json());
     }
     let _ = writeln!(out, "\n{}", svc.stats().render().trim_end());
     out
@@ -348,20 +355,186 @@ pub fn batch(args: &Args) -> Result<String, ParseError> {
     Ok(run_stream(&mut svc, &text, mode))
 }
 
-/// `sft serve`: read JSONL task lines from stdin until EOF and embed them
-/// in arrival order against one evolving network (each success commits).
+/// Streams protocol lines from `reader`, answering each on `writer` as it
+/// arrives — no buffering until EOF, and a malformed line yields a
+/// structured error response instead of killing the stream. Requests
+/// without a `mode` use `default_mode`; `{"op":"shutdown"}` ends the
+/// stream with a `draining` acknowledgement.
+pub fn serve_stream(
+    svc: &mut EmbedService,
+    reader: impl BufRead,
+    writer: &mut impl IoWrite,
+    default_mode: RequestMode,
+) -> std::io::Result<()> {
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let line_id = Some(lineno as u64 + 1);
+        let resp = match protocol::parse_request(trimmed) {
+            Err(e) => EmbedResponse::wire_failure(line_id, e),
+            Ok(Request::Shutdown { id, .. }) => {
+                writeln!(
+                    writer,
+                    "{}",
+                    EmbedResponse::draining(id.or(line_id)).to_json()
+                )?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Request::Embed(req)) => {
+                let id = req.id.or(line_id);
+                match req.to_task() {
+                    Err(e) => EmbedResponse::failure(id, &ServiceError::Core(e)),
+                    Ok(task) => {
+                        let mode = req.mode.unwrap_or(default_mode);
+                        let result = match mode {
+                            RequestMode::Quote => svc.solve_uncommitted(&task),
+                            RequestMode::Commit => svc.solve_and_commit(&task),
+                        };
+                        match result {
+                            Ok(r) => {
+                                EmbedResponse::success(id, &r, matches!(mode, RequestMode::Commit))
+                            }
+                            Err(e) => EmbedResponse::failure(id, &e),
+                        }
+                    }
+                }
+            }
+        };
+        writeln!(writer, "{}", resp.to_json())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// `sft serve --listen <addr>`: the socket front-end.
+fn serve_socket(args: &Args, addr: &str) -> Result<String, ParseError> {
+    let svc = build_service(args)?;
+    let default_mode = parse_request_mode(args.get("default-mode").unwrap_or("quote"))?;
+    let config = ServerConfig {
+        workers: args.parse_or("workers", 4usize)?.max(1),
+        admission: AdmissionConfig {
+            queue_bound: args.parse_or("queue-bound", 128usize)?,
+            default_deadline_ms: args
+                .get("deadline-ms")
+                .map(|raw| {
+                    raw.parse::<u64>().map_err(|_| {
+                        ParseError(format!("cannot parse --deadline-ms value `{raw}`"))
+                    })
+                })
+                .transpose()?,
+            capacity_check: true,
+        },
+        default_mode,
+    };
+    let mut handle = sft_service::serve(svc, addr, config)
+        .map_err(|e| ParseError(format!("cannot listen on {addr}: {e}")))?;
+    match handle.local_addr() {
+        Some(a) => eprintln!("sft serve: listening on {a}"),
+        None => eprintln!("sft serve: listening on {addr}"),
+    }
+    handle.join(); // until a client sends {"op":"shutdown"}
+    Ok(format!("{}\n", handle.stats().render().trim_end()))
+}
+
+fn parse_request_mode(raw: &str) -> Result<RequestMode, ParseError> {
+    match raw {
+        "quote" => Ok(RequestMode::Quote),
+        "commit" => Ok(RequestMode::Commit),
+        other => Err(ParseError(format!(
+            "unknown request mode `{other}` (quote or commit)"
+        ))),
+    }
+}
+
+/// `sft serve`: with `--listen <addr>`, serve the versioned protocol over
+/// TCP (`host:port`) or a Unix socket (`unix:<path>`) until a client
+/// sends `{"op":"shutdown"}`. Without it, stream JSONL request lines from
+/// stdin, answering each as it arrives with commit semantics (each
+/// success updates the network, the paper's §IV-D online regime).
 ///
 /// # Errors
 ///
 /// [`ParseError`] for bad flags, topology specs, or stdin I/O failures.
 pub fn serve(args: &Args) -> Result<String, ParseError> {
+    if let Some(addr) = args.get("listen") {
+        let addr = addr.to_string();
+        return serve_socket(args, &addr);
+    }
     let mut svc = build_service(args)?;
-    let mut text = String::new();
-    use std::io::Read as _;
-    std::io::stdin()
-        .read_to_string(&mut text)
-        .map_err(|e| ParseError(format!("cannot read stdin: {e}")))?;
-    Ok(run_stream(&mut svc, &text, BatchMode::Sequential))
+    let default_mode = parse_request_mode(args.get("default-mode").unwrap_or("commit"))?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_stream(&mut svc, stdin.lock(), &mut stdout.lock(), default_mode)
+        .map_err(|e| ParseError(format!("stream I/O error: {e}")))?;
+    Ok(format!("\n{}\n", svc.stats().render().trim_end()))
+}
+
+/// `sft client`: send a JSONL task file to a running `sft serve --listen`
+/// server and print the responses ordered by id (ids default to 1-based
+/// input line numbers, so the output lines up with `sft batch` on the
+/// same file). Lines that fail to parse locally are reported as
+/// structured error responses without being sent.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags, an unreachable server, or connection I/O
+/// failures. Per-request failures come back as structured responses, not
+/// errors.
+pub fn client(args: &Args) -> Result<String, ParseError> {
+    let addr = args.require("connect")?;
+    let path = args.require("tasks")?;
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| ParseError(format!("cannot read stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| ParseError(format!("cannot read {path}: {e}")))?
+    };
+    let override_mode = args.get("mode").map(parse_request_mode).transpose()?;
+    let io_err = |e: std::io::Error| ParseError(format!("connection to {addr}: {e}"));
+    let (reader, writer) = sft_service::connect(addr).map_err(io_err)?;
+    let mut writer = std::io::BufWriter::new(writer);
+    let mut responses = Vec::new();
+    let mut expected = 0usize;
+    for (lineno, parsed) in protocol::parse_stream(&text) {
+        let line_id = Some(lineno as u64);
+        match parsed {
+            Ok(Request::Embed(mut req)) => {
+                req.id = req.id.or(line_id);
+                req.mode = req.mode.or(override_mode);
+                writeln!(writer, "{}", req.to_json()).map_err(io_err)?;
+                expected += 1;
+            }
+            Ok(Request::Shutdown { v, id }) => {
+                let req = Request::Shutdown {
+                    v,
+                    id: id.or(line_id),
+                };
+                writeln!(writer, "{}", req.to_json()).map_err(io_err)?;
+                expected += 1;
+            }
+            Err(e) => responses.push(EmbedResponse::wire_failure(line_id, e)),
+        }
+    }
+    writer.flush().map_err(io_err)?;
+    let reader = std::io::BufReader::new(reader);
+    for line in reader.lines().take(expected) {
+        let line = line.map_err(io_err)?;
+        let resp = protocol::parse_response(line.trim())
+            .map_err(|e| ParseError(format!("bad response from {addr}: {e}")))?;
+        responses.push(resp);
+    }
+    responses.sort_by_key(|r| r.id);
+    let mut out = String::new();
+    for resp in responses {
+        let _ = writeln!(out, "{}", resp.to_json());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -498,8 +671,16 @@ mod tests {
                 file.display()
             ))
             .unwrap();
-            assert!(out.contains("task line   2: cost"), "{mode}: {out}");
-            assert!(out.contains("task line   5: bad line:"), "{mode}: {out}");
+            // One canonical protocol response per input line, id = lineno.
+            assert!(
+                out.contains("{\"v\":1,\"id\":2,\"status\":\"ok\""),
+                "{mode}: {out}"
+            );
+            assert!(
+                out.contains("{\"v\":1,\"id\":5,\"status\":\"error\""),
+                "{mode}: {out}"
+            );
+            assert!(out.contains("\"code\":\"parse_error\""), "{mode}: {out}");
             assert!(out.contains("tasks served   : 3"), "{mode}: {out}");
             assert!(out.contains("apsp builds    : 1"), "{mode}: {out}");
             // The duplicate task guarantees Steiner-cache hits.
@@ -512,6 +693,15 @@ mod tests {
         ))
         .unwrap();
         assert!(seq.contains("commits        : 3"), "{seq}");
+        assert!(seq.contains("\"committed\":true"), "{seq}");
+        assert!(
+            seq.contains("\"id\":3,\"status\":\"ok\",\"cost\":{\"total\":"),
+            "{seq}"
+        );
+        // Every response line parses back through the shared protocol.
+        for line in seq.lines().take_while(|l| !l.is_empty()) {
+            sft_service::parse_response(line).unwrap();
+        }
         // A capacity-1 cache still serves the stream; evictions show up.
         let capped = run(&format!(
             "batch --topology grid:3x4 --tasks {} --cache-cap 1",
@@ -546,6 +736,78 @@ mod tests {
             file.display()
         ))
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_stream_answers_each_line_and_survives_bad_ones() {
+        let argv: Vec<String> = "serve --topology grid:3x4"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        let mut svc = build_service(&args).unwrap();
+        let input = "{\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}\n\
+                     this is not json\n\
+                     {\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}\n\
+                     {\"op\": \"shutdown\"}\n\
+                     {\"source\": 3, \"dests\": [8], \"sfc\": [2]}\n";
+        let mut out = Vec::new();
+        serve_stream(
+            &mut svc,
+            std::io::Cursor::new(input),
+            &mut out,
+            RequestMode::Commit,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "shutdown ends the stream: {out}");
+        assert!(lines[0].contains("\"id\":1,\"status\":\"ok\""), "{out}");
+        // The malformed line yields a structured error, not a dead stream.
+        assert!(lines[1].contains("\"id\":2,\"status\":\"error\""), "{out}");
+        assert!(lines[1].contains("\"code\":\"parse_error\""), "{out}");
+        // The repeated committed task pays no setup the second time.
+        assert!(lines[2].contains("\"setup\":0"), "{out}");
+        assert!(lines[3].contains("\"status\":\"draining\""), "{out}");
+        assert_eq!(svc.stats().commits, 2);
+    }
+
+    #[test]
+    fn client_and_socket_serve_match_batch_output() {
+        let dir = std::env::temp_dir().join("sft_cli_socket_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tasks.jsonl");
+        std::fs::write(
+            &file,
+            "{\"source\": 0, \"dests\": [7, 11], \"sfc\": [0, 1]}\n\
+             oops\n\
+             {\"source\": 3, \"dests\": [8], \"sfc\": [2]}\n",
+        )
+        .unwrap();
+        let batch = run(&format!(
+            "batch --topology grid:3x4 --tasks {} --mode independent",
+            file.display()
+        ))
+        .unwrap();
+        let batch_lines: Vec<&str> = batch.lines().take_while(|l| !l.is_empty()).collect();
+
+        let argv: Vec<String> = "serve --topology grid:3x4"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let svc = build_service(&Args::parse(&argv).unwrap()).unwrap();
+        let mut handle =
+            sft_service::serve(svc, "127.0.0.1:0", sft_service::ServerConfig::default()).unwrap();
+        let addr = handle.local_addr().unwrap().to_string();
+        let argv: Vec<String> = format!("client --connect {addr} --tasks {}", file.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let out = client(&Args::parse(&argv).unwrap()).unwrap();
+        assert_eq!(out.lines().collect::<Vec<_>>(), batch_lines, "{out}");
+        handle.shutdown();
+        handle.join();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -11,9 +11,14 @@
 //! * `sft batch --topology <spec> --tasks <file.jsonl>` — run a JSONL task
 //!   stream through a long-running [`sft_service::EmbedService`] (one
 //!   shared network, APSP built once, persistent Steiner cache) and print
-//!   per-task cost breakdowns plus service statistics;
-//! * `sft serve --topology <spec>` — the same, reading JSONL task lines
-//!   from stdin until EOF (sequential-arrival semantics).
+//!   one versioned protocol response line per task plus service
+//!   statistics;
+//! * `sft serve --topology <spec>` — the same protocol streamed over
+//!   stdin (answers as lines arrive, commit semantics), or with
+//!   `--listen <addr>` served over TCP / a Unix socket with a bounded
+//!   worker pool and capacity-aware admission control;
+//! * `sft client --connect <addr> --tasks <file.jsonl>` — drive a running
+//!   server and print its responses ordered by id.
 //!
 //! Argument parsing is hand-rolled (the project's dependency set is
 //! deliberately tiny); see [`args`] for the grammar and [`run`] for the
@@ -40,6 +45,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "exact" => commands::exact(&args).map_err(|e| e.to_string()),
         "batch" => commands::batch(&args).map_err(|e| e.to_string()),
         "serve" => commands::serve(&args).map_err(|e| e.to_string()),
+        "client" => commands::client(&args).map_err(|e| e.to_string()),
         "help" => Ok(args::USAGE.to_string()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", args::USAGE)),
     }

@@ -116,6 +116,61 @@ impl Network {
         self.capacity[v.0] - self.deployed_load(v)
     }
 
+    /// Total capacity left across all servers after accounting for every
+    /// deployed instance — the network-wide budget available to new
+    /// instances. Admission layers compare this against
+    /// [`Network::min_new_demand`] to shed tasks that cannot possibly fit.
+    pub fn total_residual_capacity(&self) -> f64 {
+        self.servers().map(|v| self.residual_capacity(v)).sum()
+    }
+
+    /// The largest single-server residual capacity. An instance can only
+    /// be placed whole, so a task whose biggest undeployed VNF demand
+    /// exceeds this cannot be embedded no matter how much total capacity
+    /// remains.
+    pub fn max_residual_capacity(&self) -> f64 {
+        self.servers()
+            .map(|v| self.residual_capacity(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// A lower bound on the new capacity `task` must consume: the summed
+    /// demand `μ_f` of every distinct chain VNF type with no deployed
+    /// instance anywhere in the network. Such a type forces at least one
+    /// new placement; types that are already deployed somewhere *may* be
+    /// reused for free (§IV-D), so they contribute nothing to the bound.
+    ///
+    /// The bound is sound for admission control: it never exceeds the
+    /// demand of any feasible embedding, so rejecting when it exceeds
+    /// [`Network::total_residual_capacity`] never sheds a servable task.
+    pub fn min_new_demand(&self, task: &crate::task::MulticastTask) -> f64 {
+        self.undeployed_chain_types(task)
+            .map(|f| self.catalog.demand(f))
+            .sum()
+    }
+
+    /// The largest per-instance demand among the task's chain types that
+    /// are deployed nowhere (0.0 when every type is reusable). Compare
+    /// against [`Network::max_residual_capacity`]: each new instance must
+    /// fit on a single server.
+    pub fn max_new_instance_demand(&self, task: &crate::task::MulticastTask) -> f64 {
+        self.undeployed_chain_types(task)
+            .map(|f| self.catalog.demand(f))
+            .fold(0.0, f64::max)
+    }
+
+    /// Distinct chain VNF types of `task` with no deployed instance on any
+    /// node. Out-of-catalog ids are skipped (task validation reports them).
+    fn undeployed_chain_types<'a>(
+        &'a self,
+        task: &'a crate::task::MulticastTask,
+    ) -> impl Iterator<Item = VnfId> + 'a {
+        self.catalog
+            .ids()
+            .filter(|&f| task.sfc().stages().contains(&f))
+            .filter(|&f| !(0..self.node_count()).any(|v| self.deployed[f.0][v]))
+    }
+
     /// Whether an instance of `f` is already deployed on `v` (`π_{f,v}`).
     ///
     /// # Panics
@@ -495,6 +550,48 @@ mod tests {
         assert_eq!(net.dist().distance(NodeId(0), NodeId(3)), Some(3.0));
         // Ordered pairs of a 4-path: distances 1,1,1,2,2,3 each twice -> avg 10/6.
         assert!((net.average_path_cost() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_estimation_counts_only_undeployed_chain_types() {
+        use crate::task::MulticastTask;
+        use crate::vnf::Sfc;
+        let net = Network::builder(line_graph(4), VnfCatalog::uniform(3))
+            .all_servers(2.0)
+            .unwrap()
+            .deploy(VnfId(0), NodeId(1))
+            .unwrap()
+            .build()
+            .unwrap();
+        // 4 servers x 2.0 capacity, one unit instance deployed.
+        assert!((net.total_residual_capacity() - 7.0).abs() < 1e-12);
+        assert_eq!(net.max_residual_capacity(), 2.0);
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0), VnfId(1), VnfId(2)]).unwrap(),
+        )
+        .unwrap();
+        // f0 is deployed somewhere (reusable); f1 and f2 force new units.
+        assert_eq!(net.min_new_demand(&task), 2.0);
+        assert_eq!(net.max_new_instance_demand(&task), 1.0);
+        // A chain of only the deployed type demands nothing new.
+        let reuse = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(net.min_new_demand(&reuse), 0.0);
+        assert_eq!(net.max_new_instance_demand(&reuse), 0.0);
+        // A repeated type counts once: the bound is over distinct types.
+        let repeated = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(3)],
+            Sfc::new(vec![VnfId(1), VnfId(2), VnfId(1)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(net.min_new_demand(&repeated), 2.0);
     }
 
     #[test]

@@ -15,20 +15,34 @@
 //!   deployments — so committed placements do not invalidate them (see
 //!   [`sft_graph::cache`] for the exact contract and
 //!   [`EmbedService::invalidate_caches`] for the topology-change hook).
+//! * [`protocol`] defines the **one** versioned request/response wire
+//!   format (`v` field, error taxonomy, canonical serialization) spoken
+//!   by every channel — `sft batch` files, stdin `serve`, and the socket
+//!   front-end.
+//! * [`server`] is that socket front-end: TCP or Unix-socket listener,
+//!   bounded worker pool over the shared service, graceful drain.
+//! * [`admission`] sheds load *before* work is queued: a sound
+//!   VNF-capacity demand bound against remaining committed capacity
+//!   (`insufficient_capacity`) and queue-depth backpressure
+//!   (`overloaded`).
 //! * [`EmbedService::submit_batch`] fans independent tasks across
 //!   [`sft_graph::parallel::run_partitioned`] with the workspace's
 //!   ordered-merge determinism guarantee: results are bit-identical to
 //!   per-task one-shot solves at every thread count.
-//! * [`jsonl`] ingests newline-delimited task files (`sft batch` /
-//!   `sft serve`); a malformed line yields a per-line error, never a
-//!   service crash.
 //! * [`ServiceStats`] reports tasks served, cache hit rate and p50/p99
 //!   solve latency.
 
-pub mod jsonl;
+pub mod admission;
+pub mod protocol;
+pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use jsonl::TaskSpec;
+pub use admission::{check_capacity, AdmissionConfig, JobQueue};
+pub use protocol::{
+    parse_request, parse_response, parse_stream, EmbedRequest, EmbedResponse, ErrorCode, Request,
+    RequestMode, ResponseBody, WireError, PROTOCOL_VERSION,
+};
+pub use server::{connect, serve, Connection, ServerConfig, ServerHandle};
 pub use service::{BatchMode, EmbedService, ServiceError};
 pub use stats::ServiceStats;

@@ -1,0 +1,620 @@
+//! TCP / Unix-socket front-end for the [`EmbedService`].
+//!
+//! One listener thread accepts connections; each connection gets a reader
+//! thread that parses protocol lines, runs admission control
+//! ([`crate::admission`]) and enqueues accepted jobs onto a bounded
+//! [`JobQueue`]; a fixed worker pool pops jobs and solves them against the
+//! **shared** service (one `Network`, one APSP, one `SteinerCache`)
+//! behind an `RwLock` — quotes run concurrently under the read half,
+//! commits serialize under the write half.
+//!
+//! Rejections (`overloaded`, `insufficient_capacity`, `shutting_down`,
+//! parse errors) are answered inline by the reader thread, so an
+//! overloaded server stays responsive: every request gets a structured
+//! response, never a hang or a dropped connection.
+//!
+//! Shutdown is graceful by construction: the wire line
+//! `{"op":"shutdown"}` (or [`ServerHandle::shutdown`]) closes the queue;
+//! workers drain what was already admitted, then exit; readers answer
+//! later requests with `shutting_down`.
+
+use crate::admission::{check_capacity, AdmissionConfig, JobQueue};
+use crate::protocol::{EmbedResponse, Request, RequestMode};
+use crate::service::{EmbedService, ServiceError};
+use sft_core::MulticastTask;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The read/write halves of one accepted or dialed connection.
+pub type Connection = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+
+/// How often the accept loop re-checks the drain flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Configuration for [`serve`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads solving admitted requests.
+    pub workers: usize,
+    /// Admission-control knobs (queue bound, default deadline, capacity
+    /// pre-check).
+    pub admission: AdmissionConfig,
+    /// Solve semantics for requests that do not name a `mode`. The socket
+    /// default is [`RequestMode::Quote`]: quotes are pure functions of the
+    /// frozen network, so results are independent of connection
+    /// interleaving — the property the batch-equivalence guarantee needs.
+    pub default_mode: RequestMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            default_mode: RequestMode::Quote,
+        }
+    }
+}
+
+/// One admitted request, queued for the worker pool.
+struct Job {
+    id: Option<u64>,
+    task: MulticastTask,
+    mode: RequestMode,
+    deadline_ms: Option<u64>,
+    deadline: Option<Instant>,
+    reply: Reply,
+}
+
+/// A connection's write half, shared by its reader thread and the workers.
+type Reply = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// State shared by the listener, readers and workers.
+struct Shared {
+    service: RwLock<EmbedService>,
+    queue: JobQueue<Job>,
+    draining: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Stops accepting work; already-admitted jobs still drain.
+    fn initiate_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Where a server listens.
+enum Acceptor {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Acceptor {
+    /// Binds `addr`: `unix:<path>` for a Unix socket (any existing socket
+    /// file is replaced), anything else as a TCP `host:port`.
+    fn bind(addr: &str) -> io::Result<Self> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                return Ok(Acceptor::Unix(listener));
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("unix sockets are not available on this platform: {path}"),
+                ));
+            }
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Acceptor::Tcp(listener))
+    }
+
+    fn local_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Acceptor::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Acceptor::Unix(_) => None,
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` means "nothing pending right now".
+    fn try_accept(&self) -> io::Result<Option<Connection>> {
+        match self {
+            Acceptor::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    // One small JSON line per response: waiting for ACKs
+                    // (Nagle) only adds delayed-ACK latency to every RTT.
+                    stream.set_nodelay(true)?;
+                    let writer = stream.try_clone()?;
+                    Ok(Some((Box::new(stream), Box::new(writer))))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Acceptor::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let writer = stream.try_clone()?;
+                    Ok(Some((Box::new(stream), Box::new(writer))))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: Option<SocketAddr>,
+    listener_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (useful with `127.0.0.1:0`); `None` for Unix
+    /// sockets.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Initiates a graceful drain: stop accepting, finish admitted work.
+    pub fn shutdown(&self) {
+        self.shared.initiate_drain();
+    }
+
+    /// Whether a drain has been initiated (by wire or by handle).
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Blocks until the listener and all workers have exited (call
+    /// [`ServerHandle::shutdown`] first, or send `{"op":"shutdown"}`).
+    /// Detached per-connection reader threads may outlive this — they hold
+    /// no admitted work, only idle clients. After `join` returns,
+    /// [`ServerHandle::stats`] reflects every request the server answered.
+    pub fn join(&mut self) {
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// A snapshot of the shared service's stats.
+    pub fn stats(&self) -> crate::stats::ServiceStats {
+        self.shared.service.read().expect("service lock").stats()
+    }
+}
+
+/// Starts a server for `service` on `addr` (`host:port` or `unix:<path>`).
+///
+/// # Errors
+///
+/// I/O errors binding the listener.
+pub fn serve(service: EmbedService, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+    let acceptor = Acceptor::bind(addr)?;
+    let local_addr = acceptor.local_addr();
+    let shared = Arc::new(Shared {
+        service: RwLock::new(service),
+        queue: JobQueue::new(config.admission.queue_bound),
+        draining: AtomicBool::new(false),
+        config,
+    });
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for _ in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+
+    let listener_shared = Arc::clone(&shared);
+    let listener_thread = std::thread::spawn(move || {
+        accept_loop(&acceptor, &listener_shared);
+    });
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        listener_thread: Some(listener_thread),
+        workers,
+    })
+}
+
+/// Accepts connections until a drain is initiated, spawning one reader
+/// thread per connection. Reader threads are detached: they exit on client
+/// EOF and never hold work the drain must wait for.
+fn accept_loop(acceptor: &Acceptor, shared: &Arc<Shared>) {
+    loop {
+        if shared.is_draining() {
+            return;
+        }
+        match acceptor.try_accept() {
+            Ok(Some((reader, writer))) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    connection_loop(reader, Arc::new(Mutex::new(writer)), &shared);
+                });
+            }
+            Ok(None) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses lines off one connection, admits or rejects each request, and
+/// answers everything that never reaches the worker pool.
+fn connection_loop(reader: Box<dyn Read + Send>, reply: Reply, shared: &Arc<Shared>) {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let request = match crate::protocol::parse_request(trimmed) {
+            Ok(r) => r,
+            Err(e) => {
+                if !send(&reply, &EmbedResponse::wire_failure(None, e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Shutdown { id, .. } => {
+                shared.initiate_drain();
+                if !send(&reply, &EmbedResponse::draining(id)) {
+                    return;
+                }
+            }
+            Request::Embed(req) => {
+                let id = req.id;
+                match admit(&req, shared, &reply) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        if !send(&reply, &EmbedResponse::failure(id, &e)) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the admission pipeline for one embed request; on success the job
+/// is queued and the worker pool owns the response.
+fn admit(
+    req: &crate::protocol::EmbedRequest,
+    shared: &Arc<Shared>,
+    reply: &Reply,
+) -> Result<(), ServiceError> {
+    if shared.is_draining() {
+        return Err(ServiceError::ShuttingDown);
+    }
+    let task = req.to_task().map_err(ServiceError::Core)?;
+    if shared.config.admission.capacity_check {
+        let service = shared.service.read().expect("service lock");
+        check_capacity(service.network(), &task)?;
+    }
+    let deadline_ms = req
+        .deadline_ms
+        .or(shared.config.admission.default_deadline_ms);
+    let job = Job {
+        id: req.id,
+        task,
+        mode: req.mode.unwrap_or(shared.config.default_mode),
+        deadline_ms,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        reply: Arc::clone(reply),
+    };
+    shared.queue.try_push(job).map_err(|(_, e)| e)
+}
+
+/// Pops admitted jobs until the queue is closed **and** drained, so a
+/// graceful shutdown completes all in-flight work.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = run_job(&job, shared);
+        send(&job.reply, &response);
+    }
+}
+
+/// Solves one admitted job, honoring its deadline on both sides of the
+/// solve (the solvers themselves are not cancellable, so an overrunning
+/// solve is reported as `deadline_exceeded` rather than aborted mid-way;
+/// in commit mode the network keeps the committed instances).
+fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
+    let expired = |deadline: Instant| Instant::now() > deadline;
+    if let (Some(deadline), Some(ms)) = (job.deadline, job.deadline_ms) {
+        if expired(deadline) {
+            return EmbedResponse::failure(
+                job.id,
+                &ServiceError::DeadlineExceeded { deadline_ms: ms },
+            );
+        }
+    }
+    let result = match job.mode {
+        RequestMode::Quote => {
+            let service = shared.service.read().expect("service lock");
+            service.solve_uncommitted(&job.task)
+        }
+        RequestMode::Commit => {
+            let mut service = shared.service.write().expect("service lock");
+            service.solve_and_commit(&job.task)
+        }
+    };
+    if let (Some(deadline), Some(ms)) = (job.deadline, job.deadline_ms) {
+        if expired(deadline) {
+            return EmbedResponse::failure(
+                job.id,
+                &ServiceError::DeadlineExceeded { deadline_ms: ms },
+            );
+        }
+    }
+    match result {
+        Ok(r) => EmbedResponse::success(job.id, &r, matches!(job.mode, RequestMode::Commit)),
+        Err(e) => EmbedResponse::failure(job.id, &e),
+    }
+}
+
+/// Writes one response line; returns whether the connection is still up.
+fn send(reply: &Reply, response: &EmbedResponse) -> bool {
+    let mut writer = reply.lock().expect("reply lock");
+    writeln!(writer, "{}", response.to_json())
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// Connects to a server address (`host:port` or `unix:<path>`), returning
+/// the read/write halves — the client side of [`serve`], shared by
+/// `sft client`, the integration tests and the bench.
+///
+/// # Errors
+///
+/// I/O errors establishing the connection.
+pub fn connect(addr: &str) -> io::Result<Connection> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let stream = UnixStream::connect(path)?;
+            let writer = stream.try_clone()?;
+            return Ok((Box::new(stream), Box::new(writer)));
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("unix sockets are not available on this platform: {path}"),
+            ));
+        }
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok((Box::new(stream), Box::new(writer)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, EmbedRequest, ErrorCode, ResponseBody};
+    use sft_core::{Network, VnfCatalog};
+    use sft_graph::{Graph, NodeId};
+
+    fn ring_network(n: usize, capacity: f64) -> Network {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0).unwrap();
+        }
+        Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(capacity)
+            .unwrap()
+            .uniform_setup_cost(2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn start(capacity: f64, config: ServerConfig) -> (ServerHandle, String) {
+        let svc = EmbedService::with_defaults(ring_network(10, capacity));
+        let handle = serve(svc, "127.0.0.1:0", config).unwrap();
+        let addr = handle.local_addr().unwrap().to_string();
+        (handle, addr)
+    }
+
+    fn roundtrip(addr: &str, lines: &[String]) -> Vec<crate::protocol::EmbedResponse> {
+        let (reader, mut writer) = connect(addr).unwrap();
+        for l in lines {
+            writeln!(writer, "{l}").unwrap();
+        }
+        writer.flush().unwrap();
+        let reader = BufReader::new(reader);
+        reader
+            .lines()
+            .take(lines.len())
+            .map(|l| parse_response(&l.unwrap()).unwrap())
+            .collect()
+    }
+
+    fn request(id: u64, source: usize) -> String {
+        let mut r = EmbedRequest::new(source, vec![(source + 3) % 10], vec![0, 1]);
+        r.id = Some(id);
+        r.to_json()
+    }
+
+    #[test]
+    fn serves_quotes_over_tcp() {
+        let (mut handle, addr) = start(3.0, ServerConfig::default());
+        let responses = roundtrip(&addr, &[request(1, 0), request(2, 4)]);
+        for r in &responses {
+            assert!(
+                matches!(
+                    r.body,
+                    ResponseBody::Ok {
+                        committed: false,
+                        ..
+                    }
+                ),
+                "{r:?}"
+            );
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.tasks_served, 2);
+        assert_eq!(stats.commits, 0, "socket default is quote");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_infeasible_lines_get_structured_errors() {
+        let (mut handle, addr) = start(0.0, ServerConfig::default());
+        let responses = roundtrip(&addr, &["not json".to_string(), request(7, 0)]);
+        let codes: Vec<_> = responses
+            .iter()
+            .map(|r| match &r.body {
+                ResponseBody::Error(e) => e.code,
+                other => panic!("expected an error, got {other:?}"),
+            })
+            .collect();
+        assert!(codes.contains(&ErrorCode::ParseError));
+        assert!(codes.contains(&ErrorCode::InsufficientCapacity));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn wire_shutdown_drains_and_rejects_later_requests() {
+        let (mut handle, addr) = start(3.0, ServerConfig::default());
+        let (reader, mut writer) = connect(&addr).unwrap();
+        writeln!(writer, "{}", request(1, 0)).unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\",\"id\":99}}").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(reader);
+        let mut seen_ok = false;
+        let mut seen_draining = false;
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = parse_response(line.trim()).unwrap();
+            match resp.body {
+                ResponseBody::Ok { .. } => seen_ok = true,
+                ResponseBody::Draining => {
+                    assert_eq!(resp.id, Some(99));
+                    seen_draining = true;
+                }
+                other => panic!("unexpected body {other:?}"),
+            }
+        }
+        assert!(seen_ok && seen_draining);
+        // A request after the drain is rejected, not dropped.
+        writeln!(writer, "{}", request(2, 4)).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match parse_response(line.trim()).unwrap().body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+        handle.join();
+    }
+
+    #[test]
+    fn zero_bound_queue_answers_overloaded() {
+        let config = ServerConfig {
+            admission: AdmissionConfig {
+                queue_bound: 0,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (mut handle, addr) = start(3.0, config);
+        let responses = roundtrip(&addr, &[request(1, 0)]);
+        match &responses[0].body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::Overloaded),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn expired_deadlines_are_reported_not_dropped() {
+        let config = ServerConfig {
+            admission: AdmissionConfig {
+                default_deadline_ms: Some(0),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (mut handle, addr) = start(3.0, config);
+        std::thread::sleep(Duration::from_millis(5));
+        let responses = roundtrip(&addr, &[request(1, 0)]);
+        match &responses[0].body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serves_over_a_unix_socket() {
+        let path = std::env::temp_dir().join(format!("sft-test-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", path.display());
+        let svc = EmbedService::with_defaults(ring_network(10, 3.0));
+        let mut handle = serve(svc, &addr, ServerConfig::default()).unwrap();
+        let responses = roundtrip(&addr, &[request(5, 2)]);
+        assert!(matches!(responses[0].body, ResponseBody::Ok { .. }));
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn commit_mode_requests_commit_through_the_socket() {
+        let (mut handle, addr) = start(3.0, ServerConfig::default());
+        let mut r = EmbedRequest::new(0, vec![3, 6], vec![0, 1]);
+        r.id = Some(1);
+        r.mode = Some(crate::protocol::RequestMode::Commit);
+        let responses = roundtrip(&addr, &[r.to_json()]);
+        assert!(
+            matches!(
+                responses[0].body,
+                ResponseBody::Ok {
+                    committed: true,
+                    ..
+                }
+            ),
+            "{responses:?}"
+        );
+        assert_eq!(handle.stats().commits, 1);
+        handle.shutdown();
+        handle.join();
+    }
+}

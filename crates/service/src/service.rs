@@ -1,5 +1,6 @@
 //! The [`EmbedService`]: one network, many tasks, shared caches.
 
+use crate::protocol::ErrorCode;
 use crate::stats::ServiceStats;
 use sft_core::{
     solve_with_cache, CoreError, MulticastTask, Network, SolveOptions, SolveResult, Strategy,
@@ -7,9 +8,12 @@ use sft_core::{
 use sft_graph::parallel::run_partitioned;
 use sft_graph::{Parallelism, SteinerCache, TreeCache};
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Errors surfaced by the service layer.
+/// Errors surfaced by the service layer. [`ServiceError::code`] maps each
+/// variant onto the wire taxonomy, so every channel reports failures with
+/// the same machine-readable codes.
 #[derive(Debug)]
 pub enum ServiceError {
     /// A solver or domain error for one task (the service itself stays up).
@@ -24,6 +28,47 @@ pub enum ServiceError {
         /// What went wrong.
         reason: String,
     },
+    /// Admission control: the request queue is at its configured bound;
+    /// retry later.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_bound: usize,
+    },
+    /// Admission control: the task's minimum new-instance demand cannot
+    /// fit in the remaining committed capacity.
+    InsufficientCapacity {
+        /// Lower bound on the new capacity the task must consume.
+        demand: f64,
+        /// Remaining network-wide capacity for new instances.
+        remaining: f64,
+    },
+    /// The request's deadline expired before a result could be produced.
+    DeadlineExceeded {
+        /// The deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The service is draining and no longer accepts new work.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// The wire-taxonomy code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::Core(e) => match e {
+                CoreError::Infeasible { .. } => ErrorCode::Infeasible,
+                CoreError::CapacityExceeded { .. } => ErrorCode::InsufficientCapacity,
+                CoreError::Graph(_) | CoreError::Lp(_) => ErrorCode::Internal,
+                _ => ErrorCode::InvalidTask,
+            },
+            ServiceError::UnsupportedStrategy(_) => ErrorCode::Internal,
+            ServiceError::Parse { .. } => ErrorCode::ParseError,
+            ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServiceError::InsufficientCapacity { .. } => ErrorCode::InsufficientCapacity,
+            ServiceError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        }
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -36,6 +81,20 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse { line, reason } => {
                 write!(f, "line {line}: {reason}")
             }
+            ServiceError::Overloaded { queue_bound } => {
+                write!(
+                    f,
+                    "request queue is full ({queue_bound} pending); retry later"
+                )
+            }
+            ServiceError::InsufficientCapacity { demand, remaining } => write!(
+                f,
+                "task needs at least {demand} new capacity but only {remaining} remains"
+            ),
+            ServiceError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms expired before a result")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
 }
@@ -54,7 +113,7 @@ pub enum BatchMode {
     /// Tasks arrive in order and accrete state: each successful embedding
     /// is committed before the next task solves, so later tasks reuse the
     /// instances earlier ones placed (the paper's §IV-D online regime).
-    /// Equivalent to calling [`EmbedService::submit`] per task.
+    /// Equivalent to calling [`EmbedService::solve_and_commit`] per task.
     #[default]
     Sequential,
     /// Tasks are independent snapshots of the current network: the batch
@@ -62,6 +121,17 @@ pub enum BatchMode {
     /// is bit-identical to a one-shot `solve_with_options` against the
     /// same frozen network — at every thread count.
     Independent,
+}
+
+/// Serving counters guarded by one mutex so read-only solves can record
+/// through `&self` (the socket front-end shares the service behind an
+/// `RwLock` and must not need the write half for quotes).
+#[derive(Debug, Default)]
+struct Counters {
+    tasks_served: u64,
+    failures: u64,
+    commits: u64,
+    latencies_ns: Vec<u64>,
 }
 
 /// A long-running embedding service.
@@ -75,10 +145,7 @@ pub struct EmbedService {
     strategy: Strategy,
     options: SolveOptions,
     cache: SteinerCache,
-    tasks_served: u64,
-    failures: u64,
-    commits: u64,
-    latencies_ns: Vec<u64>,
+    counters: Mutex<Counters>,
 }
 
 impl EmbedService {
@@ -103,10 +170,7 @@ impl EmbedService {
             strategy,
             options,
             cache: SteinerCache::new(),
-            tasks_served: 0,
-            failures: 0,
-            commits: 0,
-            latencies_ns: Vec::new(),
+            counters: Mutex::new(Counters::default()),
         })
     }
 
@@ -144,12 +208,13 @@ impl EmbedService {
     }
 
     /// Solves one task against the current network **without** committing
-    /// its instances (a dry-run / quote).
+    /// its instances (a dry-run / quote). Takes `&self`, so concurrent
+    /// quotes can run side by side under a shared lock.
     ///
     /// # Errors
     ///
     /// Solver errors for this task; the service stays usable.
-    pub fn solve(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+    pub fn solve_uncommitted(&self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
         let (result, ns) = self.timed_solve(task);
         self.note(&result, ns);
         result.map_err(ServiceError::Core)
@@ -162,13 +227,25 @@ impl EmbedService {
     ///
     /// Solver errors for this task; the network is only mutated on
     /// success.
-    pub fn submit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+    pub fn solve_and_commit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
         let (result, ns) = self.timed_solve(task);
         self.note(&result, ns);
         let result = result?;
         self.network.commit_embedding(task, &result.embedding)?;
-        self.commits += 1;
+        self.counters.lock().expect("stats lock").commits += 1;
         Ok(result)
+    }
+
+    /// Deprecated alias for [`EmbedService::solve_uncommitted`].
+    #[deprecated(since = "0.1.0", note = "renamed to `solve_uncommitted`")]
+    pub fn solve(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+        self.solve_uncommitted(task)
+    }
+
+    /// Deprecated alias for [`EmbedService::solve_and_commit`].
+    #[deprecated(since = "0.1.0", note = "renamed to `solve_and_commit`")]
+    pub fn submit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
+        self.solve_and_commit(task)
     }
 
     /// Serves a batch of tasks; see [`BatchMode`] for the two semantics.
@@ -181,7 +258,7 @@ impl EmbedService {
         mode: BatchMode,
     ) -> Vec<Result<SolveResult, ServiceError>> {
         match mode {
-            BatchMode::Sequential => tasks.iter().map(|t| self.submit(t)).collect(),
+            BatchMode::Sequential => tasks.iter().map(|t| self.solve_and_commit(t)).collect(),
             BatchMode::Independent => self.batch_independent(tasks),
         }
     }
@@ -218,12 +295,13 @@ impl EmbedService {
 
     /// A snapshot of the serving statistics.
     pub fn stats(&self) -> ServiceStats {
+        let counters = self.counters.lock().expect("stats lock");
         ServiceStats::from_latencies(
-            self.tasks_served,
-            self.failures,
-            self.commits,
+            counters.tasks_served,
+            counters.failures,
+            counters.commits,
             self.cache.stats(),
-            &self.latencies_ns,
+            &counters.latencies_ns,
         )
     }
 
@@ -239,11 +317,12 @@ impl EmbedService {
         (result, start.elapsed().as_nanos() as u64)
     }
 
-    fn note(&mut self, result: &Result<SolveResult, CoreError>, ns: u64) {
-        self.latencies_ns.push(ns);
+    fn note(&self, result: &Result<SolveResult, CoreError>, ns: u64) {
+        let mut counters = self.counters.lock().expect("stats lock");
+        counters.latencies_ns.push(ns);
         match result {
-            Ok(_) => self.tasks_served += 1,
-            Err(_) => self.failures += 1,
+            Ok(_) => counters.tasks_served += 1,
+            Err(_) => counters.failures += 1,
         }
     }
 }
@@ -352,6 +431,33 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_route_to_the_new_names() {
+        let mut svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        let t = task(0, &[3, 5], &[0, 1]);
+        let quoted = svc.solve(&t).unwrap();
+        assert_eq!(svc.stats().commits, 0, "solve never commits");
+        let committed = svc.submit(&t).unwrap();
+        assert_eq!(svc.stats().commits, 1, "submit commits");
+        assert_eq!(quoted.cost.setup, committed.cost.setup);
+    }
+
+    #[test]
+    fn uncommitted_solves_work_through_a_shared_reference() {
+        let svc = EmbedService::with_defaults(ring_network(10, 3.0));
+        let tasks = [task(0, &[3, 6], &[0, 1]), task(2, &[5, 9], &[1, 2])];
+        std::thread::scope(|scope| {
+            for t in &tasks {
+                let svc = &svc;
+                scope.spawn(move || svc.solve_uncommitted(t).unwrap());
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.tasks_served, 2);
+        assert_eq!(stats.commits, 0);
+    }
+
+    #[test]
     fn failures_do_not_kill_the_batch() {
         let mut svc = EmbedService::new(
             ring_network(6, 0.0), // zero capacity: everything infeasible
@@ -370,11 +476,11 @@ mod tests {
 
     #[test]
     fn bounded_cache_stays_within_capacity_and_reports_evictions() {
-        let mut svc = EmbedService::with_defaults(ring_network(10, 3.0)).with_cache_capacity(2);
+        let svc = EmbedService::with_defaults(ring_network(10, 3.0)).with_cache_capacity(2);
         assert_eq!(svc.cache().capacity(), Some(2));
         // Distinct (root, terminals) keys than the capacity, forcing churn.
         for s in 0..6 {
-            let _ = svc.solve(&task(s, &[(s + 4) % 10], &[0]));
+            let _ = svc.solve_uncommitted(&task(s, &[(s + 4) % 10], &[0]));
         }
         assert!(svc.cache().len() <= 2, "cache exceeded its bound");
         let stats = svc.stats();
@@ -387,11 +493,49 @@ mod tests {
 
     #[test]
     fn invalidate_flushes_the_cache() {
-        let mut svc = EmbedService::with_defaults(ring_network(8, 3.0));
-        svc.solve(&task(0, &[3, 5], &[0, 1])).unwrap();
+        let svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        svc.solve_uncommitted(&task(0, &[3, 5], &[0, 1])).unwrap();
         assert!(!svc.cache().is_empty());
         svc.invalidate_caches();
         assert!(svc.cache().is_empty());
         assert_eq!(svc.cache().epoch(), 1);
+    }
+
+    #[test]
+    fn error_codes_cover_the_taxonomy() {
+        use crate::protocol::ErrorCode;
+        assert_eq!(
+            ServiceError::Core(CoreError::Infeasible { reason: "x".into() }).code(),
+            ErrorCode::Infeasible
+        );
+        assert_eq!(
+            ServiceError::Core(CoreError::InvalidTask { reason: "x".into() }).code(),
+            ErrorCode::InvalidTask
+        );
+        assert_eq!(
+            ServiceError::Overloaded { queue_bound: 4 }.code(),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ServiceError::InsufficientCapacity {
+                demand: 2.0,
+                remaining: 1.0
+            }
+            .code(),
+            ErrorCode::InsufficientCapacity
+        );
+        assert_eq!(
+            ServiceError::DeadlineExceeded { deadline_ms: 10 }.code(),
+            ErrorCode::DeadlineExceeded
+        );
+        assert_eq!(ServiceError::ShuttingDown.code(), ErrorCode::ShuttingDown);
+        assert_eq!(
+            ServiceError::Parse {
+                line: 1,
+                reason: "x".into()
+            }
+            .code(),
+            ErrorCode::ParseError
+        );
     }
 }

@@ -1,0 +1,149 @@
+//! Property tests for the versioned wire protocol: canonical
+//! serialization and parsing are exact inverses, and schema drift
+//! (unknown fields, unknown versions) is rejected with the structured
+//! taxonomy rather than silently tolerated.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sft_service::protocol::{
+    parse_request, parse_response, EmbedRequest, EmbedResponse, ErrorCode, Request, RequestMode,
+    ResponseBody, WireError, PROTOCOL_VERSION,
+};
+
+/// Messages exercising the string escaper: quotes, backslashes, control
+/// characters, and multi-byte UTF-8.
+const MESSAGES: [&str; 6] = [
+    "plain message",
+    "unknown key \"bogus\"",
+    "tab\there and a\nnewline",
+    "back\\slash and \"quoted\\path\"",
+    "bei Knoten 7 — café naïveté ∞",
+    "",
+];
+
+const CODES: [ErrorCode; 9] = [
+    ErrorCode::ParseError,
+    ErrorCode::UnsupportedVersion,
+    ErrorCode::InvalidTask,
+    ErrorCode::Infeasible,
+    ErrorCode::InsufficientCapacity,
+    ErrorCode::Overloaded,
+    ErrorCode::DeadlineExceeded,
+    ErrorCode::ShuttingDown,
+    ErrorCode::Internal,
+];
+
+fn arb_request() -> impl Strategy<Value = EmbedRequest> {
+    (
+        0usize..200,
+        vec(0usize..200, 1..6),
+        vec(0usize..8, 1..5),
+        (any::<bool>(), 0u64..10_000),
+        0usize..3,
+        (any::<bool>(), 0u64..60_000),
+    )
+        .prop_map(
+            |(source, dests, sfc, (has_id, id), mode_sel, (has_dl, dl))| {
+                let mut req = EmbedRequest::new(source, dests, sfc);
+                if has_id {
+                    req.id = Some(id);
+                }
+                req.mode = match mode_sel {
+                    0 => None,
+                    1 => Some(RequestMode::Quote),
+                    _ => Some(RequestMode::Commit),
+                };
+                if has_dl {
+                    req.deadline_ms = Some(dl);
+                }
+                req
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = EmbedResponse> {
+    (
+        (any::<bool>(), 0u64..10_000),
+        0usize..3,
+        (0.0f64..100.0, 0.0f64..500.0, any::<bool>()),
+        vec((1usize..6, 0usize..200), 0..6),
+        0usize..CODES.len(),
+        0usize..MESSAGES.len(),
+    )
+        .prop_map(
+            |((has_id, id), kind, (setup, link, committed), instances, code, msg)| {
+                let id = has_id.then_some(id);
+                let body = match kind {
+                    0 => ResponseBody::Ok {
+                        setup,
+                        link,
+                        committed,
+                        instances,
+                    },
+                    1 => ResponseBody::Error(WireError {
+                        code: CODES[code],
+                        message: MESSAGES[msg].to_string(),
+                    }),
+                    _ => ResponseBody::Draining,
+                };
+                EmbedResponse {
+                    v: PROTOCOL_VERSION,
+                    id,
+                    body,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_serialize_then_parse_is_identity(req in arb_request()) {
+        let line = req.to_json();
+        let parsed = parse_request(&line).expect("canonical output parses");
+        prop_assert_eq!(&parsed, &Request::Embed(req));
+        // Canonical form is a fixed point: parse → serialize → same bytes.
+        let Request::Embed(parsed) = parsed else { unreachable!() };
+        prop_assert_eq!(parsed.to_json(), line);
+    }
+
+    #[test]
+    fn response_serialize_then_parse_is_identity(resp in arb_response()) {
+        let line = resp.to_json();
+        let parsed = parse_response(&line).expect("canonical output parses");
+        prop_assert_eq!(&parsed, &resp);
+        prop_assert_eq!(parsed.to_json(), line);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored(req in arb_request()) {
+        let line = req.to_json();
+        let tampered = format!("{},\"surprise\":1}}", &line[..line.len() - 1]);
+        let err = parse_request(&tampered).expect_err("unknown key must fail");
+        prop_assert_eq!(err.code, ErrorCode::ParseError);
+        prop_assert!(err.message.contains("surprise"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_versions_get_a_versioned_error(req in arb_request(), v in 2u64..100) {
+        let mut req = req;
+        req.v = v;
+        let err = parse_request(&req.to_json()).expect_err("foreign version must fail");
+        prop_assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+        prop_assert!(err.message.contains(&format!("version {v}")), "{}", err.message);
+        // The rejection itself travels the wire as a structured response.
+        let resp = EmbedResponse::wire_failure(req.id, err);
+        let parsed = parse_response(&resp.to_json()).expect("rejection line parses");
+        prop_assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn shutdown_lines_round_trip(id in (any::<bool>(), 0u64..10_000)) {
+        let req = Request::Shutdown {
+            v: PROTOCOL_VERSION,
+            id: id.0.then_some(id.1),
+        };
+        prop_assert_eq!(parse_request(&req.to_json()).expect("parses"), req);
+    }
+}

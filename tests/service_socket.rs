@@ -1,0 +1,236 @@
+//! End-to-end contract of the socket front-end (the acceptance bar of the
+//! admission-control redesign):
+//!
+//! * ≥ 8 concurrent connections replaying `examples/palmetto_tasks.jsonl`
+//!   get responses **byte-identical** to an independent-mode batch over
+//!   the same service configuration, regardless of interleaving — quotes
+//!   are pure functions of the frozen network.
+//! * A capacity-starved network answers `insufficient_capacity`, a
+//!   zero-bound queue answers `overloaded` — structured responses, never
+//!   a hang or a dropped connection.
+//! * A wire shutdown drains in-flight work before the server exits.
+
+use sft::core::{Network, SolveOptions, Strategy, VnfCatalog};
+use sft::graph::{Graph, NodeId};
+use sft::service::protocol::{parse_response, EmbedResponse, Request, RequestMode, ResponseBody};
+use sft::service::{parse_stream, serve, AdmissionConfig, EmbedService, ErrorCode, ServerConfig};
+use sft::topology::palmetto;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const TASK_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/palmetto_tasks.jsonl");
+
+/// The service configuration `sft batch --topology palmetto` would build.
+fn palmetto_service() -> EmbedService {
+    let network = Network::builder(palmetto::graph(), VnfCatalog::uniform(3))
+        .all_servers(3.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    EmbedService::new(network, Strategy::Msa, SolveOptions::default()).unwrap()
+}
+
+/// Requests from the example file, ids defaulted to 1-based line numbers
+/// (exactly what `sft batch` and `sft client` do).
+fn example_requests() -> Vec<sft::service::EmbedRequest> {
+    let text = std::fs::read_to_string(TASK_FILE).unwrap();
+    parse_stream(&text)
+        .into_iter()
+        .map(|(lineno, parsed)| match parsed.unwrap() {
+            Request::Embed(mut req) => {
+                req.id = req.id.or(Some(lineno as u64));
+                req
+            }
+            other => panic!("example file holds only embed requests, got {other:?}"),
+        })
+        .collect()
+}
+
+/// The ground truth: every request quoted directly against the service,
+/// rendered through the one shared conversion constructor.
+fn expected_lines(requests: &[sft::service::EmbedRequest]) -> Vec<String> {
+    let svc = palmetto_service();
+    requests
+        .iter()
+        .map(|req| {
+            let result = svc.solve_uncommitted(&req.to_task().unwrap()).unwrap();
+            EmbedResponse::success(req.id, &result, false).to_json()
+        })
+        .collect()
+}
+
+#[test]
+fn eight_concurrent_connections_match_batch_bit_for_bit() {
+    let requests = example_requests();
+    assert!(requests.len() >= 20, "example stream should be substantial");
+    let expected = expected_lines(&requests);
+
+    let mut handle = serve(
+        palmetto_service(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    // 8 clients replay the full stream concurrently; each must get every
+    // response byte-identical to the batch ground truth.
+    let collected: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..8 {
+            let requests = &requests;
+            workers.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                // Half the clients pipeline everything up front, half
+                // alternate write/read, to vary the interleaving.
+                let pipelined = c % 2 == 0;
+                let mut reader = BufReader::new(stream);
+                let mut lines = Vec::with_capacity(requests.len());
+                let read_one = |reader: &mut BufReader<TcpStream>| {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    line.trim_end().to_string()
+                };
+                if pipelined {
+                    for req in requests.iter() {
+                        writeln!(writer, "{}", req.to_json()).unwrap();
+                    }
+                    writer.flush().unwrap();
+                    for _ in 0..requests.len() {
+                        lines.push(read_one(&mut reader));
+                    }
+                } else {
+                    for req in requests.iter() {
+                        writeln!(writer, "{}", req.to_json()).unwrap();
+                        writer.flush().unwrap();
+                        lines.push(read_one(&mut reader));
+                    }
+                }
+                lines
+            }));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for (c, mut lines) in collected.into_iter().enumerate() {
+        // Pipelined responses may arrive out of submission order; ids
+        // restore it (ids are the 1-based input line numbers).
+        lines.sort_by_key(|l| parse_response(l).unwrap().id);
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort_by_key(|l| parse_response(l).unwrap().id);
+        assert_eq!(lines, expected_sorted, "client {c} diverged from batch");
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.tasks_served as usize, 8 * requests.len());
+    assert_eq!(stats.commits, 0, "quote mode must not commit");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn capacity_exhaustion_is_a_structured_rejection() {
+    // A network whose servers hold nothing: admission must turn every
+    // task away with insufficient_capacity before it reaches a worker.
+    let mut g = Graph::new(6);
+    for i in 0..6 {
+        g.add_edge(NodeId(i), NodeId((i + 1) % 6), 1.0).unwrap();
+    }
+    let network = Network::builder(g, VnfCatalog::uniform(2))
+        .all_servers(0.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let svc = EmbedService::with_defaults(network);
+    let mut handle = serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(
+        writer,
+        "{{\"id\":1,\"source\":0,\"dests\":[3],\"sfc\":[0,1]}}"
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = parse_response(line.trim()).unwrap();
+    match resp.body {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::InsufficientCapacity);
+            assert!(e.message.contains("capacity"), "{}", e.message);
+        }
+        other => panic!("expected insufficient_capacity, got {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_queue_is_overloaded_and_drain_completes_in_flight_work() {
+    let requests = example_requests();
+    let mut handle = serve(
+        palmetto_service(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                queue_bound: 0,
+                ..AdmissionConfig::default()
+            },
+            default_mode: RequestMode::Quote,
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Queue bound 0: every request is shed as overloaded — answered, not
+    // hung, not dropped.
+    for req in requests.iter().take(4) {
+        writeln!(writer, "{}", req.to_json()).unwrap();
+    }
+    writer.flush().unwrap();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match parse_response(line.trim()).unwrap().body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::Overloaded),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+    }
+
+    // A wire shutdown acknowledges with `draining` and later requests are
+    // rejected as shutting_down while the connection stays alive.
+    writeln!(writer, "{{\"op\":\"shutdown\",\"id\":777}}").unwrap();
+    writeln!(writer, "{}", requests[0].to_json()).unwrap();
+    writer.flush().unwrap();
+    let mut saw_draining = false;
+    let mut saw_shutting_down = false;
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match parse_response(line.trim()).unwrap().body {
+            ResponseBody::Draining => saw_draining = true,
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::ShuttingDown);
+                saw_shutting_down = true;
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+    assert!(saw_draining && saw_shutting_down);
+    handle.join();
+}

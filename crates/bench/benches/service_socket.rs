@@ -8,13 +8,18 @@
 //! * `socket/wave_8conn_20req` — criterion-timed full waves (8 clients ×
 //!   20 pipelined requests each); the median yields requests/sec;
 //! * a synchronous write→read pass per connection records per-request
-//!   round-trip latencies for p50/p99.
+//!   round-trip latencies for p50/p99;
+//! * commit-mode waves against fresh high-capacity servers at 1 worker
+//!   (the serialized single-writer baseline) and 4 workers (parallel
+//!   commit workers solving under the read lock, transactional apply
+//!   under the write lock) — medians yield commit throughput
+//!   before/after.
 //!
 //! Writes `BENCH_service_socket.json` at the workspace root.
 
 use criterion::{criterion_group, Criterion};
 use sft_core::{MulticastTask, Network, SolveOptions, Strategy};
-use sft_service::protocol::EmbedRequest;
+use sft_service::protocol::{EmbedRequest, RequestMode};
 use sft_service::{serve, EmbedService, ServerConfig, ServerHandle};
 use sft_topology::{palmetto, workload, ScenarioConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -25,21 +30,21 @@ const CONNECTIONS: usize = 8;
 const STREAM_LEN: usize = 20;
 const DISTINCT_GROUPS: usize = 5;
 const WORKERS: usize = 4;
+/// Timed commit waves per worker count; the median is reported.
+const COMMIT_WAVES: usize = 5;
 
 /// The recurring-groups Palmetto stream used by the batch bench, as wire
 /// requests (ids are stream positions).
-fn shared_workload() -> (Network, Vec<EmbedRequest>) {
-    let config = ScenarioConfig {
-        dest_ratio: 0.2,
-        sfc_len: 5,
-        ..ScenarioConfig::default()
-    };
-    let network = workload::on_graph(palmetto::graph(), &config, 0)
+fn workload_with(
+    config: &ScenarioConfig,
+    mode: Option<RequestMode>,
+) -> (Network, Vec<EmbedRequest>) {
+    let network = workload::on_graph(palmetto::graph(), config, 0)
         .expect("base scenario")
         .network;
     let distinct: Vec<MulticastTask> = (0..DISTINCT_GROUPS as u64)
         .map(|seed| {
-            workload::on_graph(palmetto::graph(), &config, seed)
+            workload::on_graph(palmetto::graph(), config, seed)
                 .expect("sibling scenario")
                 .task
         })
@@ -53,23 +58,51 @@ fn shared_workload() -> (Network, Vec<EmbedRequest>) {
                 task.sfc().stages().iter().map(|f| f.index()).collect(),
             );
             req.id = Some(i as u64 + 1);
+            req.mode = mode;
             req
         })
         .collect();
     (network, requests)
 }
 
-fn start_server(network: Network) -> ServerHandle {
+fn shared_workload() -> (Network, Vec<EmbedRequest>) {
+    let config = ScenarioConfig {
+        dest_ratio: 0.2,
+        sfc_len: 5,
+        ..ScenarioConfig::default()
+    };
+    workload_with(&config, None)
+}
+
+/// The same stream in commit mode against a high-capacity network, so the
+/// waves measure the transactional commit path rather than
+/// `insufficient_capacity` rejections.
+fn commit_workload() -> (Network, Vec<EmbedRequest>) {
+    let config = ScenarioConfig {
+        dest_ratio: 0.2,
+        sfc_len: 5,
+        capacity_range: (20, 20),
+        ..ScenarioConfig::default()
+    };
+    workload_with(&config, Some(RequestMode::Commit))
+}
+
+fn start_server_with(network: Network, workers: usize) -> ServerHandle {
     let svc = EmbedService::new(network, Strategy::Msa, SolveOptions::default()).unwrap();
     // The wave pipelines CONNECTIONS × STREAM_LEN requests at once; the
     // queue bound must clear that or the default backpressure (correctly)
     // sheds part of the load as `overloaded`.
     let mut config = ServerConfig {
-        workers: WORKERS,
+        workers,
+        commit_retries: 8,
         ..ServerConfig::default()
     };
     config.admission.queue_bound = 4 * CONNECTIONS * STREAM_LEN;
     serve(svc, "127.0.0.1:0", config).unwrap()
+}
+
+fn start_server(network: Network) -> ServerHandle {
+    start_server_with(network, WORKERS)
 }
 
 /// One client replaying the stream pipelined; returns when every response
@@ -98,6 +131,57 @@ fn wave(addr: SocketAddr, requests: &[EmbedRequest]) {
             scope.spawn(|| pipelined_client(addr, requests));
         }
     });
+}
+
+/// A pipelined client for commit waves: every response must be a
+/// structured line, but rejections (conflict, insufficient capacity) are
+/// legitimate outcomes once the network fills up.
+fn pipelined_commit_client(addr: SocketAddr, requests: &[EmbedRequest]) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    for req in requests {
+        writeln!(writer, "{}", req.to_json()).unwrap();
+    }
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..requests.len() {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with('{'), "unstructured response: {line}");
+    }
+}
+
+/// One timed commit wave (`CONNECTIONS` concurrent clients) against a
+/// fresh server with `workers` commit workers; returns the wave's wall
+/// time in nanoseconds and the number of commits actually applied.
+fn commit_wave(workers: usize, requests: &[EmbedRequest]) -> (u64, u64) {
+    let (network, _) = commit_workload();
+    let mut handle = start_server_with(network, workers);
+    let addr = handle.local_addr().unwrap();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CONNECTIONS {
+            scope.spawn(|| pipelined_commit_client(addr, requests));
+        }
+    });
+    let elapsed = start.elapsed().as_nanos() as u64;
+    let commits = handle.stats().commits;
+    handle.shutdown();
+    handle.join();
+    (elapsed, commits)
+}
+
+/// Median commit throughput (requests/sec) over `COMMIT_WAVES` fresh-server
+/// waves, plus the commits applied in the median wave.
+fn commit_throughput(workers: usize, requests: &[EmbedRequest]) -> (f64, u64) {
+    let mut runs: Vec<(u64, u64)> = (0..COMMIT_WAVES)
+        .map(|_| commit_wave(workers, requests))
+        .collect();
+    runs.sort_unstable();
+    let (median_ns, commits) = runs[runs.len() / 2];
+    let total_requests = (CONNECTIONS * STREAM_LEN) as f64;
+    (total_requests / (median_ns as f64 / 1e9), commits)
 }
 
 /// Synchronous write→read round trips, one request at a time per
@@ -170,15 +254,25 @@ fn write_report(c: &Criterion) {
     handle.shutdown();
     handle.join();
 
+    // Commit throughput: the same stream in commit mode, single-writer
+    // baseline (1 worker) vs parallel commit workers. Each wave gets a
+    // fresh high-capacity server because commits mutate the network.
+    let (_, commit_requests) = commit_workload();
+    let (commit_rps_before, _) = commit_throughput(1, &commit_requests);
+    let (commit_rps_after, commits_applied) = commit_throughput(WORKERS, &commit_requests);
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let total_requests = (CONNECTIONS * STREAM_LEN) as f64;
     let json = format!(
-        "{{\n  \"bench\": \"service_socket\",\n  \"workload\": {{ \"topology\": \"palmetto\", \"connections\": {CONNECTIONS}, \"requests_per_connection\": {STREAM_LEN}, \"distinct_groups\": {DISTINCT_GROUPS}, \"sfc_len\": 5, \"mode\": \"quote\" }},\n  \"server_workers\": {WORKERS},\n  \"host_cores\": {cores},\n  \"wave_median_ms\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \"rtt_p50_ms\": {:.3},\n  \"rtt_p99_ms\": {:.3},\n  \"steiner_cache_hit_rate\": {:.3},\n  \"note\": \"wave = 8 concurrent pipelined clients; requests_per_sec from the wave median; p50/p99 from synchronous one-in-flight round trips on 8 concurrent connections\"\n}}\n",
+        "{{\n  \"bench\": \"service_socket\",\n  \"workload\": {{ \"topology\": \"palmetto\", \"connections\": {CONNECTIONS}, \"requests_per_connection\": {STREAM_LEN}, \"distinct_groups\": {DISTINCT_GROUPS}, \"sfc_len\": 5, \"mode\": \"quote\" }},\n  \"server_workers\": {WORKERS},\n  \"host_cores\": {cores},\n  \"wave_median_ms\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \"rtt_p50_ms\": {:.3},\n  \"rtt_p99_ms\": {:.3},\n  \"steiner_cache_hit_rate\": {:.3},\n  \"commit\": {{ \"capacity\": 20, \"mode\": \"commit\", \"commits_applied_median_wave\": {commits_applied}, \"rps_1_worker\": {:.1}, \"rps_{WORKERS}_workers\": {:.1}, \"speedup\": {:.2} }},\n  \"note\": \"wave = 8 concurrent pipelined clients; requests_per_sec from the wave median; p50/p99 from synchronous one-in-flight round trips on 8 concurrent connections; commit rps = median of {COMMIT_WAVES} fresh-server commit waves at 1 vs {WORKERS} workers (speedup ~1.0 expected on a 1-core host)\"\n}}\n",
         wave_ns / 1e6,
         total_requests / (wave_ns / 1e9),
         percentile(&lat, 50.0) / 1e6,
         percentile(&lat, 99.0) / 1e6,
-        stats.cache_hit_rate()
+        stats.cache_hit_rate(),
+        commit_rps_before,
+        commit_rps_after,
+        commit_rps_after / commit_rps_before
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -73,6 +73,9 @@ SOCKET FLAGS (sft serve --listen / sft client):
                         field: quote = dry-run against the frozen
                         network (socket default), commit = update the
                         network (stdin serve default)
+  --commit-retries <n>  (serve) solve attempts per commit before the
+                        transactional apply gives up with `conflict`
+                        (default 3; commits never partially apply)
   --connect <addr>      (client) server address to send --tasks to;
                         responses print ordered by id
   --mode <quote|commit> (client) override the mode on every request

@@ -429,6 +429,7 @@ fn serve_socket(args: &Args, addr: &str) -> Result<String, ParseError> {
             capacity_check: true,
         },
         default_mode,
+        commit_retries: args.parse_or("commit-retries", 3usize)?.max(1),
     };
     let mut handle = sft_service::serve(svc, addr, config)
         .map_err(|e| ParseError(format!("cannot listen on {addr}: {e}")))?;

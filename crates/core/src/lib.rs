@@ -80,7 +80,7 @@ pub use chain::ChainSolution;
 pub use cost::{delivery_cost, CostBreakdown};
 pub use embedding::{DestinationRoute, Embedding};
 pub use error::CoreError;
-pub use network::{Network, NetworkBuilder};
+pub use network::{CommitDelta, Network, NetworkBuilder};
 pub use sequential::SequentialEmbedder;
 pub use sft_graph::{Parallelism, SteinerCache, TreeCache};
 pub use sft_tree::{SftNode, SftTree};

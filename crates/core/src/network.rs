@@ -12,6 +12,52 @@ use crate::CoreError;
 use sft_graph::numeric::exceeds;
 use sft_graph::{DistanceMatrix, Graph, NodeId};
 
+/// The exact state mutation committing one embedding applies: the set of
+/// `(VNF, node)` pairs that need a **new** instance, in canonical (sorted)
+/// order. A delta is computed against a snapshot of the network
+/// ([`Network::commit_delta`]), can be validated against any later state
+/// without mutating it ([`Network::validate_delta`]), and is applied
+/// all-or-nothing ([`Network::apply_delta`]) — the split transactional
+/// commit pipelines (solve against a snapshot, validate-and-apply under a
+/// short critical section) are built from.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CommitDelta {
+    deploys: Vec<(VnfId, NodeId)>,
+}
+
+impl CommitDelta {
+    /// A delta from explicit `(VNF, node)` pairs (deduplicated, sorted).
+    pub fn new(mut deploys: Vec<(VnfId, NodeId)>) -> Self {
+        deploys.sort_unstable();
+        deploys.dedup();
+        CommitDelta { deploys }
+    }
+
+    /// The new deployments, in canonical `(VnfId, NodeId)` order.
+    pub fn deploys(&self) -> &[(VnfId, NodeId)] {
+        &self.deploys
+    }
+
+    /// Whether the commit would change anything (a fully-reused embedding
+    /// has an empty delta).
+    pub fn is_empty(&self) -> bool {
+        self.deploys.is_empty()
+    }
+
+    /// The distinct nodes this delta touches, ascending.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.deploys.iter().map(|&(_, v)| v).collect();
+        nodes.sort_unstable_by_key(|v| v.0);
+        nodes.dedup();
+        nodes
+    }
+
+    /// Total capacity the delta consumes under `catalog` demands.
+    pub fn total_demand(&self, catalog: &VnfCatalog) -> f64 {
+        self.deploys.iter().map(|&(f, _)| catalog.demand(f)).sum()
+    }
+}
+
 /// An immutable (apart from explicit deployment commits) view of the target
 /// network with everything the embedding algorithms need, including a
 /// pre-computed all-pairs shortest-path matrix.
@@ -241,24 +287,104 @@ impl Network {
         Ok(())
     }
 
-    /// Commits every new instance of an embedding as a deployment, so that
-    /// later multicast tasks can reuse them for free — the paper's
-    /// "network with deployed VNFs" scenario (§IV-D) arises from exactly
-    /// this kind of instance accretion across tasks.
+    /// The [`CommitDelta`] committing `embedding` would apply to the
+    /// network **as it is right now**: every `(VNF, node)` instance the
+    /// embedding uses that is not already deployed.
+    pub fn commit_delta(
+        &self,
+        task: &crate::task::MulticastTask,
+        embedding: &crate::embedding::Embedding,
+    ) -> CommitDelta {
+        CommitDelta::new(embedding.new_instances(self, task).into_iter().collect())
+    }
+
+    /// Checks that `delta` can be applied to the **current** state without
+    /// violating any invariant, mutating nothing. Pairs that are already
+    /// deployed (a delta computed against an older snapshot) are treated
+    /// as satisfied and consume no capacity.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Network::deploy`]; on error the network may be
-    /// partially updated (instances already committed stay committed).
+    /// * [`CoreError::VnfOutOfBounds`] / [`CoreError::NodeOutOfBounds`]
+    ///   for invalid ids.
+    /// * [`CoreError::NotAServer`] if a pair targets a switch.
+    /// * [`CoreError::CapacityExceeded`] if any node's aggregate new load
+    ///   does not fit its residual capacity.
+    pub fn validate_delta(&self, delta: &CommitDelta) -> Result<(), CoreError> {
+        for &(f, v) in delta.deploys() {
+            self.catalog.check(f)?;
+            self.check_node(v)?;
+            if !self.servers[v.0] {
+                return Err(CoreError::NotAServer { node: v.0 });
+            }
+        }
+        for v in delta.touched_nodes() {
+            let new_load: f64 = delta
+                .deploys()
+                .iter()
+                .filter(|&&(f, u)| u == v && !self.deployed[f.0][u.0])
+                .map(|&(f, _)| self.catalog.demand(f))
+                .sum();
+            let load = self.deployed_load(v) + new_load;
+            if exceeds(load, self.capacity[v.0]) {
+                return Err(CoreError::CapacityExceeded {
+                    node: v.0,
+                    capacity: self.capacity[v.0],
+                    load,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `delta` atomically: validates every pair first, then flips
+    /// the deployment flags. On error **nothing** is mutated — the
+    /// all-or-nothing half of the transactional commit split.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::validate_delta`].
+    pub fn apply_delta(&mut self, delta: &CommitDelta) -> Result<(), CoreError> {
+        self.validate_delta(delta)?;
+        for &(f, v) in delta.deploys() {
+            self.deployed[f.0][v.0] = true;
+        }
+        Ok(())
+    }
+
+    /// Commits every new instance of an embedding as a deployment, so that
+    /// later multicast tasks can reuse them for free — the paper's
+    /// "network with deployed VNFs" scenario (§IV-D) arises from exactly
+    /// this kind of instance accretion across tasks. Implemented as
+    /// [`Network::commit_delta`] + [`Network::apply_delta`], so the commit
+    /// is all-or-nothing: on error the network is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::validate_delta`].
     pub fn commit_embedding(
         &mut self,
         task: &crate::task::MulticastTask,
         embedding: &crate::embedding::Embedding,
     ) -> Result<(), CoreError> {
-        for (f, v) in embedding.new_instances(self, task) {
-            self.deploy(f, v)?;
+        let delta = self.commit_delta(task, embedding);
+        self.apply_delta(&delta)
+    }
+
+    /// Every deployed `(VNF, node)` pair, in canonical order — the
+    /// comparable fingerprint of the mutable network state (capacities and
+    /// costs are immutable after build, so two networks built alike with
+    /// equal deployment sets are byte-equivalent for every solver).
+    pub fn deployed_pairs(&self) -> Vec<(VnfId, NodeId)> {
+        let mut out = Vec::new();
+        for f in self.catalog.ids() {
+            for v in 0..self.node_count() {
+                if self.deployed[f.0][v] {
+                    out.push((f, NodeId(v)));
+                }
+            }
         }
-        Ok(())
+        out
     }
 
     /// Validates a node id against this network.
@@ -457,6 +583,77 @@ mod tests {
             g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
         }
         g
+    }
+
+    #[test]
+    fn commit_delta_sorts_dedups_and_aggregates() {
+        let catalog = VnfCatalog::uniform(3);
+        let delta = CommitDelta::new(vec![
+            (VnfId(2), NodeId(1)),
+            (VnfId(0), NodeId(3)),
+            (VnfId(2), NodeId(1)), // duplicate
+            (VnfId(1), NodeId(3)),
+        ]);
+        assert_eq!(
+            delta.deploys(),
+            &[
+                (VnfId(0), NodeId(3)),
+                (VnfId(1), NodeId(3)),
+                (VnfId(2), NodeId(1))
+            ]
+        );
+        assert_eq!(delta.touched_nodes(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(delta.total_demand(&catalog), 3.0);
+        assert!(CommitDelta::default().is_empty());
+    }
+
+    #[test]
+    fn apply_delta_is_all_or_nothing() {
+        let mut net = Network::builder(line_graph(3), VnfCatalog::uniform(2))
+            .all_servers(1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        // Two unit-demand instances on one capacity-1.0 server: validation
+        // must reject the aggregate even though each pair fits alone.
+        let delta = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(1))]);
+        let err = net.apply_delta(&delta).unwrap_err();
+        assert!(matches!(err, CoreError::CapacityExceeded { node: 1, .. }));
+        assert!(net.deployed_pairs().is_empty(), "nothing may be committed");
+        assert_eq!(net.residual_capacity(NodeId(1)), 1.0);
+
+        // Split across servers the same pairs fit, and already-deployed
+        // pairs are free on re-apply (idempotence for replay).
+        let ok = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]);
+        net.apply_delta(&ok).unwrap();
+        assert_eq!(net.deployed_pairs(), ok.deploys().to_vec());
+        net.apply_delta(&ok).unwrap();
+        assert_eq!(net.residual_capacity(NodeId(1)), 0.0);
+        assert_eq!(net.residual_capacity(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn validate_delta_rejects_switches_and_bad_ids() {
+        let net = Network::builder(line_graph(3), VnfCatalog::uniform(2))
+            .server(NodeId(1), 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let on_switch = CommitDelta::new(vec![(VnfId(0), NodeId(0))]);
+        assert!(matches!(
+            net.validate_delta(&on_switch),
+            Err(CoreError::NotAServer { node: 0 })
+        ));
+        let bad_vnf = CommitDelta::new(vec![(VnfId(9), NodeId(1))]);
+        assert!(matches!(
+            net.validate_delta(&bad_vnf),
+            Err(CoreError::VnfOutOfBounds { .. })
+        ));
+        let bad_node = CommitDelta::new(vec![(VnfId(0), NodeId(9))]);
+        assert!(matches!(
+            net.validate_delta(&bad_node),
+            Err(CoreError::NodeOutOfBounds { .. })
+        ));
     }
 
     #[test]

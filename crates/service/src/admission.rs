@@ -16,7 +16,7 @@ use crate::service::ServiceError;
 use sft_core::{MulticastTask, Network};
 use sft_graph::numeric;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Knobs for the admission layer, shared by the socket server and tests.
 #[derive(Copy, Clone, Debug)]
@@ -114,9 +114,16 @@ impl<T> JobQueue<T> {
         self.bound
     }
 
+    /// Queue access recovers from poison: pushes and pops are single
+    /// `VecDeque` operations that a panic cannot leave half-applied, so
+    /// one panicking worker must not wedge every other thread's queue.
+    fn lock_inner(&self) -> MutexGuard<'_, QueueInner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").jobs.len()
+        self.lock_inner().jobs.len()
     }
 
     /// Whether the queue is currently empty.
@@ -133,7 +140,7 @@ impl<T> JobQueue<T> {
     /// is handed back inside the error so the caller can still respond to
     /// the client that submitted it.
     pub fn try_push(&self, job: T) -> Result<(), (T, ServiceError)> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock_inner();
         if inner.closed {
             return Err((job, ServiceError::ShuttingDown));
         }
@@ -153,7 +160,7 @@ impl<T> JobQueue<T> {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock_inner();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -161,13 +168,35 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Removes every queued job matching `expired` and hands them back so
+    /// the caller can still answer their clients. Admission calls this
+    /// when the queue is full: a backlog of dead jobs must not hold
+    /// `overloaded` against live ones.
+    pub fn shed<F: FnMut(&T) -> bool>(&self, mut expired: F) -> Vec<T> {
+        let mut inner = self.lock_inner();
+        let mut kept = VecDeque::with_capacity(inner.jobs.len());
+        let mut out = Vec::new();
+        for job in inner.jobs.drain(..) {
+            if expired(&job) {
+                out.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        inner.jobs = kept;
+        out
     }
 
     /// Stops accepting new jobs; queued jobs remain for workers to drain.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock_inner().closed = true;
         self.ready.notify_all();
     }
 }
@@ -274,6 +303,22 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn shed_removes_matching_jobs_and_hands_them_back() {
+        let q = JobQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert!(q.try_push(4).is_err(), "queue is full");
+        let shed = q.shed(|&j| j % 2 == 0);
+        assert_eq!(shed, vec![0, 2], "shed jobs come back for responding");
+        assert_eq!(q.len(), 2);
+        q.try_push(4).unwrap();
+        assert_eq!(q.pop(), Some(1), "survivors keep their order");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! The optimistic per-resource capacity ledger behind transactional
+//! commits.
+//!
+//! The socket server used to serialize every commit under the
+//! `RwLock<EmbedService>` write half for the *whole* solve, and — worse —
+//! could report `deadline_exceeded` for a solve that had already mutated
+//! the network (the ghost-capacity leak). The ledger splits a commit into
+//! the MVCC-style phases of SOF session admission:
+//!
+//! 1. **Snapshot.** A worker records the ledger sequence number
+//!    ([`CapacityLedger::snapshot`]) under the service *read* lock, then
+//!    solves against that frozen state concurrently with quotes and other
+//!    commit solves — no write lock is held during the solve.
+//! 2. **Validate.** Under the write lock, [`CapacityLedger::validate`]
+//!    re-checks that (a) the request's deadline has not expired and
+//!    (b) no committed transaction has touched any node the delta deploys
+//!    onto since the snapshot (per-node version vector). Residual
+//!    capacity is re-checked by [`sft_core::Network::apply_delta`] against
+//!    the authoritative network in the same critical section, so the
+//!    capacity arithmetic is never duplicated in floating point.
+//! 3. **Confirm.** [`CapacityLedger::confirm`] bumps the sequence number
+//!    and the touched nodes' versions, updates the residual mirror the
+//!    admission layer reads, and appends the *effective* delta to the
+//!    commit log.
+//!
+//! Rejections at step 2 mutate nothing: an expired deadline surfaces as
+//! `deadline_exceeded`, a version conflict sends the worker back to
+//! re-solve against the new state (bounded retry budget, then `conflict`).
+//!
+//! The commit log is the determinism contract: serially replaying the
+//! recorded deltas in sequence order onto an identically-built network
+//! reproduces the final deployment set and residuals bit-for-bit
+//! (`tests/commit_storm.rs` checks exactly this under racing workers).
+//!
+//! The current model has node capacities only; when the model gains edge
+//! bandwidth, per-edge residuals and versions slot into the same
+//! snapshot/validate/confirm cycle.
+
+use crate::service::ServiceError;
+use sft_core::{CommitDelta, MulticastTask, Network, VnfId};
+use sft_graph::numeric;
+use sft_graph::NodeId;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The ledger state a commit solve ran against: the sequence number of the
+/// last transaction confirmed before the solve started.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    seq: u64,
+}
+
+impl LedgerSnapshot {
+    /// The sequence number captured at snapshot time.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Why a commit was turned away at validation — in both cases **nothing**
+/// has been mutated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CommitRejection {
+    /// The request's deadline expired between solve and apply.
+    Expired,
+    /// A transaction confirmed after the snapshot touched this node, so
+    /// the quoted delta (and its setup costs) may be stale — re-solve.
+    Conflict {
+        /// The first touched node whose version outran the snapshot.
+        node: NodeId,
+    },
+}
+
+/// One confirmed transaction: the effective delta it applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Position in the committed order (1-based, contiguous).
+    pub seq: u64,
+    /// The wire request id that produced the commit, if any.
+    pub id: Option<u64>,
+    /// The `(VNF, node)` pairs this transaction newly deployed, in
+    /// canonical order. Empty for a fully-reused embedding.
+    pub deploys: Vec<(VnfId, NodeId)>,
+}
+
+impl CommitRecord {
+    /// The record's delta, ready to replay with
+    /// [`sft_core::Network::apply_delta`].
+    pub fn delta(&self) -> CommitDelta {
+        CommitDelta::new(self.deploys.clone())
+    }
+}
+
+/// Per-node residuals and versions mirroring one [`Network`], plus the
+/// commit log. All access goes through one short-held mutex; the ledger
+/// never takes the service lock, so lock order is always service → ledger.
+#[derive(Debug)]
+pub struct CapacityLedger {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Sequence number of the last confirmed transaction (0 = none).
+    seq: u64,
+    /// `node_version[v]` = seq of the last transaction deploying onto `v`.
+    node_version: Vec<u64>,
+    /// Residual capacity mirror, for admission reads without any lock on
+    /// the service.
+    residual: Vec<f64>,
+    is_server: Vec<bool>,
+    /// Per-VNF-type resource demand (`μ_f`).
+    demand: Vec<f64>,
+    /// Live instances per VNF type anywhere in the network — the reuse
+    /// bound the admission check needs.
+    instances: Vec<u64>,
+    /// `deployed[f][v]` mirror, distinguishing new deploys from reuse.
+    deployed: Vec<Vec<bool>>,
+    log: Vec<CommitRecord>,
+}
+
+impl CapacityLedger {
+    /// A ledger mirroring `network`'s current servers, residuals and
+    /// deployments, with an empty commit log.
+    pub fn new(network: &Network) -> Self {
+        let n = network.node_count();
+        let catalog = network.catalog();
+        let deployed: Vec<Vec<bool>> = catalog
+            .ids()
+            .map(|f| (0..n).map(|v| network.is_deployed(f, NodeId(v))).collect())
+            .collect();
+        let instances = deployed
+            .iter()
+            .map(|row| row.iter().filter(|&&d| d).count() as u64)
+            .collect();
+        CapacityLedger {
+            inner: Mutex::new(Inner {
+                seq: 0,
+                node_version: vec![0; n],
+                residual: (0..n)
+                    .map(|v| network.residual_capacity(NodeId(v)))
+                    .collect(),
+                is_server: (0..n).map(|v| network.is_server(NodeId(v))).collect(),
+                demand: catalog.ids().map(|f| catalog.demand(f)).collect(),
+                instances,
+                deployed,
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Ledger updates are tiny flag/counter flips; a panic cannot leave
+        // them half-applied, so a poisoned mutex is safe to keep using.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Captures the current sequence number. Call under the service read
+    /// lock so the solve and the snapshot observe the same state.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            seq: self.lock().seq,
+        }
+    }
+
+    /// Transactions confirmed so far.
+    pub fn commit_count(&self) -> u64 {
+        self.lock().seq
+    }
+
+    /// Step 2 of a commit: under the service write lock, re-check the
+    /// deadline and the touched nodes' versions against the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CommitRejection::Expired`] when `deadline_expired`;
+    /// [`CommitRejection::Conflict`] when any node the delta deploys onto
+    /// was changed by a transaction the snapshot did not see. Neither
+    /// mutates anything, here or in the network.
+    pub fn validate(
+        &self,
+        snapshot: &LedgerSnapshot,
+        delta: &CommitDelta,
+        deadline_expired: bool,
+    ) -> Result<(), CommitRejection> {
+        if deadline_expired {
+            return Err(CommitRejection::Expired);
+        }
+        let inner = self.lock();
+        for node in delta.touched_nodes() {
+            if inner.node_version[node.0] > snapshot.seq {
+                return Err(CommitRejection::Conflict { node });
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 3 of a commit: records `delta` as the next transaction after
+    /// the network apply succeeded (same write-lock critical section).
+    /// Returns the assigned sequence number.
+    pub fn confirm(&self, id: Option<u64>, delta: &CommitDelta) -> u64 {
+        let mut inner = self.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let mut deploys = Vec::new();
+        for &(f, v) in delta.deploys() {
+            if inner.deployed[f.0][v.0] {
+                continue; // reused instance: free, not part of the delta
+            }
+            inner.deployed[f.0][v.0] = true;
+            inner.instances[f.0] += 1;
+            inner.residual[v.0] -= inner.demand[f.0];
+            inner.node_version[v.0] = seq;
+            deploys.push((f, v));
+        }
+        inner.log.push(CommitRecord { seq, id, deploys });
+        seq
+    }
+
+    /// The confirmed transactions in committed order — replaying their
+    /// deltas serially reproduces the network state bit-for-bit.
+    pub fn commit_log(&self) -> Vec<CommitRecord> {
+        self.lock().log.clone()
+    }
+
+    /// Network-wide residual capacity according to the mirror.
+    pub fn total_residual_capacity(&self) -> f64 {
+        let inner = self.lock();
+        inner
+            .residual
+            .iter()
+            .zip(&inner.is_server)
+            .filter(|&(_, &s)| s)
+            .map(|(&r, _)| r)
+            .sum()
+    }
+
+    /// The admission pre-check of [`crate::admission::check_capacity`],
+    /// answered from the ledger mirror so connection readers never need
+    /// any lock on the service itself.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InsufficientCapacity`] with the violated
+    /// demand/supply pair.
+    pub fn check_capacity(&self, task: &MulticastTask) -> Result<(), ServiceError> {
+        let inner = self.lock();
+        // Distinct chain types with no live instance anywhere must be
+        // placed fresh — identical bounds to `Network::min_new_demand` /
+        // `Network::max_new_instance_demand`.
+        let stages = task.sfc().stages();
+        let new_types = (0..inner.demand.len())
+            .map(VnfId)
+            .filter(|f| stages.contains(f) && inner.instances[f.0] == 0);
+        let (mut demand, mut unit) = (0.0f64, 0.0f64);
+        for f in new_types {
+            demand += inner.demand[f.0];
+            unit = unit.max(inner.demand[f.0]);
+        }
+        let server_residuals = || {
+            inner
+                .residual
+                .iter()
+                .zip(&inner.is_server)
+                .filter(|&(_, &s)| s)
+                .map(|(&r, _)| r)
+        };
+        let remaining: f64 = server_residuals().sum();
+        if numeric::exceeds(demand, remaining) {
+            return Err(ServiceError::InsufficientCapacity { demand, remaining });
+        }
+        let best = server_residuals().fold(0.0, f64::max);
+        if numeric::exceeds(unit, best) {
+            return Err(ServiceError::InsufficientCapacity {
+                demand: unit,
+                remaining: best,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_core::{MulticastTask, Sfc, VnfCatalog};
+    use sft_graph::Graph;
+
+    fn ring_network(n: usize, capacity: f64) -> Network {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0).unwrap();
+        }
+        Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(capacity)
+            .unwrap()
+            .uniform_setup_cost(2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn task(source: usize, dests: &[usize], sfc: &[usize]) -> MulticastTask {
+        MulticastTask::new(
+            NodeId(source),
+            dests.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
+            Sfc::new(sfc.iter().map(|&f| VnfId(f)).collect::<Vec<_>>()).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn disjoint_commits_validate_against_old_snapshots() {
+        let ledger = CapacityLedger::new(&ring_network(6, 2.0));
+        let snap = ledger.snapshot();
+        let a = CommitDelta::new(vec![(VnfId(0), NodeId(1))]);
+        let b = CommitDelta::new(vec![(VnfId(1), NodeId(4))]);
+        ledger.validate(&snap, &a, false).unwrap();
+        ledger.confirm(Some(1), &a);
+        // b touches a different node: the stale snapshot is still valid.
+        ledger.validate(&snap, &b, false).unwrap();
+        ledger.confirm(Some(2), &b);
+        assert_eq!(ledger.commit_count(), 2);
+    }
+
+    #[test]
+    fn touched_node_conflicts_are_detected() {
+        let ledger = CapacityLedger::new(&ring_network(6, 2.0));
+        let snap = ledger.snapshot();
+        let winner = CommitDelta::new(vec![(VnfId(0), NodeId(1))]);
+        ledger.confirm(Some(1), &winner);
+        // Same node, even a different VNF type: the quoted setup cost may
+        // be stale, so the loser must re-solve.
+        let loser = CommitDelta::new(vec![(VnfId(1), NodeId(1))]);
+        assert_eq!(
+            ledger.validate(&snap, &loser, false),
+            Err(CommitRejection::Conflict { node: NodeId(1) })
+        );
+        // A fresh snapshot sees the winner's transaction and validates.
+        ledger.validate(&ledger.snapshot(), &loser, false).unwrap();
+    }
+
+    #[test]
+    fn expired_deadlines_reject_before_anything_else() {
+        let ledger = CapacityLedger::new(&ring_network(6, 2.0));
+        let snap = ledger.snapshot();
+        let delta = CommitDelta::new(vec![(VnfId(0), NodeId(1))]);
+        assert_eq!(
+            ledger.validate(&snap, &delta, true),
+            Err(CommitRejection::Expired)
+        );
+        assert_eq!(ledger.commit_count(), 0);
+        assert!(ledger.commit_log().is_empty());
+    }
+
+    #[test]
+    fn confirm_tracks_residuals_and_logs_effective_deltas() {
+        let network = ring_network(6, 2.0);
+        let ledger = CapacityLedger::new(&network);
+        let before = ledger.total_residual_capacity();
+        assert_eq!(before, network.total_residual_capacity());
+
+        let delta = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]);
+        ledger.confirm(Some(7), &delta);
+        assert_eq!(ledger.total_residual_capacity(), before - 2.0);
+
+        // Re-confirming the same pairs is pure reuse: no residual change,
+        // and the logged delta is empty.
+        ledger.confirm(Some(8), &delta);
+        assert_eq!(ledger.total_residual_capacity(), before - 2.0);
+        let log = ledger.commit_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].seq, 1);
+        assert_eq!(log[0].id, Some(7));
+        assert_eq!(log[0].deploys, delta.deploys().to_vec());
+        assert!(log[1].deploys.is_empty());
+    }
+
+    #[test]
+    fn ledger_admission_matches_the_network_bounds() {
+        for capacity in [0.0, 0.5, 3.0] {
+            let network = ring_network(6, capacity);
+            let ledger = CapacityLedger::new(&network);
+            let t = task(0, &[2, 4], &[0, 1]);
+            let from_network = crate::admission::check_capacity(&network, &t);
+            let from_ledger = ledger.check_capacity(&t);
+            assert_eq!(
+                from_network.is_ok(),
+                from_ledger.is_ok(),
+                "capacity={capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn deployed_instances_make_their_type_reusable_for_admission() {
+        let mut network = ring_network(6, 1.0);
+        let t = task(0, &[3], &[0, 1]);
+        // Two fresh unit demands against total residual 6.0 admits...
+        CapacityLedger::new(&network).check_capacity(&t).unwrap();
+        // ...and once both types are live, even a full network admits the
+        // reuse-only chain — mirroring `Network::min_new_demand` = 0.
+        let delta = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]);
+        network.apply_delta(&delta).unwrap();
+        let ledger = CapacityLedger::new(&network);
+        ledger.check_capacity(&t).unwrap();
+        assert_eq!(
+            ledger.total_residual_capacity(),
+            network.total_residual_capacity()
+        );
+    }
+}

@@ -21,10 +21,16 @@
 //!   front-end.
 //! * [`server`] is that socket front-end: TCP or Unix-socket listener,
 //!   bounded worker pool over the shared service, graceful drain.
+//! * [`ledger`] makes socket commits transactional: workers solve
+//!   against a versioned snapshot (read lock only), then validate and
+//!   apply their capacity deltas atomically — deadline, conflict and
+//!   capacity rejections mutate nothing, and the commit log replays
+//!   serially to a bit-identical network.
 //! * [`admission`] sheds load *before* work is queued: a sound
 //!   VNF-capacity demand bound against remaining committed capacity
-//!   (`insufficient_capacity`) and queue-depth backpressure
-//!   (`overloaded`).
+//!   (`insufficient_capacity`, answered from the ledger mirror on the
+//!   socket path) and queue-depth backpressure (`overloaded`), with
+//!   already-expired queued jobs shed so they cannot block live work.
 //! * [`EmbedService::submit_batch`] fans independent tasks across
 //!   [`sft_graph::parallel::run_partitioned`] with the workspace's
 //!   ordered-merge determinism guarantee: results are bit-identical to
@@ -33,12 +39,14 @@
 //!   solve latency.
 
 pub mod admission;
+pub mod ledger;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod stats;
 
 pub use admission::{check_capacity, AdmissionConfig, JobQueue};
+pub use ledger::{CapacityLedger, CommitRecord, CommitRejection, LedgerSnapshot};
 pub use protocol::{
     parse_request, parse_response, parse_stream, EmbedRequest, EmbedResponse, ErrorCode, Request,
     RequestMode, ResponseBody, WireError, PROTOCOL_VERSION,

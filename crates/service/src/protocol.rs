@@ -61,6 +61,10 @@ pub enum ErrorCode {
     InsufficientCapacity,
     /// Admission control: the request queue is at its configured bound.
     Overloaded,
+    /// A commit lost its optimistic-concurrency race: concurrent commits
+    /// kept invalidating its snapshot for the whole retry budget. The
+    /// network is unchanged; the client may retry.
+    Conflict,
     /// The request's deadline expired before a result could be produced.
     DeadlineExceeded,
     /// The server is draining and no longer accepts work.
@@ -79,6 +83,7 @@ impl ErrorCode {
             ErrorCode::Infeasible => "infeasible",
             ErrorCode::InsufficientCapacity => "insufficient_capacity",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Conflict => "conflict",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
@@ -94,6 +99,7 @@ impl ErrorCode {
             "infeasible" => ErrorCode::Infeasible,
             "insufficient_capacity" => ErrorCode::InsufficientCapacity,
             "overloaded" => ErrorCode::Overloaded,
+            "conflict" => ErrorCode::Conflict,
             "deadline_exceeded" => ErrorCode::DeadlineExceeded,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
@@ -1071,6 +1077,7 @@ mod tests {
             ErrorCode::Infeasible,
             ErrorCode::InsufficientCapacity,
             ErrorCode::Overloaded,
+            ErrorCode::Conflict,
             ErrorCode::DeadlineExceeded,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,

@@ -2,32 +2,44 @@
 //!
 //! One listener thread accepts connections; each connection gets a reader
 //! thread that parses protocol lines, runs admission control
-//! ([`crate::admission`]) and enqueues accepted jobs onto a bounded
-//! [`JobQueue`]; a fixed worker pool pops jobs and solves them against the
-//! **shared** service (one `Network`, one APSP, one `SteinerCache`)
-//! behind an `RwLock` — quotes run concurrently under the read half,
-//! commits serialize under the write half.
+//! ([`crate::admission`], answered from the [`CapacityLedger`] mirror so
+//! readers never touch the service lock) and enqueues accepted jobs onto
+//! a bounded [`JobQueue`]; a fixed worker pool pops jobs and solves them
+//! against the **shared** service (one `Network`, one APSP, one
+//! `SteinerCache`) behind an `RwLock`.
 //!
-//! Rejections (`overloaded`, `insufficient_capacity`, `shutting_down`,
-//! parse errors) are answered inline by the reader thread, so an
-//! overloaded server stays responsive: every request gets a structured
-//! response, never a hang or a dropped connection.
+//! Quotes *and commit solves* run concurrently under the read half:
+//! a commit snapshots the ledger sequence number, solves, then applies
+//! its delta transactionally in a short write-locked critical section
+//! that re-checks the deadline, the touched nodes' versions, and the
+//! residual capacities before mutating anything — see [`crate::ledger`]
+//! for the snapshot/validate/confirm cycle and the bounded
+//! re-solve-on-conflict policy.
+//!
+//! Rejections (`overloaded`, `insufficient_capacity`, `conflict`,
+//! `shutting_down`, parse errors) are answered inline, so an overloaded
+//! server stays responsive: every request gets a structured response,
+//! never a hang or a dropped connection. Jobs whose deadline expires
+//! while queued are shed — at pop time, and from a full queue at
+//! admission time so a dead backlog cannot hold `overloaded` against
+//! live work.
 //!
 //! Shutdown is graceful by construction: the wire line
 //! `{"op":"shutdown"}` (or [`ServerHandle::shutdown`]) closes the queue;
 //! workers drain what was already admitted, then exit; readers answer
 //! later requests with `shutting_down`.
 
-use crate::admission::{check_capacity, AdmissionConfig, JobQueue};
+use crate::admission::{AdmissionConfig, JobQueue};
+use crate::ledger::{CapacityLedger, CommitRecord, CommitRejection};
 use crate::protocol::{EmbedResponse, Request, RequestMode};
 use crate::service::{EmbedService, ServiceError};
-use sft_core::MulticastTask;
+use sft_core::{MulticastTask, Network};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +62,10 @@ pub struct ServerConfig {
     /// frozen network, so results are independent of connection
     /// interleaving — the property the batch-equivalence guarantee needs.
     pub default_mode: RequestMode,
+    /// Maximum solve attempts per commit before giving up with
+    /// `conflict` (each retry re-solves against the post-conflict state;
+    /// values below 1 behave as 1).
+    pub commit_retries: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +74,7 @@ impl Default for ServerConfig {
             workers: 4,
             admission: AdmissionConfig::default(),
             default_mode: RequestMode::Quote,
+            commit_retries: 3,
         }
     }
 }
@@ -78,9 +95,16 @@ type Reply = Arc<Mutex<Box<dyn Write + Send>>>;
 /// State shared by the listener, readers and workers.
 struct Shared {
     service: RwLock<EmbedService>,
+    /// The optimistic capacity ledger commits transact through; its
+    /// mirror also answers admission so readers need no service lock.
+    ledger: CapacityLedger,
     queue: JobQueue<Job>,
     draining: AtomicBool,
     config: ServerConfig,
+    /// Jobs shed because their deadline expired while queued.
+    shed_jobs: AtomicU64,
+    /// Commit attempts that lost their snapshot race and re-solved.
+    conflicts: AtomicU64,
 }
 
 impl Shared {
@@ -92,6 +116,19 @@ impl Shared {
 
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Service lock access recovers from poison: a worker panicking
+    /// mid-request must not take the whole server down. Solves never
+    /// mutate under the read half, and the only write-half mutation —
+    /// [`EmbedService::apply_commit`] — is all-or-nothing, so the state
+    /// behind a poisoned lock is always consistent.
+    fn read_service(&self) -> RwLockReadGuard<'_, EmbedService> {
+        self.service.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_service(&self) -> RwLockWriteGuard<'_, EmbedService> {
+        self.service.write().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -204,9 +241,27 @@ impl ServerHandle {
         }
     }
 
-    /// A snapshot of the shared service's stats.
+    /// A snapshot of the shared service's stats, including the server's
+    /// own shed/conflict counters.
     pub fn stats(&self) -> crate::stats::ServiceStats {
-        self.shared.service.read().expect("service lock").stats()
+        let mut stats = self.shared.read_service().stats();
+        stats.jobs_shed = self.shared.shed_jobs.load(Ordering::Relaxed);
+        stats.commit_conflicts = self.shared.conflicts.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// The confirmed transactions in committed order (see
+    /// [`crate::ledger`]): replaying their deltas serially onto an
+    /// identically-built network reproduces the current state bit-for-bit.
+    pub fn commit_log(&self) -> Vec<CommitRecord> {
+        self.shared.ledger.commit_log()
+    }
+
+    /// A clone of the service's current network state (for replay and
+    /// accounting checks; taken under the read lock, so it is a committed
+    /// snapshot, never a mid-transaction view).
+    pub fn network(&self) -> Network {
+        self.shared.read_service().network().clone()
     }
 }
 
@@ -219,10 +274,13 @@ pub fn serve(service: EmbedService, addr: &str, config: ServerConfig) -> io::Res
     let acceptor = Acceptor::bind(addr)?;
     let local_addr = acceptor.local_addr();
     let shared = Arc::new(Shared {
+        ledger: CapacityLedger::new(service.network()),
         service: RwLock::new(service),
         queue: JobQueue::new(config.admission.queue_bound),
         draining: AtomicBool::new(false),
         config,
+        shed_jobs: AtomicU64::new(0),
+        conflicts: AtomicU64::new(0),
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -318,8 +376,9 @@ fn admit(
     }
     let task = req.to_task().map_err(ServiceError::Core)?;
     if shared.config.admission.capacity_check {
-        let service = shared.service.read().expect("service lock");
-        check_capacity(service.network(), &task)?;
+        // Answered from the ledger mirror: admission needs no service
+        // lock, so a long write-locked commit never stalls rejections.
+        shared.ledger.check_capacity(&task)?;
     }
     let deadline_ms = req
         .deadline_ms
@@ -332,59 +391,139 @@ fn admit(
         deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         reply: Arc::clone(reply),
     };
-    shared.queue.try_push(job).map_err(|(_, e)| e)
+    match shared.queue.try_push(job) {
+        Ok(()) => Ok(()),
+        // A full queue may be full of already-dead jobs: shed them (each
+        // still gets its deadline_exceeded response) and retry once.
+        Err((job, ServiceError::Overloaded { .. })) if shed_expired_jobs(shared) > 0 => {
+            shared.queue.try_push(job).map_err(|(_, e)| e)
+        }
+        Err((_, e)) => Err(e),
+    }
+}
+
+/// Whether a job's deadline has passed.
+fn job_expired(job: &Job) -> bool {
+    job.deadline.is_some_and(|d| Instant::now() > d)
+}
+
+/// The structured response for a job shed or rejected on its deadline.
+fn expired_response(job: &Job) -> EmbedResponse {
+    EmbedResponse::failure(
+        job.id,
+        &ServiceError::DeadlineExceeded {
+            deadline_ms: job.deadline_ms.unwrap_or(0),
+        },
+    )
+}
+
+/// Removes already-expired jobs from the queue, answers their clients,
+/// and counts them in the server stats. Returns how many were shed.
+fn shed_expired_jobs(shared: &Shared) -> usize {
+    let dead = shared.queue.shed(job_expired);
+    shared
+        .shed_jobs
+        .fetch_add(dead.len() as u64, Ordering::Relaxed);
+    for job in &dead {
+        send(&job.reply, &expired_response(job));
+    }
+    dead.len()
 }
 
 /// Pops admitted jobs until the queue is closed **and** drained, so a
-/// graceful shutdown completes all in-flight work.
+/// graceful shutdown completes all in-flight work. Jobs that expired
+/// while queued are shed here — answered, counted, never run.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        if job_expired(&job) {
+            shared.shed_jobs.fetch_add(1, Ordering::Relaxed);
+            send(&job.reply, &expired_response(&job));
+            continue;
+        }
         let response = run_job(&job, shared);
         send(&job.reply, &response);
     }
 }
 
-/// Solves one admitted job, honoring its deadline on both sides of the
-/// solve (the solvers themselves are not cancellable, so an overrunning
-/// solve is reported as `deadline_exceeded` rather than aborted mid-way;
-/// in commit mode the network keeps the committed instances).
+/// Solves one admitted job. Quotes run under the read lock and report
+/// `deadline_exceeded` if the (non-cancellable) solve overran — nothing
+/// was mutated. Commits go through the transactional path, where the
+/// deadline is re-checked *before* any mutation.
 fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
-    let expired = |deadline: Instant| Instant::now() > deadline;
-    if let (Some(deadline), Some(ms)) = (job.deadline, job.deadline_ms) {
-        if expired(deadline) {
-            return EmbedResponse::failure(
-                job.id,
-                &ServiceError::DeadlineExceeded { deadline_ms: ms },
-            );
-        }
-    }
-    let result = match job.mode {
+    match job.mode {
         RequestMode::Quote => {
-            let service = shared.service.read().expect("service lock");
-            service.solve_uncommitted(&job.task)
+            let result = shared.read_service().solve_uncommitted(&job.task);
+            if job_expired(job) {
+                return expired_response(job);
+            }
+            match result {
+                Ok(r) => EmbedResponse::success(job.id, &r, false),
+                Err(e) => EmbedResponse::failure(job.id, &e),
+            }
         }
-        RequestMode::Commit => {
-            let mut service = shared.service.write().expect("service lock");
-            service.solve_and_commit(&job.task)
+        RequestMode::Commit => commit_job(job, shared),
+    }
+}
+
+/// The transactional commit path: snapshot-solve under the read lock,
+/// then validate-and-apply in a short write-locked critical section.
+/// The response and the network always agree — a `deadline_exceeded` or
+/// `conflict` rejection has mutated **nothing**, and a success response
+/// reports exactly what was committed.
+fn commit_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
+    let attempts = shared.config.commit_retries.max(1);
+    for _ in 0..attempts {
+        // Phase 1: snapshot + solve under the read half, concurrently
+        // with quotes and other commit solves. The snapshot is coherent
+        // with the solve because confirms happen under the write half.
+        let solved = {
+            let service = shared.read_service();
+            let snapshot = shared.ledger.snapshot();
+            service.solve_uncommitted(&job.task).map(|result| {
+                let delta = service.network().commit_delta(&job.task, &result.embedding);
+                (snapshot, result, delta)
+            })
+        };
+        let (snapshot, result, delta) = match solved {
+            Ok(s) => s,
+            Err(e) => return EmbedResponse::failure(job.id, &e),
+        };
+        // Phase 2+3: the atomic apply. Deadline and versions re-checked
+        // before anything mutates; the capacity re-check is
+        // `apply_commit` itself (all-or-nothing against the
+        // authoritative network).
+        let mut service = shared.write_service();
+        match shared.ledger.validate(&snapshot, &delta, job_expired(job)) {
+            Ok(()) => {}
+            Err(CommitRejection::Expired) => return expired_response(job),
+            Err(CommitRejection::Conflict { .. }) => {
+                shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                continue; // drop the write lock and re-solve
+            }
         }
-    };
-    if let (Some(deadline), Some(ms)) = (job.deadline, job.deadline_ms) {
-        if expired(deadline) {
-            return EmbedResponse::failure(
-                job.id,
-                &ServiceError::DeadlineExceeded { deadline_ms: ms },
-            );
+        match service.apply_commit(&delta) {
+            Ok(()) => {
+                shared.ledger.confirm(job.id, &delta);
+                return EmbedResponse::success(job.id, &result, true);
+            }
+            // Capacity moved in a way the version vector cannot see only
+            // if the ledger mirror and network disagree — treat it as a
+            // conflict and re-solve rather than crash or half-apply.
+            Err(ServiceError::Core(sft_core::CoreError::CapacityExceeded { .. })) => {
+                shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Err(e) => return EmbedResponse::failure(job.id, &e),
         }
     }
-    match result {
-        Ok(r) => EmbedResponse::success(job.id, &r, matches!(job.mode, RequestMode::Commit)),
-        Err(e) => EmbedResponse::failure(job.id, &e),
-    }
+    EmbedResponse::failure(job.id, &ServiceError::Conflict { attempts })
 }
 
 /// Writes one response line; returns whether the connection is still up.
 fn send(reply: &Reply, response: &EmbedResponse) -> bool {
-    let mut writer = reply.lock().expect("reply lock");
+    // Poison recovery: a worker that panicked mid-write at worst left a
+    // torn line on one client's connection, not corrupt server state.
+    let mut writer = reply.lock().unwrap_or_else(PoisonError::into_inner);
     writeln!(writer, "{}", response.to_json())
         .and_then(|()| writer.flush())
         .is_ok()
@@ -562,8 +701,189 @@ mod tests {
         handle.join();
     }
 
+    #[cfg(unix)]
     #[test]
-    fn expired_deadlines_are_reported_not_dropped() {
+    fn serves_over_a_unix_socket() {
+        let path = std::env::temp_dir().join(format!("sft-test-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", path.display());
+        let svc = EmbedService::with_defaults(ring_network(10, 3.0));
+        let mut handle = serve(svc, &addr, ServerConfig::default()).unwrap();
+        let responses = roundtrip(&addr, &[request(5, 2)]);
+        assert!(matches!(responses[0].body, ResponseBody::Ok { .. }));
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A `Shared` without a listener, for driving `run_job` directly.
+    fn shared_for(capacity: f64, config: ServerConfig) -> Arc<Shared> {
+        let service = EmbedService::with_defaults(ring_network(10, capacity));
+        Arc::new(Shared {
+            ledger: CapacityLedger::new(service.network()),
+            service: RwLock::new(service),
+            queue: JobQueue::new(config.admission.queue_bound),
+            draining: AtomicBool::new(false),
+            config,
+            shed_jobs: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        })
+    }
+
+    fn commit_job_with_deadline(id: u64, source: usize, deadline: Option<Instant>) -> Job {
+        Job {
+            id: Some(id),
+            task: EmbedRequest::new(source, vec![(source + 3) % 10], vec![0, 1])
+                .to_task()
+                .unwrap(),
+            mode: RequestMode::Commit,
+            deadline_ms: deadline.map(|_| 5),
+            deadline,
+            reply: Arc::new(Mutex::new(Box::new(io::sink()))),
+        }
+    }
+
+    /// The headline regression: a commit whose deadline expires after the
+    /// solve (here: before the job even starts, so expiry is guaranteed
+    /// at validate time) must answer `deadline_exceeded` AND leave the
+    /// network byte-identical — never the old commit-then-reject leak.
+    #[test]
+    fn post_solve_expired_commit_leaves_the_network_unchanged() {
+        let shared = shared_for(3.0, ServerConfig::default());
+        let before_residual = shared.read_service().network().total_residual_capacity();
+        let before_pairs = shared.read_service().network().deployed_pairs();
+
+        let long_gone = Instant::now() - Duration::from_millis(50);
+        let response = run_job(&commit_job_with_deadline(1, 0, Some(long_gone)), &shared);
+        match response.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+
+        let service = shared.read_service();
+        assert_eq!(
+            service.network().total_residual_capacity(),
+            before_residual,
+            "an expired commit must not consume capacity"
+        );
+        assert_eq!(service.network().deployed_pairs(), before_pairs);
+        assert_eq!(service.stats().commits, 0);
+        assert_eq!(shared.ledger.commit_count(), 0);
+    }
+
+    /// Without a deadline the same job commits — response and network
+    /// agree in the success direction too, and the ledger logs it.
+    #[test]
+    fn live_commits_apply_and_land_in_the_commit_log() {
+        let shared = shared_for(3.0, ServerConfig::default());
+        for (id, source) in [(1u64, 0usize), (2, 4)] {
+            let response = run_job(&commit_job_with_deadline(id, source, None), &shared);
+            assert!(
+                matches!(
+                    response.body,
+                    ResponseBody::Ok {
+                        committed: true,
+                        ..
+                    }
+                ),
+                "{response:?}"
+            );
+        }
+        assert_eq!(shared.read_service().stats().commits, 2);
+        let log = shared.ledger.commit_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].seq, 1);
+        assert_eq!(log[1].seq, 2);
+        // Replay: the logged deltas rebuild the exact deployment set.
+        let mut replay = ring_network(10, 3.0);
+        for record in &log {
+            replay.apply_delta(&record.delta()).unwrap();
+        }
+        assert_eq!(
+            replay.deployed_pairs(),
+            shared.read_service().network().deployed_pairs()
+        );
+    }
+
+    /// Satellite bugfix: a panic while holding the service write lock
+    /// poisons it; the server must recover instead of dying on the next
+    /// `.expect("service lock")`.
+    #[test]
+    fn poisoned_service_lock_does_not_kill_the_server() {
+        let (mut handle, addr) = start(3.0, ServerConfig::default());
+        let shared = Arc::clone(&handle.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.service.write().unwrap();
+            panic!("deliberate panic while holding the service write lock");
+        });
+        assert!(poisoner.join().is_err(), "the panic must have fired");
+        assert!(handle.shared.service.is_poisoned(), "lock must be poisoned");
+
+        // Quotes, commits and stats must all still work.
+        let responses = roundtrip(&addr, &[request(1, 0)]);
+        assert!(
+            matches!(responses[0].body, ResponseBody::Ok { .. }),
+            "{responses:?}"
+        );
+        let mut commit = EmbedRequest::new(0, vec![3, 6], vec![0, 1]);
+        commit.id = Some(2);
+        commit.mode = Some(RequestMode::Commit);
+        let responses = roundtrip(&addr, &[commit.to_json()]);
+        assert!(
+            matches!(
+                responses[0].body,
+                ResponseBody::Ok {
+                    committed: true,
+                    ..
+                }
+            ),
+            "{responses:?}"
+        );
+        assert_eq!(handle.stats().commits, 1);
+        handle.shutdown();
+        handle.join();
+    }
+
+    /// Satellite bugfix: a full queue of already-expired jobs must not
+    /// hold `overloaded` against live work — admission sheds the dead
+    /// backlog (answering each) and admits the live job.
+    #[test]
+    fn expired_backlog_is_shed_so_live_jobs_are_admitted() {
+        let shared = shared_for(
+            3.0,
+            ServerConfig {
+                admission: AdmissionConfig {
+                    queue_bound: 2,
+                    ..AdmissionConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        // Fill the queue with jobs whose deadline is already gone. No
+        // worker threads are running, so they sit there dead.
+        let long_gone = Instant::now() - Duration::from_millis(50);
+        for id in 0..2 {
+            shared
+                .queue
+                .try_push(commit_job_with_deadline(id, 0, Some(long_gone)))
+                .unwrap_or_else(|_| panic!("queue has room"));
+        }
+
+        // A live request through the real admission path must shed the
+        // dead jobs and be admitted instead of bouncing as overloaded.
+        let mut req = EmbedRequest::new(4, vec![7], vec![0, 1]);
+        req.id = Some(9);
+        let reply: Reply = Arc::new(Mutex::new(Box::new(io::sink())));
+        admit(&req, &shared, &reply).expect("live job must be admitted");
+        assert_eq!(shared.shed_jobs.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.queue.len(), 1, "only the live job remains");
+        let survivor = shared.queue.pop().unwrap();
+        assert_eq!(survivor.id, Some(9));
+    }
+
+    /// Workers also shed expired jobs at pop time (counted, answered,
+    /// never run) — end-to-end through a real server.
+    #[test]
+    fn expired_deadlines_are_shed_at_pop_and_counted() {
         let config = ServerConfig {
             admission: AdmissionConfig {
                 default_deadline_ms: Some(0),
@@ -578,22 +898,9 @@ mod tests {
             ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
             other => panic!("expected deadline_exceeded, got {other:?}"),
         }
+        assert_eq!(handle.stats().jobs_shed, 1);
         handle.shutdown();
         handle.join();
-    }
-
-    #[cfg(unix)]
-    #[test]
-    fn serves_over_a_unix_socket() {
-        let path = std::env::temp_dir().join(format!("sft-test-{}.sock", std::process::id()));
-        let addr = format!("unix:{}", path.display());
-        let svc = EmbedService::with_defaults(ring_network(10, 3.0));
-        let mut handle = serve(svc, &addr, ServerConfig::default()).unwrap();
-        let responses = roundtrip(&addr, &[request(5, 2)]);
-        assert!(matches!(responses[0].body, ResponseBody::Ok { .. }));
-        handle.shutdown();
-        handle.join();
-        let _ = std::fs::remove_file(path);
     }
 
     #[test]

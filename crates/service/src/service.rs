@@ -47,6 +47,13 @@ pub enum ServiceError {
         /// The deadline that was missed, in milliseconds.
         deadline_ms: u64,
     },
+    /// A commit lost its optimistic-concurrency race: concurrent commits
+    /// kept invalidating its snapshot for the whole retry budget. Nothing
+    /// was mutated; the client may retry.
+    Conflict {
+        /// Solve attempts consumed before giving up.
+        attempts: usize,
+    },
     /// The service is draining and no longer accepts new work.
     ShuttingDown,
 }
@@ -66,6 +73,7 @@ impl ServiceError {
             ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
             ServiceError::InsufficientCapacity { .. } => ErrorCode::InsufficientCapacity,
             ServiceError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            ServiceError::Conflict { .. } => ErrorCode::Conflict,
             ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
         }
     }
@@ -94,6 +102,11 @@ impl fmt::Display for ServiceError {
             ServiceError::DeadlineExceeded { deadline_ms } => {
                 write!(f, "deadline of {deadline_ms} ms expired before a result")
             }
+            ServiceError::Conflict { attempts } => write!(
+                f,
+                "commit conflicted with concurrent commits ({attempts} attempts); \
+                 network unchanged, retry"
+            ),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -232,20 +245,24 @@ impl EmbedService {
         self.note(&result, ns);
         let result = result?;
         self.network.commit_embedding(task, &result.embedding)?;
-        self.counters.lock().expect("stats lock").commits += 1;
+        self.lock_counters().commits += 1;
         Ok(result)
     }
 
-    /// Deprecated alias for [`EmbedService::solve_uncommitted`].
-    #[deprecated(since = "0.1.0", note = "renamed to `solve_uncommitted`")]
-    pub fn solve(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
-        self.solve_uncommitted(task)
-    }
-
-    /// Deprecated alias for [`EmbedService::solve_and_commit`].
-    #[deprecated(since = "0.1.0", note = "renamed to `solve_and_commit`")]
-    pub fn submit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
-        self.solve_and_commit(task)
+    /// Applies a pre-validated commit delta (the second phase of the
+    /// socket server's snapshot-solve → validate-and-apply commit; the
+    /// first phase is [`EmbedService::solve_uncommitted`] plus
+    /// [`sft_core::Network::commit_delta`] under the read lock).
+    /// All-or-nothing: on error the network is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Core`] when the delta no longer fits the current
+    /// network state (see [`sft_core::Network::validate_delta`]).
+    pub fn apply_commit(&mut self, delta: &sft_core::CommitDelta) -> Result<(), ServiceError> {
+        self.network.apply_delta(delta)?;
+        self.lock_counters().commits += 1;
+        Ok(())
     }
 
     /// Serves a batch of tasks; see [`BatchMode`] for the two semantics.
@@ -293,9 +310,18 @@ impl EmbedService {
         out
     }
 
+    /// Counter access recovers from poison: the counters are plain
+    /// integers and a `Vec` push, so a panic elsewhere cannot leave them
+    /// in a state worth abandoning the whole service over.
+    fn lock_counters(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A snapshot of the serving statistics.
     pub fn stats(&self) -> ServiceStats {
-        let counters = self.counters.lock().expect("stats lock");
+        let counters = self.lock_counters();
         ServiceStats::from_latencies(
             counters.tasks_served,
             counters.failures,
@@ -318,7 +344,7 @@ impl EmbedService {
     }
 
     fn note(&self, result: &Result<SolveResult, CoreError>, ns: u64) {
-        let mut counters = self.counters.lock().expect("stats lock");
+        let mut counters = self.lock_counters();
         counters.latencies_ns.push(ns);
         match result {
             Ok(_) => counters.tasks_served += 1,
@@ -431,15 +457,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_route_to_the_new_names() {
-        let mut svc = EmbedService::with_defaults(ring_network(8, 3.0));
+    fn apply_commit_matches_solve_and_commit() {
         let t = task(0, &[3, 5], &[0, 1]);
-        let quoted = svc.solve(&t).unwrap();
-        assert_eq!(svc.stats().commits, 0, "solve never commits");
-        let committed = svc.submit(&t).unwrap();
-        assert_eq!(svc.stats().commits, 1, "submit commits");
-        assert_eq!(quoted.cost.setup, committed.cost.setup);
+        let mut two_phase = EmbedService::with_defaults(ring_network(8, 3.0));
+        let quoted = two_phase.solve_uncommitted(&t).unwrap();
+        let delta = two_phase.network().commit_delta(&t, &quoted.embedding);
+        two_phase.apply_commit(&delta).unwrap();
+        assert_eq!(two_phase.stats().commits, 1);
+
+        let mut one_phase = EmbedService::with_defaults(ring_network(8, 3.0));
+        one_phase.solve_and_commit(&t).unwrap();
+        assert_eq!(
+            two_phase.network().deployed_pairs(),
+            one_phase.network().deployed_pairs()
+        );
+    }
+
+    #[test]
+    fn stats_survive_a_poisoned_counters_lock() {
+        let svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        svc.solve_uncommitted(&task(0, &[3, 5], &[0, 1])).unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = svc.counters.lock().unwrap();
+            panic!("deliberate panic while holding the counters lock");
+        }));
+        assert_eq!(svc.stats().tasks_served, 1, "poison must be recovered");
+        svc.solve_uncommitted(&task(2, &[5, 7], &[1])).unwrap();
+        assert_eq!(svc.stats().tasks_served, 2);
     }
 
     #[test]
@@ -527,6 +571,10 @@ mod tests {
         assert_eq!(
             ServiceError::DeadlineExceeded { deadline_ms: 10 }.code(),
             ErrorCode::DeadlineExceeded
+        );
+        assert_eq!(
+            ServiceError::Conflict { attempts: 3 }.code(),
+            ErrorCode::Conflict
         );
         assert_eq!(ServiceError::ShuttingDown.code(), ErrorCode::ShuttingDown);
         assert_eq!(

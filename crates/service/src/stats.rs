@@ -30,6 +30,12 @@ pub struct ServiceStats {
     pub p99_ms: f64,
     /// Mean solve latency in milliseconds (0 before any solve).
     pub mean_ms: f64,
+    /// Queued jobs shed because their deadline expired before a worker
+    /// could run them (socket server only; 0 elsewhere).
+    pub jobs_shed: u64,
+    /// Commit attempts that lost their optimistic-concurrency race and
+    /// re-solved (socket server only; 0 elsewhere).
+    pub commit_conflicts: u64,
 }
 
 impl ServiceStats {
@@ -62,6 +68,8 @@ impl ServiceStats {
             p50_ms: to_ms(percentile_ns(&sorted, 50.0)),
             p99_ms: to_ms(percentile_ns(&sorted, 99.0)),
             mean_ms,
+            jobs_shed: 0,
+            commit_conflicts: 0,
         }
     }
 
@@ -98,6 +106,13 @@ impl ServiceStats {
             "solve latency  : p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
             self.p50_ms, self.p99_ms, self.mean_ms
         );
+        if self.jobs_shed > 0 || self.commit_conflicts > 0 {
+            let _ = writeln!(
+                out,
+                "commit path    : {} conflicts, {} expired jobs shed",
+                self.commit_conflicts, self.jobs_shed
+            );
+        }
         out
     }
 }

@@ -189,6 +189,7 @@ fn full_queue_is_overloaded_and_drain_completes_in_flight_work() {
                 ..AdmissionConfig::default()
             },
             default_mode: RequestMode::Quote,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,237 @@
+//! Sustained throughput under session churn: commit/release pairs racing
+//! over the socket, plus the cost of a re-embed/defrag pass.
+//!
+//! One shared 4-worker server serves repeated *churn waves*: 4 concurrent
+//! clients each run a sliding window of live sessions (commit the next
+//! arrival, release the oldest once the window is full) and then drain.
+//! Every wave returns the network exactly to its seed — the leak-proof
+//! lifecycle contract — so waves are independent and a single server can
+//! be timed across all criterion samples.
+//!
+//! * `churn/ring_4conn/wave` — criterion-timed full waves; the median
+//!   yields sustained sessions/sec (one session = one commit + one
+//!   release round trip);
+//! * a separate pass times [`ServerHandle::defrag`] over a fragmented
+//!   set of live sessions.
+//!
+//! Writes `BENCH_service_churn.json` at the workspace root.
+
+use criterion::{criterion_group, Criterion};
+use sft_core::{Network, VnfCatalog};
+use sft_graph::{Graph, NodeId};
+use sft_service::protocol::{parse_response, EmbedRequest, Request, RequestMode, ResponseBody};
+use sft_service::{serve, EmbedService, ServerConfig, ServerHandle, PROTOCOL_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const NODES: usize = 12;
+const CLIENTS: usize = 4;
+const SESSIONS_PER_CLIENT: usize = 25;
+const WINDOW: usize = 6;
+const WORKERS: usize = 4;
+const CAPACITY: f64 = 3.0;
+
+fn ring_network() -> Network {
+    let mut g = Graph::new(NODES);
+    for i in 0..NODES {
+        g.add_edge(
+            NodeId(i),
+            NodeId((i + 1) % NODES),
+            1.0 + (i % 3) as f64 * 0.2,
+        )
+        .unwrap();
+    }
+    Network::builder(g, VnfCatalog::uniform(3))
+        .all_servers(CAPACITY)
+        .unwrap()
+        .uniform_setup_cost(2.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn start_server() -> ServerHandle {
+    let svc = EmbedService::with_defaults(ring_network());
+    let config = ServerConfig {
+        workers: WORKERS,
+        commit_retries: 8,
+        ..ServerConfig::default()
+    };
+    serve(svc, "127.0.0.1:0", config).unwrap()
+}
+
+/// One client's share of a churn wave: sliding-window commit/release,
+/// then drain. Session ids are offset per wave so ledger stacks stay
+/// unambiguous across criterion samples.
+fn churn_client(addr: SocketAddr, client: usize, id_offset: u64) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut send = move |line: &str| -> ResponseBody {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        parse_response(response.trim()).unwrap().body
+    };
+    let mut live = std::collections::VecDeque::new();
+    for s in 0..SESSIONS_PER_CLIENT {
+        let session = id_offset + (client * SESSIONS_PER_CLIENT + s) as u64 + 1;
+        let source = (client * 5 + s * 3) % NODES;
+        let dest = (source + 3 + s % 4) % NODES;
+        let mut req = EmbedRequest::new(source, vec![dest], vec![s % 3, (s + 1) % 3]);
+        req.id = Some(session);
+        req.mode = Some(RequestMode::Commit);
+        match send(&req.to_json()) {
+            ResponseBody::Ok {
+                committed: true, ..
+            } => live.push_back(session),
+            ResponseBody::Error(_) => {}
+            other => panic!("unexpected commit answer {other:?}"),
+        }
+        if live.len() > WINDOW {
+            release(&mut send, live.pop_front().unwrap());
+        }
+    }
+    while let Some(session) = live.pop_front() {
+        release(&mut send, session);
+    }
+}
+
+fn release(send: &mut dyn FnMut(&str) -> ResponseBody, session: u64) {
+    let line = Request::Release {
+        v: PROTOCOL_VERSION,
+        id: Some(session),
+        session,
+        deadline_ms: None,
+    }
+    .to_json();
+    match send(&line) {
+        ResponseBody::Released { session: s, .. } => assert_eq!(s, session),
+        other => panic!("release of {session} answered {other:?}"),
+    }
+}
+
+/// One full churn wave (4 concurrent clients, drained at the end).
+fn wave(addr: SocketAddr, id_offset: u64) {
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || churn_client(addr, c, id_offset));
+        }
+    });
+}
+
+fn bench_service_churn(c: &mut Criterion) {
+    let mut handle = start_server();
+    let addr = handle.local_addr().unwrap();
+    let mut offset = 0u64;
+    let mut group = c.benchmark_group("churn/ring_4conn");
+    group.sample_size(10);
+    group.bench_function("wave", |b| {
+        b.iter(|| {
+            wave(addr, offset);
+            offset += (CLIENTS * SESSIONS_PER_CLIENT) as u64;
+        });
+    });
+    group.finish();
+    // Every wave drains: the shared server must be back at its seed.
+    let seed = ring_network();
+    let network = handle.network();
+    assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+    handle.shutdown();
+    handle.join();
+}
+
+/// Times one defrag pass over a set of live sessions left by a half-drained
+/// churn wave; returns (live sessions, pass duration in ns, instances
+/// before, instances after).
+fn defrag_cost() -> (usize, u64, usize, usize) {
+    let handle = start_server();
+    let addr = handle.local_addr().unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut send = move |line: &str| -> ResponseBody {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        parse_response(response.trim()).unwrap().body
+    };
+    // Commit a spread of sessions, then release every other one so the
+    // surviving placements are fragmented across the freed capacity.
+    let mut committed = Vec::new();
+    for s in 0..16u64 {
+        let source = (s as usize * 5) % NODES;
+        let dest = (source + 3 + s as usize % 4) % NODES;
+        let mut req = EmbedRequest::new(
+            source,
+            vec![dest],
+            vec![s as usize % 3, (s as usize + 1) % 3],
+        );
+        req.id = Some(s + 1);
+        req.mode = Some(RequestMode::Commit);
+        if matches!(
+            send(&req.to_json()),
+            ResponseBody::Ok {
+                committed: true,
+                ..
+            }
+        ) {
+            committed.push(s + 1);
+        }
+    }
+    for &session in committed.iter().step_by(2) {
+        release(&mut send, session);
+    }
+    let start = Instant::now();
+    let report = handle.defrag();
+    let elapsed = start.elapsed().as_nanos() as u64;
+    let mut handle = handle;
+    handle.shutdown();
+    handle.join();
+    (
+        report.sessions,
+        elapsed,
+        report.instances_before,
+        report.instances_after,
+    )
+}
+
+fn write_report(c: &Criterion) {
+    let mut wave_ns = None;
+    for s in c.summaries() {
+        if s.id.ends_with("/wave") {
+            wave_ns = Some(s.median_ns);
+        }
+    }
+    let Some(wave_ns) = wave_ns else {
+        return; // filtered or test-mode run: nothing measured
+    };
+    let (defrag_sessions, defrag_ns, instances_before, instances_after) = defrag_cost();
+    let sessions = (CLIENTS * SESSIONS_PER_CLIENT) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": {{ \"topology\": \"ring12\", \"capacity\": {CAPACITY}, \"clients\": {CLIENTS}, \"sessions_per_client\": {SESSIONS_PER_CLIENT}, \"window\": {WINDOW} }},\n  \"server_workers\": {WORKERS},\n  \"wave_median_ms\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"requests_per_sec\": {:.1},\n  \"defrag\": {{ \"live_sessions\": {defrag_sessions}, \"pass_ms\": {:.3}, \"instances_before\": {instances_before}, \"instances_after\": {instances_after} }},\n  \"note\": \"one session = one commit + one release over TCP; wave = {CLIENTS} concurrent sliding-window clients, fully drained (network returns to seed every wave); defrag = one re-embed pass over a half-drained fragmented set\"\n}}\n",
+        wave_ns / 1e6,
+        sessions / (wave_ns / 1e9),
+        2.0 * sessions / (wave_ns / 1e9),
+        defrag_ns as f64 / 1e6,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_service_churn.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_service_churn);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    write_report(&c);
+    c.final_summary();
+}

@@ -8,7 +8,7 @@ pub const USAGE: &str = "\
 sft — service function tree embedding for NFV multicast
 
 USAGE:
-  sft <info|solve|exact|batch|serve|client|help> [--flag value]...
+  sft <info|solve|exact|batch|serve|client|workload|help> [--flag value]...
 
 TOPOLOGIES (--topology):
   palmetto          the 45-node Palmetto backbone
@@ -76,9 +76,25 @@ SOCKET FLAGS (sft serve --listen / sft client):
   --commit-retries <n>  (serve) solve attempts per commit before the
                         transactional apply gives up with `conflict`
                         (default 3; commits never partially apply)
+  --defrag-every-ms <ms>
+                        (serve) run the re-embed/defrag batch on this
+                        period: live sessions are released and re-solved
+                        against freed capacity, consolidating onto
+                        shared instances (default off)
   --connect <addr>      (client) server address to send --tasks to;
                         responses print ordered by id
   --mode <quote|commit> (client) override the mode on every request
+
+WORKLOAD FLAGS (sft workload; emits a commit/release session stream as
+protocol JSONL — pipe into `sft serve` or save for `sft client`):
+  --count <n>           sessions to generate (default 100)
+  --arrivals <poisson>  arrival process (poisson: exponential
+                        inter-arrival times at --rate)
+  --holding <exp>       holding-time distribution (exp: mean --hold)
+  --rate <f64>          arrivals per unit time (default 1)
+  --hold <f64>          mean session lifetime (default 10); offered
+                        load is rate*hold Erlangs
+  --dests <n>           max destinations per task (default 3)
 
 EXAMPLES:
   sft info  --topology palmetto
@@ -88,6 +104,7 @@ EXAMPLES:
   sft serve --topology abilene < tasks.jsonl
   sft serve --topology palmetto --listen 127.0.0.1:7070 --workers 8
   sft client --connect 127.0.0.1:7070 --tasks examples/palmetto_tasks.jsonl
+  sft workload --topology palmetto --count 500 --rate 2 --hold 5 | sft serve --topology palmetto
 ";
 
 /// A parse failure with a human-readable description.

@@ -3,7 +3,7 @@
 use crate::args::{Args, ParseError};
 use crate::topology_spec;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use sft_core::ilp::IlpModel;
 use sft_core::{
     solve_with_rng, solve_with_rng_options, viz, MulticastTask, Network, Parallelism, Sfc, SftTree,
@@ -312,6 +312,18 @@ fn run_stream(svc: &mut EmbedService, text: &str, mode: BatchMode) -> String {
                 lines.push(Line::Done(EmbedResponse::draining(id.or(line_id))));
                 break;
             }
+            // Batch solves its tasks in bulk and keeps no session state;
+            // lifecycle streams belong on `sft serve` / `sft client`.
+            Ok(Request::Release { id, .. }) => {
+                lines.push(Line::Done(EmbedResponse::wire_failure(
+                    id.or(line_id),
+                    protocol::WireError {
+                        code: protocol::ErrorCode::ParseError,
+                        message: "batch keeps no sessions; send release lines to sft serve"
+                            .to_string(),
+                    },
+                )));
+            }
             Err(e) => lines.push(Line::Done(EmbedResponse::wire_failure(line_id, e))),
         }
     }
@@ -360,12 +372,20 @@ pub fn batch(args: &Args) -> Result<String, ParseError> {
 /// structured error response instead of killing the stream. Requests
 /// without a `mode` use `default_mode`; `{"op":"shutdown"}` ends the
 /// stream with a `draining` acknowledgement.
+///
+/// Commits register sessions under their effective id (the request `id`,
+/// or the 1-based line number), and `{"op":"release","session":N}` tears
+/// the most recent live session with that id down again — the stdin
+/// channel speaks the same lifecycle as the socket server.
 pub fn serve_stream(
     svc: &mut EmbedService,
     reader: impl BufRead,
     writer: &mut impl IoWrite,
     default_mode: RequestMode,
 ) -> std::io::Result<()> {
+    // Session id → stack of still-live commit deltas (wire ids may repeat).
+    let mut sessions: std::collections::BTreeMap<u64, Vec<sft_core::CommitDelta>> =
+        std::collections::BTreeMap::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -384,6 +404,29 @@ pub fn serve_stream(
                 writer.flush()?;
                 return Ok(());
             }
+            Ok(Request::Release { id, session, .. }) => {
+                let id = id.or(line_id);
+                match sessions.get_mut(&session) {
+                    None => EmbedResponse::failure(id, &ServiceError::UnknownSession { session }),
+                    Some(stack) => match stack.pop() {
+                        None => {
+                            EmbedResponse::failure(id, &ServiceError::AlreadyReleased { session })
+                        }
+                        Some(delta) => match svc.apply_release(&delta) {
+                            Ok(freed) => {
+                                let held = delta.deploys().len() + delta.refs().len();
+                                EmbedResponse::released(
+                                    id,
+                                    session,
+                                    freed.iter().map(|&(f, v)| (f.0, v.0)).collect(),
+                                    held - freed.len(),
+                                )
+                            }
+                            Err(e) => EmbedResponse::failure(id, &e),
+                        },
+                    },
+                }
+            }
             Ok(Request::Embed(req)) => {
                 let id = req.id.or(line_id);
                 match req.to_task() {
@@ -392,7 +435,17 @@ pub fn serve_stream(
                         let mode = req.mode.unwrap_or(default_mode);
                         let result = match mode {
                             RequestMode::Quote => svc.solve_uncommitted(&task),
-                            RequestMode::Commit => svc.solve_and_commit(&task),
+                            RequestMode::Commit => {
+                                svc.solve_uncommitted(&task).and_then(|result| {
+                                    let delta =
+                                        svc.network().commit_delta(&task, &result.embedding);
+                                    svc.apply_commit(&delta)?;
+                                    if let Some(session) = id {
+                                        sessions.entry(session).or_default().push(delta);
+                                    }
+                                    Ok(result)
+                                })
+                            }
                         };
                         match result {
                             Ok(r) => {
@@ -430,6 +483,15 @@ fn serve_socket(args: &Args, addr: &str) -> Result<String, ParseError> {
         },
         default_mode,
         commit_retries: args.parse_or("commit-retries", 3usize)?.max(1),
+        defrag_every: args
+            .get("defrag-every-ms")
+            .map(|raw| {
+                raw.parse::<u64>().map_err(|_| {
+                    ParseError(format!("cannot parse --defrag-every-ms value `{raw}`"))
+                })
+            })
+            .transpose()?
+            .map(std::time::Duration::from_millis),
     };
     let mut handle = sft_service::serve(svc, addr, config)
         .map_err(|e| ParseError(format!("cannot listen on {addr}: {e}")))?;
@@ -474,6 +536,99 @@ pub fn serve(args: &Args) -> Result<String, ParseError> {
     Ok(format!("\n{}\n", svc.stats().render().trim_end()))
 }
 
+/// `sft workload`: generate a long-horizon arrival/departure session
+/// stream as protocol JSONL — Poisson arrivals (exponential
+/// inter-arrival times at `--rate`), exponential holding times with mean
+/// `--hold`, one commit-mode embed per arrival and one `release` op per
+/// departure, merged in event-time order. Piping the output into
+/// `sft serve` or `sft client` drives the full session lifecycle; over a
+/// long horizon the offered load is `rate * hold` Erlangs, so residual
+/// capacity fluctuates around a steady state instead of draining
+/// monotonically.
+///
+/// # Errors
+///
+/// [`ParseError`] for bad flags or unsupported distribution names
+/// (`--arrivals poisson` and `--holding exp` are the current models).
+pub fn workload(args: &Args) -> Result<String, ParseError> {
+    let (network, k) = build_network(args)?;
+    let n = network.node_count();
+    match args.get("arrivals").unwrap_or("poisson") {
+        "poisson" => {}
+        other => {
+            return Err(ParseError(format!(
+                "unknown arrival process `{other}` (poisson)"
+            )))
+        }
+    }
+    match args.get("holding").unwrap_or("exp") {
+        "exp" => {}
+        other => {
+            return Err(ParseError(format!(
+                "unknown holding distribution `{other}` (exp)"
+            )))
+        }
+    }
+    let count: usize = args.parse_or("count", 100)?;
+    let rate: f64 = args.parse_or("rate", 1.0)?;
+    let hold: f64 = args.parse_or("hold", 10.0)?;
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    if !positive(rate) || !positive(hold) {
+        return Err(ParseError("--rate and --hold must be positive".into()));
+    }
+    let max_dests: usize = args.parse_or("dests", 3)?;
+    if max_dests == 0 || max_dests >= n {
+        return Err(ParseError(format!(
+            "--dests must be in 1..{n} for this topology"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
+    // Inverse-CDF exponential sampling; 1-u keeps the argument positive.
+    let exp = |mean: f64, rng: &mut StdRng| -(1.0 - rng.random::<f64>()).ln() * mean;
+
+    // (event time, tiebreak seq, line). A session's departure uses the
+    // arrival's seq + count, so a zero holding time still orders the
+    // release after its own commit.
+    let mut events: Vec<(f64, usize, String)> = Vec::with_capacity(2 * count);
+    let mut clock = 0.0;
+    for i in 0..count {
+        clock += exp(1.0 / rate, &mut rng);
+        let session = i as u64 + 1;
+        let source = rng.random_range(0..n);
+        let mut others: Vec<usize> = (0..n).filter(|&v| v != source).collect();
+        let dests = rng.random_range(1..=max_dests);
+        for j in 0..dests {
+            let pick = rng.random_range(j..others.len());
+            others.swap(j, pick);
+        }
+        others.truncate(dests);
+        let sfc: Vec<usize> = (0..rng.random_range(1..=k)).collect();
+        let mut req = protocol::EmbedRequest::new(source, others, sfc);
+        req.id = Some(session);
+        req.mode = Some(RequestMode::Commit);
+        events.push((clock, i, req.to_json()));
+        let release = Request::Release {
+            v: protocol::PROTOCOL_VERSION,
+            id: Some(count as u64 + session),
+            session,
+            deadline_ms: None,
+        };
+        events.push((clock + exp(hold, &mut rng), count + i, release.to_json()));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {count} sessions, poisson arrivals (rate {rate}), exp holding (mean {hold}): {} Erlangs offered",
+        rate * hold
+    );
+    for (_, _, line) in events {
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
 /// `sft client`: send a JSONL task file to a running `sft serve --listen`
 /// server and print the responses ordered by id (ids default to 1-based
 /// input line numbers, so the output lines up with `sft batch` on the
@@ -508,6 +663,21 @@ pub fn client(args: &Args) -> Result<String, ParseError> {
             Ok(Request::Embed(mut req)) => {
                 req.id = req.id.or(line_id);
                 req.mode = req.mode.or(override_mode);
+                writeln!(writer, "{}", req.to_json()).map_err(io_err)?;
+                expected += 1;
+            }
+            Ok(Request::Release {
+                v,
+                id,
+                session,
+                deadline_ms,
+            }) => {
+                let req = Request::Release {
+                    v,
+                    id: id.or(line_id),
+                    session,
+                    deadline_ms,
+                };
                 writeln!(writer, "{}", req.to_json()).map_err(io_err)?;
                 expected += 1;
             }
@@ -550,6 +720,7 @@ mod tests {
             "solve" => solve(&args),
             "exact" => exact(&args),
             "batch" => batch(&args),
+            "workload" => workload(&args),
             _ => unreachable!(),
         }
     }
@@ -772,6 +943,92 @@ mod tests {
         assert!(lines[2].contains("\"setup\":0"), "{out}");
         assert!(lines[3].contains("\"status\":\"draining\""), "{out}");
         assert_eq!(svc.stats().commits, 2);
+    }
+
+    #[test]
+    fn workload_emits_paired_commits_and_releases_in_event_order() {
+        let out =
+            run("workload --topology grid:3x4 --count 20 --seed 5 --rate 2 --hold 3").unwrap();
+        let lines: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 40, "{out}");
+        let mut commits = 0usize;
+        let mut releases = 0usize;
+        let mut live = std::collections::BTreeSet::new();
+        for line in &lines {
+            match protocol::parse_request(line).unwrap() {
+                Request::Embed(req) => {
+                    assert_eq!(req.mode, Some(RequestMode::Commit), "{line}");
+                    assert!(live.insert(req.id.unwrap()), "session ids are unique");
+                    commits += 1;
+                }
+                Request::Release { session, .. } => {
+                    assert!(live.remove(&session), "release follows its own commit");
+                    releases += 1;
+                }
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        assert_eq!((commits, releases), (20, 20));
+        assert!(live.is_empty(), "every session departs");
+        // Deterministic under a seed; different under another.
+        let again =
+            run("workload --topology grid:3x4 --count 20 --seed 5 --rate 2 --hold 3").unwrap();
+        assert_eq!(out, again);
+        let other =
+            run("workload --topology grid:3x4 --count 20 --seed 6 --rate 2 --hold 3").unwrap();
+        assert_ne!(out, other);
+        // Unsupported models are named errors, not silent fallbacks.
+        assert!(run("workload --topology grid:3x4 --arrivals uniform").is_err());
+        assert!(run("workload --topology grid:3x4 --holding pareto").is_err());
+        assert!(run("workload --topology grid:3x4 --rate 0").is_err());
+    }
+
+    /// The leak-proof lifecycle end to end on the stdin channel: a full
+    /// workload of arrivals and departures leaves the network exactly at
+    /// its seed state once every session has departed.
+    #[test]
+    fn workload_through_serve_stream_returns_to_the_seed_network() {
+        let stream =
+            run("workload --topology grid:3x4 --count 30 --seed 9 --rate 4 --hold 2").unwrap();
+        let argv: Vec<String> = "serve --topology grid:3x4"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        let mut svc = build_service(&args).unwrap();
+        let seed = svc.network().clone();
+        let mut out = Vec::new();
+        serve_stream(
+            &mut svc,
+            std::io::Cursor::new(stream),
+            &mut out,
+            RequestMode::Commit,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let mut committed = 0usize;
+        let mut released = 0usize;
+        for line in out.lines() {
+            let resp = sft_service::parse_response(line).unwrap();
+            match resp.body {
+                sft_service::ResponseBody::Ok { committed: c, .. } => committed += usize::from(c),
+                sft_service::ResponseBody::Released { .. } => released += 1,
+                ref other => panic!("unexpected body {other:?} in {line}"),
+            }
+        }
+        assert_eq!(committed, 30, "{out}");
+        assert_eq!(released, 30, "{out}");
+        assert_eq!(
+            svc.network().deployment_refcounts(),
+            seed.deployment_refcounts()
+        );
+        assert_eq!(
+            svc.network().total_residual_capacity(),
+            seed.total_residual_capacity()
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.commits, 30);
+        assert_eq!(stats.releases, 30);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   `--listen <addr>` served over TCP / a Unix socket with a bounded
 //!   worker pool and capacity-aware admission control;
 //! * `sft client --connect <addr> --tasks <file.jsonl>` — drive a running
-//!   server and print its responses ordered by id.
+//!   server and print its responses ordered by id;
+//! * `sft workload --topology <spec>` — generate an arrival/departure
+//!   session stream (Poisson arrivals, exponential holding times) as
+//!   protocol JSONL: commit-mode embeds paired with `release` ops, ready
+//!   to pipe into `sft serve` or `sft client`.
 //!
 //! Argument parsing is hand-rolled (the project's dependency set is
 //! deliberately tiny); see [`args`] for the grammar and [`run`] for the
@@ -46,6 +50,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "batch" => commands::batch(&args).map_err(|e| e.to_string()),
         "serve" => commands::serve(&args).map_err(|e| e.to_string()),
         "client" => commands::client(&args).map_err(|e| e.to_string()),
+        "workload" => commands::workload(&args).map_err(|e| e.to_string()),
         "help" => Ok(args::USAGE.to_string()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", args::USAGE)),
     }

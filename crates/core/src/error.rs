@@ -46,6 +46,15 @@ pub enum CoreError {
         /// Requested load.
         load: f64,
     },
+    /// A release referenced a `(VNF, node)` pair with no live instance —
+    /// the inverse-delta analogue of [`CoreError::CapacityExceeded`]:
+    /// applying it would drive a reference count below zero.
+    InstanceNotDeployed {
+        /// The VNF type of the missing instance.
+        vnf: usize,
+        /// The node the instance was expected on.
+        node: usize,
+    },
     /// No feasible embedding exists (disconnectivity or exhausted server
     /// capacity).
     Infeasible {
@@ -80,6 +89,9 @@ impl fmt::Display for CoreError {
                 load,
             } => {
                 write!(f, "node {node} capacity {capacity} exceeded by load {load}")
+            }
+            CoreError::InstanceNotDeployed { vnf, node } => {
+                write!(f, "no live instance of VNF {vnf} on node {node} to release")
             }
             CoreError::Infeasible { reason } => write!(f, "no feasible embedding: {reason}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),

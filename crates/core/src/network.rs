@@ -13,24 +13,43 @@ use sft_graph::numeric::exceeds;
 use sft_graph::{DistanceMatrix, Graph, NodeId};
 
 /// The exact state mutation committing one embedding applies: the set of
-/// `(VNF, node)` pairs that need a **new** instance, in canonical (sorted)
+/// `(VNF, node)` pairs that need a **new** instance (`deploys`) plus the
+/// pairs the embedding *reuses* (`refs`), each in canonical (sorted)
 /// order. A delta is computed against a snapshot of the network
 /// ([`Network::commit_delta`]), can be validated against any later state
 /// without mutating it ([`Network::validate_delta`]), and is applied
 /// all-or-nothing ([`Network::apply_delta`]) — the split transactional
 /// commit pipelines (solve against a snapshot, validate-and-apply under a
 /// short critical section) are built from.
+///
+/// Deployments are reference counted: every pair in `deploys` ∪ `refs`
+/// adds one reference on apply, and [`Network::apply_release`] applies
+/// the exact inverse, so an instance shared by two sessions survives the
+/// first release and its capacity is freed only when the last reference
+/// drops.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CommitDelta {
     deploys: Vec<(VnfId, NodeId)>,
+    refs: Vec<(VnfId, NodeId)>,
 }
 
 impl CommitDelta {
-    /// A delta from explicit `(VNF, node)` pairs (deduplicated, sorted).
-    pub fn new(mut deploys: Vec<(VnfId, NodeId)>) -> Self {
+    /// A delta from explicit new-deployment `(VNF, node)` pairs
+    /// (deduplicated, sorted), with no reused pairs.
+    pub fn new(deploys: Vec<(VnfId, NodeId)>) -> Self {
+        CommitDelta::with_refs(deploys, Vec::new())
+    }
+
+    /// A delta from new-deployment pairs plus reused-instance pairs. Both
+    /// sides are canonicalized; a pair listed in both is kept on the
+    /// `deploys` side only (a new instance is trivially also referenced).
+    pub fn with_refs(mut deploys: Vec<(VnfId, NodeId)>, mut refs: Vec<(VnfId, NodeId)>) -> Self {
         deploys.sort_unstable();
         deploys.dedup();
-        CommitDelta { deploys }
+        refs.sort_unstable();
+        refs.dedup();
+        refs.retain(|p| deploys.binary_search(p).is_err());
+        CommitDelta { deploys, refs }
     }
 
     /// The new deployments, in canonical `(VnfId, NodeId)` order.
@@ -38,21 +57,36 @@ impl CommitDelta {
         &self.deploys
     }
 
-    /// Whether the commit would change anything (a fully-reused embedding
-    /// has an empty delta).
-    pub fn is_empty(&self) -> bool {
-        self.deploys.is_empty()
+    /// The reused (reference-only) instances, in canonical order. These
+    /// consume no capacity but pin their instance against release.
+    pub fn refs(&self) -> &[(VnfId, NodeId)] {
+        &self.refs
     }
 
-    /// The distinct nodes this delta touches, ascending.
+    /// Every pair the delta references — `deploys` then `refs`, each in
+    /// canonical order. This is the set whose reference counts change.
+    pub fn usage(&self) -> impl Iterator<Item = (VnfId, NodeId)> + '_ {
+        self.deploys.iter().chain(self.refs.iter()).copied()
+    }
+
+    /// Whether the commit would change anything (a fully-reused embedding
+    /// with no pinned references has an empty delta).
+    pub fn is_empty(&self) -> bool {
+        self.deploys.is_empty() && self.refs.is_empty()
+    }
+
+    /// The distinct nodes this delta touches (new deployments *and*
+    /// reused references — a reuse conflicts with a concurrent release of
+    /// the instance it rides on), ascending.
     pub fn touched_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self.deploys.iter().map(|&(_, v)| v).collect();
+        let mut nodes: Vec<NodeId> = self.usage().map(|(_, v)| v).collect();
         nodes.sort_unstable_by_key(|v| v.0);
         nodes.dedup();
         nodes
     }
 
-    /// Total capacity the delta consumes under `catalog` demands.
+    /// Total capacity the delta consumes under `catalog` demands (new
+    /// deployments only; reuse is capacity-free).
     pub fn total_demand(&self, catalog: &VnfCatalog) -> f64 {
         self.deploys.iter().map(|&(f, _)| catalog.demand(f)).sum()
     }
@@ -69,7 +103,11 @@ pub struct Network {
     capacity: Vec<f64>,
     catalog: VnfCatalog,
     setup_cost: Vec<Vec<f64>>,
-    deployed: Vec<Vec<bool>>,
+    /// Per-(VNF, node) live reference counts. An instance exists iff its
+    /// count is positive; capacity is consumed once per live instance,
+    /// not per reference. Builder pre-deployments enter with one pinned
+    /// reference that no session owns, so they are never released.
+    deployed: Vec<Vec<u32>>,
 }
 
 impl Network {
@@ -147,7 +185,7 @@ impl Network {
     pub fn deployed_load(&self, v: NodeId) -> f64 {
         self.catalog
             .ids()
-            .filter(|&f| self.deployed[f.0][v.0])
+            .filter(|&f| self.deployed[f.0][v.0] > 0)
             .map(|f| self.catalog.demand(f))
             .sum()
     }
@@ -214,7 +252,7 @@ impl Network {
         self.catalog
             .ids()
             .filter(|&f| task.sfc().stages().contains(&f))
-            .filter(|&f| !(0..self.node_count()).any(|v| self.deployed[f.0][v]))
+            .filter(|&f| !(0..self.node_count()).any(|v| self.deployed[f.0][v] > 0))
     }
 
     /// Whether an instance of `f` is already deployed on `v` (`π_{f,v}`).
@@ -223,6 +261,16 @@ impl Network {
     ///
     /// Panics if either id is out of bounds.
     pub fn is_deployed(&self, f: VnfId, v: NodeId) -> bool {
+        self.deployed[f.0][v.0] > 0
+    }
+
+    /// The number of live references held against the instance of `f` on
+    /// `v` (0 when no instance is deployed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn refcount(&self, f: VnfId, v: NodeId) -> u32 {
         self.deployed[f.0][v.0]
     }
 
@@ -243,7 +291,7 @@ impl Network {
     ///
     /// Panics if either id is out of bounds.
     pub fn effective_setup_cost(&self, f: VnfId, v: NodeId) -> f64 {
-        if self.deployed[f.0][v.0] {
+        if self.deployed[f.0][v.0] > 0 {
             0.0
         } else {
             self.setup_cost[f.0][v.0]
@@ -272,7 +320,7 @@ impl Network {
         if !self.servers[v.0] {
             return Err(CoreError::NotAServer { node: v.0 });
         }
-        if self.deployed[f.0][v.0] {
+        if self.deployed[f.0][v.0] > 0 {
             return Ok(());
         }
         let load = self.deployed_load(v) + self.catalog.demand(f);
@@ -283,19 +331,27 @@ impl Network {
                 load,
             });
         }
-        self.deployed[f.0][v.0] = true;
+        self.deployed[f.0][v.0] = 1;
         Ok(())
     }
 
     /// The [`CommitDelta`] committing `embedding` would apply to the
     /// network **as it is right now**: every `(VNF, node)` instance the
-    /// embedding uses that is not already deployed.
+    /// embedding uses, split into pairs that need a new instance
+    /// (`deploys`) and pairs that reuse a live one (`refs`). Both sides
+    /// take a reference on apply, so releasing the delta later gives back
+    /// exactly what this session held — and nothing another session still
+    /// uses.
     pub fn commit_delta(
         &self,
         task: &crate::task::MulticastTask,
         embedding: &crate::embedding::Embedding,
     ) -> CommitDelta {
-        CommitDelta::new(embedding.new_instances(self, task).into_iter().collect())
+        let (deploys, refs) = embedding
+            .typed_instances(task)
+            .into_iter()
+            .partition(|&(f, v)| !self.is_deployed(f, v));
+        CommitDelta::with_refs(deploys, refs)
     }
 
     /// Checks that `delta` can be applied to the **current** state without
@@ -311,7 +367,7 @@ impl Network {
     /// * [`CoreError::CapacityExceeded`] if any node's aggregate new load
     ///   does not fit its residual capacity.
     pub fn validate_delta(&self, delta: &CommitDelta) -> Result<(), CoreError> {
-        for &(f, v) in delta.deploys() {
+        for (f, v) in delta.usage() {
             self.catalog.check(f)?;
             self.check_node(v)?;
             if !self.servers[v.0] {
@@ -319,11 +375,13 @@ impl Network {
             }
         }
         for v in delta.touched_nodes() {
+            // A pair with no live instance consumes fresh capacity no
+            // matter which side of the delta it sits on: a `ref` whose
+            // instance has meanwhile been released re-creates it.
             let new_load: f64 = delta
-                .deploys()
-                .iter()
-                .filter(|&&(f, u)| u == v && !self.deployed[f.0][u.0])
-                .map(|&(f, _)| self.catalog.demand(f))
+                .usage()
+                .filter(|&(f, u)| u == v && self.deployed[f.0][u.0] == 0)
+                .map(|(f, _)| self.catalog.demand(f))
                 .sum();
             let load = self.deployed_load(v) + new_load;
             if exceeds(load, self.capacity[v.0]) {
@@ -337,19 +395,69 @@ impl Network {
         Ok(())
     }
 
-    /// Applies `delta` atomically: validates every pair first, then flips
-    /// the deployment flags. On error **nothing** is mutated — the
-    /// all-or-nothing half of the transactional commit split.
+    /// Applies `delta` atomically: validates every pair first, then adds
+    /// one reference per used pair (creating instances where the count
+    /// was zero). On error **nothing** is mutated — the all-or-nothing
+    /// half of the transactional commit split.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Network::validate_delta`].
     pub fn apply_delta(&mut self, delta: &CommitDelta) -> Result<(), CoreError> {
         self.validate_delta(delta)?;
-        for &(f, v) in delta.deploys() {
-            self.deployed[f.0][v.0] = true;
+        for (f, v) in delta.usage() {
+            self.deployed[f.0][v.0] += 1;
         }
         Ok(())
+    }
+
+    /// Checks that `delta` can be released against the **current** state:
+    /// every pair it references (new deployments and reuses alike) must
+    /// hold at least one live reference. Mutates nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::VnfOutOfBounds`] / [`CoreError::NodeOutOfBounds`]
+    ///   for invalid ids.
+    /// * [`CoreError::InstanceNotDeployed`] if any referenced pair has no
+    ///   live reference to give back.
+    pub fn validate_release(&self, delta: &CommitDelta) -> Result<(), CoreError> {
+        for (f, v) in delta.usage() {
+            self.catalog.check(f)?;
+            self.check_node(v)?;
+            if self.deployed[f.0][v.0] == 0 {
+                return Err(CoreError::InstanceNotDeployed {
+                    vnf: f.0,
+                    node: v.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the exact inverse of [`Network::apply_delta`] atomically:
+    /// drops one reference per pair the delta uses, removing instances
+    /// whose count reaches zero. Returns the removed pairs in canonical
+    /// order — only their capacity is freed; an instance another session
+    /// still references survives untouched. On error nothing is mutated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::validate_release`].
+    pub fn apply_release(
+        &mut self,
+        delta: &CommitDelta,
+    ) -> Result<Vec<(VnfId, NodeId)>, CoreError> {
+        self.validate_release(delta)?;
+        let mut freed = Vec::new();
+        for (f, v) in delta.usage() {
+            self.deployed[f.0][v.0] -= 1;
+            if self.deployed[f.0][v.0] == 0 {
+                freed.push((f, v));
+            }
+        }
+        freed.sort_unstable();
+        Ok(freed)
     }
 
     /// Commits every new instance of an embedding as a deployment, so that
@@ -379,8 +487,24 @@ impl Network {
         let mut out = Vec::new();
         for f in self.catalog.ids() {
             for v in 0..self.node_count() {
-                if self.deployed[f.0][v] {
+                if self.deployed[f.0][v] > 0 {
                     out.push((f, NodeId(v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every live `(VNF, node, refcount)` triple, in canonical order —
+    /// the refcount-aware extension of [`Network::deployed_pairs`], used
+    /// by replay-identity tests to compare networks *including* how many
+    /// sessions share each instance.
+    pub fn deployment_refcounts(&self) -> Vec<(VnfId, NodeId, u32)> {
+        let mut out = Vec::new();
+        for f in self.catalog.ids() {
+            for v in 0..self.node_count() {
+                if self.deployed[f.0][v] > 0 {
+                    out.push((f, NodeId(v), self.deployed[f.0][v]));
                 }
             }
         }
@@ -560,6 +684,11 @@ impl NetworkBuilder {
         } else {
             self.graph.all_pairs_shortest_paths()?
         };
+        let deployed = self
+            .deployed
+            .iter()
+            .map(|row| row.iter().map(|&d| u32::from(d)).collect())
+            .collect();
         Ok(Network {
             graph: self.graph,
             dist,
@@ -567,7 +696,7 @@ impl NetworkBuilder {
             capacity: self.capacity,
             catalog: self.catalog,
             setup_cost: self.setup_cost,
-            deployed: self.deployed,
+            deployed,
         })
     }
 }
@@ -623,13 +752,111 @@ mod tests {
         assert_eq!(net.residual_capacity(NodeId(1)), 1.0);
 
         // Split across servers the same pairs fit, and already-deployed
-        // pairs are free on re-apply (idempotence for replay).
+        // pairs are capacity-free on re-apply (a second reference, not a
+        // second instance).
         let ok = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]);
         net.apply_delta(&ok).unwrap();
         assert_eq!(net.deployed_pairs(), ok.deploys().to_vec());
         net.apply_delta(&ok).unwrap();
         assert_eq!(net.residual_capacity(NodeId(1)), 0.0);
         assert_eq!(net.residual_capacity(NodeId(2)), 0.0);
+        assert_eq!(net.refcount(VnfId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn with_refs_canonicalizes_and_keeps_sides_disjoint() {
+        let delta = CommitDelta::with_refs(
+            vec![(VnfId(1), NodeId(0)), (VnfId(0), NodeId(2))],
+            vec![
+                (VnfId(1), NodeId(0)), // also a deploy: dropped from refs
+                (VnfId(2), NodeId(1)),
+                (VnfId(2), NodeId(1)), // duplicate
+            ],
+        );
+        assert_eq!(
+            delta.deploys(),
+            &[(VnfId(0), NodeId(2)), (VnfId(1), NodeId(0))]
+        );
+        assert_eq!(delta.refs(), &[(VnfId(2), NodeId(1))]);
+        assert_eq!(
+            delta.touched_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            "reused nodes are touched too"
+        );
+        assert_eq!(delta.total_demand(&VnfCatalog::uniform(3)), 2.0);
+    }
+
+    #[test]
+    fn release_frees_capacity_only_when_the_last_reference_drops() {
+        let mut net = Network::builder(line_graph(3), VnfCatalog::uniform(2))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        // Session A deploys f0@1; session B reuses it and deploys f1@1.
+        let a = CommitDelta::new(vec![(VnfId(0), NodeId(1))]);
+        net.apply_delta(&a).unwrap();
+        let b = CommitDelta::with_refs(vec![(VnfId(1), NodeId(1))], vec![(VnfId(0), NodeId(1))]);
+        net.apply_delta(&b).unwrap();
+        assert_eq!(net.refcount(VnfId(0), NodeId(1)), 2);
+        assert_eq!(net.residual_capacity(NodeId(1)), 0.0);
+
+        // A departs: the shared instance survives (B still references it),
+        // so only B's exclusive instance would free capacity — and here A
+        // frees nothing at all.
+        let freed = net.apply_release(&a).unwrap();
+        assert!(freed.is_empty(), "shared instance must survive");
+        assert!(net.is_deployed(VnfId(0), NodeId(1)));
+        assert_eq!(net.residual_capacity(NodeId(1)), 0.0);
+
+        // B departs: both instances drop to zero references and vanish.
+        let freed = net.apply_release(&b).unwrap();
+        assert_eq!(freed, vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(1))]);
+        assert!(net.deployed_pairs().is_empty());
+        assert_eq!(net.residual_capacity(NodeId(1)), 2.0);
+    }
+
+    #[test]
+    fn release_of_unreferenced_pairs_is_rejected_atomically() {
+        let mut net = Network::builder(line_graph(3), VnfCatalog::uniform(2))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let live = CommitDelta::new(vec![(VnfId(0), NodeId(1))]);
+        net.apply_delta(&live).unwrap();
+        // One live pair + one dead pair: the whole release must be refused
+        // and the live reference left untouched.
+        let mixed = CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]);
+        assert!(matches!(
+            net.apply_release(&mixed),
+            Err(CoreError::InstanceNotDeployed { vnf: 1, node: 2 })
+        ));
+        assert_eq!(net.refcount(VnfId(0), NodeId(1)), 1);
+    }
+
+    #[test]
+    fn commit_then_release_restores_the_network_exactly() {
+        let mut net = Network::builder(line_graph(4), VnfCatalog::uniform(3))
+            .all_servers(2.0)
+            .unwrap()
+            .deploy(VnfId(2), NodeId(3))
+            .unwrap()
+            .build()
+            .unwrap();
+        let before = net.deployment_refcounts();
+        let delta = CommitDelta::with_refs(
+            vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))],
+            vec![(VnfId(2), NodeId(3))],
+        );
+        net.apply_delta(&delta).unwrap();
+        assert_eq!(net.refcount(VnfId(2), NodeId(3)), 2, "pinned + session");
+        net.apply_release(&delta).unwrap();
+        assert_eq!(net.deployment_refcounts(), before);
+        assert!(
+            net.is_deployed(VnfId(2), NodeId(3)),
+            "builder pre-deployments are never released"
+        );
     }
 
     #[test]

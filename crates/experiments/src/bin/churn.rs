@@ -1,0 +1,33 @@
+//! Arrival/departure churn sweep: blocking probability and occupancy
+//! against offered load (Erlangs), with a per-run leak check.
+//! Pass `--quick` for a short stream.
+
+use sft_experiments::churn;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points = match churn::sweep(quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("churn sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("offered_erlangs  admitted  blocked  p_block  mean_live  peak_live  leak_free");
+    for p in &points {
+        println!(
+            "{:>15.1}  {:>8}  {:>7}  {:>7.3}  {:>9.2}  {:>9}  {}",
+            p.offered_erlangs,
+            p.admitted,
+            p.blocked,
+            p.blocking_probability,
+            p.mean_live,
+            p.peak_live,
+            p.leak_free
+        );
+    }
+    if points.iter().any(|p| !p.leak_free) {
+        eprintln!("LEAK: a drained run did not return to the seed network");
+        std::process::exit(1);
+    }
+}

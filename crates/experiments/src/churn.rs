@@ -1,0 +1,314 @@
+//! Arrival/departure churn: the session-lifecycle experiment.
+//!
+//! The paper's evaluation embeds each task once into a progressively
+//! fuller network; a production service instead faces *churn* — sessions
+//! arrive (Poisson), hold capacity for an exponentially distributed
+//! lifetime, and depart, releasing what they held. This module sweeps
+//! offered load (Erlangs = arrival rate × mean holding time) over a
+//! long session stream and reports the steady-state behaviour the
+//! lifecycle work enables:
+//!
+//! * **blocking probability** — the share of arrivals bounced for
+//!   capacity, which now stabilises with load instead of climbing to
+//!   1.0 as the network drains monotonically;
+//! * **mean live sessions** (time-averaged) against the offered load,
+//!   the Erlang-style occupancy curve;
+//! * **leak check** — after the last departure, per-node residuals must
+//!   be bit-identical to the seed network.
+//!
+//! Everything is in-process (one [`EmbedService`], no socket) and fully
+//! deterministic in the seed.
+
+use crate::ExperimentError;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use sft_core::{CommitDelta, Network, VnfCatalog};
+use sft_graph::{Graph, NodeId};
+use sft_service::protocol::EmbedRequest;
+use sft_service::EmbedService;
+use std::collections::BTreeMap;
+
+/// One churn run's parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct ChurnConfig {
+    /// Ring size (every node a server).
+    pub nodes: usize,
+    /// Per-server capacity (uniform catalog: every instance demands 1.0).
+    pub capacity: f64,
+    /// VNF catalog size; chains use types `0..len` for `len ≤ sfc_types`.
+    pub sfc_types: usize,
+    /// Sessions in the stream.
+    pub sessions: usize,
+    /// Poisson arrival rate (sessions per unit time).
+    pub rate: f64,
+    /// Mean exponential holding time.
+    pub hold: f64,
+    /// Maximum destinations per task.
+    pub dests: usize,
+    /// RNG seed for arrivals, holding times, and task shapes.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            nodes: 12,
+            capacity: 3.0,
+            sfc_types: 3,
+            sessions: 400,
+            rate: 1.0,
+            hold: 10.0,
+            dests: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Steady-state measurements of one churn run.
+#[derive(Copy, Clone, Debug)]
+pub struct ChurnPoint {
+    /// Offered load `rate * hold` in Erlangs.
+    pub offered_erlangs: f64,
+    /// Arrivals admitted (committed).
+    pub admitted: usize,
+    /// Arrivals bounced (`insufficient_capacity` / infeasible).
+    pub blocked: usize,
+    /// `blocked / (admitted + blocked)`.
+    pub blocking_probability: f64,
+    /// Time-averaged number of live sessions.
+    pub mean_live: f64,
+    /// Peak simultaneous live sessions.
+    pub peak_live: usize,
+    /// Whether the drained network matched the seed bit-for-bit.
+    pub leak_free: bool,
+}
+
+/// An event in virtual time; departures at an equal timestamp sort after
+/// the arrival that created them via the sequence tiebreak.
+#[derive(Copy, Clone, Debug, PartialEq)]
+struct Event {
+    time: f64,
+    tiebreak: usize,
+    session: u64,
+    kind: EventKind,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum EventKind {
+    Arrive,
+    Depart,
+}
+
+fn ring_network(config: &ChurnConfig) -> Result<Network, ExperimentError> {
+    let mut g = Graph::new(config.nodes);
+    for i in 0..config.nodes {
+        g.add_edge(NodeId(i), NodeId((i + 1) % config.nodes), 1.0)?;
+    }
+    Ok(Network::builder(g, VnfCatalog::uniform(config.sfc_types))
+        .all_servers(config.capacity)?
+        .uniform_setup_cost(2.0)?
+        .build()?)
+}
+
+/// Runs one arrival/departure stream through a fresh service.
+///
+/// # Errors
+///
+/// [`ExperimentError`] on a bad configuration or a network-build failure
+/// (admission rejections are *data*, not errors).
+pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
+    if config.rate <= 0.0 || config.hold <= 0.0 {
+        return Err(ExperimentError::Config(
+            "churn rate and hold must be positive".into(),
+        ));
+    }
+    if config.dests == 0 || config.dests >= config.nodes {
+        return Err(ExperimentError::Config(format!(
+            "churn dests must be in 1..{}",
+            config.nodes
+        )));
+    }
+    let seed_network = ring_network(config)?;
+    let mut svc = EmbedService::with_defaults(seed_network.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+        let u: f64 = rng.random::<f64>();
+        -(1.0 - u).ln() * mean
+    };
+
+    // Generate the full event stream up front (arrival order == id order).
+    let mut events = Vec::with_capacity(config.sessions * 2);
+    let mut clock = 0.0;
+    for s in 0..config.sessions {
+        clock += exp(&mut rng, 1.0 / config.rate);
+        let depart = clock + exp(&mut rng, config.hold);
+        let session = s as u64 + 1;
+        events.push(Event {
+            time: clock,
+            tiebreak: s,
+            session,
+            kind: EventKind::Arrive,
+        });
+        events.push(Event {
+            time: depart,
+            tiebreak: config.sessions + s,
+            session,
+            kind: EventKind::Depart,
+        });
+    }
+    let mut shapes = BTreeMap::new();
+    for s in 0..config.sessions {
+        let source = rng.random_range(0..config.nodes);
+        let count = rng.random_range(1..=config.dests);
+        let mut dests = Vec::with_capacity(count);
+        while dests.len() < count {
+            let d = rng.random_range(0..config.nodes);
+            if d != source && !dests.contains(&d) {
+                dests.push(d);
+            }
+        }
+        let len = rng.random_range(1..=config.sfc_types);
+        shapes.insert(s as u64 + 1, (source, dests, (0..len).collect::<Vec<_>>()));
+    }
+    events.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.tiebreak.cmp(&b.tiebreak))
+    });
+
+    // Replay the stream, time-averaging the live-session count.
+    let mut live: BTreeMap<u64, CommitDelta> = BTreeMap::new();
+    let mut admitted = 0usize;
+    let mut blocked = 0usize;
+    let mut peak_live = 0usize;
+    let mut live_area = 0.0;
+    let mut last_time = 0.0;
+    for event in &events {
+        live_area += live.len() as f64 * (event.time - last_time);
+        last_time = event.time;
+        match event.kind {
+            EventKind::Arrive => {
+                let (source, dests, sfc) = shapes[&event.session].clone();
+                let outcome = EmbedRequest::new(source, dests, sfc)
+                    .to_task()
+                    .map_err(sft_service::ServiceError::Core)
+                    .and_then(|task| {
+                        let result = svc.solve_uncommitted(&task)?;
+                        let delta = svc.network().commit_delta(&task, &result.embedding);
+                        svc.apply_commit(&delta)?;
+                        Ok(delta)
+                    });
+                match outcome {
+                    Ok(delta) => {
+                        admitted += 1;
+                        live.insert(event.session, delta);
+                        peak_live = peak_live.max(live.len());
+                    }
+                    Err(_) => blocked += 1,
+                }
+            }
+            EventKind::Depart => {
+                // Blocked arrivals still emit a departure event; only
+                // admitted sessions hold capacity to give back.
+                if let Some(delta) = live.remove(&event.session) {
+                    svc.apply_release(&delta)
+                        .expect("a live session's release cannot fail");
+                }
+            }
+        }
+    }
+
+    let leak_free = {
+        let network = svc.network();
+        network.deployment_refcounts() == seed_network.deployment_refcounts()
+            && (0..config.nodes).all(|v| {
+                network.residual_capacity(NodeId(v)) == seed_network.residual_capacity(NodeId(v))
+            })
+    };
+    let horizon = last_time.max(f64::MIN_POSITIVE);
+    Ok(ChurnPoint {
+        offered_erlangs: config.rate * config.hold,
+        admitted,
+        blocked,
+        blocking_probability: blocked as f64 / (admitted + blocked).max(1) as f64,
+        mean_live: live_area / horizon,
+        peak_live,
+        leak_free,
+    })
+}
+
+/// Sweeps offered load (by scaling the arrival rate at fixed holding
+/// time) and returns one [`ChurnPoint`] per load level.
+///
+/// # Errors
+///
+/// [`ExperimentError`] from any individual run.
+pub fn sweep(quick: bool) -> Result<Vec<ChurnPoint>, ExperimentError> {
+    let sessions = if quick { 150 } else { 1000 };
+    [0.2, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&rate| {
+            run(&ChurnConfig {
+                sessions,
+                rate,
+                ..ChurnConfig::default()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_run_is_deterministic_and_leak_free() {
+        let config = ChurnConfig {
+            sessions: 120,
+            ..ChurnConfig::default()
+        };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert!(a.leak_free, "drained network must match the seed");
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.blocked, b.blocked);
+        assert_eq!(a.mean_live, b.mean_live);
+        assert_eq!(a.admitted + a.blocked, 120);
+    }
+
+    #[test]
+    fn blocking_rises_with_offered_load() {
+        let light = run(&ChurnConfig {
+            sessions: 150,
+            rate: 0.2,
+            ..ChurnConfig::default()
+        })
+        .unwrap();
+        let heavy = run(&ChurnConfig {
+            sessions: 150,
+            rate: 8.0,
+            ..ChurnConfig::default()
+        })
+        .unwrap();
+        assert!(light.leak_free && heavy.leak_free);
+        assert!(
+            heavy.blocking_probability >= light.blocking_probability,
+            "heavier load cannot block less: {light:?} vs {heavy:?}"
+        );
+        assert!(heavy.mean_live >= light.mean_live);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(run(&ChurnConfig {
+            rate: 0.0,
+            ..ChurnConfig::default()
+        })
+        .is_err());
+        assert!(run(&ChurnConfig {
+            dests: 12,
+            ..ChurnConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //! (`--quick` on any binary shrinks repetitions for a fast smoke run.)
 
 pub mod ablations;
+pub mod churn;
 pub mod figures;
 pub mod record;
 pub mod runner;

@@ -201,8 +201,16 @@ impl SteinerCache {
     }
 
     /// How many times [`SteinerCache::invalidate`] has run.
+    ///
+    /// `Acquire` pairs with the `Release` bump in
+    /// [`SteinerCache::invalidate`]: a thread that observes epoch `E` is
+    /// guaranteed to also observe every effect (the entry clearing) that
+    /// happened-before the bump to `E`. Without the pairing, a reader
+    /// could see the new epoch while a subsequent `lookup` still hits a
+    /// pre-flush entry — exactly the stale pairing owners use the epoch
+    /// to rule out.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// A snapshot of every counter at once.
@@ -283,7 +291,16 @@ impl TreeCache for SteinerCache {
         inner.map.clear();
         inner.ring.clear();
         inner.hand = 0;
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        // The bump must be `Release` (and is issued while still holding
+        // the entry lock, i.e. after the clears above): [`SteinerCache::epoch`]
+        // reads the counter *without* taking the lock, so only the
+        // Release/Acquire pair orders "epoch advanced" after "entries
+        // cleared". With `Relaxed` on either side a concurrent reader may
+        // observe the new epoch yet still find (and trust) pre-flush
+        // entries on its next locked lookup — the mutex orders the map
+        // accesses themselves, but not the unlocked epoch read against
+        // them.
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -456,6 +473,37 @@ mod tests {
         cache.store(NodeId(0), &[NodeId(2)], build(0, 2));
         cache.store(NodeId(0), &[NodeId(3)], build(0, 3));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn epoch_observation_implies_the_flush_is_visible() {
+        // Loom-style interleaving probe for the Release/Acquire pairing on
+        // the epoch counter: an entry is stored *before* a concurrent
+        // invalidate, and nothing ever re-stores it. Any reader that
+        // samples the epoch first and sees the bump must then miss on
+        // lookup — observing the new epoch while still hitting a
+        // pre-flush entry is exactly the stale pairing the ordering
+        // forbids. Repeated spawns probe many interleavings; with the
+        // orderings reverted to `Relaxed` this assertion is the one a
+        // weakly-ordered machine may violate.
+        for _ in 0..300 {
+            let cache = SteinerCache::new();
+            cache.store(NodeId(0), &[NodeId(1)], None);
+            std::thread::scope(|s| {
+                s.spawn(|| cache.invalidate());
+                s.spawn(|| loop {
+                    let epoch = cache.epoch(); // Acquire, before the probe
+                    let hit = cache.lookup(NodeId(0), &[NodeId(1)]);
+                    if epoch >= 1 {
+                        assert!(
+                            hit.is_none(),
+                            "epoch {epoch} observed but a pre-flush entry survived"
+                        );
+                        break;
+                    }
+                });
+            });
+        }
     }
 
     #[test]

@@ -28,9 +28,22 @@
 //! re-solve against the new state (bounded retry budget, then `conflict`).
 //!
 //! The commit log is the determinism contract: serially replaying the
-//! recorded deltas in sequence order onto an identically-built network
-//! reproduces the final deployment set and residuals bit-for-bit
-//! (`tests/commit_storm.rs` checks exactly this under racing workers).
+//! recorded deltas in sequence order — [`Network::apply_delta`] for
+//! [`LedgerOp::Commit`] records, [`Network::apply_release`] for
+//! [`LedgerOp::Release`] records — onto an identically-built network
+//! reproduces the final deployment set, reference counts and residuals
+//! bit-for-bit (`tests/commit_storm.rs` and `tests/session_lifecycle.rs`
+//! check exactly this under racing workers).
+//!
+//! **Sessions.** A confirmed commit carrying a wire id registers a live
+//! *session*: the full usage delta (new deploys + pinned reuses) it
+//! holds. [`CapacityLedger::release_usage`] looks the session up for the
+//! release path, and [`CapacityLedger::confirm_release`] retires it,
+//! giving back one reference per used pair. Because the mirror reference
+//! counts instances exactly like [`Network`] does, an instance shared
+//! with another live session survives and only last-reference drops free
+//! residual capacity — naive subtraction would corrupt the mirror the
+//! admission layer reads.
 //!
 //! The current model has node capacities only; when the model gains edge
 //! bandwidth, per-edge residuals and versions slot into the same
@@ -40,6 +53,7 @@ use crate::service::ServiceError;
 use sft_core::{CommitDelta, MulticastTask, Network, VnfId};
 use sft_graph::numeric;
 use sft_graph::NodeId;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The ledger state a commit solve ran against: the sequence number of the
@@ -70,23 +84,41 @@ pub enum CommitRejection {
     },
 }
 
+/// Which way a confirmed transaction moved capacity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LedgerOp {
+    /// A session arrival: references added, new instances charged.
+    Commit,
+    /// A session departure: references dropped, last-reference instances
+    /// freed.
+    Release,
+}
+
 /// One confirmed transaction: the effective delta it applied.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommitRecord {
     /// Position in the committed order (1-based, contiguous).
     pub seq: u64,
-    /// The wire request id that produced the commit, if any.
+    /// The wire request id that produced the commit, or the released
+    /// session's id for a [`LedgerOp::Release`] record.
     pub id: Option<u64>,
-    /// The `(VNF, node)` pairs this transaction newly deployed, in
-    /// canonical order. Empty for a fully-reused embedding.
+    /// Whether this transaction committed or released a session.
+    pub op: LedgerOp,
+    /// The capacity-moving `(VNF, node)` pairs, in canonical order: newly
+    /// created instances for a commit, last-reference freed instances for
+    /// a release. Empty for a fully-reused embedding.
     pub deploys: Vec<(VnfId, NodeId)>,
+    /// The reference-only pairs, in canonical order: reused instances for
+    /// a commit, dropped-but-surviving references for a release.
+    pub refs: Vec<(VnfId, NodeId)>,
 }
 
 impl CommitRecord {
     /// The record's delta, ready to replay with
-    /// [`sft_core::Network::apply_delta`].
+    /// [`sft_core::Network::apply_delta`] ([`LedgerOp::Commit`]) or
+    /// [`sft_core::Network::apply_release`] ([`LedgerOp::Release`]).
     pub fn delta(&self) -> CommitDelta {
-        CommitDelta::new(self.deploys.clone())
+        CommitDelta::with_refs(self.deploys.clone(), self.refs.clone())
     }
 }
 
@@ -98,11 +130,26 @@ pub struct CapacityLedger {
     inner: Mutex<Inner>,
 }
 
+/// A committed session's full usage, for the release path.
+#[derive(Clone, Debug)]
+struct Session {
+    /// Pairs charged as new instances at commit time.
+    deploys: Vec<(VnfId, NodeId)>,
+    /// Pairs pinned by reuse at commit time.
+    refs: Vec<(VnfId, NodeId)>,
+    /// False once released; a session releases exactly once.
+    live: bool,
+    /// The task the session embeds, when the commit path supplied it —
+    /// what the defragmentation pass re-solves.
+    task: Option<MulticastTask>,
+}
+
 #[derive(Debug)]
 struct Inner {
     /// Sequence number of the last confirmed transaction (0 = none).
     seq: u64,
-    /// `node_version[v]` = seq of the last transaction deploying onto `v`.
+    /// `node_version[v]` = seq of the last transaction that changed `v`'s
+    /// capacity (a new instance deployed or a last reference freed).
     node_version: Vec<u64>,
     /// Residual capacity mirror, for admission reads without any lock on
     /// the service.
@@ -113,8 +160,19 @@ struct Inner {
     /// Live instances per VNF type anywhere in the network — the reuse
     /// bound the admission check needs.
     instances: Vec<u64>,
-    /// `deployed[f][v]` mirror, distinguishing new deploys from reuse.
-    deployed: Vec<Vec<bool>>,
+    /// `refcount[f][v]` mirror of [`Network::refcount`]: live references
+    /// per instance, counting the builder's pinned pre-deployments.
+    refcount: Vec<Vec<u32>>,
+    /// Committed sessions by wire id. Ids may repeat across clients, so
+    /// each id keys a stack of sessions; a release targets the most
+    /// recent live one.
+    sessions: BTreeMap<u64, Vec<Session>>,
+    /// Capacity about to come back: per-node credit for release jobs
+    /// queued ahead of the worker pool, keyed by session id. The
+    /// admission bound adds these so feasible work arriving right behind
+    /// a teardown is not bounced off a residual mirror the queued release
+    /// is about to refill.
+    pending_release: BTreeMap<u64, Vec<(usize, f64)>>,
     log: Vec<CommitRecord>,
 }
 
@@ -124,13 +182,13 @@ impl CapacityLedger {
     pub fn new(network: &Network) -> Self {
         let n = network.node_count();
         let catalog = network.catalog();
-        let deployed: Vec<Vec<bool>> = catalog
+        let refcount: Vec<Vec<u32>> = catalog
             .ids()
-            .map(|f| (0..n).map(|v| network.is_deployed(f, NodeId(v))).collect())
+            .map(|f| (0..n).map(|v| network.refcount(f, NodeId(v))).collect())
             .collect();
-        let instances = deployed
+        let instances = refcount
             .iter()
-            .map(|row| row.iter().filter(|&&d| d).count() as u64)
+            .map(|row| row.iter().filter(|&&d| d > 0).count() as u64)
             .collect();
         CapacityLedger {
             inner: Mutex::new(Inner {
@@ -142,7 +200,9 @@ impl CapacityLedger {
                 is_server: (0..n).map(|v| network.is_server(NodeId(v))).collect(),
                 demand: catalog.ids().map(|f| catalog.demand(f)).collect(),
                 instances,
-                deployed,
+                refcount,
+                sessions: BTreeMap::new(),
+                pending_release: BTreeMap::new(),
                 log: Vec::new(),
             }),
         }
@@ -195,25 +255,209 @@ impl CapacityLedger {
     }
 
     /// Step 3 of a commit: records `delta` as the next transaction after
-    /// the network apply succeeded (same write-lock critical section).
+    /// the network apply succeeded (same write-lock critical section),
+    /// adding one mirror reference per used pair. When the delta carries
+    /// a wire id, the session it opens is registered for later release.
     /// Returns the assigned sequence number.
     pub fn confirm(&self, id: Option<u64>, delta: &CommitDelta) -> u64 {
+        self.confirm_with_task(id, delta, None)
+    }
+
+    /// [`CapacityLedger::confirm`], additionally remembering the task the
+    /// session embeds so [`CapacityLedger::live_session_tasks`] can offer
+    /// it to the defragmentation pass.
+    pub fn confirm_with_task(
+        &self,
+        id: Option<u64>,
+        delta: &CommitDelta,
+        task: Option<MulticastTask>,
+    ) -> u64 {
         let mut inner = self.lock();
         inner.seq += 1;
         let seq = inner.seq;
         let mut deploys = Vec::new();
-        for &(f, v) in delta.deploys() {
-            if inner.deployed[f.0][v.0] {
-                continue; // reused instance: free, not part of the delta
+        let mut refs = Vec::new();
+        for (f, v) in delta.usage() {
+            if inner.refcount[f.0][v.0] == 0 {
+                // A genuinely new instance: charge capacity, version-bump.
+                inner.instances[f.0] += 1;
+                inner.residual[v.0] -= inner.demand[f.0];
+                inner.node_version[v.0] = seq;
+                deploys.push((f, v));
+            } else {
+                // Reused instance: free, reference-only. Capacity did not
+                // move, so the node version stays — a reuse never stales
+                // anyone else's snapshot.
+                refs.push((f, v));
             }
-            inner.deployed[f.0][v.0] = true;
-            inner.instances[f.0] += 1;
-            inner.residual[v.0] -= inner.demand[f.0];
-            inner.node_version[v.0] = seq;
-            deploys.push((f, v));
+            inner.refcount[f.0][v.0] += 1;
         }
-        inner.log.push(CommitRecord { seq, id, deploys });
+        if let Some(session) = id {
+            inner.sessions.entry(session).or_default().push(Session {
+                deploys: deploys.clone(),
+                refs: refs.clone(),
+                live: true,
+                task,
+            });
+        }
+        inner.log.push(CommitRecord {
+            seq,
+            id,
+            op: LedgerOp::Commit,
+            deploys,
+            refs,
+        });
         seq
+    }
+
+    /// The full usage delta of the most recent **live** session committed
+    /// under `session`, for the release path: the caller applies it to
+    /// the authoritative network with [`Network::apply_release`] (same
+    /// write-lock critical section) and then calls
+    /// [`CapacityLedger::confirm_release`]. Mutates nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::UnknownSession`] — no commit ever carried this
+    ///   id.
+    /// * [`ServiceError::AlreadyReleased`] — every session under this id
+    ///   has already been released.
+    pub fn release_usage(&self, session: u64) -> Result<CommitDelta, ServiceError> {
+        let inner = self.lock();
+        let stack = inner
+            .sessions
+            .get(&session)
+            .ok_or(ServiceError::UnknownSession { session })?;
+        stack
+            .iter()
+            .rev()
+            .find(|s| s.live)
+            .map(|s| CommitDelta::with_refs(s.deploys.clone(), s.refs.clone()))
+            .ok_or(ServiceError::AlreadyReleased { session })
+    }
+
+    /// Step 3 of a release: retires the most recent live session under
+    /// `session` after [`Network::apply_release`] succeeded on the
+    /// authoritative network (same write-lock critical section). Drops
+    /// one mirror reference per used pair; pairs whose count reaches zero
+    /// free their capacity and version-bump their node. Clears any queued
+    /// admission credit for the session. Returns the assigned sequence
+    /// number and the total capacity freed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CapacityLedger::release_usage`]; nothing is
+    /// mutated on error.
+    pub fn confirm_release(&self, session: u64) -> Result<(u64, f64), ServiceError> {
+        let mut inner = self.lock();
+        let stack = inner
+            .sessions
+            .get_mut(&session)
+            .ok_or(ServiceError::UnknownSession { session })?;
+        let slot = stack
+            .iter_mut()
+            .rev()
+            .find(|s| s.live)
+            .ok_or(ServiceError::AlreadyReleased { session })?;
+        slot.live = false;
+        let usage: Vec<(VnfId, NodeId)> = slot
+            .deploys
+            .iter()
+            .chain(slot.refs.iter())
+            .copied()
+            .collect();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let mut freed_demand = 0.0;
+        let mut deploys = Vec::new();
+        let mut refs = Vec::new();
+        for (f, v) in usage {
+            debug_assert!(inner.refcount[f.0][v.0] > 0, "live session holds a ref");
+            inner.refcount[f.0][v.0] -= 1;
+            if inner.refcount[f.0][v.0] == 0 {
+                inner.instances[f.0] -= 1;
+                inner.residual[v.0] += inner.demand[f.0];
+                inner.node_version[v.0] = seq;
+                freed_demand += inner.demand[f.0];
+                deploys.push((f, v));
+            } else {
+                refs.push((f, v));
+            }
+        }
+        deploys.sort_unstable();
+        refs.sort_unstable();
+        inner.pending_release.remove(&session);
+        inner.log.push(CommitRecord {
+            seq,
+            id: Some(session),
+            op: LedgerOp::Release,
+            deploys,
+            refs,
+        });
+        Ok((seq, freed_demand))
+    }
+
+    /// Records the admission credit of a release request entering the job
+    /// queue: the per-node demand its session charged at commit time,
+    /// which a worker is about to give back. Returns whether a live
+    /// session was found (no session, no credit — the queued job will
+    /// fail with the structured error either way). Idempotent per
+    /// session: a second queued release of the same id adds nothing.
+    pub fn note_queued_release(&self, session: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(stack) = inner.sessions.get(&session) else {
+            return false;
+        };
+        let Some(slot) = stack.iter().rev().find(|s| s.live) else {
+            return false;
+        };
+        let credit: Vec<(usize, f64)> = slot
+            .deploys
+            .iter()
+            .map(|&(f, v)| (v.0, inner.demand[f.0]))
+            .collect();
+        inner.pending_release.entry(session).or_insert(credit);
+        true
+    }
+
+    /// Withdraws the queued-release credit for `session`, if any — called
+    /// when the queued release job leaves the queue without confirming
+    /// (shed, expired, or failed), so the admission bound stops counting
+    /// capacity that is no longer coming back. A confirmed release clears
+    /// its own credit.
+    pub fn clear_queued_release(&self, session: u64) {
+        self.lock().pending_release.remove(&session);
+    }
+
+    /// Live (committed, not yet released) session ids, ascending — the
+    /// defragmentation pass and drain diagnostics iterate these.
+    pub fn live_sessions(&self) -> Vec<u64> {
+        let inner = self.lock();
+        inner
+            .sessions
+            .iter()
+            .filter(|(_, stack)| stack.iter().any(|s| s.live))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// `(id, task)` of the most recent live session per id whose commit
+    /// recorded its task — the defragmentation work list. Ascending by
+    /// id, so a pass over a frozen service is deterministic.
+    pub fn live_session_tasks(&self) -> Vec<(u64, MulticastTask)> {
+        let inner = self.lock();
+        inner
+            .sessions
+            .iter()
+            .filter_map(|(&id, stack)| {
+                stack
+                    .iter()
+                    .rev()
+                    .find(|s| s.live)
+                    .and_then(|s| s.task.clone())
+                    .map(|t| (id, t))
+            })
+            .collect()
     }
 
     /// The confirmed transactions in committed order — replaying their
@@ -238,6 +482,16 @@ impl CapacityLedger {
     /// answered from the ledger mirror so connection readers never need
     /// any lock on the service itself.
     ///
+    /// The residual side of both bounds includes the credit of release
+    /// jobs already queued ahead of this request
+    /// ([`CapacityLedger::note_queued_release`]): those workers will give
+    /// the capacity back before the task's own commit runs, so without
+    /// the credit a request arriving right behind a teardown would be
+    /// rejected against a mirror that is about to be refilled. The credit
+    /// can only widen the bound, which keeps the check sound (it still
+    /// never rejects a feasible task; an over-admitted one fails later
+    /// with the same structured error).
+    ///
     /// # Errors
     ///
     /// [`ServiceError::InsufficientCapacity`] with the violated
@@ -256,13 +510,20 @@ impl CapacityLedger {
             demand += inner.demand[f.0];
             unit = unit.max(inner.demand[f.0]);
         }
+        let mut credit = vec![0.0f64; inner.residual.len()];
+        for credits in inner.pending_release.values() {
+            for &(v, c) in credits {
+                credit[v] += c;
+            }
+        }
         let server_residuals = || {
             inner
                 .residual
                 .iter()
+                .zip(&credit)
                 .zip(&inner.is_server)
                 .filter(|&(_, &s)| s)
-                .map(|(&r, _)| r)
+                .map(|((&r, &c), _)| r + c)
         };
         let remaining: f64 = server_residuals().sum();
         if numeric::exceeds(demand, remaining) {
@@ -389,6 +650,107 @@ mod tests {
                 "capacity={capacity}"
             );
         }
+    }
+
+    /// The headline refcount scenario at the mirror level: an instance
+    /// two sessions share survives the first release and frees (capacity
+    /// and version bump) only with the last.
+    #[test]
+    fn shared_instances_free_only_on_the_last_release() {
+        let ledger = CapacityLedger::new(&ring_network(6, 2.0));
+        let seed = ledger.total_residual_capacity();
+        ledger.confirm(Some(1), &CommitDelta::new(vec![(VnfId(0), NodeId(1))]));
+        // Session 2 reuses (0,1) and adds its own instance.
+        ledger.confirm(
+            Some(2),
+            &CommitDelta::new(vec![(VnfId(0), NodeId(1)), (VnfId(1), NodeId(2))]),
+        );
+        assert_eq!(ledger.total_residual_capacity(), seed - 2.0);
+
+        // Session 1's release drops a shared reference: nothing frees.
+        let usage = ledger.release_usage(1).unwrap();
+        assert_eq!(usage.deploys(), &[(VnfId(0), NodeId(1))]);
+        let (seq, freed) = ledger.confirm_release(1).unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(freed, 0.0, "session 2 still holds the instance");
+        assert_eq!(ledger.total_residual_capacity(), seed - 2.0);
+        let log = ledger.commit_log();
+        assert_eq!(log[2].op, LedgerOp::Release);
+        assert!(log[2].deploys.is_empty(), "no capacity moved");
+        assert_eq!(log[2].refs, vec![(VnfId(0), NodeId(1))]);
+
+        // Session 2's release is the last reference everywhere: all frees.
+        let (_, freed) = ledger.confirm_release(2).unwrap();
+        assert_eq!(freed, 2.0);
+        assert_eq!(ledger.total_residual_capacity(), seed);
+        assert_eq!(ledger.live_sessions(), Vec::<u64>::new());
+
+        // The session taxonomy: releasing again or an unknown id errors
+        // without mutating anything.
+        assert!(matches!(
+            ledger.confirm_release(1),
+            Err(ServiceError::AlreadyReleased { session: 1 })
+        ));
+        assert!(matches!(
+            ledger.release_usage(999),
+            Err(ServiceError::UnknownSession { session: 999 })
+        ));
+        assert_eq!(ledger.commit_log().len(), 4);
+    }
+
+    /// Wire ids may repeat; each id keys a stack of sessions and releases
+    /// retire the most recent live one first.
+    #[test]
+    fn repeated_session_ids_release_most_recent_first() {
+        let ledger = CapacityLedger::new(&ring_network(6, 2.0));
+        ledger.confirm(Some(5), &CommitDelta::new(vec![(VnfId(0), NodeId(1))]));
+        ledger.confirm(Some(5), &CommitDelta::new(vec![(VnfId(1), NodeId(2))]));
+        let usage = ledger.release_usage(5).unwrap();
+        assert_eq!(usage.deploys(), &[(VnfId(1), NodeId(2))]);
+        ledger.confirm_release(5).unwrap();
+        let usage = ledger.release_usage(5).unwrap();
+        assert_eq!(usage.deploys(), &[(VnfId(0), NodeId(1))]);
+        ledger.confirm_release(5).unwrap();
+        assert!(matches!(
+            ledger.release_usage(5),
+            Err(ServiceError::AlreadyReleased { session: 5 })
+        ));
+    }
+
+    /// Satellite regression: a full network with a queued-but-unconfirmed
+    /// release must admit the task that release makes room for — the old
+    /// monotone admission bound drained such workloads to
+    /// `insufficient_capacity`.
+    #[test]
+    fn queued_releases_credit_the_admission_bound() {
+        let ledger = CapacityLedger::new(&ring_network(6, 1.0));
+        // One session fills every node with the type the task does not use.
+        let fill = CommitDelta::new((0..6).map(|v| (VnfId(2), NodeId(v))).collect());
+        ledger.confirm(Some(42), &fill);
+        let t = task(0, &[3], &[0, 1]);
+        assert!(matches!(
+            ledger.check_capacity(&t),
+            Err(ServiceError::InsufficientCapacity { .. })
+        ));
+
+        // A queued release of the filling session credits its capacity.
+        assert!(ledger.note_queued_release(42));
+        ledger.check_capacity(&t).unwrap();
+        // Idempotent: noting it again must not double-credit.
+        assert!(ledger.note_queued_release(42));
+        // A shed release job withdraws the credit...
+        ledger.clear_queued_release(42);
+        assert!(matches!(
+            ledger.check_capacity(&t),
+            Err(ServiceError::InsufficientCapacity { .. })
+        ));
+        // ...and the confirmed release makes the capacity real.
+        assert!(ledger.note_queued_release(42));
+        ledger.confirm_release(42).unwrap();
+        ledger.check_capacity(&t).unwrap();
+        // No session, no credit.
+        assert!(!ledger.note_queued_release(7));
+        assert!(!ledger.note_queued_release(42), "already released");
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   against a versioned snapshot (read lock only), then validate and
 //!   apply their capacity deltas atomically — deadline, conflict and
 //!   capacity rejections mutate nothing, and the commit log replays
-//!   serially to a bit-identical network.
+//!   serially to a bit-identical network. Commits register **sessions**;
+//!   the `release` wire op tears one down through the same ledger,
+//!   reference-counting shared VNF instances so an instance two sessions
+//!   reuse survives the first release and frees with the last.
 //! * [`admission`] sheds load *before* work is queued: a sound
 //!   VNF-capacity demand bound against remaining committed capacity
 //!   (`insufficient_capacity`, answered from the ledger mirror on the
@@ -46,11 +49,11 @@ pub mod service;
 pub mod stats;
 
 pub use admission::{check_capacity, AdmissionConfig, JobQueue};
-pub use ledger::{CapacityLedger, CommitRecord, CommitRejection, LedgerSnapshot};
+pub use ledger::{CapacityLedger, CommitRecord, CommitRejection, LedgerOp, LedgerSnapshot};
 pub use protocol::{
     parse_request, parse_response, parse_stream, EmbedRequest, EmbedResponse, ErrorCode, Request,
     RequestMode, ResponseBody, WireError, PROTOCOL_VERSION,
 };
-pub use server::{connect, serve, Connection, ServerConfig, ServerHandle};
+pub use server::{connect, serve, Connection, DefragReport, ServerConfig, ServerHandle};
 pub use service::{BatchMode, EmbedService, ServiceError};
 pub use stats::ServiceStats;

@@ -19,7 +19,12 @@
 //! current [`PROTOCOL_VERSION`], and a line carrying any *other* version
 //! is rejected with [`ErrorCode::UnsupportedVersion`] — as is any unknown
 //! key, so schema drift is an error rather than a silent no-op. The
-//! control line `{"op": "shutdown"}` asks a server to drain gracefully.
+//! control line `{"op": "shutdown"}` asks a server to drain gracefully,
+//! and `{"op": "release", "session": 7}` tears a committed session down,
+//! returning its instance references (and, for last references, their
+//! capacity) to the network. Builds that predate an op reject it with
+//! [`ErrorCode::ParseError`] (`unknown op`) and keep serving — unknown
+//! ops are safe to send to old servers.
 //!
 //! A response line is either a result or a structured error:
 //!
@@ -67,6 +72,11 @@ pub enum ErrorCode {
     Conflict,
     /// The request's deadline expired before a result could be produced.
     DeadlineExceeded,
+    /// A release named a session id no commit on this server ever
+    /// registered.
+    UnknownSession,
+    /// A release named a session that was already torn down.
+    AlreadyReleased,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
     /// An unexpected internal failure (a bug; the message has details).
@@ -85,6 +95,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Conflict => "conflict",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::AlreadyReleased => "already_released",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -101,6 +113,8 @@ impl ErrorCode {
             "overloaded" => ErrorCode::Overloaded,
             "conflict" => ErrorCode::Conflict,
             "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "unknown_session" => ErrorCode::UnknownSession,
+            "already_released" => ErrorCode::AlreadyReleased,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
             _ => return None,
@@ -246,6 +260,18 @@ impl EmbedRequest {
 pub enum Request {
     /// Solve one embedding task.
     Embed(EmbedRequest),
+    /// Tear down a committed session: drop its instance references and
+    /// return last-reference capacity to the network.
+    Release {
+        /// Protocol version.
+        v: u64,
+        /// Client correlation id.
+        id: Option<u64>,
+        /// The session to release — the correlation id its commit carried.
+        session: u64,
+        /// Per-request deadline in milliseconds from arrival.
+        deadline_ms: Option<u64>,
+    },
     /// Drain gracefully: finish in-flight work, then stop.
     Shutdown {
         /// Protocol version.
@@ -260,6 +286,24 @@ impl Request {
     pub fn to_json(&self) -> String {
         match self {
             Request::Embed(r) => r.to_json(),
+            Request::Release {
+                v,
+                id,
+                session,
+                deadline_ms,
+            } => {
+                let mut out = String::new();
+                let _ = write!(out, "{{\"v\":{v}");
+                if let Some(id) = id {
+                    let _ = write!(out, ",\"id\":{id}");
+                }
+                let _ = write!(out, ",\"op\":\"release\",\"session\":{session}");
+                if let Some(ms) = deadline_ms {
+                    let _ = write!(out, ",\"deadline_ms\":{ms}");
+                }
+                out.push('}');
+                out
+            }
             Request::Shutdown { v, id } => match id {
                 Some(id) => format!("{{\"v\":{v},\"id\":{id},\"op\":\"shutdown\"}}"),
                 None => format!("{{\"v\":{v},\"op\":\"shutdown\"}}"),
@@ -292,6 +336,17 @@ pub enum ResponseBody {
         committed: bool,
         /// `(stage, node)` pairs of the instances the embedding uses.
         instances: Vec<(usize, usize)>,
+    },
+    /// A released session: what the teardown gave back.
+    Released {
+        /// The session that was torn down.
+        session: u64,
+        /// `(vnf, node)` instances whose last reference dropped — their
+        /// capacity returned to the network.
+        freed: Vec<(usize, usize)>,
+        /// References dropped on instances other sessions still share
+        /// (no capacity change).
+        shared: usize,
     },
     /// A structured failure.
     Error(WireError),
@@ -338,6 +393,24 @@ impl EmbedResponse {
             v: PROTOCOL_VERSION,
             id,
             body: ResponseBody::Error(error),
+        }
+    }
+
+    /// The acknowledgement sent for a successful [`Request::Release`].
+    pub fn released(
+        id: Option<u64>,
+        session: u64,
+        freed: Vec<(usize, usize)>,
+        shared: usize,
+    ) -> Self {
+        EmbedResponse {
+            v: PROTOCOL_VERSION,
+            id,
+            body: ResponseBody::Released {
+                session,
+                freed,
+                shared,
+            },
         }
     }
 
@@ -389,6 +462,21 @@ impl EmbedResponse {
                     let _ = write!(out, "[{stage},{node}]");
                 }
                 out.push(']');
+            }
+            ResponseBody::Released {
+                session,
+                freed,
+                shared,
+            } => {
+                let _ = write!(out, ",\"status\":\"released\",\"session\":{session}");
+                let _ = write!(out, ",\"freed\":[");
+                for (i, (f, v)) in freed.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{f},{v}]");
+                }
+                let _ = write!(out, "],\"shared\":{shared}");
             }
             ResponseBody::Error(e) => {
                 let _ = write!(
@@ -458,6 +546,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let mut mode: Option<RequestMode> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut op: Option<String> = None;
+    let mut session: Option<u64> = None;
     loop {
         s.skip_ws();
         if s.eat(b'}') {
@@ -486,6 +575,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             }
             "deadline_ms" => deadline_ms = Some(s.parse_uint()? as u64),
             "op" => op = Some(s.parse_string()?),
+            "session" => session = Some(s.parse_uint()? as u64),
             other => return Err(WireError::parse(format!("unknown key \"{other}\""))),
         }
         s.skip_ws();
@@ -512,15 +602,36 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         });
     }
     if let Some(op) = op {
-        if op != "shutdown" {
-            return Err(WireError::parse(format!("unknown op \"{op}\"")));
+        let task_fields = source.is_some() || dests.is_some() || sfc.is_some() || mode.is_some();
+        match op.as_str() {
+            "shutdown" => {
+                if task_fields || session.is_some() {
+                    return Err(WireError::parse(
+                        "a shutdown line carries no task fields".to_string(),
+                    ));
+                }
+                return Ok(Request::Shutdown { v, id });
+            }
+            "release" => {
+                if task_fields {
+                    return Err(WireError::parse(
+                        "a release line carries no task fields".to_string(),
+                    ));
+                }
+                return Ok(Request::Release {
+                    v,
+                    id,
+                    session: session.ok_or_else(|| WireError::parse("missing key \"session\""))?,
+                    deadline_ms,
+                });
+            }
+            other => return Err(WireError::parse(format!("unknown op \"{other}\""))),
         }
-        if source.is_some() || dests.is_some() || sfc.is_some() || mode.is_some() {
-            return Err(WireError::parse(
-                "a shutdown line carries no task fields".to_string(),
-            ));
-        }
-        return Ok(Request::Shutdown { v, id });
+    }
+    if session.is_some() {
+        return Err(WireError::parse(
+            "\"session\" is only valid on a release line".to_string(),
+        ));
     }
     Ok(Request::Embed(EmbedRequest {
         v,
@@ -549,6 +660,9 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
     let mut committed: Option<bool> = None;
     let mut instances: Option<Vec<(usize, usize)>> = None;
     let mut error: Option<WireError> = None;
+    let mut session: Option<u64> = None;
+    let mut freed: Option<Vec<(usize, usize)>> = None;
+    let mut shared: Option<usize> = None;
     loop {
         s.skip_ws();
         if s.eat(b'}') {
@@ -566,6 +680,9 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
             "committed" => committed = Some(s.parse_bool()?),
             "instances" => instances = Some(parse_pair_array(&mut s)?),
             "error" => error = Some(parse_error_object(&mut s)?),
+            "session" => session = Some(s.parse_uint()? as u64),
+            "freed" => freed = Some(parse_pair_array(&mut s)?),
+            "shared" => shared = Some(s.parse_uint()?),
             other => return Err(WireError::parse(format!("unknown key \"{other}\""))),
         }
         s.skip_ws();
@@ -604,6 +721,13 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
                     .ok_or_else(|| WireError::parse("ok response missing \"instances\""))?,
             }
         }
+        Some("released") => ResponseBody::Released {
+            session: session
+                .ok_or_else(|| WireError::parse("released response missing \"session\""))?,
+            freed: freed.ok_or_else(|| WireError::parse("released response missing \"freed\""))?,
+            shared: shared
+                .ok_or_else(|| WireError::parse("released response missing \"shared\""))?,
+        },
         Some("error") => ResponseBody::Error(
             error.ok_or_else(|| WireError::parse("error response missing \"error\""))?,
         ),
@@ -972,6 +1096,15 @@ mod tests {
             ),
             (r#"{"op": "explode"}"#, "unknown op"),
             (r#"{"op": "shutdown", "source": 1}"#, "no task fields"),
+            (r#"{"op": "release"}"#, "missing key \"session\""),
+            (
+                r#"{"op": "release", "session": 3, "sfc": [0]}"#,
+                "no task fields",
+            ),
+            (
+                r#"{"source": 1, "dests": [2], "sfc": [0], "session": 3}"#,
+                "only valid on a release line",
+            ),
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::ParseError, "line {line:?}");
@@ -1006,6 +1139,36 @@ mod tests {
                 id: None
             }
         );
+    }
+
+    #[test]
+    fn release_round_trips() {
+        let req = Request::Release {
+            v: PROTOCOL_VERSION,
+            id: Some(11),
+            session: 7,
+            deadline_ms: Some(250),
+        };
+        let line = req.to_json();
+        assert_eq!(parse_request(&line).unwrap(), req);
+        let bare = parse_request(r#"{"op": "release", "session": 7}"#).unwrap();
+        assert_eq!(
+            bare,
+            Request::Release {
+                v: PROTOCOL_VERSION,
+                id: None,
+                session: 7,
+                deadline_ms: None,
+            }
+        );
+        let resp = EmbedResponse::released(Some(11), 7, vec![(0, 4), (2, 9)], 1);
+        let line = resp.to_json();
+        assert!(line.contains("\"status\":\"released\""), "{line}");
+        assert!(line.contains("\"freed\":[[0,4],[2,9]]"), "{line}");
+        assert_eq!(parse_response(&line).unwrap(), resp);
+        // Empty freed list (a fully shared session) still round-trips.
+        let resp = EmbedResponse::released(None, 9, vec![], 3);
+        assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
     }
 
     #[test]
@@ -1079,6 +1242,8 @@ mod tests {
             ErrorCode::Overloaded,
             ErrorCode::Conflict,
             ErrorCode::DeadlineExceeded,
+            ErrorCode::UnknownSession,
+            ErrorCode::AlreadyReleased,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
         ] {

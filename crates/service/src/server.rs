@@ -16,6 +16,12 @@
 //! for the snapshot/validate/confirm cycle and the bounded
 //! re-solve-on-conflict policy.
 //!
+//! Releases (`{"op":"release","session":N}`) ride the same queue and
+//! worker pool: admission credits the departing session's capacity to
+//! later arrivals immediately, and the teardown itself runs under the
+//! write lock — look the session up, apply the inverse delta
+//! all-or-nothing, confirm a `Release` record into the same ledger log.
+//!
 //! Rejections (`overloaded`, `insufficient_capacity`, `conflict`,
 //! `shutting_down`, parse errors) are answered inline, so an overloaded
 //! server stays responsive: every request gets a structured response,
@@ -66,6 +72,10 @@ pub struct ServerConfig {
     /// `conflict` (each retry re-solves against the post-conflict state;
     /// values below 1 behave as 1).
     pub commit_retries: usize,
+    /// Run the re-embed/defrag batch ([`ServerHandle::defrag`]) on this
+    /// period from a maintenance thread. `None` (the default) leaves
+    /// defragmentation to explicit handle calls.
+    pub defrag_every: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -75,18 +85,44 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             default_mode: RequestMode::Quote,
             commit_retries: 3,
+            defrag_every: None,
         }
     }
+}
+
+/// What one re-embed/defrag batch did — see [`ServerHandle::defrag`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DefragReport {
+    /// Live sessions the pass re-embedded (those whose commit recorded
+    /// a task).
+    pub sessions: usize,
+    /// Sessions whose re-solve chose a different instance set than the
+    /// one they held.
+    pub moved: usize,
+    /// Distinct live VNF instances before the pass.
+    pub instances_before: usize,
+    /// Distinct live VNF instances after the pass.
+    pub instances_after: usize,
 }
 
 /// One admitted request, queued for the worker pool.
 struct Job {
     id: Option<u64>,
-    task: MulticastTask,
-    mode: RequestMode,
+    kind: JobKind,
     deadline_ms: Option<u64>,
     deadline: Option<Instant>,
     reply: Reply,
+}
+
+/// What an admitted job asks the worker pool to do.
+enum JobKind {
+    /// Solve one embedding task (quote or commit).
+    Embed {
+        task: MulticastTask,
+        mode: RequestMode,
+    },
+    /// Tear down a committed session.
+    Release { session: u64 },
 }
 
 /// A connection's write half, shared by its reader thread and the workers.
@@ -263,6 +299,77 @@ impl ServerHandle {
     pub fn network(&self) -> Network {
         self.shared.read_service().network().clone()
     }
+
+    /// Runs one re-embed/defrag batch: every live session whose commit
+    /// recorded its task is released and immediately re-solved against
+    /// the network *without* its own usage, in one write-locked critical
+    /// section. Long-running arrival/departure churn fragments
+    /// placements — instances stranded where early sessions put them,
+    /// while later arrivals deploy fresh copies elsewhere — and a
+    /// periodic pass lets sessions consolidate onto shared instances
+    /// (§IV-D reuse) that did not exist when they first arrived.
+    ///
+    /// Safe by construction: each session's release precedes its
+    /// re-commit inside the same critical section, so the re-solve sees
+    /// at least the capacity the session held and a failed re-solve
+    /// restores the original placement verbatim. Both legs confirm
+    /// through the ledger, so the commit log still replays serially to
+    /// the exact post-defrag network.
+    pub fn defrag(&self) -> DefragReport {
+        defrag_pass(&self.shared)
+    }
+}
+
+/// The re-embed/defrag batch behind [`ServerHandle::defrag`] and the
+/// `defrag_every` maintenance thread.
+fn defrag_pass(shared: &Shared) -> DefragReport {
+    let mut service = shared.write_service();
+    let instances_before = service.network().deployed_pairs().len();
+    let mut report = DefragReport {
+        instances_before,
+        instances_after: instances_before,
+        ..DefragReport::default()
+    };
+    for (session, task) in shared.ledger.live_session_tasks() {
+        let Ok(usage) = shared.ledger.release_usage(session) else {
+            continue;
+        };
+        if service.apply_release(&usage).is_err() {
+            // Unreachable while the mirror and the network agree; skip
+            // the session rather than crash if they ever drift.
+            continue;
+        }
+        shared
+            .ledger
+            .confirm_release(session)
+            .expect("a session release_usage resolved cannot fail to confirm");
+        let replaced = service
+            .solve_uncommitted(&task)
+            .map(|result| service.network().commit_delta(&task, &result.embedding))
+            .and_then(|delta| service.apply_commit(&delta).map(|()| delta));
+        let delta = replaced.unwrap_or_else(|_| {
+            // The session's own capacity was just freed, so restoring its
+            // exact usage always fits (`apply_delta` re-creates released
+            // pairs no matter which side of the delta they sit on).
+            service
+                .apply_commit(&usage)
+                .expect("restoring a just-released session cannot fail");
+            usage.clone()
+        });
+        shared
+            .ledger
+            .confirm_with_task(Some(session), &delta, Some(task));
+        report.sessions += 1;
+        let mut held: Vec<_> = usage.usage().collect();
+        let mut now: Vec<_> = delta.usage().collect();
+        held.sort_unstable();
+        now.sort_unstable();
+        if held != now {
+            report.moved += 1;
+        }
+    }
+    report.instances_after = service.network().deployed_pairs().len();
+    report
 }
 
 /// Starts a server for `service` on `addr` (`host:port` or `unix:<path>`).
@@ -287,6 +394,13 @@ pub fn serve(service: EmbedService, addr: &str, config: ServerConfig) -> io::Res
     for _ in 0..config.workers.max(1) {
         let shared = Arc::clone(&shared);
         workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+
+    if let Some(period) = config.defrag_every {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || {
+            maintenance_loop(&shared, period)
+        }));
     }
 
     let listener_shared = Arc::clone(&shared);
@@ -360,6 +474,19 @@ fn connection_loop(reader: Box<dyn Read + Send>, reply: Reply, shared: &Arc<Shar
                     }
                 }
             }
+            Request::Release {
+                id,
+                session,
+                deadline_ms,
+                ..
+            } => match admit_release(id, session, deadline_ms, shared, &reply) {
+                Ok(()) => {}
+                Err(e) => {
+                    if !send(&reply, &EmbedResponse::failure(id, &e)) {
+                        return;
+                    }
+                }
+            },
         }
     }
 }
@@ -385,12 +512,52 @@ fn admit(
         .or(shared.config.admission.default_deadline_ms);
     let job = Job {
         id: req.id,
-        task,
-        mode: req.mode.unwrap_or(shared.config.default_mode),
+        kind: JobKind::Embed {
+            task,
+            mode: req.mode.unwrap_or(shared.config.default_mode),
+        },
         deadline_ms,
         deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         reply: Arc::clone(reply),
     };
+    enqueue(job, shared)
+}
+
+/// Admits one release request. The session is *not* resolved here — the
+/// worker answers `unknown_session` / `already_released` with authority —
+/// but a live session's capacity is credited to admission immediately
+/// ([`CapacityLedger::note_queued_release`]), so a full network with a
+/// queued release does not bounce the arrival that release makes room
+/// for.
+fn admit_release(
+    id: Option<u64>,
+    session: u64,
+    deadline_ms: Option<u64>,
+    shared: &Arc<Shared>,
+    reply: &Reply,
+) -> Result<(), ServiceError> {
+    if shared.is_draining() {
+        return Err(ServiceError::ShuttingDown);
+    }
+    let credited = shared.ledger.note_queued_release(session);
+    let deadline_ms = deadline_ms.or(shared.config.admission.default_deadline_ms);
+    let job = Job {
+        id,
+        kind: JobKind::Release { session },
+        deadline_ms,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        reply: Arc::clone(reply),
+    };
+    enqueue(job, shared).inspect_err(|_| {
+        if credited {
+            shared.ledger.clear_queued_release(session);
+        }
+    })
+}
+
+/// Pushes an admitted job, shedding a dead backlog once if the queue is
+/// full of already-expired jobs.
+fn enqueue(job: Job, shared: &Arc<Shared>) -> Result<(), ServiceError> {
     match shared.queue.try_push(job) {
         Ok(()) => Ok(()),
         // A full queue may be full of already-dead jobs: shed them (each
@@ -417,6 +584,13 @@ fn expired_response(job: &Job) -> EmbedResponse {
     )
 }
 
+/// Returns a shed release job's admission credit (it will never confirm).
+fn drop_credit(job: &Job, shared: &Shared) {
+    if let JobKind::Release { session } = job.kind {
+        shared.ledger.clear_queued_release(session);
+    }
+}
+
 /// Removes already-expired jobs from the queue, answers their clients,
 /// and counts them in the server stats. Returns how many were shed.
 fn shed_expired_jobs(shared: &Shared) -> usize {
@@ -425,9 +599,23 @@ fn shed_expired_jobs(shared: &Shared) -> usize {
         .shed_jobs
         .fetch_add(dead.len() as u64, Ordering::Relaxed);
     for job in &dead {
+        drop_credit(job, shared);
         send(&job.reply, &expired_response(job));
     }
     dead.len()
+}
+
+/// Runs the periodic re-embed/defrag batch until a drain is initiated,
+/// polling the drain flag so shutdown never waits out a full period.
+fn maintenance_loop(shared: &Arc<Shared>, period: Duration) {
+    let mut next = Instant::now() + period;
+    while !shared.is_draining() {
+        if Instant::now() >= next {
+            defrag_pass(shared);
+            next = Instant::now() + period;
+        }
+        std::thread::sleep(ACCEPT_POLL.min(period));
+    }
 }
 
 /// Pops admitted jobs until the queue is closed **and** drained, so a
@@ -437,6 +625,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         if job_expired(&job) {
             shared.shed_jobs.fetch_add(1, Ordering::Relaxed);
+            drop_credit(&job, shared);
             send(&job.reply, &expired_response(&job));
             continue;
         }
@@ -450,9 +639,12 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// was mutated. Commits go through the transactional path, where the
 /// deadline is re-checked *before* any mutation.
 fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
-    match job.mode {
-        RequestMode::Quote => {
-            let result = shared.read_service().solve_uncommitted(&job.task);
+    match &job.kind {
+        JobKind::Embed {
+            task,
+            mode: RequestMode::Quote,
+        } => {
+            let result = shared.read_service().solve_uncommitted(task);
             if job_expired(job) {
                 return expired_response(job);
             }
@@ -461,8 +653,57 @@ fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
                 Err(e) => EmbedResponse::failure(job.id, &e),
             }
         }
-        RequestMode::Commit => commit_job(job, shared),
+        JobKind::Embed {
+            task,
+            mode: RequestMode::Commit,
+        } => commit_job(job, task, shared),
+        JobKind::Release { session } => release_job(job, *session, shared),
     }
+}
+
+/// The transactional release path. A live session's references are
+/// guaranteed to exist (nothing but this path removes them, and releases
+/// serialize under the write lock), so no optimistic retry loop is
+/// needed: look the session up, apply the inverse delta all-or-nothing,
+/// confirm into the ledger. The deadline is re-checked before any
+/// mutation, exactly like the commit path.
+fn release_job(job: &Job, session: u64, shared: &Arc<Shared>) -> EmbedResponse {
+    let mut service = shared.write_service();
+    if job_expired(job) {
+        drop(service);
+        shared.ledger.clear_queued_release(session);
+        return expired_response(job);
+    }
+    let usage = match shared.ledger.release_usage(session) {
+        Ok(u) => u,
+        Err(e) => {
+            drop(service);
+            shared.ledger.clear_queued_release(session);
+            return EmbedResponse::failure(job.id, &e);
+        }
+    };
+    let freed = match service.apply_release(&usage) {
+        Ok(freed) => freed,
+        // Unreachable while the ledger mirror and the network agree; a
+        // structured error (network untouched — apply is all-or-nothing)
+        // beats a crash if they ever drift.
+        Err(e) => {
+            drop(service);
+            shared.ledger.clear_queued_release(session);
+            return EmbedResponse::failure(job.id, &e);
+        }
+    };
+    shared
+        .ledger
+        .confirm_release(session)
+        .expect("a session release_usage resolved cannot fail to confirm");
+    let shared_refs = usage.deploys().len() + usage.refs().len() - freed.len();
+    EmbedResponse::released(
+        job.id,
+        session,
+        freed.into_iter().map(|(f, v)| (f.0, v.0)).collect(),
+        shared_refs,
+    )
 }
 
 /// The transactional commit path: snapshot-solve under the read lock,
@@ -470,7 +711,7 @@ fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
 /// The response and the network always agree — a `deadline_exceeded` or
 /// `conflict` rejection has mutated **nothing**, and a success response
 /// reports exactly what was committed.
-fn commit_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
+fn commit_job(job: &Job, task: &MulticastTask, shared: &Arc<Shared>) -> EmbedResponse {
     let attempts = shared.config.commit_retries.max(1);
     for _ in 0..attempts {
         // Phase 1: snapshot + solve under the read half, concurrently
@@ -479,8 +720,8 @@ fn commit_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
         let solved = {
             let service = shared.read_service();
             let snapshot = shared.ledger.snapshot();
-            service.solve_uncommitted(&job.task).map(|result| {
-                let delta = service.network().commit_delta(&job.task, &result.embedding);
+            service.solve_uncommitted(task).map(|result| {
+                let delta = service.network().commit_delta(task, &result.embedding);
                 (snapshot, result, delta)
             })
         };
@@ -503,7 +744,11 @@ fn commit_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
         }
         match service.apply_commit(&delta) {
             Ok(()) => {
-                shared.ledger.confirm(job.id, &delta);
+                // The task rides along so the defrag pass can re-solve
+                // this session later.
+                shared
+                    .ledger
+                    .confirm_with_task(job.id, &delta, Some(task.clone()));
                 return EmbedResponse::success(job.id, &result, true);
             }
             // Capacity moved in a way the version vector cannot see only
@@ -732,12 +977,24 @@ mod tests {
     fn commit_job_with_deadline(id: u64, source: usize, deadline: Option<Instant>) -> Job {
         Job {
             id: Some(id),
-            task: EmbedRequest::new(source, vec![(source + 3) % 10], vec![0, 1])
-                .to_task()
-                .unwrap(),
-            mode: RequestMode::Commit,
+            kind: JobKind::Embed {
+                task: EmbedRequest::new(source, vec![(source + 3) % 10], vec![0, 1])
+                    .to_task()
+                    .unwrap(),
+                mode: RequestMode::Commit,
+            },
             deadline_ms: deadline.map(|_| 5),
             deadline,
+            reply: Arc::new(Mutex::new(Box::new(io::sink()))),
+        }
+    }
+
+    fn release_job_for(id: u64, session: u64) -> Job {
+        Job {
+            id: Some(id),
+            kind: JobKind::Release { session },
+            deadline_ms: None,
+            deadline: None,
             reply: Arc::new(Mutex::new(Box::new(io::sink()))),
         }
     }
@@ -901,6 +1158,224 @@ mod tests {
         assert_eq!(handle.stats().jobs_shed, 1);
         handle.shutdown();
         handle.join();
+    }
+
+    /// The tentpole, end to end: commit a session over the socket, release
+    /// it, and the network is back to its seed state — and the session
+    /// taxonomy (`unknown_session`, `already_released`) answers misuse.
+    #[test]
+    fn release_over_the_socket_returns_capacity() {
+        let (mut handle, addr) = start(3.0, ServerConfig::default());
+        let seed = ring_network(10, 3.0);
+        let mut commit = EmbedRequest::new(0, vec![3, 6], vec![0, 1]);
+        commit.id = Some(1);
+        commit.mode = Some(RequestMode::Commit);
+        let release = Request::Release {
+            v: crate::protocol::PROTOCOL_VERSION,
+            id: Some(2),
+            session: 1,
+            deadline_ms: None,
+        };
+        let responses = roundtrip(&addr, &[commit.to_json(), release.to_json()]);
+        assert!(
+            matches!(
+                responses[0].body,
+                ResponseBody::Ok {
+                    committed: true,
+                    ..
+                }
+            ),
+            "{responses:?}"
+        );
+        match &responses[1].body {
+            ResponseBody::Released { session, freed, .. } => {
+                assert_eq!(*session, 1);
+                assert!(!freed.is_empty(), "the only session frees its instances");
+            }
+            other => panic!("expected released, got {other:?}"),
+        }
+        // The network is bit-identical to the seed again.
+        let network = handle.network();
+        assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+        assert_eq!(
+            network.total_residual_capacity(),
+            seed.total_residual_capacity()
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.releases, 1);
+
+        // Misuse answers with the session taxonomy, not a hang or a panic.
+        let again = Request::Release {
+            v: crate::protocol::PROTOCOL_VERSION,
+            id: Some(3),
+            session: 1,
+            deadline_ms: None,
+        };
+        let never = Request::Release {
+            v: crate::protocol::PROTOCOL_VERSION,
+            id: Some(4),
+            session: 999,
+            deadline_ms: None,
+        };
+        let responses = roundtrip(&addr, &[again.to_json(), never.to_json()]);
+        let codes: Vec<_> = responses
+            .iter()
+            .map(|r| match &r.body {
+                ResponseBody::Error(e) => e.code,
+                other => panic!("expected an error, got {other:?}"),
+            })
+            .collect();
+        assert!(codes.contains(&ErrorCode::AlreadyReleased), "{codes:?}");
+        assert!(codes.contains(&ErrorCode::UnknownSession), "{codes:?}");
+        handle.shutdown();
+        handle.join();
+    }
+
+    /// A release lands in the commit log as a `Release` record, and
+    /// serially replaying the mixed log reproduces the network state.
+    #[test]
+    fn mixed_commit_release_log_replays_serially() {
+        use crate::ledger::LedgerOp;
+        let shared = shared_for(3.0, ServerConfig::default());
+        for (id, source) in [(1u64, 0usize), (2, 4)] {
+            let response = run_job(&commit_job_with_deadline(id, source, None), &shared);
+            assert!(
+                matches!(response.body, ResponseBody::Ok { .. }),
+                "{response:?}"
+            );
+        }
+        let response = run_job(&release_job_for(10, 1), &shared);
+        assert!(
+            matches!(response.body, ResponseBody::Released { .. }),
+            "{response:?}"
+        );
+
+        let log = shared.ledger.commit_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[2].op, LedgerOp::Release);
+        assert_eq!(log[2].id, Some(1));
+        let mut replay = ring_network(10, 3.0);
+        for record in &log {
+            match record.op {
+                LedgerOp::Commit => replay.apply_delta(&record.delta()).unwrap(),
+                LedgerOp::Release => {
+                    replay.apply_release(&record.delta()).unwrap();
+                }
+            }
+        }
+        let network = shared.read_service().network().clone();
+        assert_eq!(
+            replay.deployment_refcounts(),
+            network.deployment_refcounts()
+        );
+        assert_eq!(
+            replay.total_residual_capacity(),
+            network.total_residual_capacity()
+        );
+    }
+
+    /// The re-embed/defrag batch: every live session is torn down and
+    /// re-committed inside one critical section; the mixed log (commits,
+    /// releases, defrag's release/commit pairs) still replays serially to
+    /// the live network, and releasing everything afterwards returns the
+    /// network to its seed — defrag never leaks or strands capacity.
+    #[test]
+    fn defrag_re_embeds_live_sessions_and_stays_replay_consistent() {
+        use crate::ledger::LedgerOp;
+        let shared = shared_for(3.0, ServerConfig::default());
+        for (id, source) in [(1u64, 0usize), (2, 4), (3, 7)] {
+            let response = run_job(&commit_job_with_deadline(id, source, None), &shared);
+            assert!(
+                matches!(response.body, ResponseBody::Ok { .. }),
+                "{response:?}"
+            );
+        }
+        let response = run_job(&release_job_for(10, 1), &shared);
+        assert!(matches!(response.body, ResponseBody::Released { .. }));
+
+        let report = defrag_pass(&shared);
+        assert_eq!(report.sessions, 2, "both live sessions re-embed");
+        assert!(report.moved <= report.sessions);
+        assert!(
+            report.instances_after <= report.instances_before,
+            "defrag never adds instances: {report:?}"
+        );
+        assert_eq!(shared.ledger.live_sessions(), vec![2, 3]);
+
+        // Serial replay of the mixed log reproduces the live network.
+        let mut replay = ring_network(10, 3.0);
+        for record in &shared.ledger.commit_log() {
+            match record.op {
+                LedgerOp::Commit => replay.apply_delta(&record.delta()).unwrap(),
+                LedgerOp::Release => {
+                    replay.apply_release(&record.delta()).unwrap();
+                }
+            }
+        }
+        let network = shared.read_service().network().clone();
+        assert_eq!(
+            replay.deployment_refcounts(),
+            network.deployment_refcounts()
+        );
+        assert_eq!(
+            replay.total_residual_capacity(),
+            network.total_residual_capacity()
+        );
+
+        // Releasing the re-embedded sessions drains back to the seed.
+        for (id, session) in [(11u64, 2u64), (12, 3)] {
+            let response = run_job(&release_job_for(id, session), &shared);
+            assert!(
+                matches!(response.body, ResponseBody::Released { .. }),
+                "{response:?}"
+            );
+        }
+        let seed = ring_network(10, 3.0);
+        let network = shared.read_service().network().clone();
+        assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+        assert_eq!(
+            network.total_residual_capacity(),
+            seed.total_residual_capacity()
+        );
+    }
+
+    /// The `defrag_every` maintenance thread runs passes between requests
+    /// without breaking session accounting: however many passes fire, a
+    /// later release still returns the network to its seed.
+    #[test]
+    fn periodic_defrag_preserves_session_accounting() {
+        let config = ServerConfig {
+            defrag_every: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        };
+        let (mut handle, addr) = start(3.0, config);
+        let mut commit = EmbedRequest::new(0, vec![3, 6], vec![0, 1]);
+        commit.id = Some(1);
+        commit.mode = Some(RequestMode::Commit);
+        let responses = roundtrip(&addr, &[commit.to_json()]);
+        assert!(matches!(responses[0].body, ResponseBody::Ok { .. }));
+        std::thread::sleep(Duration::from_millis(60));
+        let release = Request::Release {
+            v: crate::protocol::PROTOCOL_VERSION,
+            id: Some(2),
+            session: 1,
+            deadline_ms: None,
+        };
+        let responses = roundtrip(&addr, &[release.to_json()]);
+        assert!(
+            matches!(responses[0].body, ResponseBody::Released { .. }),
+            "{responses:?}"
+        );
+        handle.shutdown();
+        handle.join();
+        let seed = ring_network(10, 3.0);
+        let network = handle.network();
+        assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+        assert_eq!(
+            network.total_residual_capacity(),
+            seed.total_residual_capacity()
+        );
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub enum ServiceError {
         /// Solve attempts consumed before giving up.
         attempts: usize,
     },
+    /// A release named a session id no commit ever carried.
+    UnknownSession {
+        /// The session id that was not found in the commit log.
+        session: u64,
+    },
+    /// A release named a session that has already been released.
+    AlreadyReleased {
+        /// The session id whose capacity was already given back.
+        session: u64,
+    },
     /// The service is draining and no longer accepts new work.
     ShuttingDown,
 }
@@ -74,6 +84,8 @@ impl ServiceError {
             ServiceError::InsufficientCapacity { .. } => ErrorCode::InsufficientCapacity,
             ServiceError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
             ServiceError::Conflict { .. } => ErrorCode::Conflict,
+            ServiceError::UnknownSession { .. } => ErrorCode::UnknownSession,
+            ServiceError::AlreadyReleased { .. } => ErrorCode::AlreadyReleased,
             ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
         }
     }
@@ -107,6 +119,12 @@ impl fmt::Display for ServiceError {
                 "commit conflicted with concurrent commits ({attempts} attempts); \
                  network unchanged, retry"
             ),
+            ServiceError::UnknownSession { session } => {
+                write!(f, "no committed session {session} in the commit log")
+            }
+            ServiceError::AlreadyReleased { session } => {
+                write!(f, "session {session} was already released")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -136,6 +154,56 @@ pub enum BatchMode {
     Independent,
 }
 
+/// How many latency samples the service retains for percentile stats.
+/// A week-long churn run records millions of solves; the ring keeps the
+/// most recent window in O(1) memory instead of every nano forever.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A fixed-capacity ring of the most recent latency samples. Percentiles
+/// computed from it describe current serving behaviour — exactly what a
+/// long-running server wants — while memory stays constant no matter how
+/// many requests have ever been served.
+#[derive(Debug)]
+pub(crate) struct LatencyReservoir {
+    samples: Vec<u64>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    capacity: usize,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::new(LATENCY_WINDOW)
+    }
+}
+
+impl LatencyReservoir {
+    pub(crate) fn new(capacity: usize) -> Self {
+        LatencyReservoir {
+            samples: Vec::with_capacity(capacity.min(LATENCY_WINDOW)),
+            next: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one sample, overwriting the oldest once `capacity` samples
+    /// are held.
+    pub(crate) fn record(&mut self, ns: u64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.next] = ns;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// The retained samples, in no particular order (percentile math
+    /// sorts its own copy).
+    pub(crate) fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
 /// Serving counters guarded by one mutex so read-only solves can record
 /// through `&self` (the socket front-end shares the service behind an
 /// `RwLock` and must not need the write half for quotes).
@@ -144,7 +212,8 @@ struct Counters {
     tasks_served: u64,
     failures: u64,
     commits: u64,
-    latencies_ns: Vec<u64>,
+    releases: u64,
+    latencies_ns: LatencyReservoir,
 }
 
 /// A long-running embedding service.
@@ -265,6 +334,25 @@ impl EmbedService {
         Ok(())
     }
 
+    /// Applies the inverse of a committed session's delta — one reference
+    /// back per used pair, freeing instances whose count reaches zero —
+    /// and returns the freed pairs. All-or-nothing: on error the network
+    /// is unchanged. The session-teardown counterpart of
+    /// [`EmbedService::apply_commit`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Core`] when any pair has no live reference (see
+    /// [`sft_core::Network::validate_release`]).
+    pub fn apply_release(
+        &mut self,
+        delta: &sft_core::CommitDelta,
+    ) -> Result<Vec<(sft_core::VnfId, sft_graph::NodeId)>, ServiceError> {
+        let freed = self.network.apply_release(delta)?;
+        self.lock_counters().releases += 1;
+        Ok(freed)
+    }
+
     /// Serves a batch of tasks; see [`BatchMode`] for the two semantics.
     /// Per-task failures are reported in place — one infeasible or
     /// malformed task never aborts the rest of the batch. The returned
@@ -319,16 +407,20 @@ impl EmbedService {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// A snapshot of the serving statistics.
+    /// A snapshot of the serving statistics. Latency percentiles cover
+    /// the most recent [`LATENCY_WINDOW`] solves (the retention window of
+    /// the bounded reservoir), not the process's whole lifetime.
     pub fn stats(&self) -> ServiceStats {
         let counters = self.lock_counters();
-        ServiceStats::from_latencies(
+        let mut stats = ServiceStats::from_latencies(
             counters.tasks_served,
             counters.failures,
             counters.commits,
             self.cache.stats(),
-            &counters.latencies_ns,
-        )
+            counters.latencies_ns.samples(),
+        );
+        stats.releases = counters.releases;
+        stats
     }
 
     fn timed_solve(&self, task: &MulticastTask) -> (Result<SolveResult, CoreError>, u64) {
@@ -345,7 +437,7 @@ impl EmbedService {
 
     fn note(&self, result: &Result<SolveResult, CoreError>, ns: u64) {
         let mut counters = self.lock_counters();
-        counters.latencies_ns.push(ns);
+        counters.latencies_ns.record(ns);
         match result {
             Ok(_) => counters.tasks_served += 1,
             Err(_) => counters.failures += 1,
@@ -546,6 +638,55 @@ mod tests {
     }
 
     #[test]
+    fn latency_reservoir_is_bounded_and_keeps_recent_samples() {
+        let mut r = LatencyReservoir::new(4);
+        for ns in 0..10u64 {
+            r.record(ns);
+        }
+        assert_eq!(r.samples().len(), 4, "memory must stay O(capacity)");
+        let mut kept: Vec<u64> = r.samples().to_vec();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest samples are overwritten");
+    }
+
+    #[test]
+    fn service_latency_memory_stays_bounded_over_long_streams() {
+        let svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        // More solves than the retention window: the sample store must not
+        // grow past it (the pre-fix behaviour kept every nano forever).
+        for i in 0..(super::LATENCY_WINDOW + 50) {
+            let _ = svc.solve_uncommitted(&task(i % 8, &[(i + 3) % 8], &[i % 3]));
+        }
+        let counters = svc.lock_counters();
+        assert_eq!(counters.latencies_ns.samples().len(), super::LATENCY_WINDOW);
+        drop(counters);
+        let stats = svc.stats();
+        assert_eq!(
+            stats.tasks_served + stats.failures,
+            (super::LATENCY_WINDOW + 50) as u64,
+            "counters still cover the whole lifetime"
+        );
+        assert!(stats.p99_ms >= stats.p50_ms);
+    }
+
+    #[test]
+    fn release_reverses_commit_and_counts_in_stats() {
+        let t = task(0, &[3, 5], &[0, 1]);
+        let mut svc = EmbedService::with_defaults(ring_network(8, 3.0));
+        let before = svc.network().deployment_refcounts();
+        let quoted = svc.solve_uncommitted(&t).unwrap();
+        let delta = svc.network().commit_delta(&t, &quoted.embedding);
+        svc.apply_commit(&delta).unwrap();
+        let freed = svc.apply_release(&delta).unwrap();
+        assert_eq!(freed, delta.deploys().to_vec());
+        assert_eq!(svc.network().deployment_refcounts(), before);
+        let stats = svc.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.releases, 1);
+        assert!(stats.render().contains("releases"));
+    }
+
+    #[test]
     fn error_codes_cover_the_taxonomy() {
         use crate::protocol::ErrorCode;
         assert_eq!(
@@ -577,6 +718,14 @@ mod tests {
             ErrorCode::Conflict
         );
         assert_eq!(ServiceError::ShuttingDown.code(), ErrorCode::ShuttingDown);
+        assert_eq!(
+            ServiceError::UnknownSession { session: 9 }.code(),
+            ErrorCode::UnknownSession
+        );
+        assert_eq!(
+            ServiceError::AlreadyReleased { session: 9 }.code(),
+            ErrorCode::AlreadyReleased
+        );
         assert_eq!(
             ServiceError::Parse {
                 line: 1,

@@ -12,6 +12,9 @@ pub struct ServiceStats {
     pub failures: u64,
     /// Successful embeddings committed into the network.
     pub commits: u64,
+    /// Sessions released, giving their references (and last-reference
+    /// capacity) back.
+    pub releases: u64,
     /// APSP matrices computed over the service lifetime — always 1: the
     /// matrix is built once when the network is, and shared ever after.
     pub apsp_builds: u64,
@@ -60,6 +63,7 @@ impl ServiceStats {
             tasks_served,
             failures,
             commits,
+            releases: 0,
             apsp_builds: 1,
             cache_entries: cache.entries,
             cache_hits: cache.hits,
@@ -91,6 +95,7 @@ impl ServiceStats {
         let _ = writeln!(out, "tasks served   : {}", self.tasks_served);
         let _ = writeln!(out, "failures       : {}", self.failures);
         let _ = writeln!(out, "commits        : {}", self.commits);
+        let _ = writeln!(out, "releases       : {}", self.releases);
         let _ = writeln!(out, "apsp builds    : {}", self.apsp_builds);
         let _ = writeln!(
             out,

@@ -18,11 +18,22 @@ TOPOLOGIES (--topology):
   geo:<n>           random geometric, n nodes (use --seed)
   grid:<r>x<c>      r x c grid, unit costs
   fat-tree:<k>      k-ary fat-tree datacenter fabric
+  waxman:<n>[:seed] Waxman random WAN, n nodes, locality-biased edges
+                    (an embedded seed overrides --seed, so the spec
+                    string alone pins the instance)
 
 COMMON FLAGS:
   --seed <u64>          RNG seed (default 0)
   --capacity <f64>      per-server capacity (default 3)
+  --servers <n>         number of stride-spaced NFV server nodes
+                        (default 0 = every node is a server)
   --setup-cost <f64>    uniform VNF setup cost (default 1)
+  --distances <auto|dense|lazy>
+                        distance backend: dense = precompute the full
+                        APSP matrix, lazy = CSR-backed per-source rows
+                        computed on demand (memory O(rows used), the
+                        only option that scales past ~10k nodes), auto
+                        = lazy above 1024 nodes (default auto)
 
 SOLVE / EXACT FLAGS:
   --source <node>       source node index (required)

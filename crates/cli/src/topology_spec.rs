@@ -9,7 +9,7 @@ use sft_topology::{abilene, palmetto};
 /// Builds a graph from a topology spec string.
 ///
 /// Accepted forms: `palmetto`, `palmetto:<n>`, `er:<n>`, `geo:<n>`,
-/// `grid:<r>x<c>`, `fat-tree:<k>`.
+/// `grid:<r>x<c>`, `fat-tree:<k>`, `waxman:<n>[:seed]`.
 ///
 /// # Errors
 ///
@@ -82,8 +82,36 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
         return generate::fat_tree(k, 1.0)
             .map_err(|e| ParseError(format!("cannot generate `{spec}`: {e}")));
     }
+    if let Some(rest) = spec.strip_prefix("waxman:") {
+        // `waxman:<n>` seeds from --seed; `waxman:<n>:<seed>` embeds the
+        // seed in the spec so a topology string alone pins the instance.
+        let (n, embedded) = match rest.split_once(':') {
+            Some((n, s)) => (n, Some(s)),
+            None => (rest, None),
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|_| ParseError(format!("bad node count in `{spec}`")))?;
+        if let Some(s) = embedded {
+            let s: u64 = s
+                .parse()
+                .map_err(|_| ParseError(format!("bad seed in `{spec}`")))?;
+            rng = StdRng::seed_from_u64(s);
+        }
+        // Density defaults tuned for scale: beta fixed at the customary
+        // 0.4, alpha chosen so the expected degree (~4*pi*alpha^2*beta*n
+        // for locality-dominated alpha) tracks 2*ln(n) — enough that the
+        // graph is almost surely connected before augmentation, while
+        // edges stay O(n log n) instead of O(n^2).
+        let beta = 0.4;
+        let degree = 2.0 * (n.max(2) as f64).ln();
+        let alpha = (degree / (4.0 * std::f64::consts::PI * beta * n.max(1) as f64)).sqrt();
+        return generate::waxman(n, alpha, beta, 100.0, &mut rng)
+            .map(|t| t.graph)
+            .map_err(|e| ParseError(format!("cannot generate `{spec}`: {e}")));
+    }
     Err(ParseError(format!(
-        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>)"
+        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>, waxman:<n>[:seed])"
     )))
 }
 
@@ -101,6 +129,8 @@ mod tests {
         assert_eq!(build("geo:25", 2).unwrap().node_count(), 25);
         assert_eq!(build("grid:3x4", 0).unwrap().node_count(), 12);
         assert_eq!(build("fat-tree:4", 0).unwrap().node_count(), 36);
+        assert_eq!(build("waxman:40", 1).unwrap().node_count(), 40);
+        assert!(build("waxman:40", 1).unwrap().is_connected());
     }
 
     #[test]
@@ -120,6 +150,22 @@ mod tests {
     }
 
     #[test]
+    fn waxman_embedded_seed_overrides_the_seed_flag() {
+        let a = build("waxman:30:7", 0).unwrap();
+        let b = build("waxman:30:7", 99).unwrap();
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!((a.total_weight() - b.total_weight()).abs() < 1e-12);
+        // Without an embedded seed, --seed drives the instance.
+        let c = build("waxman:30", 7).unwrap();
+        assert_eq!(a.edge_count(), c.edge_count());
+        assert!((a.total_weight() - c.total_weight()).abs() < 1e-12);
+        let d = build("waxman:30", 8).unwrap();
+        assert!(
+            c.edge_count() != d.edge_count() || (c.total_weight() - d.total_weight()).abs() > 1e-9
+        );
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         for bad in [
             "",
@@ -132,6 +178,10 @@ mod tests {
             "palmetto:",
             "palmetto:0",
             "palmetto:46",
+            "waxman:",
+            "waxman:x",
+            "waxman:0",
+            "waxman:10:x",
         ] {
             assert!(build(bad, 0).is_err(), "`{bad}` should fail");
         }

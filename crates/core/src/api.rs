@@ -8,7 +8,7 @@ use crate::opa;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use rand::Rng;
-use sft_graph::{Parallelism, TreeCache};
+use sft_graph::{CancelToken, Parallelism, TreeCache};
 
 /// Which stage-1 algorithm to run (stage 2 / OPA is shared, §V-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -38,13 +38,19 @@ pub enum StageTwo {
 /// Every algorithm is bit-deterministic in `parallelism`:
 /// [`Parallelism::sequential`] reproduces the single-threaded code path
 /// exactly, and larger thread counts return identical results faster.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SolveOptions {
     /// Whether to run the stage-2 optimization (default: run OPA).
     pub stage_two: StageTwo,
     /// Worker threads for the parallel stages — today the MSA stage-1
     /// candidate sweep (default: available cores).
     pub parallelism: Parallelism,
+    /// Cooperative cancellation for mid-solve interruption (deadline
+    /// expiry, queue shed, graceful drain). Polled in the MSA stage-1
+    /// candidate sweep and inside lazy distance-row computation; a tripped
+    /// token makes the solve return [`CoreError::Cancelled`] without
+    /// mutating shared state (default: never cancelled).
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveOptions {
@@ -53,6 +59,7 @@ impl SolveOptions {
         SolveOptions {
             stage_two,
             parallelism: Parallelism::auto(),
+            cancel: None,
         }
     }
 
@@ -60,6 +67,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the options with the cancellation token replaced.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -131,11 +145,12 @@ pub fn solve_with_options(
     options: SolveOptions,
 ) -> Result<SolveResult, CoreError> {
     let chain = match strategy {
-        Strategy::Msa => crate::msa::stage_one_with_options(
+        Strategy::Msa => crate::msa::stage_one_cancellable(
             network,
             task,
             crate::msa::SteinerMethod::default(),
             options.parallelism,
+            options.cancel.as_ref(),
         )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => {
@@ -168,12 +183,13 @@ pub fn solve_with_cache<C: TreeCache>(
     cache: &C,
 ) -> Result<SolveResult, CoreError> {
     let chain = match strategy {
-        Strategy::Msa => crate::msa::stage_one_with_cache(
+        Strategy::Msa => crate::msa::stage_one_with_cache_cancellable(
             network,
             task,
             crate::msa::SteinerMethod::default(),
             options.parallelism,
             cache,
+            options.cancel.as_ref(),
         )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => {
@@ -215,11 +231,12 @@ pub fn solve_with_rng_options<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<SolveResult, CoreError> {
     let chain = match strategy {
-        Strategy::Msa => crate::msa::stage_one_with_options(
+        Strategy::Msa => crate::msa::stage_one_cancellable(
             network,
             task,
             crate::msa::SteinerMethod::default(),
             options.parallelism,
+            options.cancel.as_ref(),
         )?,
         Strategy::Sca => crate::sca::stage_one(network, task)?,
         Strategy::Rsa => crate::rsa::stage_one(network, task, rng)?,

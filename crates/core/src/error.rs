@@ -61,6 +61,10 @@ pub enum CoreError {
         /// Human-readable description of what could not be satisfied.
         reason: String,
     },
+    /// A [`sft_graph::CancelToken`] interrupted the solve (deadline
+    /// expiry, queue shed, or graceful drain); any partial result was
+    /// discarded and no shared state was mutated.
+    Cancelled,
     /// An error bubbled up from the graph substrate.
     Graph(GraphError),
     /// An error bubbled up from the LP substrate.
@@ -94,6 +98,7 @@ impl fmt::Display for CoreError {
                 write!(f, "no live instance of VNF {vnf} on node {node} to release")
             }
             CoreError::Infeasible { reason } => write!(f, "no feasible embedding: {reason}"),
+            CoreError::Cancelled => write!(f, "solve cancelled before completion"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Lp(e) => write!(f, "lp error: {e}"),
         }
@@ -112,7 +117,18 @@ impl std::error::Error for CoreError {
 
 impl From<GraphError> for CoreError {
     fn from(e: GraphError) -> Self {
-        CoreError::Graph(e)
+        match e {
+            // Cancellation is a first-class outcome, not a substrate
+            // defect: normalize it so callers match one variant.
+            GraphError::Cancelled => CoreError::Cancelled,
+            other => CoreError::Graph(other),
+        }
+    }
+}
+
+impl From<sft_graph::Cancelled> for CoreError {
+    fn from(_: sft_graph::Cancelled) -> Self {
+        CoreError::Cancelled
     }
 }
 

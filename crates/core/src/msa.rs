@@ -17,7 +17,7 @@ use crate::network::Network;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use sft_graph::parallel::{run_partitioned, Parallelism};
-use sft_graph::{NodeId, ShortestPaths, SteinerCache, SteinerTree, TreeCache};
+use sft_graph::{CancelToken, NodeId, ShortestPaths, SteinerCache, SteinerTree, TreeCache};
 use std::collections::BTreeMap;
 
 /// Which Steiner-tree construction stage 1 hangs off the last VNF node.
@@ -78,7 +78,31 @@ pub fn stage_one_with_options(
     method: SteinerMethod,
     parallelism: Parallelism,
 ) -> Result<ChainSolution, CoreError> {
-    sweep::<SteinerCache>(network, task, method, parallelism, None)
+    sweep::<SteinerCache>(network, task, method, parallelism, None, None)
+}
+
+/// [`stage_one_with_options`] with a cooperative [`CancelToken`].
+///
+/// The token is polled once per candidate row in the sweep (each worker
+/// stops scanning its block as soon as it observes the trip) and inside
+/// lazy distance-row computation, so a mid-solve cancellation interrupts
+/// within one candidate evaluation. A cancelled sweep returns
+/// [`CoreError::Cancelled`] — never a partial winner — and mutates no
+/// shared state (persistent Steiner caches may retain trees finished
+/// before the trip; they are valid either way).
+///
+/// # Errors
+///
+/// [`CoreError::Cancelled`] when `cancel` trips mid-solve, plus the same
+/// conditions as [`stage_one`].
+pub fn stage_one_cancellable(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    parallelism: Parallelism,
+    cancel: Option<&CancelToken>,
+) -> Result<ChainSolution, CoreError> {
+    sweep::<SteinerCache>(network, task, method, parallelism, None, cancel)
 }
 
 /// Runs MSA stage 1 against a persistent, externally owned Steiner cache.
@@ -107,7 +131,25 @@ pub fn stage_one_with_cache<C: TreeCache>(
     parallelism: Parallelism,
     cache: &C,
 ) -> Result<ChainSolution, CoreError> {
-    sweep(network, task, method, parallelism, Some(cache))
+    sweep(network, task, method, parallelism, Some(cache), None)
+}
+
+/// [`stage_one_with_cache`] with a cooperative [`CancelToken`] — see
+/// [`stage_one_cancellable`] for the cancellation contract.
+///
+/// # Errors
+///
+/// [`CoreError::Cancelled`] when `cancel` trips mid-solve, plus the same
+/// conditions as [`stage_one`].
+pub fn stage_one_with_cache_cancellable<C: TreeCache>(
+    network: &Network,
+    task: &MulticastTask,
+    method: SteinerMethod,
+    parallelism: Parallelism,
+    cache: &C,
+    cancel: Option<&CancelToken>,
+) -> Result<ChainSolution, CoreError> {
+    sweep(network, task, method, parallelism, Some(cache), cancel)
 }
 
 /// The shared sweep behind [`stage_one_with_options`] (per-solve local
@@ -118,7 +160,11 @@ fn sweep<C: TreeCache>(
     method: SteinerMethod,
     parallelism: Parallelism,
     shared: Option<&C>,
+    cancel: Option<&CancelToken>,
 ) -> Result<ChainSolution, CoreError> {
+    if let Some(token) = cancel {
+        token.check()?;
+    }
     task.check_against(network)?;
     let emod = ExpandedMod::build(network, task.source(), task.sfc())?;
     let sp = emod.shortest_paths();
@@ -128,14 +174,20 @@ fn sweep<C: TreeCache>(
     // (or the shared one) and keeps its block's best candidate; the block
     // winners come back in row order. Ties break toward the lowest row both
     // inside a block (first strict improvement wins) and across blocks
-    // (left fold below), exactly matching the sequential sweep.
+    // (left fold below), exactly matching the sequential sweep. A tripped
+    // cancel token makes each worker abandon its remaining rows; the
+    // post-merge check below turns that into `CoreError::Cancelled`, so a
+    // partial sweep can never pass off its best-so-far as the answer.
     let block_best = run_partitioned(parallelism, rows, |range| {
         let mut local: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
         let mut best: Option<(f64, ChainSolution)> = None;
         for row in range {
-            let Some((cost, chain)) =
-                evaluate_candidate(network, task, method, &emod, &sp, &mut local, shared, row)
-            else {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
+            let Some((cost, chain)) = evaluate_candidate(
+                network, task, method, &emod, &sp, &mut local, shared, cancel, row,
+            ) else {
                 continue;
             };
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
@@ -144,6 +196,10 @@ fn sweep<C: TreeCache>(
         }
         best
     });
+
+    if let Some(token) = cancel {
+        token.check()?;
+    }
 
     let best = block_best.into_iter().flatten().fold(
         None::<(f64, ChainSolution)>,
@@ -190,6 +246,7 @@ pub fn stage_one_candidates(
             &sp,
             &mut local,
             None::<&SteinerCache>,
+            None,
             row,
         ) {
             out.push(candidate);
@@ -205,13 +262,17 @@ fn build_tree(
     task: &MulticastTask,
     method: SteinerMethod,
     w: NodeId,
+    cancel: Option<&CancelToken>,
 ) -> Option<SteinerTree> {
     let mut terminals = vec![w];
     terminals.extend_from_slice(task.destinations());
+    // `.ok()` also swallows a mid-build cancellation; that is safe — the
+    // sweep re-checks the token after the merge, so a cancelled solve
+    // still returns `CoreError::Cancelled` rather than a partial winner.
     match method {
         SteinerMethod::Kmb => network
             .graph()
-            .steiner_kmb_with_matrix(network.dist(), &terminals)
+            .steiner_kmb_with_provider(network.dist(), &terminals, cancel)
             .ok(),
         SteinerMethod::Takahashi => network.graph().steiner_takahashi(&terminals).ok(),
     }
@@ -232,6 +293,7 @@ fn evaluate_candidate<C: TreeCache>(
     sp: &ShortestPaths,
     local: &mut BTreeMap<NodeId, Option<SteinerTree>>,
     shared: Option<&C>,
+    cancel: Option<&CancelToken>,
     row: usize,
 ) -> Option<(f64, ChainSolution)> {
     let (mut placement, _) = emod.placement_for(sp, row)?;
@@ -240,12 +302,24 @@ fn evaluate_candidate<C: TreeCache>(
     }
     let w = *placement.last().expect("chain is non-empty");
     let tree = match shared {
-        Some(cache) => cache.get_or_insert_with(w, task.destinations(), || {
-            build_tree(network, task, method, w)
-        }),
+        Some(cache) => match cache.lookup(w, task.destinations()) {
+            Some(cached) => cached,
+            None => {
+                let built = build_tree(network, task, method, w, cancel);
+                // A failure caused by cancellation must not be recorded:
+                // the cache outlives this solve, and a later solve would
+                // wrongly read the root as infeasible. (The per-solve
+                // `local` map below has no such hazard — it dies with the
+                // cancelled sweep.)
+                if built.is_some() || !cancel.is_some_and(CancelToken::is_cancelled) {
+                    cache.store(w, task.destinations(), built.clone());
+                }
+                built
+            }
+        },
         None => local
             .entry(w)
-            .or_insert_with(|| build_tree(network, task, method, w))
+            .or_insert_with(|| build_tree(network, task, method, w, cancel))
             .clone(),
     }?;
     // Stage-1 candidate cost has a closed form: every destination
@@ -451,6 +525,100 @@ mod tests {
             assert_eq!(plain, again, "threads={threads}");
         }
         assert!(cache.hits() > hits_before, "repeat solves must hit");
+    }
+
+    #[test]
+    fn a_tripped_token_cancels_the_sweep_and_a_live_one_changes_nothing() {
+        let net = ring_net(5.0);
+        let task = a_task();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [Parallelism::sequential(), Parallelism::new(3)] {
+            let err = stage_one_cancellable(&net, &task, SteinerMethod::Kmb, threads, Some(&token))
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Cancelled));
+        }
+        let live = CancelToken::new();
+        let with = stage_one_cancellable(
+            &net,
+            &task,
+            SteinerMethod::Kmb,
+            Parallelism::new(2),
+            Some(&live),
+        )
+        .unwrap();
+        assert_eq!(with, stage_one(&net, &task).unwrap());
+    }
+
+    #[test]
+    fn a_cancelled_build_is_not_recorded_in_a_shared_cache() {
+        use sft_graph::DistanceMode;
+        // A lazy provider propagates cancellation out of tree builds; the
+        // resulting failure must not be stored as an "infeasible root" in
+        // a cache that outlives the solve.
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 6), 1.0 + i as f64 * 0.1)
+                .unwrap();
+        }
+        g.add_edge(NodeId(0), NodeId(3), 2.0).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(5.0)
+            .unwrap()
+            .uniform_setup_cost(1.0)
+            .unwrap()
+            .distance_mode(DistanceMode::Lazy)
+            .build()
+            .unwrap();
+        let task = a_task();
+        let emod = ExpandedMod::build(&net, task.source(), task.sfc()).unwrap();
+        let sp = emod.shortest_paths();
+        let cache = SteinerCache::new();
+        // Building the MOD overlay memoized every row; drop them so the
+        // tree build must recompute one and trips on the token. (Row 0's
+        // placement feasibility is confirmed by the clean evaluate below.)
+        for v in 0..net.node_count() {
+            net.dist().invalidate_source(NodeId(v));
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let mut local: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+        let got = evaluate_candidate(
+            &net,
+            &task,
+            SteinerMethod::Kmb,
+            &emod,
+            &sp,
+            &mut local,
+            Some(&cache),
+            Some(&token),
+            0,
+        );
+        assert!(got.is_none(), "cancelled row yields no candidate");
+        assert_eq!(cache.len(), 0, "cancelled failure must not be cached");
+        let mut warm: BTreeMap<NodeId, Option<SteinerTree>> = BTreeMap::new();
+        assert!(evaluate_candidate(
+            &net,
+            &task,
+            SteinerMethod::Kmb,
+            &emod,
+            &sp,
+            &mut warm,
+            None::<&SteinerCache>,
+            None,
+            0,
+        )
+        .is_some());
+        // A clean solve over the same cache then succeeds normally.
+        let chain = stage_one_with_cache(
+            &net,
+            &task,
+            SteinerMethod::Kmb,
+            Parallelism::sequential(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(chain, stage_one(&net, &task).unwrap());
     }
 
     #[test]

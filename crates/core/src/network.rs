@@ -10,7 +10,8 @@
 use crate::vnf::{VnfCatalog, VnfId};
 use crate::CoreError;
 use sft_graph::numeric::exceeds;
-use sft_graph::{DistanceMatrix, Graph, NodeId};
+use sft_graph::{provider_for, DistanceMode, DistanceProvider, Graph, NodeId};
+use std::sync::Arc;
 
 /// The exact state mutation committing one embedding applies: the set of
 /// `(VNF, node)` pairs that need a **new** instance (`deploys`) plus the
@@ -94,11 +95,13 @@ impl CommitDelta {
 
 /// An immutable (apart from explicit deployment commits) view of the target
 /// network with everything the embedding algorithms need, including a
-/// pre-computed all-pairs shortest-path matrix.
+/// shared [`DistanceProvider`] over the link-connection costs (a dense
+/// precomputed matrix on small/dense graphs, a lazy CSR-backed provider on
+/// large ones — see [`NetworkBuilder::distance_mode`]).
 #[derive(Clone, Debug)]
 pub struct Network {
     graph: Graph,
-    dist: DistanceMatrix,
+    dist: Arc<dyn DistanceProvider>,
     servers: Vec<bool>,
     capacity: Vec<f64>,
     catalog: VnfCatalog,
@@ -122,6 +125,7 @@ impl Network {
             capacity: vec![0.0; n],
             setup_cost: vec![vec![1.0; n]; nf],
             deployed: vec![vec![false; n]; nf],
+            distance_mode: DistanceMode::Auto,
         }
     }
 
@@ -135,9 +139,17 @@ impl Network {
         self.graph.node_count()
     }
 
-    /// Pre-computed all-pairs shortest paths over link-connection costs.
-    pub fn dist(&self) -> &DistanceMatrix {
-        &self.dist
+    /// Shortest paths over link-connection costs. Depending on the
+    /// builder's [`DistanceMode`] this is either a pre-computed all-pairs
+    /// matrix or a lazy provider that materializes per-source rows on
+    /// first query; both answer identically.
+    pub fn dist(&self) -> &dyn DistanceProvider {
+        &*self.dist
+    }
+
+    /// The same provider as [`Network::dist`], shareable across threads.
+    pub fn dist_arc(&self) -> Arc<dyn DistanceProvider> {
+        Arc::clone(&self.dist)
     }
 
     /// The VNF catalog.
@@ -537,9 +549,21 @@ pub struct NetworkBuilder {
     capacity: Vec<f64>,
     setup_cost: Vec<Vec<f64>>,
     deployed: Vec<Vec<bool>>,
+    distance_mode: DistanceMode,
 }
 
 impl NetworkBuilder {
+    /// Selects how shortest-path distances are provided (default
+    /// [`DistanceMode::Auto`]: dense precomputation below
+    /// [`sft_graph::LAZY_THRESHOLD`] nodes, lazy per-source rows above).
+    /// Force [`DistanceMode::Dense`] to precompute everything regardless of
+    /// size, or [`DistanceMode::Lazy`] to keep memory proportional to the
+    /// rows actually queried.
+    #[must_use]
+    pub fn distance_mode(mut self, mode: DistanceMode) -> Self {
+        self.distance_mode = mode;
+        self
+    }
     /// Marks `v` as a server node with the given deployment capacity.
     ///
     /// # Errors
@@ -673,17 +697,12 @@ impl NetworkBuilder {
                 });
             }
         }
-        // Density dispatch: per-source Dijkstra beats Floyd–Warshall well
-        // below |E| ≈ |V|²/8 (backbones sit far under that line), while the
-        // cubic sweep wins on dense matrices through cache locality. Both
-        // variants produce shortest-path-equivalent matrices, so embeddings
-        // price identically either way.
-        let n = self.graph.node_count();
-        let dist = if self.graph.edge_count() * 8 < n * n {
-            self.graph.all_pairs_shortest_paths_sparse()?
-        } else {
-            self.graph.all_pairs_shortest_paths()?
-        };
+        // Provider dispatch lives in `sft_graph::provider_for`: dense
+        // precomputation (density-dispatched between per-source Dijkstra
+        // and Floyd–Warshall) below the lazy threshold, on-demand CSR rows
+        // above it. Every variant answers bit-identically, so embeddings
+        // price the same either way.
+        let dist = provider_for(&self.graph, self.distance_mode)?;
         let deployed = self
             .deployed
             .iter()

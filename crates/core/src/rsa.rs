@@ -79,7 +79,7 @@ pub fn stage_one<R: Rng + ?Sized>(
     terminals.extend_from_slice(task.destinations());
     let tree = network
         .graph()
-        .steiner_kmb_with_matrix(network.dist(), &terminals)?;
+        .steiner_kmb_with_provider(network.dist(), &terminals, None)?;
     Ok(ChainSolution {
         placement,
         steiner_edges: tree.edges,

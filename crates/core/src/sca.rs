@@ -109,7 +109,7 @@ pub fn stage_one(network: &Network, task: &MulticastTask) -> Result<ChainSolutio
     terminals.extend_from_slice(task.destinations());
     let tree = network
         .graph()
-        .steiner_kmb_with_matrix(network.dist(), &terminals)?;
+        .steiner_kmb_with_provider(network.dist(), &terminals, None)?;
     Ok(ChainSolution {
         placement,
         steiner_edges: tree.edges,

@@ -55,6 +55,11 @@ impl DistanceMatrix {
     /// Average shortest-path distance over all *ordered* pairs of distinct,
     /// mutually reachable nodes — the paper's `l_G` normalizer for VNF
     /// deployment costs. Returns 0.0 when no such pair exists.
+    ///
+    /// **Disconnected-graph contract:** unreachable pairs have infinite
+    /// stored distance and are *skipped*, never poisoning the average.
+    /// Every [`crate::DistanceProvider`] implementation mirrors this
+    /// semantics exactly (the lazy provider is tested against it).
     pub fn average_distance(&self) -> f64 {
         let mut total = 0.0;
         let mut count = 0_u64;
@@ -79,6 +84,10 @@ impl DistanceMatrix {
 
     /// The largest finite pairwise distance (graph diameter under the cost
     /// metric). Returns 0.0 for graphs with fewer than two nodes.
+    ///
+    /// **Disconnected-graph contract:** infinite (unreachable) entries are
+    /// ignored, so the result is the largest diameter *within* any
+    /// connected component — shared with every [`crate::DistanceProvider`].
     pub fn diameter(&self) -> f64 {
         self.dist
             .iter()
@@ -296,6 +305,12 @@ mod tests {
         assert!(m.path(NodeId(0), NodeId(3)).is_none());
         // Average ignores unreachable pairs: (3+3+4+4)/4.
         assert!((m.average_distance() - 3.5).abs() < 1e-12);
+        // Diameter is the largest finite distance, not infinity.
+        assert!((m.diameter() - 4.0).abs() < 1e-12);
+        // The sparse builder honors the same disconnected-graph contract.
+        let s = g.all_pairs_shortest_paths_sparse().unwrap();
+        assert!((s.average_distance() - 3.5).abs() < 1e-12);
+        assert!((s.diameter() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Cooperative cancellation for long-running graph computations.
+//!
+//! A [`CancelToken`] is a cheaply-clonable handle (an `Arc` around an
+//! atomic flag) that hot loops poll between batches of work. Tokens
+//! compose two ways:
+//!
+//! * **Deadlines** — a token built with [`CancelToken::with_deadline`]
+//!   trips automatically once the instant passes, with no watchdog
+//!   thread: expiry is observed at the next poll.
+//! * **Parents** — a [`CancelToken::child`] observes its parent's
+//!   cancellation in addition to its own. A server keeps one drain token
+//!   and hands each job a child with that job's deadline, so both
+//!   "shutdown now" and "this request took too long" interrupt the same
+//!   solve loop.
+//!
+//! Cancellation is cooperative and approximate: work stops at the next
+//! poll point (every [`CHECK_INTERVAL`] heap pops in Dijkstra, every
+//! candidate row in the MSA sweep), never mid-arithmetic. A cancelled
+//! computation returns [`Cancelled`] and must leave shared state
+//! untouched — callers rely on quotes being side-effect free.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many Dijkstra heap pops happen between cancellation polls — the
+/// "relax batch" granularity of interruption.
+pub const CHECK_INTERVAL: u32 = 64;
+
+#[derive(Debug)]
+struct TokenInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<TokenInner>>,
+}
+
+impl TokenInner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+}
+
+/// A shared cancellation handle; see the module docs for composition.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token that only trips when [`CancelToken::cancel`] is
+    /// called on it (or a clone of it).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A fresh token that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child that observes this token's cancellation plus its own
+    /// `deadline` (if any). Cancelling the child never affects the
+    /// parent.
+    pub fn child(&self, deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Trips the token; every clone and child observes it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token (or its deadline, or any ancestor) has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// Poll point for hot loops: `Err(Cancelled)` once tripped.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when [`CancelToken::is_cancelled`] is true.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The computation was interrupted by a [`CancelToken`]; any partial
+/// result was discarded and no shared state was modified.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "computation cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_tokens_are_live_and_trip_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+        assert_eq!(clone.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn past_deadlines_trip_immediately_and_future_ones_do_not() {
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn children_observe_the_parent_but_not_vice_versa() {
+        let drain = CancelToken::new();
+        let job = drain.child(None);
+        assert!(!job.is_cancelled());
+        drain.cancel();
+        assert!(job.is_cancelled(), "parent cancellation reaches the child");
+
+        let drain = CancelToken::new();
+        let job = drain.child(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(job.is_cancelled(), "child deadline trips the child");
+        assert!(!drain.is_cancelled(), "child state never leaks upward");
+        job.cancel();
+        assert!(!drain.is_cancelled());
+    }
+}

@@ -6,6 +6,7 @@
 //! optimal single-chain embedding (Theorem 2), and inside the
 //! Kou–Markowsky–Berman Steiner construction.
 
+use crate::cancel::{CancelToken, Cancelled, CHECK_INTERVAL};
 use crate::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -91,20 +92,57 @@ pub(crate) fn dijkstra_core<F>(
     n: usize,
     source: NodeId,
     target: Option<NodeId>,
-    mut expand: F,
+    expand: F,
 ) -> ShortestPaths
 where
     F: FnMut(NodeId, &mut dyn FnMut(NodeId, f64)),
 {
+    match dijkstra_core_cancellable(n, source, target, expand, None) {
+        Ok(sp) => sp,
+        Err(Cancelled) => unreachable!("dijkstra without a token cannot be cancelled"),
+    }
+}
+
+/// [`dijkstra_core`] with a cooperative cancellation poll every
+/// [`CHECK_INTERVAL`] heap pops — the relax-batch granularity the
+/// service's deadline/drain interruption contract is stated in.
+///
+/// # Errors
+///
+/// [`Cancelled`] when `cancel` trips mid-search; the partial tree is
+/// discarded.
+pub(crate) fn dijkstra_core_cancellable<F>(
+    n: usize,
+    source: NodeId,
+    target: Option<NodeId>,
+    mut expand: F,
+    cancel: Option<&CancelToken>,
+) -> Result<ShortestPaths, Cancelled>
+where
+    F: FnMut(NodeId, &mut dyn FnMut(NodeId, f64)),
+{
     assert!(source.0 < n, "dijkstra source {source:?} out of bounds");
+    if let Some(token) = cancel {
+        // Upfront poll: an already-tripped token (expired deadline, drain)
+        // interrupts immediately even on graphs smaller than one batch.
+        token.check()?;
+    }
     let mut dist = vec![f64::INFINITY; n];
     let mut pred = vec![None; n];
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.0] = 0.0;
     heap.push(Reverse((HeapKey(0.0), source.0)));
+    let mut pops: u32 = 0;
 
     while let Some(Reverse((HeapKey(d), u))) = heap.pop() {
+        if let Some(token) = cancel {
+            pops += 1;
+            if pops >= CHECK_INTERVAL {
+                pops = 0;
+                token.check()?;
+            }
+        }
         if settled[u] {
             continue;
         }
@@ -123,7 +161,7 @@ where
         });
     }
 
-    ShortestPaths { source, dist, pred }
+    Ok(ShortestPaths { source, dist, pred })
 }
 
 impl Graph {
@@ -278,6 +316,28 @@ mod tests {
         let mut keys = [nan, HeapKey(2.0), HeapKey(-1.0), HeapKey(0.0)];
         keys.sort(); // would panic under a broken Ord in debug builds
         assert_eq!(keys[0].0, -1.0);
+    }
+
+    #[test]
+    fn a_tripped_token_interrupts_and_a_live_one_changes_nothing() {
+        let mut g = Graph::new(200);
+        for i in 0..199 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let expand = |u: NodeId, visit: &mut dyn FnMut(NodeId, f64)| {
+            for (v, e) in g.neighbors(u) {
+                visit(v, g.weight(e));
+            }
+        };
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let r = dijkstra_core_cancellable(200, NodeId(0), None, expand, Some(&tripped));
+        assert_eq!(r.err(), Some(Cancelled));
+
+        let live = CancelToken::new();
+        let sp = dijkstra_core_cancellable(200, NodeId(0), None, expand, Some(&live))
+            .expect("a live token never interrupts");
+        assert_eq!(sp.distance(NodeId(199)), Some(199.0));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum GraphError {
     Disconnected,
     /// An operation required a non-empty terminal/node set.
     EmptySelection,
+    /// A [`crate::CancelToken`] interrupted the computation; any partial
+    /// result was discarded.
+    Cancelled,
 }
 
 impl fmt::Display for GraphError {
@@ -53,8 +56,15 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::EmptySelection => write!(f, "operation requires a non-empty selection"),
+            GraphError::Cancelled => write!(f, "computation cancelled before completion"),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+impl From<crate::cancel::Cancelled> for GraphError {
+    fn from(_: crate::cancel::Cancelled) -> GraphError {
+        GraphError::Cancelled
+    }
+}

@@ -8,7 +8,9 @@
 //!   connectivity augmentation (the paper's algorithms assume a connected
 //!   network);
 //! * [`random_geometric`] — unit-disk-style geometric graphs, kept as an
-//!   alternative topology family for robustness experiments.
+//!   alternative topology family for robustness experiments;
+//! * [`waxman`] — Waxman (1988) locality-biased random graphs, the standard
+//!   synthetic WAN family used for the large-substrate scale experiments.
 
 use crate::{Graph, GraphError, NodeId};
 use rand::{Rng, RngExt};
@@ -124,6 +126,60 @@ pub fn random_geometric<R: Rng + ?Sized>(
         for v in (u + 1)..n {
             let d = euclid(positions[u], positions[v]);
             if d < radius {
+                graph
+                    .add_edge(NodeId(u), NodeId(v), d.max(f64::MIN_POSITIVE))
+                    .expect("fresh pair cannot collide");
+            }
+        }
+    }
+    augment_connectivity(&mut graph, &positions);
+    Ok(GeneratedTopology { graph, positions })
+}
+
+/// Generates a Waxman random graph: uniform placements in a `side x side`
+/// square, an edge between each pair `(u, v)` with probability
+/// `beta * exp(-d(u, v) / (alpha * L))` where `L = side * sqrt(2)` is the
+/// maximum possible distance, Euclidean link costs, plus the same
+/// connectivity augmentation as [`euclidean_er`].
+///
+/// Waxman graphs (Waxman 1988) are the standard synthetic ISP/WAN topology
+/// family: `beta` scales the overall edge density while `alpha` controls
+/// locality — small `alpha` strongly favours short edges, producing the
+/// geographically clustered substrates used for scale experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptySelection`] if `n == 0`, and
+/// [`GraphError::InvalidWeight`] if `alpha` is not positive and finite,
+/// `beta` is not in `[0, 1]`, or `side` is not positive and finite.
+pub fn waxman<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    side: f64,
+    rng: &mut R,
+) -> Result<GeneratedTopology, GraphError> {
+    if n == 0 {
+        return Err(GraphError::EmptySelection);
+    }
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(GraphError::InvalidWeight { weight: alpha });
+    }
+    if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
+        return Err(GraphError::InvalidWeight { weight: beta });
+    }
+    if !side.is_finite() || side <= 0.0 {
+        return Err(GraphError::InvalidWeight { weight: side });
+    }
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let scale = alpha * side * std::f64::consts::SQRT_2;
+    let mut graph = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = euclid(positions[u], positions[v]);
+            if rng.random::<f64>() < beta * (-d / scale).exp() {
                 graph
                     .add_edge(NodeId(u), NodeId(v), d.max(f64::MIN_POSITIVE))
                     .expect("fresh pair cannot collide");
@@ -305,6 +361,44 @@ mod tests {
     }
 
     #[test]
+    fn waxman_is_connected_euclidean_and_seed_deterministic() {
+        let a = waxman(60, 0.15, 0.4, 100.0, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert!(a.graph.is_connected());
+        assert_eq!(a.graph.node_count(), 60);
+        for e in a.graph.edges() {
+            let d = a.distance(e.u, e.v);
+            assert!((e.weight - d).abs() < 1e-9, "weight must equal distance");
+        }
+        let b = waxman(60, 0.15, 0.4, 100.0, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let c = waxman(60, 0.15, 0.4, 100.0, &mut StdRng::seed_from_u64(12)).unwrap();
+        assert_ne!(a.positions, c.positions);
+    }
+
+    #[test]
+    fn waxman_locality_bias_favours_short_edges() {
+        // With a small alpha, the mean realised edge length must sit well
+        // below the mean pairwise distance (~52 for a unit square scaled
+        // by 100).
+        let t = waxman(120, 0.05, 0.9, 100.0, &mut StdRng::seed_from_u64(21)).unwrap();
+        let (sum, cnt) = t
+            .graph
+            .edges()
+            .fold((0.0, 0usize), |(s, c), e| (s + e.weight, c + 1));
+        assert!(cnt > 0);
+        let mean = sum / cnt as f64;
+        assert!(mean < 35.0, "mean edge length {mean}");
+    }
+
+    #[test]
+    fn waxman_beta_zero_leaves_only_augmentation_edges() {
+        let t = waxman(20, 0.2, 0.0, 100.0, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert!(t.graph.is_connected());
+        assert_eq!(t.graph.edge_count(), 19, "spanning augmentation only");
+    }
+
+    #[test]
     fn rejects_bad_parameters() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(euclidean_er(0, 0.5, 100.0, &mut rng).is_err());
@@ -314,6 +408,11 @@ mod tests {
         assert!(random_geometric(0, 1.0, 100.0, &mut rng).is_err());
         assert!(random_geometric(5, 0.0, 100.0, &mut rng).is_err());
         assert!(random_geometric(5, 1.0, -3.0, &mut rng).is_err());
+        assert!(waxman(0, 0.2, 0.4, 100.0, &mut rng).is_err());
+        assert!(waxman(5, 0.0, 0.4, 100.0, &mut rng).is_err());
+        assert!(waxman(5, 0.2, 1.5, 100.0, &mut rng).is_err());
+        assert!(waxman(5, 0.2, -0.1, 100.0, &mut rng).is_err());
+        assert!(waxman(5, 0.2, 0.4, f64::NAN, &mut rng).is_err());
     }
 
     #[test]

@@ -20,8 +20,15 @@
 //!   long-running services that solve many requests over one graph, and
 //!   the workspace-wide numeric tolerances ([`numeric`]).
 //! * Random topology generators ([`generate`]): Erdős–Rényi graphs over
-//!   Euclidean point placements and random geometric graphs, with
-//!   connectivity augmentation.
+//!   Euclidean point placements, random geometric graphs, and Waxman
+//!   locality-biased graphs, with connectivity augmentation.
+//! * A distance-provider abstraction ([`provider`]): [`DistanceProvider`]
+//!   unifies the dense precomputed [`DistanceMatrix`] with
+//!   [`LazyDistances`], a CSR-backed on-demand provider that materializes
+//!   per-source rows only when queried — the scaling path for 10k+-node
+//!   substrates.
+//! * Cooperative cancellation ([`cancel`]): [`CancelToken`] threads
+//!   deadline/drain interruption through the long-running solvers.
 //!
 //! # Example
 //!
@@ -44,6 +51,7 @@
 
 pub mod apsp;
 pub mod cache;
+pub mod cancel;
 pub mod digraph;
 pub mod dijkstra;
 mod error;
@@ -52,18 +60,23 @@ pub mod graph;
 pub mod mst;
 pub mod numeric;
 pub mod parallel;
+pub mod provider;
 pub mod steiner;
 pub mod tree;
 pub mod union_find;
 
 pub use apsp::DistanceMatrix;
 pub use cache::{CacheStats, SteinerCache, TreeCache};
+pub use cancel::{CancelToken, Cancelled};
 pub use digraph::DiGraph;
 pub use dijkstra::ShortestPaths;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use numeric::{approx_eq, approx_le, EPS};
 pub use parallel::Parallelism;
+pub use provider::{
+    provider_for, DistanceMode, DistanceProvider, LazyDistances, ProviderKind, LAZY_THRESHOLD,
+};
 pub use steiner::SteinerTree;
 pub use tree::RootedTree;
 pub use union_find::UnionFind;

@@ -1,0 +1,655 @@
+//! On-demand shortest-path distances behind the [`DistanceProvider`]
+//! trait.
+//!
+//! The paper's algorithms are stated over a precomputed all-pairs
+//! matrix, and for backbone-sized graphs the dense [`DistanceMatrix`]
+//! is exactly right. At the 10k+-node scale the `n²` dist/next arrays
+//! are gigabytes before the first solve starts, while a single embedding
+//! only ever touches a handful of sources. [`LazyDistances`] keeps a
+//! flat CSR copy of the adjacency (built once per graph epoch), runs
+//! per-source Dijkstra the first time a row is asked for, and memoizes
+//! completed rows behind an `RwLock` so concurrent quotes share them.
+//!
+//! # Bit-identity contract
+//!
+//! A lazy row is computed by the *same* Dijkstra core, expanding
+//! neighbors in the *same* adjacency insertion order, and deriving
+//! `next[s][t]` by the same predecessor walk as
+//! [`Graph::all_pairs_shortest_paths_sparse`]. Shortest-path tie-breaks
+//! therefore resolve identically, and a solve against the lazy provider
+//! is bit-identical to one against the sparse-built dense matrix — the
+//! property the CI `scale-smoke` job asserts end to end.
+//!
+//! # Aggregate semantics on disconnected graphs
+//!
+//! [`DistanceProvider::average_distance`] averages over ordered pairs of
+//! distinct, *mutually reachable* nodes — unreachable (infinite) pairs
+//! are skipped, never poisoning the average — and
+//! [`DistanceProvider::diameter`] is the largest *finite* pairwise
+//! distance. Both return 0.0 when no qualifying pair exists. Every
+//! implementation honors the same contract; the lazy provider streams
+//! rows (compute, fold, discard) so the aggregates stay O(n) resident.
+
+use crate::cancel::{CancelToken, Cancelled};
+use crate::dijkstra::dijkstra_core_cancellable;
+use crate::{DistanceMatrix, Graph, GraphError, NodeId};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Which implementation backs a [`DistanceProvider`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProviderKind {
+    /// Precomputed `n²` [`DistanceMatrix`].
+    Dense,
+    /// CSR-backed [`LazyDistances`] with on-demand rows.
+    Lazy,
+}
+
+impl ProviderKind {
+    /// Stable lower-case name for stats rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProviderKind::Dense => "dense",
+            ProviderKind::Lazy => "lazy",
+        }
+    }
+}
+
+impl fmt::Display for ProviderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shortest-path distances and path reconstruction, dense or on-demand.
+///
+/// Method names and semantics deliberately match [`DistanceMatrix`] so
+/// consumers are implementation-agnostic. Out-of-bounds nodes panic, as
+/// they do on the matrix.
+pub trait DistanceProvider: fmt::Debug + Send + Sync {
+    /// Number of nodes the provider covers.
+    fn node_count(&self) -> usize;
+
+    /// Shortest-path distance from `u` to `v`, or `None` if unreachable.
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<f64>;
+
+    /// The node sequence of a shortest path from `u` to `v` (both
+    /// endpoints included; `[u]` for `u == v`), or `None` if unreachable.
+    fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>>;
+
+    /// [`DistanceProvider::distance`] with a cancellation poll inside any
+    /// on-demand row computation. Precomputed implementations never
+    /// cancel.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `cancel` trips mid-computation.
+    fn try_distance(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<f64>, Cancelled> {
+        let _ = cancel;
+        Ok(self.distance(u, v))
+    }
+
+    /// [`DistanceProvider::path`] with a cancellation poll inside any
+    /// on-demand row computation.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `cancel` trips mid-computation.
+    fn try_path(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<Vec<NodeId>>, Cancelled> {
+        let _ = cancel;
+        Ok(self.path(u, v))
+    }
+
+    /// Average distance over ordered pairs of distinct mutually reachable
+    /// nodes (the paper's `l_G`); 0.0 when no such pair exists. See the
+    /// module docs for the disconnected-graph contract.
+    fn average_distance(&self) -> f64;
+
+    /// Largest finite pairwise distance; 0.0 below two reachable nodes.
+    fn diameter(&self) -> f64;
+
+    /// Which implementation this is, for telemetry.
+    fn kind(&self) -> ProviderKind;
+
+    /// Distance rows currently resident in memory (always `n` for dense).
+    fn rows_materialized(&self) -> u64;
+
+    /// High-water mark of resident rows over the provider's lifetime.
+    fn peak_rows(&self) -> u64 {
+        self.rows_materialized()
+    }
+
+    /// Row-cache hits (queries answered from a memoized row).
+    fn row_hits(&self) -> u64 {
+        0
+    }
+
+    /// Row-cache misses (queries that ran a fresh Dijkstra).
+    fn row_misses(&self) -> u64 {
+        0
+    }
+
+    /// Drops any memoized state derived from source `u`, forcing the next
+    /// query to recompute it. No-op for precomputed implementations
+    /// (their owner rebuilds the whole matrix on graph change).
+    fn invalidate_source(&self, u: NodeId) {
+        let _ = u;
+    }
+}
+
+impl DistanceProvider for DistanceMatrix {
+    fn node_count(&self) -> usize {
+        DistanceMatrix::node_count(self)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        DistanceMatrix::distance(self, u, v)
+    }
+
+    fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        DistanceMatrix::path(self, u, v)
+    }
+
+    fn average_distance(&self) -> f64 {
+        DistanceMatrix::average_distance(self)
+    }
+
+    fn diameter(&self) -> f64 {
+        DistanceMatrix::diameter(self)
+    }
+
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::Dense
+    }
+
+    fn rows_materialized(&self) -> u64 {
+        DistanceMatrix::node_count(self) as u64
+    }
+}
+
+/// One memoized Dijkstra row: distances from a fixed source plus the
+/// first hop towards every reachable target.
+#[derive(Debug)]
+struct Row {
+    dist: Vec<f64>,
+    // next[t] = the node following the source on a shortest source->t path.
+    next: Vec<Option<NodeId>>,
+}
+
+/// On-demand shortest paths over a flat CSR adjacency.
+///
+/// Built once per graph epoch by [`LazyDistances::new`]; rows are
+/// computed by per-source Dijkstra on first use and shared behind an
+/// `RwLock`, so clones of a network snapshot reuse each other's rows.
+pub struct LazyDistances {
+    n: usize,
+    // CSR: the neighbors of u are neighbors[offsets[u]..offsets[u+1]],
+    // in the graph's adjacency insertion order (which fixes Dijkstra
+    // tie-breaks — see the module docs).
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    costs: Vec<f64>,
+    rows: RwLock<Vec<Option<Arc<Row>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    resident: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl fmt::Debug for LazyDistances {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyDistances")
+            .field("n", &self.n)
+            .field("arcs", &self.neighbors.len())
+            .field("rows_materialized", &self.rows_materialized())
+            .finish()
+    }
+}
+
+impl LazyDistances {
+    /// Snapshots `graph` into the packed CSR arrays. O(|V| + |E|) time
+    /// and memory; no shortest paths are computed yet.
+    pub fn new(graph: &Graph) -> LazyDistances {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        let mut costs = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            for (v, e) in graph.neighbors(NodeId(u)) {
+                neighbors.push(v.0 as u32);
+                costs.push(graph.weight(e));
+            }
+            offsets.push(u32::try_from(neighbors.len()).expect("graph exceeds u32 arc capacity"));
+        }
+        LazyDistances {
+            n,
+            offsets,
+            neighbors,
+            costs,
+            rows: RwLock::new((0..n).map(|_| None).collect()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs Dijkstra from `s` over the CSR arrays, mirroring the sparse
+    /// APSP row fill exactly (same core, same expansion order, same
+    /// predecessor walk for the first hop).
+    fn compute_row(&self, s: usize, cancel: Option<&CancelToken>) -> Result<Row, Cancelled> {
+        let sp = dijkstra_core_cancellable(
+            self.n,
+            NodeId(s),
+            None,
+            |u, visit| {
+                let lo = self.offsets[u.0] as usize;
+                let hi = self.offsets[u.0 + 1] as usize;
+                for i in lo..hi {
+                    visit(NodeId(self.neighbors[i] as usize), self.costs[i]);
+                }
+            },
+            cancel,
+        )?;
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut next = vec![None; self.n];
+        for (t, d) in sp.reached() {
+            dist[t.0] = d;
+            if t.0 == s {
+                continue;
+            }
+            let mut cur = t;
+            loop {
+                match sp.predecessor(cur) {
+                    Some(p) if p.0 == s => break,
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            next[t.0] = Some(cur);
+        }
+        Ok(Row { dist, next })
+    }
+
+    /// The memoized row for source `s`, computing and caching it on miss.
+    fn row(&self, s: usize, cancel: Option<&CancelToken>) -> Result<Arc<Row>, Cancelled> {
+        assert!(s < self.n, "node out of bounds");
+        {
+            let rows = self.rows.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(row) = &rows[s] {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(row));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(self.compute_row(s, cancel)?);
+        let mut rows = self.rows.write().unwrap_or_else(PoisonError::into_inner);
+        match &rows[s] {
+            // A concurrent miss computed the same (deterministic) row
+            // first; keep the resident count honest by using theirs.
+            Some(existing) => Ok(Arc::clone(existing)),
+            None => {
+                rows[s] = Some(Arc::clone(&row));
+                let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+                self.peak.fetch_max(now, Ordering::Relaxed);
+                Ok(row)
+            }
+        }
+    }
+
+    /// Streams every row through `fold` — cached rows are reused, missing
+    /// ones are computed and *discarded*, so aggregate queries never blow
+    /// up the resident-row count (or the hit/miss telemetry).
+    fn scan_rows(&self, mut fold: impl FnMut(usize, &[f64])) {
+        for s in 0..self.n {
+            let cached = {
+                let rows = self.rows.read().unwrap_or_else(PoisonError::into_inner);
+                rows[s].as_ref().map(Arc::clone)
+            };
+            match cached {
+                Some(row) => fold(s, &row.dist),
+                None => {
+                    let row = match self.compute_row(s, None) {
+                        Ok(row) => row,
+                        Err(Cancelled) => unreachable!("no token was supplied"),
+                    };
+                    fold(s, &row.dist);
+                }
+            }
+        }
+    }
+}
+
+impl DistanceProvider for LazyDistances {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        match self.try_distance(u, v, None) {
+            Ok(d) => d,
+            Err(Cancelled) => unreachable!("no token was supplied"),
+        }
+    }
+
+    fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        match self.try_path(u, v, None) {
+            Ok(p) => p,
+            Err(Cancelled) => unreachable!("no token was supplied"),
+        }
+    }
+
+    fn try_distance(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<f64>, Cancelled> {
+        assert!(v.0 < self.n, "node out of bounds");
+        let row = self.row(u.0, cancel)?;
+        let d = row.dist[v.0];
+        Ok(d.is_finite().then_some(d))
+    }
+
+    fn try_path(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<Vec<NodeId>>, Cancelled> {
+        if self.try_distance(u, v, cancel)?.is_none() {
+            return Ok(None);
+        }
+        // The same cross-row first-hop walk as DistanceMatrix::path: each
+        // step consults the *current* node's row, so tie-breaks resolve
+        // identically to the sparse-built matrix.
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            let row = self.row(cur.0, cancel)?;
+            match row.next[v.0] {
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(path))
+    }
+
+    fn average_distance(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0u64;
+        self.scan_rows(|s, dist| {
+            for (t, &d) in dist.iter().enumerate() {
+                if t != s && d.is_finite() {
+                    total += d;
+                    count += 1;
+                }
+            }
+        });
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    fn diameter(&self) -> f64 {
+        let mut max = 0.0f64;
+        self.scan_rows(|_, dist| {
+            for &d in dist {
+                if d.is_finite() && d > max {
+                    max = d;
+                }
+            }
+        });
+        max
+    }
+
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::Lazy
+    }
+
+    fn rows_materialized(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    fn peak_rows(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn row_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn row_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn invalidate_source(&self, u: NodeId) {
+        assert!(u.0 < self.n, "node out of bounds");
+        let mut rows = self.rows.write().unwrap_or_else(PoisonError::into_inner);
+        if rows[u.0].take().is_some() {
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Node count above which [`provider_for`] (and `Network::build`) stop
+/// precomputing the dense matrix: beyond this, the `n²` arrays dominate
+/// memory while a typical solve touches few sources. At the threshold
+/// the dense matrix is ~25 MB; it quadruples per doubling.
+pub const LAZY_THRESHOLD: usize = 1024;
+
+/// How a provider should be chosen for a graph.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum DistanceMode {
+    /// Size dispatch: dense below [`LAZY_THRESHOLD`] nodes, lazy above.
+    #[default]
+    Auto,
+    /// Always precompute the full matrix (Floyd–Warshall on dense
+    /// graphs, per-source Dijkstra on sparse ones).
+    Dense,
+    /// Always the on-demand CSR provider.
+    Lazy,
+}
+
+impl std::str::FromStr for DistanceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DistanceMode, String> {
+        match s {
+            "auto" => Ok(DistanceMode::Auto),
+            "dense" => Ok(DistanceMode::Dense),
+            "lazy" => Ok(DistanceMode::Lazy),
+            other => Err(format!("unknown distance mode `{other}`")),
+        }
+    }
+}
+
+/// Builds the distance provider for `graph` under `mode`. `Auto` keeps
+/// the historical density dispatch (Floyd–Warshall vs per-source
+/// Dijkstra) below [`LAZY_THRESHOLD`] nodes and goes lazy above it.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from the dense APSP builders (which never
+/// fail on valid graphs today).
+pub fn provider_for(
+    graph: &Graph,
+    mode: DistanceMode,
+) -> Result<Arc<dyn DistanceProvider>, GraphError> {
+    let n = graph.node_count();
+    match mode {
+        DistanceMode::Lazy => Ok(Arc::new(LazyDistances::new(graph))),
+        DistanceMode::Auto if n > LAZY_THRESHOLD => Ok(Arc::new(LazyDistances::new(graph))),
+        DistanceMode::Auto | DistanceMode::Dense => {
+            // Dense dispatch: Dijkstra-per-row beats Floyd–Warshall's
+            // O(n³) whenever the graph is sparse (|E| * 8 < n²).
+            if graph.edge_count() * 8 < n * n {
+                Ok(Arc::new(graph.all_pairs_shortest_paths_sparse()?))
+            } else {
+                Ok(Arc::new(graph.all_pairs_shortest_paths()?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 7.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 9.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(4), 14.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 10.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 15.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 11.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 2.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 6.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn lazy_is_bit_identical_to_the_sparse_matrix() {
+        let g = sample();
+        let dense = g.all_pairs_shortest_paths_sparse().unwrap();
+        let lazy = LazyDistances::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                // Not approximate: Option<f64> equality, tie-breaks included.
+                assert_eq!(
+                    DistanceProvider::distance(&dense, s, t),
+                    lazy.distance(s, t),
+                    "distance {s:?}->{t:?}"
+                );
+                assert_eq!(
+                    DistanceProvider::path(&dense, s, t),
+                    lazy.path(s, t),
+                    "path {s:?}->{t:?}"
+                );
+            }
+        }
+        assert_eq!(lazy.rows_materialized(), 5);
+        assert_eq!(lazy.peak_rows(), 5);
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_and_rows() {
+        let g = sample();
+        let lazy = LazyDistances::new(&g);
+        assert_eq!(lazy.rows_materialized(), 0);
+        assert_eq!(lazy.kind(), ProviderKind::Lazy);
+        lazy.distance(NodeId(0), NodeId(3));
+        assert_eq!((lazy.row_hits(), lazy.row_misses()), (0, 1));
+        lazy.distance(NodeId(0), NodeId(4));
+        assert_eq!((lazy.row_hits(), lazy.row_misses()), (1, 1));
+        assert_eq!(lazy.rows_materialized(), 1);
+    }
+
+    #[test]
+    fn invalidate_source_drops_one_row_and_recomputes() {
+        let g = sample();
+        let lazy = LazyDistances::new(&g);
+        lazy.distance(NodeId(0), NodeId(3));
+        lazy.distance(NodeId(1), NodeId(3));
+        assert_eq!(lazy.rows_materialized(), 2);
+        lazy.invalidate_source(NodeId(0));
+        assert_eq!(lazy.rows_materialized(), 1);
+        // Idempotent on an absent row.
+        lazy.invalidate_source(NodeId(0));
+        assert_eq!(lazy.rows_materialized(), 1);
+        assert_eq!(lazy.distance(NodeId(0), NodeId(3)), Some(17.0));
+        assert_eq!(lazy.rows_materialized(), 2);
+        assert_eq!(lazy.peak_rows(), 2);
+    }
+
+    #[test]
+    fn aggregates_match_dense_and_skip_unreachable_pairs() {
+        // Two components: the disconnected-graph contract (satellite) —
+        // unreachable pairs are skipped by the average and the diameter.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 3.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 4.0).unwrap();
+        let dense = g.all_pairs_shortest_paths().unwrap();
+        let lazy = LazyDistances::new(&g);
+        assert!((DistanceMatrix::average_distance(&dense) - 3.5).abs() < 1e-12);
+        assert!((lazy.average_distance() - 3.5).abs() < 1e-12);
+        assert!((DistanceMatrix::diameter(&dense) - 4.0).abs() < 1e-12);
+        assert!((lazy.diameter() - 4.0).abs() < 1e-12);
+        // Aggregates stream: nothing stays resident, counters untouched.
+        assert_eq!(lazy.rows_materialized(), 0);
+        assert_eq!((lazy.row_hits(), lazy.row_misses()), (0, 0));
+    }
+
+    #[test]
+    fn empty_and_singleton_aggregates_are_zero() {
+        let lazy = LazyDistances::new(&Graph::new(0));
+        assert_eq!(lazy.average_distance(), 0.0);
+        let one = LazyDistances::new(&Graph::new(1));
+        assert_eq!(one.average_distance(), 0.0);
+        assert_eq!(one.diameter(), 0.0);
+        assert_eq!(one.distance(NodeId(0), NodeId(0)), Some(0.0));
+        assert_eq!(one.path(NodeId(0), NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn a_tripped_token_interrupts_row_computation() {
+        let g = sample();
+        let lazy = LazyDistances::new(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            lazy.try_distance(NodeId(0), NodeId(3), Some(&token)),
+            Err(Cancelled)
+        );
+        // The failed row was not cached; a live query still works.
+        assert_eq!(lazy.rows_materialized(), 0);
+        assert_eq!(lazy.distance(NodeId(0), NodeId(3)), Some(17.0));
+    }
+
+    #[test]
+    fn auto_dispatch_picks_dense_small_and_lazy_large() {
+        let g = sample();
+        let p = provider_for(&g, DistanceMode::Auto).unwrap();
+        assert_eq!(p.kind(), ProviderKind::Dense);
+        let forced = provider_for(&g, DistanceMode::Lazy).unwrap();
+        assert_eq!(forced.kind(), ProviderKind::Lazy);
+        let big = Graph::new(LAZY_THRESHOLD + 1);
+        let p = provider_for(&big, DistanceMode::Auto).unwrap();
+        assert_eq!(p.kind(), ProviderKind::Lazy);
+        let p = provider_for(&big, DistanceMode::Dense).unwrap();
+        assert_eq!(p.kind(), ProviderKind::Dense);
+        assert!("fancy".parse::<DistanceMode>().is_err());
+        assert_eq!("lazy".parse::<DistanceMode>(), Ok(DistanceMode::Lazy));
+    }
+
+    #[test]
+    fn out_of_bounds_nodes_panic_like_the_matrix() {
+        let lazy = LazyDistances::new(&sample());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lazy.distance(NodeId(0), NodeId(99))
+        }));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lazy.distance(NodeId(99), NodeId(0))
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`Graph::steiner_exact`] — exponential brute force over Steiner-node
 //!   subsets, the test oracle for approximation-ratio assertions.
 
+use crate::cancel::CancelToken;
+use crate::provider::DistanceProvider;
 use crate::union_find::UnionFind;
 use crate::{EdgeId, Graph, GraphError, NodeId};
 use std::collections::BTreeSet;
@@ -174,10 +176,8 @@ impl Graph {
 
     /// KMB Steiner tree using a pre-computed all-pairs distance matrix for
     /// the metric closure and path expansion, instead of per-terminal
-    /// Dijkstra runs. Produces the same approximation guarantee as
-    /// [`Graph::steiner_kmb`]; much faster when many trees are built over
-    /// the same graph (the paper's stage 1 builds one per candidate
-    /// last-VNF node).
+    /// Dijkstra runs. Equivalent to [`Graph::steiner_kmb_with_provider`]
+    /// with no cancellation token.
     ///
     /// # Errors
     ///
@@ -188,6 +188,28 @@ impl Graph {
         &self,
         dist: &crate::DistanceMatrix,
         terminals: &[NodeId],
+    ) -> Result<SteinerTree, GraphError> {
+        self.steiner_kmb_with_provider(dist, terminals, None)
+    }
+
+    /// KMB Steiner tree over any [`DistanceProvider`] — the dense matrix
+    /// or the lazy CSR provider — with an optional cancellation token
+    /// polled inside any on-demand row computation. Produces the same
+    /// approximation guarantee as [`Graph::steiner_kmb`]; much faster when
+    /// many trees are built over the same graph (the paper's stage 1
+    /// builds one per candidate last-VNF node).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::steiner_kmb`], plus
+    /// [`GraphError::Cancelled`] when `cancel` trips mid-construction. The
+    /// provider must belong to this graph (same node count), otherwise
+    /// [`GraphError::NodeOutOfBounds`] is returned.
+    pub fn steiner_kmb_with_provider<D: DistanceProvider + ?Sized>(
+        &self,
+        dist: &D,
+        terminals: &[NodeId],
+        cancel: Option<&CancelToken>,
     ) -> Result<SteinerTree, GraphError> {
         if dist.node_count() != self.node_count() {
             return Err(GraphError::NodeOutOfBounds {
@@ -210,7 +232,7 @@ impl Graph {
         in_tree[0] = true;
         for j in 1..k {
             let d = dist
-                .distance(terms[0], terms[j])
+                .try_distance(terms[0], terms[j], cancel)?
                 .ok_or(GraphError::Disconnected)?;
             best[j] = (d, 0);
         }
@@ -230,7 +252,7 @@ impl Graph {
             for m in 0..k {
                 if !in_tree[m] {
                     let d = dist
-                        .distance(terms[j], terms[m])
+                        .try_distance(terms[j], terms[m], cancel)?
                         .ok_or(GraphError::Disconnected)?;
                     if d < best[m].0 {
                         best[m] = (d, j);
@@ -239,11 +261,11 @@ impl Graph {
             }
         }
 
-        // Expand closure edges into shortest paths from the matrix.
+        // Expand closure edges into shortest paths from the provider.
         let mut chosen: BTreeSet<EdgeId> = BTreeSet::new();
         for (a, b) in closure_edges {
             let path = dist
-                .path(terms[a], terms[b])
+                .try_path(terms[a], terms[b], cancel)?
                 .ok_or(GraphError::Disconnected)?;
             for id in self.path_edges(&path)? {
                 chosen.insert(id);
@@ -639,6 +661,42 @@ mod tests {
             assert!(a.cost <= 2.0 * opt.cost + 1e-9);
             assert!(b.cost <= 2.0 * opt.cost + 1e-9);
         }
+    }
+
+    #[test]
+    fn provider_kmb_is_bit_identical_across_dense_and_lazy() {
+        let g = grid(4, 4, |i| 1.0 + ((i * 7) % 5) as f64 * 0.3);
+        // The sparse-built matrix and the lazy provider share the same
+        // per-source Dijkstra, so the trees must match exactly — edge ids
+        // and cost bits, not just within tolerance.
+        let dense = g.all_pairs_shortest_paths_sparse().unwrap();
+        let lazy = crate::LazyDistances::new(&g);
+        for terms in [
+            vec![NodeId(0), NodeId(15)],
+            vec![NodeId(0), NodeId(3), NodeId(12), NodeId(15)],
+            vec![NodeId(5), NodeId(6), NodeId(9), NodeId(10), NodeId(0)],
+        ] {
+            let a = g.steiner_kmb_with_provider(&dense, &terms, None).unwrap();
+            let b = g.steiner_kmb_with_provider(&lazy, &terms, None).unwrap();
+            assert_eq!(a, b, "terminals {terms:?}");
+        }
+    }
+
+    #[test]
+    fn provider_kmb_propagates_cancellation() {
+        let g = grid(4, 4, |_| 1.0);
+        let lazy = crate::LazyDistances::new(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            g.steiner_kmb_with_provider(&lazy, &[NodeId(0), NodeId(15)], Some(&token)),
+            Err(GraphError::Cancelled)
+        );
+        // The dense matrix has nothing to cancel: it still answers.
+        let dense = g.all_pairs_shortest_paths_sparse().unwrap();
+        assert!(g
+            .steiner_kmb_with_provider(&dense, &[NodeId(0), NodeId(15)], Some(&token))
+            .is_ok());
     }
 
     #[test]

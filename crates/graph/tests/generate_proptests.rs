@@ -1,0 +1,106 @@
+//! Property-based tests for the topology generators ([`sft_graph::generate`]).
+//!
+//! Every family must satisfy three invariants across its parameter space:
+//! seeded determinism (same seed ⇒ identical topology), connectivity after
+//! augmentation, and the family's structural node/edge-count laws.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sft_graph::generate::{euclidean_er, fat_tree, grid, random_geometric, waxman};
+use sft_graph::Graph;
+
+/// Edge multiset fingerprint: (u, v, weight-bits) sorted. Two graphs with
+/// equal fingerprints are identical for our purposes.
+fn fingerprint(g: &Graph) -> Vec<(usize, usize, u64)> {
+    let mut edges: Vec<_> = g
+        .edges()
+        .map(|e| (e.u.0.min(e.v.0), e.u.0.max(e.v.0), e.weight.to_bits()))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn euclidean_er_is_deterministic_connected_and_sized(
+        n in 1usize..40,
+        p_mil in 0u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let p = p_mil as f64 / 1000.0;
+        let a = euclidean_er(n, p, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = euclidean_er(n, p, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.positions.clone(), b.positions.clone());
+        prop_assert_eq!(fingerprint(&a.graph), fingerprint(&b.graph));
+        prop_assert_eq!(a.graph.node_count(), n);
+        prop_assert!(a.graph.is_connected());
+        // Connectivity needs at least a spanning tree; ER sampling caps at
+        // the complete graph.
+        prop_assert!(a.graph.edge_count() >= n - 1);
+        prop_assert!(a.graph.edge_count() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_connected_and_sized(
+        n in 1usize..40,
+        radius_pct in 1u64..100,
+        seed in 0u64..10_000,
+    ) {
+        let radius = radius_pct as f64;
+        let a = random_geometric(n, radius, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = random_geometric(n, radius, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.positions.clone(), b.positions.clone());
+        prop_assert_eq!(fingerprint(&a.graph), fingerprint(&b.graph));
+        prop_assert_eq!(a.graph.node_count(), n);
+        prop_assert!(a.graph.is_connected());
+        prop_assert!(a.graph.edge_count() >= n - 1 || n == 1);
+    }
+
+    #[test]
+    fn waxman_is_deterministic_connected_and_sized(
+        n in 1usize..40,
+        alpha_pct in 1u64..100,
+        beta_mil in 0u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let beta = beta_mil as f64 / 1000.0;
+        let a = waxman(n, alpha, beta, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = waxman(n, alpha, beta, 100.0, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.positions.clone(), b.positions.clone());
+        prop_assert_eq!(fingerprint(&a.graph), fingerprint(&b.graph));
+        prop_assert_eq!(a.graph.node_count(), n);
+        prop_assert!(a.graph.is_connected());
+        prop_assert!(a.graph.edge_count() <= n.saturating_mul(n - 1) / 2 || n == 1);
+        // Every edge weight is the Euclidean distance of its endpoints.
+        for e in a.graph.edges() {
+            let d = a.distance(e.u, e.v).max(f64::MIN_POSITIVE);
+            prop_assert!((e.weight - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_obeys_lattice_counts(rows in 1usize..12, cols in 1usize..12) {
+        let g = grid(rows, cols, 1.5).unwrap();
+        prop_assert_eq!(g.node_count(), rows * cols);
+        prop_assert_eq!(g.edge_count(), rows * (cols - 1) + cols * (rows - 1));
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn fat_tree_obeys_structural_counts(half in 1usize..5) {
+        let k = 2 * half;
+        let g = fat_tree(k, 2.0).unwrap();
+        // (k/2)² cores + k pods × k switches + (k/2)²·k hosts.
+        let switches = half * half + k * k;
+        let hosts = half * half * k;
+        prop_assert_eq!(g.node_count(), switches + hosts);
+        // Edges: core↔agg k·(k/2)·(k/2), agg↔edge k·(k/2)², edge↔host
+        // k·(k/2)².
+        prop_assert_eq!(g.edge_count(), 3 * k * half * half);
+        prop_assert!(g.is_connected());
+    }
+}

@@ -31,15 +31,20 @@
 //! live work.
 //!
 //! Shutdown is graceful by construction: the wire line
-//! `{"op":"shutdown"}` (or [`ServerHandle::shutdown`]) closes the queue;
-//! workers drain what was already admitted, then exit; readers answer
-//! later requests with `shutting_down`.
+//! `{"op":"shutdown"}` (or [`ServerHandle::shutdown`]) closes the queue
+//! and trips the shared drain [`CancelToken`]; workers answer what was
+//! already admitted (in-flight solves are cancelled at their next poll
+//! and answered `shutting_down`), then exit; readers answer later
+//! requests with `shutting_down`. Every solve runs under a child of the
+//! drain token carrying that job's deadline, so deadline expiry likewise
+//! interrupts a solve mid-flight instead of waiting it out.
 
 use crate::admission::{AdmissionConfig, JobQueue};
 use crate::ledger::{CapacityLedger, CommitRecord, CommitRejection};
 use crate::protocol::{EmbedResponse, Request, RequestMode};
 use crate::service::{EmbedService, ServiceError};
-use sft_core::{MulticastTask, Network};
+use sft_core::{CoreError, MulticastTask, Network};
+use sft_graph::CancelToken;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -136,6 +141,10 @@ struct Shared {
     ledger: CapacityLedger,
     queue: JobQueue<Job>,
     draining: AtomicBool,
+    /// The drain token: every in-flight solve runs under a child of this
+    /// token (with the job's own deadline), so initiating a drain
+    /// interrupts solves at their next poll instead of waiting them out.
+    drain: CancelToken,
     config: ServerConfig,
     /// Jobs shed because their deadline expired while queued.
     shed_jobs: AtomicU64,
@@ -144,9 +153,11 @@ struct Shared {
 }
 
 impl Shared {
-    /// Stops accepting work; already-admitted jobs still drain.
+    /// Stops accepting work; already-admitted jobs still drain, but any
+    /// solve in flight is cancelled at its next poll point.
     fn initiate_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+        self.drain.cancel();
         self.queue.close();
     }
 
@@ -385,6 +396,7 @@ pub fn serve(service: EmbedService, addr: &str, config: ServerConfig) -> io::Res
         service: RwLock::new(service),
         queue: JobQueue::new(config.admission.queue_bound),
         draining: AtomicBool::new(false),
+        drain: CancelToken::new(),
         config,
         shed_jobs: AtomicU64::new(0),
         conflicts: AtomicU64::new(0),
@@ -634,22 +646,32 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Solves one admitted job. Quotes run under the read lock and report
-/// `deadline_exceeded` if the (non-cancellable) solve overran — nothing
-/// was mutated. Commits go through the transactional path, where the
-/// deadline is re-checked *before* any mutation.
+/// Solves one admitted job under a child of the drain token carrying the
+/// job's deadline, so both deadline expiry and a drain interrupt the
+/// solve at its next poll point instead of waiting it out. Quotes run
+/// under the read lock — a cancelled quote has mutated nothing. Commits
+/// go through the transactional path, where the deadline is re-checked
+/// *before* any mutation.
 fn run_job(job: &Job, shared: &Arc<Shared>) -> EmbedResponse {
     match &job.kind {
         JobKind::Embed {
             task,
             mode: RequestMode::Quote,
         } => {
-            let result = shared.read_service().solve_uncommitted(task);
+            let cancel = shared.drain.child(job.deadline);
+            let result = shared
+                .read_service()
+                .solve_uncommitted_cancellable(task, Some(&cancel));
             if job_expired(job) {
                 return expired_response(job);
             }
             match result {
                 Ok(r) => EmbedResponse::success(job.id, &r, false),
+                // Not expired (checked above), so the cancellation came
+                // from the drain side of the token.
+                Err(ServiceError::Core(CoreError::Cancelled)) => {
+                    EmbedResponse::failure(job.id, &ServiceError::ShuttingDown)
+                }
                 Err(e) => EmbedResponse::failure(job.id, &e),
             }
         }
@@ -720,13 +742,25 @@ fn commit_job(job: &Job, task: &MulticastTask, shared: &Arc<Shared>) -> EmbedRes
         let solved = {
             let service = shared.read_service();
             let snapshot = shared.ledger.snapshot();
-            service.solve_uncommitted(task).map(|result| {
-                let delta = service.network().commit_delta(task, &result.embedding);
-                (snapshot, result, delta)
-            })
+            let cancel = shared.drain.child(job.deadline);
+            service
+                .solve_uncommitted_cancellable(task, Some(&cancel))
+                .map(|result| {
+                    let delta = service.network().commit_delta(task, &result.embedding);
+                    (snapshot, result, delta)
+                })
         };
         let (snapshot, result, delta) = match solved {
             Ok(s) => s,
+            // A cancelled solve mutated nothing: report the deadline if
+            // the job's budget ran out, otherwise the drain tripped it.
+            Err(ServiceError::Core(CoreError::Cancelled)) => {
+                return if job_expired(job) {
+                    expired_response(job)
+                } else {
+                    EmbedResponse::failure(job.id, &ServiceError::ShuttingDown)
+                };
+            }
             Err(e) => return EmbedResponse::failure(job.id, &e),
         };
         // Phase 2+3: the atomic apply. Deadline and versions re-checked
@@ -895,26 +929,27 @@ mod tests {
     fn wire_shutdown_drains_and_rejects_later_requests() {
         let (mut handle, addr) = start(3.0, ServerConfig::default());
         let (reader, mut writer) = connect(&addr).unwrap();
+        let mut reader = BufReader::new(reader);
+        // Wait the quote out before initiating the drain: once the drain
+        // token trips, even an in-flight solve is cancelled.
         writeln!(writer, "{}", request(1, 0)).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            matches!(
+                parse_response(line.trim()).unwrap().body,
+                ResponseBody::Ok { .. }
+            ),
+            "{line}"
+        );
         writeln!(writer, "{{\"op\":\"shutdown\",\"id\":99}}").unwrap();
         writer.flush().unwrap();
-        let mut reader = BufReader::new(reader);
-        let mut seen_ok = false;
-        let mut seen_draining = false;
-        for _ in 0..2 {
-            let mut line = String::new();
-            reader.read_line(&mut line).unwrap();
-            let resp = parse_response(line.trim()).unwrap();
-            match resp.body {
-                ResponseBody::Ok { .. } => seen_ok = true,
-                ResponseBody::Draining => {
-                    assert_eq!(resp.id, Some(99));
-                    seen_draining = true;
-                }
-                other => panic!("unexpected body {other:?}"),
-            }
-        }
-        assert!(seen_ok && seen_draining);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse_response(line.trim()).unwrap();
+        assert!(matches!(resp.body, ResponseBody::Draining), "{resp:?}");
+        assert_eq!(resp.id, Some(99));
         // A request after the drain is rejected, not dropped.
         writeln!(writer, "{}", request(2, 4)).unwrap();
         writer.flush().unwrap();
@@ -968,25 +1003,30 @@ mod tests {
             service: RwLock::new(service),
             queue: JobQueue::new(config.admission.queue_bound),
             draining: AtomicBool::new(false),
+            drain: CancelToken::new(),
             config,
             shed_jobs: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
         })
     }
 
-    fn commit_job_with_deadline(id: u64, source: usize, deadline: Option<Instant>) -> Job {
+    fn embed_job(id: u64, source: usize, mode: RequestMode, deadline: Option<Instant>) -> Job {
         Job {
             id: Some(id),
             kind: JobKind::Embed {
                 task: EmbedRequest::new(source, vec![(source + 3) % 10], vec![0, 1])
                     .to_task()
                     .unwrap(),
-                mode: RequestMode::Commit,
+                mode,
             },
             deadline_ms: deadline.map(|_| 5),
             deadline,
             reply: Arc::new(Mutex::new(Box::new(io::sink()))),
         }
+    }
+
+    fn commit_job_with_deadline(id: u64, source: usize, deadline: Option<Instant>) -> Job {
+        embed_job(id, source, RequestMode::Commit, deadline)
     }
 
     fn release_job_for(id: u64, session: u64) -> Job {
@@ -999,10 +1039,11 @@ mod tests {
         }
     }
 
-    /// The headline regression: a commit whose deadline expires after the
-    /// solve (here: before the job even starts, so expiry is guaranteed
-    /// at validate time) must answer `deadline_exceeded` AND leave the
-    /// network byte-identical — never the old commit-then-reject leak.
+    /// The headline regression: a commit whose deadline expires must
+    /// answer `deadline_exceeded` AND leave the network byte-identical —
+    /// never the old commit-then-reject leak. (With cancellable solves
+    /// the expired token now aborts at the solver's first poll, before
+    /// validate even runs; the contract is the same.)
     #[test]
     fn post_solve_expired_commit_leaves_the_network_unchanged() {
         let shared = shared_for(3.0, ServerConfig::default());
@@ -1024,6 +1065,54 @@ mod tests {
         );
         assert_eq!(service.network().deployed_pairs(), before_pairs);
         assert_eq!(service.stats().commits, 0);
+        assert_eq!(shared.ledger.commit_count(), 0);
+    }
+
+    /// Deadline expiry cancels a quote *mid-solve*: the per-job child
+    /// token (already tripped here) aborts the solver at its first poll,
+    /// the client gets the `deadline` taxonomy error, and the solve never
+    /// completed — nothing was served, committed, or logged.
+    #[test]
+    fn expired_quote_is_cancelled_mid_solve_with_the_deadline_taxonomy() {
+        let shared = shared_for(3.0, ServerConfig::default());
+        let before_residual = shared.read_service().network().total_residual_capacity();
+        let before_pairs = shared.read_service().network().deployed_pairs();
+
+        let long_gone = Instant::now() - Duration::from_millis(50);
+        let job = embed_job(1, 0, RequestMode::Quote, Some(long_gone));
+        let response = run_job(&job, &shared);
+        match response.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+
+        let service = shared.read_service();
+        assert_eq!(
+            service.stats().tasks_served,
+            0,
+            "the solve was interrupted, not completed"
+        );
+        assert_eq!(service.network().total_residual_capacity(), before_residual);
+        assert_eq!(service.network().deployed_pairs(), before_pairs);
+        assert_eq!(shared.ledger.commit_count(), 0);
+    }
+
+    /// A drain cancels in-flight solves through the shared token: a job
+    /// with no deadline at all is interrupted and answered
+    /// `shutting_down`, for quotes and commits alike, with the network
+    /// and ledger untouched.
+    #[test]
+    fn drain_cancels_in_flight_solves_with_shutting_down() {
+        let shared = shared_for(3.0, ServerConfig::default());
+        shared.drain.cancel();
+        for mode in [RequestMode::Quote, RequestMode::Commit] {
+            let response = run_job(&embed_job(1, 0, mode, None), &shared);
+            match response.body {
+                ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+                other => panic!("expected shutting_down, got {other:?}"),
+            }
+        }
+        assert_eq!(shared.read_service().stats().commits, 0);
         assert_eq!(shared.ledger.commit_count(), 0);
     }
 

@@ -75,6 +75,10 @@ impl ServiceError {
             ServiceError::Core(e) => match e {
                 CoreError::Infeasible { .. } => ErrorCode::Infeasible,
                 CoreError::CapacityExceeded { .. } => ErrorCode::InsufficientCapacity,
+                // A cancelled solve surfaces as a missed deadline: the
+                // token only trips when the job's budget ran out (the
+                // drain path re-maps to ShuttingDown before reporting).
+                CoreError::Cancelled => ErrorCode::DeadlineExceeded,
                 CoreError::Graph(_) | CoreError::Lp(_) => ErrorCode::Internal,
                 _ => ErrorCode::InvalidTask,
             },
@@ -297,7 +301,27 @@ impl EmbedService {
     ///
     /// Solver errors for this task; the service stays usable.
     pub fn solve_uncommitted(&self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
-        let (result, ns) = self.timed_solve(task);
+        self.solve_uncommitted_cancellable(task, None)
+    }
+
+    /// [`EmbedService::solve_uncommitted`] with a cooperative
+    /// [`sft_graph::CancelToken`]: the token is threaded into the MSA
+    /// candidate sweep and lazy distance-row computation, so tripping it
+    /// (deadline expiry, queue shed, graceful drain) interrupts the solve
+    /// mid-flight. A cancelled solve returns
+    /// [`CoreError::Cancelled`] wrapped in [`ServiceError::Core`] and
+    /// leaves the network and caches semantically untouched.
+    ///
+    /// # Errors
+    ///
+    /// Solver errors for this task, including the cancellation outcome;
+    /// the service stays usable.
+    pub fn solve_uncommitted_cancellable(
+        &self,
+        task: &MulticastTask,
+        cancel: Option<&sft_graph::CancelToken>,
+    ) -> Result<SolveResult, ServiceError> {
+        let (result, ns) = self.timed_solve(task, cancel);
         self.note(&result, ns);
         result.map_err(ServiceError::Core)
     }
@@ -310,7 +334,7 @@ impl EmbedService {
     /// Solver errors for this task; the network is only mutated on
     /// success.
     pub fn solve_and_commit(&mut self, task: &MulticastTask) -> Result<SolveResult, ServiceError> {
-        let (result, ns) = self.timed_solve(task);
+        let (result, ns) = self.timed_solve(task, None);
         self.note(&result, ns);
         let result = result?;
         self.network.commit_embedding(task, &result.embedding)?;
@@ -380,12 +404,15 @@ impl EmbedService {
         let network = &self.network;
         let cache = &self.cache;
         let strategy = self.strategy;
-        let inner = self.options.with_parallelism(Parallelism::sequential());
+        let inner = self
+            .options
+            .clone()
+            .with_parallelism(Parallelism::sequential());
         let chunks = run_partitioned(self.options.parallelism, tasks.len(), |range| {
             range
                 .map(|i| {
                     let start = Instant::now();
-                    let r = solve_with_cache(network, &tasks[i], strategy, inner, cache);
+                    let r = solve_with_cache(network, &tasks[i], strategy, inner.clone(), cache);
                     (r, start.elapsed().as_nanos() as u64)
                 })
                 .collect::<Vec<_>>()
@@ -420,18 +447,26 @@ impl EmbedService {
             counters.latencies_ns.samples(),
         );
         stats.releases = counters.releases;
+        drop(counters);
+        let dist = self.network.dist();
+        stats.distance_provider = dist.kind().as_str();
+        stats.distance_rows = dist.rows_materialized();
+        stats.distance_row_hits = dist.row_hits();
+        stats.distance_row_misses = dist.row_misses();
         stats
     }
 
-    fn timed_solve(&self, task: &MulticastTask) -> (Result<SolveResult, CoreError>, u64) {
+    fn timed_solve(
+        &self,
+        task: &MulticastTask,
+        cancel: Option<&sft_graph::CancelToken>,
+    ) -> (Result<SolveResult, CoreError>, u64) {
         let start = Instant::now();
-        let result = solve_with_cache(
-            &self.network,
-            task,
-            self.strategy,
-            self.options,
-            &self.cache,
-        );
+        let mut options = self.options.clone();
+        if let Some(token) = cancel {
+            options.cancel = Some(token.clone());
+        }
+        let result = solve_with_cache(&self.network, task, self.strategy, options, &self.cache);
         (result, start.elapsed().as_nanos() as u64)
     }
 

@@ -39,6 +39,19 @@ pub struct ServiceStats {
     /// Commit attempts that lost their optimistic-concurrency race and
     /// re-solved (socket server only; 0 elsewhere).
     pub commit_conflicts: u64,
+    /// Which distance provider backs the network: `"dense"` (full matrix
+    /// precomputed at build) or `"lazy"` (CSR-backed per-source rows
+    /// materialized on demand).
+    pub distance_provider: &'static str,
+    /// Distance rows currently resident (always `n` for dense; the number
+    /// of memoized sources for lazy).
+    pub distance_rows: u64,
+    /// Lazy row lookups served from an already-materialized row (0 for
+    /// dense).
+    pub distance_row_hits: u64,
+    /// Lazy row lookups that had to run a fresh per-source Dijkstra (0
+    /// for dense).
+    pub distance_row_misses: u64,
 }
 
 impl ServiceStats {
@@ -74,6 +87,10 @@ impl ServiceStats {
             mean_ms,
             jobs_shed: 0,
             commit_conflicts: 0,
+            distance_provider: "dense",
+            distance_rows: 0,
+            distance_row_hits: 0,
+            distance_row_misses: 0,
         }
     }
 
@@ -105,6 +122,14 @@ impl ServiceStats {
             self.cache_misses,
             100.0 * self.cache_hit_rate(),
             self.cache_evictions
+        );
+        let _ = writeln!(
+            out,
+            "distance layer : {} provider, {} rows resident, {} row hits / {} row misses",
+            self.distance_provider,
+            self.distance_rows,
+            self.distance_row_hits,
+            self.distance_row_misses
         );
         let _ = writeln!(
             out,
@@ -166,6 +191,7 @@ mod tests {
         assert!(text.contains("hit rate 75.0%"));
         assert!(text.contains("3 evictions"));
         assert!(text.contains("apsp builds    : 1"));
+        assert!(text.contains("distance layer : dense provider"));
     }
 
     #[test]

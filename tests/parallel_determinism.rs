@@ -47,7 +47,7 @@ proptest! {
                         &s.network,
                         &s.task,
                         algo,
-                        SolveOptions { stage_two, parallelism },
+                        SolveOptions { stage_two, parallelism, ..SolveOptions::default() },
                         &mut rng,
                     )
                     .unwrap()

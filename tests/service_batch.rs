@@ -70,7 +70,7 @@ proptest! {
         let (network, mut tasks) = shared_workload(nodes, &config, n_tasks);
         // Duplicate the stream so the second half is served from cache.
         tasks.extend(tasks.clone());
-        let options = SolveOptions { stage_two, parallelism: Parallelism::new(threads) };
+        let options = SolveOptions { stage_two, parallelism: Parallelism::new(threads), ..SolveOptions::default() };
         let mut svc = EmbedService::new(network.clone(), Algo::Msa, options).unwrap();
         let batch = svc.submit_batch(&tasks, BatchMode::Independent);
         prop_assert_eq!(batch.len(), tasks.len());
@@ -81,7 +81,7 @@ proptest! {
                 &network,
                 t,
                 Algo::Msa,
-                SolveOptions { stage_two, parallelism: Parallelism::sequential() },
+                SolveOptions { stage_two, parallelism: Parallelism::sequential(), ..SolveOptions::default() },
             )
             .unwrap();
             prop_assert_eq!(&want.embedding, &got.embedding, "threads={}", threads);

@@ -11,6 +11,10 @@
 //! * `churn/ring_4conn/wave` — criterion-timed full waves; the median
 //!   yields sustained sessions/sec (one session = one commit + one
 //!   release round trip);
+//! * `churn/ring_4conn_bw/wave` — the same waves on a ring whose links
+//!   carry a bandwidth capacity, every session demanding link bandwidth:
+//!   the price of per-edge residual tracking, version vectors, and the
+//!   occasional bandwidth refusal on the same hot path;
 //! * a separate pass times [`ServerHandle::defrag`] over a fragmented
 //!   set of live sessions.
 //!
@@ -32,13 +36,22 @@ const WINDOW: usize = 6;
 const WORKERS: usize = 4;
 const CAPACITY: f64 = 3.0;
 
+/// Link bandwidth for the capacitated point: wide enough that most
+/// sliding-window sessions admit, tight enough that refusals do occur.
+const LINK_BW: f64 = 4.0;
+
 fn ring_network() -> Network {
+    ring(None)
+}
+
+fn ring(link_bw: Option<f64>) -> Network {
     let mut g = Graph::new(NODES);
     for i in 0..NODES {
-        g.add_edge(
+        g.add_edge_with_capacity(
             NodeId(i),
             NodeId((i + 1) % NODES),
             1.0 + (i % 3) as f64 * 0.2,
+            link_bw,
         )
         .unwrap();
     }
@@ -52,7 +65,11 @@ fn ring_network() -> Network {
 }
 
 fn start_server() -> ServerHandle {
-    let svc = EmbedService::with_defaults(ring_network());
+    start_server_on(ring_network())
+}
+
+fn start_server_on(network: Network) -> ServerHandle {
+    let svc = EmbedService::with_defaults(network);
     let config = ServerConfig {
         workers: WORKERS,
         commit_retries: 8,
@@ -64,7 +81,7 @@ fn start_server() -> ServerHandle {
 /// One client's share of a churn wave: sliding-window commit/release,
 /// then drain. Session ids are offset per wave so ledger stacks stay
 /// unambiguous across criterion samples.
-fn churn_client(addr: SocketAddr, client: usize, id_offset: u64) {
+fn churn_client(addr: SocketAddr, client: usize, id_offset: u64, with_bandwidth: bool) {
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
@@ -83,6 +100,10 @@ fn churn_client(addr: SocketAddr, client: usize, id_offset: u64) {
         let mut req = EmbedRequest::new(source, vec![dest], vec![s % 3, (s + 1) % 3]);
         req.id = Some(session);
         req.mode = Some(RequestMode::Commit);
+        if with_bandwidth {
+            // Deterministic per-session demands in [0.25, 1.0].
+            req.bandwidth = Some(0.25 + 0.25 * (s % 4) as f64);
+        }
         match send(&req.to_json()) {
             ResponseBody::Ok {
                 committed: true, ..
@@ -115,9 +136,13 @@ fn release(send: &mut dyn FnMut(&str) -> ResponseBody, session: u64) {
 
 /// One full churn wave (4 concurrent clients, drained at the end).
 fn wave(addr: SocketAddr, id_offset: u64) {
+    wave_bw(addr, id_offset, false);
+}
+
+fn wave_bw(addr: SocketAddr, id_offset: u64, with_bandwidth: bool) {
     std::thread::scope(|scope| {
         for c in 0..CLIENTS {
-            scope.spawn(move || churn_client(addr, c, id_offset));
+            scope.spawn(move || churn_client(addr, c, id_offset, with_bandwidth));
         }
     });
 }
@@ -139,6 +164,29 @@ fn bench_service_churn(c: &mut Criterion) {
     let seed = ring_network();
     let network = handle.network();
     assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+    handle.shutdown();
+    handle.join();
+
+    // The bandwidth-constrained point: identical waves on a capacitated
+    // ring, every session demanding link bandwidth.
+    let mut handle = start_server_on(ring(Some(LINK_BW)));
+    let addr = handle.local_addr().unwrap();
+    let mut offset = 0u64;
+    let mut group = c.benchmark_group("churn/ring_4conn_bw");
+    group.sample_size(10);
+    group.bench_function("wave", |b| {
+        b.iter(|| {
+            wave_bw(addr, offset, true);
+            offset += (CLIENTS * SESSIONS_PER_CLIENT) as u64;
+        });
+    });
+    group.finish();
+    // Drained waves also restore every link's bandwidth exactly.
+    let network = handle.network();
+    assert!(network.edge_usage().is_empty(), "bandwidth leaked");
+    for e in network.graph().edge_ids() {
+        assert_eq!(network.edge_residual(e), LINK_BW);
+    }
     handle.shutdown();
     handle.join();
 }
@@ -201,9 +249,12 @@ fn defrag_cost() -> (usize, u64, usize, usize) {
 
 fn write_report(c: &Criterion) {
     let mut wave_ns = None;
+    let mut bw_wave_ns = None;
     for s in c.summaries() {
-        if s.id.ends_with("/wave") {
+        if s.id == "churn/ring_4conn/wave" {
             wave_ns = Some(s.median_ns);
+        } else if s.id == "churn/ring_4conn_bw/wave" {
+            bw_wave_ns = Some(s.median_ns);
         }
     }
     let Some(wave_ns) = wave_ns else {
@@ -211,8 +262,16 @@ fn write_report(c: &Criterion) {
     };
     let (defrag_sessions, defrag_ns, instances_before, instances_after) = defrag_cost();
     let sessions = (CLIENTS * SESSIONS_PER_CLIENT) as f64;
+    let bandwidth_point = match bw_wave_ns {
+        Some(ns) => format!(
+            "{{ \"link_bw\": {LINK_BW}, \"demand_range\": [0.25, 1.0], \"wave_median_ms\": {:.3}, \"sessions_per_sec\": {:.1} }}",
+            ns / 1e6,
+            sessions / (ns / 1e9),
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": {{ \"topology\": \"ring12\", \"capacity\": {CAPACITY}, \"clients\": {CLIENTS}, \"sessions_per_client\": {SESSIONS_PER_CLIENT}, \"window\": {WINDOW} }},\n  \"server_workers\": {WORKERS},\n  \"wave_median_ms\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"requests_per_sec\": {:.1},\n  \"defrag\": {{ \"live_sessions\": {defrag_sessions}, \"pass_ms\": {:.3}, \"instances_before\": {instances_before}, \"instances_after\": {instances_after} }},\n  \"note\": \"one session = one commit + one release over TCP; wave = {CLIENTS} concurrent sliding-window clients, fully drained (network returns to seed every wave); defrag = one re-embed pass over a half-drained fragmented set\"\n}}\n",
+        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": {{ \"topology\": \"ring12\", \"capacity\": {CAPACITY}, \"clients\": {CLIENTS}, \"sessions_per_client\": {SESSIONS_PER_CLIENT}, \"window\": {WINDOW} }},\n  \"server_workers\": {WORKERS},\n  \"wave_median_ms\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"requests_per_sec\": {:.1},\n  \"bandwidth_constrained\": {bandwidth_point},\n  \"defrag\": {{ \"live_sessions\": {defrag_sessions}, \"pass_ms\": {:.3}, \"instances_before\": {instances_before}, \"instances_after\": {instances_after} }},\n  \"note\": \"one session = one commit + one release over TCP; wave = {CLIENTS} concurrent sliding-window clients, fully drained (network returns to seed every wave); bandwidth_constrained = same waves with per-session link-bandwidth demands on a capacitated ring; defrag = one re-embed pass over a half-drained fragmented set\"\n}}\n",
         wave_ns / 1e6,
         sessions / (wave_ns / 1e9),
         2.0 * sessions / (wave_ns / 1e9),

@@ -18,13 +18,19 @@ TOPOLOGIES (--topology):
   geo:<n>           random geometric, n nodes (use --seed)
   grid:<r>x<c>      r x c grid, unit costs
   fat-tree:<k>      k-ary fat-tree datacenter fabric
-  waxman:<n>[:seed] Waxman random WAN, n nodes, locality-biased edges
+  waxman:<n>[:seed][:bw]
+                    Waxman random WAN, n nodes, locality-biased edges
                     (an embedded seed overrides --seed, so the spec
-                    string alone pins the instance)
+                    string alone pins the instance; an optional third
+                    field puts bandwidth bw on every link)
 
 COMMON FLAGS:
   --seed <u64>          RNG seed (default 0)
   --capacity <f64>      per-server capacity (default 3)
+  --link-bw <f64>       uniform link bandwidth capacity on every edge
+                        (default none = uncapacitated links; tasks with
+                        a `bandwidth` field then consume link capacity
+                        and are refused rather than oversubscribe)
   --servers <n>         number of stride-spaced NFV server nodes
                         (default 0 = every node is a server)
   --setup-cost <f64>    uniform VNF setup cost (default 1)
@@ -106,6 +112,9 @@ protocol JSONL — pipe into `sft serve` or save for `sft client`):
   --hold <f64>          mean session lifetime (default 10); offered
                         load is rate*hold Erlangs
   --dests <n>           max destinations per task (default 3)
+  --bandwidth <f64>     per-session bandwidth demand, drawn uniformly
+                        from (0, this] per session (default none; the
+                        stream is byte-identical without the flag)
 
 EXAMPLES:
   sft info  --topology palmetto

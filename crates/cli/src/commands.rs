@@ -23,7 +23,17 @@ use std::time::{Duration, Instant};
 /// catalog size `k`.
 fn build_network(args: &Args) -> Result<(Network, usize), ParseError> {
     let seed: u64 = args.parse_or("seed", 0)?;
-    let graph = topology_spec::build(args.require("topology")?, seed)?;
+    let mut graph = topology_spec::build(args.require("topology")?, seed)?;
+    // --link-bw puts a uniform bandwidth capacity on every edge of any
+    // topology family; without it (and without a capacitated spec such
+    // as waxman:<n>:<seed>:<bw>) links stay uncapacitated and the whole
+    // stack behaves bit-identically to the legacy node-only model.
+    if let Some(raw) = args.get("link-bw") {
+        let bw: f64 = raw
+            .parse()
+            .map_err(|_| ParseError(format!("cannot parse --link-bw value `{raw}`")))?;
+        topology_spec::apply_uniform_bandwidth(&mut graph, bw)?;
+    }
     let capacity: f64 = args.parse_or("capacity", 3.0)?;
     let setup_cost: f64 = args.parse_or("setup-cost", 1.0)?;
     let distances: DistanceMode = args.parse_or("distances", DistanceMode::Auto)?;
@@ -443,6 +453,7 @@ pub fn serve_stream(
                                     session,
                                     freed.iter().map(|&(f, v)| (f.0, v.0)).collect(),
                                     held - freed.len(),
+                                    delta.total_bandwidth(),
                                 )
                             }
                             Err(e) => EmbedResponse::failure(id, &e),
@@ -567,7 +578,10 @@ pub fn serve(args: &Args) -> Result<String, ParseError> {
 /// `sft serve` or `sft client` drives the full session lifecycle; over a
 /// long horizon the offered load is `rate * hold` Erlangs, so residual
 /// capacity fluctuates around a steady state instead of draining
-/// monotonically.
+/// monotonically. With `--bandwidth <max>` each session also carries a
+/// per-session bandwidth demand drawn uniformly from `(0, max]` —
+/// deterministic under `--seed`, and omitted entirely without the flag
+/// so legacy streams stay byte-identical.
 ///
 /// # Errors
 ///
@@ -605,6 +619,19 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
             "--dests must be in 1..{n} for this topology"
         )));
     }
+    // --bandwidth <max>: give each session a per-session bandwidth demand
+    // drawn uniformly from (0, max], deterministic under --seed. Without
+    // the flag no demand is drawn and no `bandwidth` field is emitted, so
+    // legacy streams stay byte-identical.
+    let max_bandwidth: Option<f64> = args
+        .get("bandwidth")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|b| b.is_finite() && *b > 0.0)
+                .ok_or_else(|| ParseError(format!("cannot parse --bandwidth value `{raw}`")))
+        })
+        .transpose()?;
     let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
     // Inverse-CDF exponential sampling; 1-u keeps the argument positive.
     let exp = |mean: f64, rng: &mut StdRng| -(1.0 - rng.random::<f64>()).ln() * mean;
@@ -629,6 +656,12 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
         let mut req = protocol::EmbedRequest::new(source, others, sfc);
         req.id = Some(session);
         req.mode = Some(RequestMode::Commit);
+        if let Some(max) = max_bandwidth {
+            // 1-u keeps the demand strictly positive; two-decimal rounding
+            // keeps the JSONL readable, capped so it never exceeds `max`.
+            let raw = max * (1.0 - rng.random::<f64>());
+            req.bandwidth = Some(((raw * 100.0).ceil() / 100.0).min(max));
+        }
         events.push((clock, i, req.to_json()));
         let release = Request::Release {
             v: protocol::PROTOCOL_VERSION,
@@ -641,9 +674,13 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
     events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
 
     let mut out = String::new();
+    let bw_note = match max_bandwidth {
+        Some(max) => format!(", bandwidth (0, {max}]"),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "# {count} sessions, poisson arrivals (rate {rate}), exp holding (mean {hold}): {} Erlangs offered",
+        "# {count} sessions, poisson arrivals (rate {rate}), exp holding (mean {hold}){bw_note}: {} Erlangs offered",
         rate * hold
     );
     for (_, _, line) in events {
@@ -1051,6 +1088,75 @@ mod tests {
         assert!(lines[2].contains("\"setup\":0"), "{out}");
         assert!(lines[3].contains("\"status\":\"draining\""), "{out}");
         assert_eq!(svc.stats().commits, 2);
+    }
+
+    #[test]
+    fn workload_bandwidth_flag_adds_deterministic_demands() {
+        let base = "workload --topology grid:3x4 --count 15 --seed 4 --rate 2 --hold 3";
+        let plain = run(base).unwrap();
+        assert!(
+            !plain.contains("bandwidth"),
+            "legacy streams carry no bandwidth field: {plain}"
+        );
+        let capped = run(&format!("{base} --bandwidth 2.5")).unwrap();
+        let mut demands = 0usize;
+        for line in capped.lines().filter(|l| !l.starts_with('#')) {
+            if let Request::Embed(req) = protocol::parse_request(line).unwrap() {
+                let bw = req.bandwidth.expect("every session carries a demand");
+                assert!(bw > 0.0 && bw <= 2.5, "demand out of range: {bw}");
+                demands += 1;
+            }
+        }
+        assert_eq!(demands, 15);
+        assert_eq!(capped, run(&format!("{base} --bandwidth 2.5")).unwrap());
+        assert_ne!(capped, run(&format!("{base} --bandwidth 1.0")).unwrap());
+        assert!(run(&format!("{base} --bandwidth 0")).is_err());
+        assert!(run(&format!("{base} --bandwidth lots")).is_err());
+    }
+
+    /// The narrow-link lifecycle on the stdin channel: with `--link-bw`
+    /// saturating the only link, a second concurrent session is refused,
+    /// and releasing the first (freeing its bandwidth on the wire as
+    /// `bw_freed`) lets the same task commit again.
+    #[test]
+    fn link_bw_flag_saturates_refuses_and_recovers_on_release() {
+        let argv: Vec<String> = "serve --topology grid:1x2 --link-bw 1"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        let mut svc = build_service(&args).unwrap();
+        let input = "{\"id\": 1, \"source\": 0, \"dests\": [1], \"sfc\": [0], \"bandwidth\": 0.6}\n\
+                     {\"id\": 2, \"source\": 0, \"dests\": [1], \"sfc\": [0], \"bandwidth\": 0.6}\n\
+                     {\"op\": \"release\", \"session\": 1}\n\
+                     {\"id\": 4, \"source\": 0, \"dests\": [1], \"sfc\": [0], \"bandwidth\": 0.6}\n";
+        let mut out = Vec::new();
+        serve_stream(
+            &mut svc,
+            std::io::Cursor::new(input),
+            &mut out,
+            RequestMode::Commit,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"id\":1,\"status\":\"ok\""), "{out}");
+        // The saturated link cannot carry a second 0.6 demand: refused,
+        // not oversubscribed.
+        assert!(lines[1].contains("\"status\":\"error\""), "{out}");
+        assert!(
+            lines[1].contains("\"code\":\"infeasible\"")
+                || lines[1].contains("\"code\":\"insufficient_capacity\""),
+            "{out}"
+        );
+        // Releasing session 1 reports its bandwidth back on the wire.
+        assert!(lines[2].contains("\"status\":\"released\""), "{out}");
+        assert!(lines[2].contains("\"bw_freed\":0.6"), "{out}");
+        // The freed link admits the same demand again.
+        assert!(lines[3].contains("\"id\":4,\"status\":\"ok\""), "{out}");
+        let stats = svc.stats();
+        assert_eq!(stats.link_edges, 1, "one capacitated edge");
+        assert!(stats.render().contains("link util"), "{}", stats.render());
     }
 
     #[test]

@@ -84,11 +84,13 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
     }
     if let Some(rest) = spec.strip_prefix("waxman:") {
         // `waxman:<n>` seeds from --seed; `waxman:<n>:<seed>` embeds the
-        // seed in the spec so a topology string alone pins the instance.
-        let (n, embedded) = match rest.split_once(':') {
-            Some((n, s)) => (n, Some(s)),
-            None => (rest, None),
-        };
+        // seed in the spec so a topology string alone pins the instance;
+        // `waxman:<n>:<seed>:<bw>` additionally gives every link a
+        // uniform bandwidth capacity, pinning the capacitated instance.
+        let mut parts = rest.splitn(3, ':');
+        let n = parts.next().unwrap_or("");
+        let embedded = parts.next();
+        let bandwidth = parts.next();
         let n: usize = n
             .parse()
             .map_err(|_| ParseError(format!("bad node count in `{spec}`")))?;
@@ -98,6 +100,14 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
                 .map_err(|_| ParseError(format!("bad seed in `{spec}`")))?;
             rng = StdRng::seed_from_u64(s);
         }
+        let bandwidth: Option<f64> = bandwidth
+            .map(|b| {
+                b.parse::<f64>()
+                    .ok()
+                    .filter(|b| b.is_finite() && *b > 0.0)
+                    .ok_or_else(|| ParseError(format!("bad link bandwidth in `{spec}`")))
+            })
+            .transpose()?;
         // Density defaults tuned for scale: beta fixed at the customary
         // 0.4, alpha chosen so the expected degree (~4*pi*alpha^2*beta*n
         // for locality-dominated alpha) tracks 2*ln(n) — enough that the
@@ -106,13 +116,39 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
         let beta = 0.4;
         let degree = 2.0 * (n.max(2) as f64).ln();
         let alpha = (degree / (4.0 * std::f64::consts::PI * beta * n.max(1) as f64)).sqrt();
-        return generate::waxman(n, alpha, beta, 100.0, &mut rng)
+        let mut graph = generate::waxman(n, alpha, beta, 100.0, &mut rng)
             .map(|t| t.graph)
-            .map_err(|e| ParseError(format!("cannot generate `{spec}`: {e}")));
+            .map_err(|e| ParseError(format!("cannot generate `{spec}`: {e}")))?;
+        if let Some(bw) = bandwidth {
+            apply_uniform_bandwidth(&mut graph, bw)?;
+        }
+        return Ok(graph);
     }
     Err(ParseError(format!(
-        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>, waxman:<n>[:seed])"
+        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>, waxman:<n>[:seed][:bw])"
     )))
+}
+
+/// Gives every edge of `graph` the same bandwidth capacity — the
+/// `--link-bw` flag and the `waxman:<n>:<seed>:<bw>` spec suffix both
+/// funnel through here.
+///
+/// # Errors
+///
+/// [`ParseError`] when the bandwidth is not a positive finite number.
+pub fn apply_uniform_bandwidth(graph: &mut Graph, bandwidth: f64) -> Result<(), ParseError> {
+    if !bandwidth.is_finite() || bandwidth <= 0.0 {
+        return Err(ParseError(format!(
+            "link bandwidth must be positive and finite (got {bandwidth})"
+        )));
+    }
+    let edges: Vec<_> = graph.edge_ids().collect();
+    for e in edges {
+        graph
+            .set_edge_capacity(e, Some(bandwidth))
+            .map_err(|e| ParseError(e.to_string()))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -166,6 +202,32 @@ mod tests {
     }
 
     #[test]
+    fn waxman_bandwidth_suffix_capacitates_every_link() {
+        let plain = build("waxman:30:7", 0).unwrap();
+        assert!(!plain.has_edge_capacities());
+        let capped = build("waxman:30:7:2.5", 0).unwrap();
+        assert_eq!(capped.edge_count(), plain.edge_count());
+        assert!((capped.total_weight() - plain.total_weight()).abs() < 1e-12);
+        for e in capped.edge_ids() {
+            assert_eq!(capped.edge_capacity(e), Some(2.5));
+        }
+    }
+
+    #[test]
+    fn uniform_bandwidth_helper_validates() {
+        let mut g = build("grid:2x2", 0).unwrap();
+        assert!(apply_uniform_bandwidth(&mut g, 0.0).is_err());
+        assert!(apply_uniform_bandwidth(&mut g, -1.0).is_err());
+        assert!(apply_uniform_bandwidth(&mut g, f64::INFINITY).is_err());
+        assert!(
+            !g.has_edge_capacities(),
+            "failed applies leave no capacities"
+        );
+        apply_uniform_bandwidth(&mut g, 4.0).unwrap();
+        assert!(g.edge_ids().all(|e| g.edge_capacity(e) == Some(4.0)));
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         for bad in [
             "",
@@ -182,6 +244,9 @@ mod tests {
             "waxman:x",
             "waxman:0",
             "waxman:10:x",
+            "waxman:10:1:x",
+            "waxman:10:1:0",
+            "waxman:10:1:-2",
         ] {
             assert!(build(bad, 0).is_err(), "`{bad}` should fail");
         }

@@ -1,0 +1,116 @@
+//! Bandwidth-free streams are a strict no-op of the resource-model
+//! refactor: on an uncapacitated topology, tasks without a `bandwidth`
+//! field must produce *byte-identical* output to the pre-refactor
+//! service, on both the batch and the socket channel.
+//!
+//! The anchor is `tests/golden/palmetto_batch_pre.jsonl` — the literal
+//! `sft batch --topology palmetto --tasks examples/palmetto_tasks.jsonl`
+//! output captured before edges learned capacities. Response lines must
+//! match byte-for-byte; of the trailing stats block only the wall-clock
+//! latency line may differ.
+
+use sft_core::{DistanceMode, Network, SolveOptions, Strategy, VnfCatalog};
+use sft_service::protocol::{self, Request, RequestMode};
+use sft_service::{EmbedService, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn golden() -> String {
+    std::fs::read_to_string(repo_path("tests/golden/palmetto_batch_pre.jsonl"))
+        .expect("golden anchor file")
+}
+
+fn golden_responses() -> Vec<String> {
+    golden()
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .map(String::from)
+        .collect()
+}
+
+/// The exact network `sft batch --topology palmetto` builds: every node a
+/// 3.0-capacity server, uniform setup cost 1.0, catalog of 3 types.
+fn palmetto_network() -> Network {
+    Network::builder(sft_topology::palmetto::graph(), VnfCatalog::uniform(3))
+        .distance_mode(DistanceMode::Auto)
+        .all_servers(3.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn batch_output_is_byte_identical_to_the_pre_refactor_anchor() {
+    let tasks = repo_path("examples/palmetto_tasks.jsonl");
+    let argv: Vec<String> = [
+        "batch",
+        "--topology",
+        "palmetto",
+        "--tasks",
+        tasks.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = sft_cli::run(&argv).expect("batch runs");
+
+    let golden = golden();
+    let want: Vec<&str> = golden.lines().collect();
+    let got: Vec<&str> = out.lines().collect();
+    assert_eq!(got.len(), want.len(), "line count drifted:\n{out}");
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w.starts_with("solve latency") {
+            assert!(g.starts_with("solve latency"), "line {i}: {g}");
+            continue;
+        }
+        assert_eq!(g, w, "line {i} drifted from the pre-refactor anchor");
+    }
+    // The refactor's new stats line must NOT appear: palmetto links are
+    // uncapacitated, so the legacy render shape is preserved exactly.
+    assert!(!out.contains("link util"), "{out}");
+}
+
+#[test]
+fn socket_responses_are_byte_identical_to_the_pre_refactor_anchor() {
+    let network = palmetto_network();
+    assert!(
+        !network.graph().has_edge_capacities(),
+        "palmetto stays uncapacitated"
+    );
+    let svc = EmbedService::new(network, Strategy::Msa, SolveOptions::default()).unwrap();
+    let mut handle = sft_service::serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    let text = std::fs::read_to_string(repo_path("examples/palmetto_tasks.jsonl")).unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let want = golden_responses();
+    let mut got = Vec::new();
+    for (lineno, parsed) in protocol::parse_stream(&text) {
+        let Ok(Request::Embed(mut req)) = parsed else {
+            panic!("the anchor stream is all-embed");
+        };
+        // Lockstep commit-mode requests reproduce sequential-batch
+        // semantics exactly: each task commits before the next solves.
+        req.id = req.id.or(Some(lineno as u64));
+        req.mode = Some(RequestMode::Commit);
+        writeln!(writer, "{}", req.to_json()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        got.push(line.trim().to_string());
+    }
+    handle.shutdown();
+    handle.join();
+    assert_eq!(got, want, "socket responses drifted from the anchor");
+}

@@ -135,6 +135,13 @@ pub fn solve(
 
 /// [`solve`] with explicit [`SolveOptions`] (stage-2 choice + thread count).
 ///
+/// Tasks with a bandwidth demand are solved on a
+/// [`Network::bandwidth_view`] when any link is too saturated to carry
+/// them: the solve routes around those links, or returns
+/// [`CoreError::Infeasible`] when no bandwidth-feasible tree exists —
+/// never an overbooked one. Bandwidth-free tasks take the exact legacy
+/// code path.
+///
 /// # Errors
 ///
 /// Same conditions as [`solve`].
@@ -144,6 +151,11 @@ pub fn solve_with_options(
     strategy: Strategy,
     options: SolveOptions,
 ) -> Result<SolveResult, CoreError> {
+    if let Some(view) = network.bandwidth_view(task.bandwidth())? {
+        // The view filters nothing further for the same demand, so this
+        // recursion terminates after one level.
+        return solve_with_options(&view, task, strategy, options);
+    }
     let chain = match strategy {
         Strategy::Msa => crate::msa::stage_one_cancellable(
             network,
@@ -182,6 +194,12 @@ pub fn solve_with_cache<C: TreeCache>(
     options: SolveOptions,
     cache: &C,
 ) -> Result<SolveResult, CoreError> {
+    if let Some(view) = network.bandwidth_view(task.bandwidth())? {
+        // The shared cache keys trees by the *original* topology; the
+        // filtered view is a different graph and must never read from or
+        // write into it, so take the throwaway per-solve cache path.
+        return solve_with_options(&view, task, strategy, options);
+    }
     let chain = match strategy {
         Strategy::Msa => crate::msa::stage_one_with_cache_cancellable(
             network,
@@ -230,6 +248,9 @@ pub fn solve_with_rng_options<R: Rng + ?Sized>(
     options: SolveOptions,
     rng: &mut R,
 ) -> Result<SolveResult, CoreError> {
+    if let Some(view) = network.bandwidth_view(task.bandwidth())? {
+        return solve_with_rng_options(&view, task, strategy, options, rng);
+    }
     let chain = match strategy {
         Strategy::Msa => crate::msa::stage_one_cancellable(
             network,
@@ -330,6 +351,60 @@ mod tests {
         let r = solve(&net, &task, Strategy::Msa, StageTwo::Skip).unwrap();
         assert_eq!(r.stage1_cost, r.cost.total());
         assert!(r.added_instances.is_empty());
+    }
+
+    #[test]
+    fn bandwidth_demand_routes_around_saturated_links() {
+        use sft_graph::EdgeId;
+        // Triangle with a narrow direct 0-1 link and a wide detour via 2.
+        let mut g = Graph::new(3);
+        g.add_edge_with_capacity(NodeId(0), NodeId(1), 1.0, Some(1.0))
+            .unwrap();
+        g.add_edge_with_capacity(NodeId(0), NodeId(2), 2.0, Some(10.0))
+            .unwrap();
+        g.add_edge_with_capacity(NodeId(2), NodeId(1), 2.0, Some(10.0))
+            .unwrap();
+        let mut net = Network::builder(g, VnfCatalog::uniform(1))
+            .all_servers(4.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let sfc = Sfc::new(vec![VnfId(0)]).unwrap();
+        let task = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc.clone())
+            .unwrap()
+            .with_bandwidth(1.0)
+            .unwrap();
+
+        // Link is empty: the direct edge carries the session.
+        let direct = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
+        assert_eq!(direct.cost.link, 1.0);
+        let delta = net.commit_delta(&task, &direct.embedding);
+        assert_eq!(delta.edges(), &[(EdgeId(0), 1.0)]);
+        net.apply_delta(&delta).unwrap();
+
+        // Link is now full: the same task must detour via node 2 and its
+        // commit must charge the detour edges, not the saturated one.
+        let detour = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
+        assert_eq!(detour.cost.link, 4.0);
+        let detour_delta = net.commit_delta(&task, &detour.embedding);
+        assert_eq!(detour_delta.edges(), &[(EdgeId(1), 1.0), (EdgeId(2), 1.0)]);
+        net.apply_delta(&detour_delta).unwrap();
+
+        // A demand no link can carry is a real infeasibility.
+        let too_wide = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc)
+            .unwrap()
+            .with_bandwidth(100.0)
+            .unwrap();
+        assert!(matches!(
+            solve(&net, &too_wide, Strategy::Msa, StageTwo::Opa),
+            Err(CoreError::Infeasible { .. })
+        ));
+
+        // Releasing the first session restores the direct link exactly.
+        net.apply_release(&delta).unwrap();
+        assert_eq!(net.edge_residual(EdgeId(0)), 1.0);
+        let again = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
+        assert_eq!(again.cost.link, 1.0);
     }
 
     #[test]

@@ -12,6 +12,13 @@ pub enum CoreError {
         /// Number of nodes in the network.
         len: usize,
     },
+    /// An edge id was out of range for the network.
+    EdgeOutOfBounds {
+        /// The offending dense edge index.
+        edge: usize,
+        /// Number of edges in the network.
+        len: usize,
+    },
     /// A VNF id was out of range for the catalog.
     VnfOutOfBounds {
         /// The offending VNF index.
@@ -46,6 +53,16 @@ pub enum CoreError {
         /// Requested load.
         load: f64,
     },
+    /// A commit would drive an edge's residual bandwidth negative — the
+    /// link analogue of [`CoreError::CapacityExceeded`].
+    LinkCapacityExceeded {
+        /// The saturated edge (dense edge index).
+        edge: usize,
+        /// Bandwidth capacity of the edge.
+        capacity: f64,
+        /// Requested load (already-committed sessions plus this one).
+        load: f64,
+    },
     /// A release referenced a `(VNF, node)` pair with no live instance —
     /// the inverse-delta analogue of [`CoreError::CapacityExceeded`]:
     /// applying it would drive a reference count below zero.
@@ -77,6 +94,9 @@ impl fmt::Display for CoreError {
             CoreError::NodeOutOfBounds { node, len } => {
                 write!(f, "node {node} out of bounds for network of {len} nodes")
             }
+            CoreError::EdgeOutOfBounds { edge, len } => {
+                write!(f, "edge {edge} out of bounds for network of {len} edges")
+            }
             CoreError::VnfOutOfBounds { vnf, len } => {
                 write!(f, "VNF {vnf} out of bounds for catalog of {len} types")
             }
@@ -93,6 +113,16 @@ impl fmt::Display for CoreError {
                 load,
             } => {
                 write!(f, "node {node} capacity {capacity} exceeded by load {load}")
+            }
+            CoreError::LinkCapacityExceeded {
+                edge,
+                capacity,
+                load,
+            } => {
+                write!(
+                    f,
+                    "edge {edge} bandwidth {capacity} exceeded by load {load}"
+                )
             }
             CoreError::InstanceNotDeployed { vnf, node } => {
                 write!(f, "no live instance of VNF {vnf} on node {node} to release")

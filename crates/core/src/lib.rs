@@ -83,7 +83,8 @@ pub use error::CoreError;
 pub use network::{CommitDelta, Network, NetworkBuilder};
 pub use sequential::SequentialEmbedder;
 pub use sft_graph::{
-    CancelToken, DistanceMode, DistanceProvider, Parallelism, ProviderKind, SteinerCache, TreeCache,
+    CancelToken, DistanceMode, DistanceProvider, EdgeId, Parallelism, ProviderKind, SteinerCache,
+    TreeCache,
 };
 pub use sft_tree::{SftNode, SftTree};
 pub use stats::EmbeddingStats;

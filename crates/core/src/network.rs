@@ -10,7 +10,9 @@
 use crate::vnf::{VnfCatalog, VnfId};
 use crate::CoreError;
 use sft_graph::numeric::exceeds;
-use sft_graph::{provider_for, DistanceMode, DistanceProvider, Graph, NodeId};
+use sft_graph::{
+    provider_for, DistanceMode, DistanceProvider, EdgeId, Graph, NodeId, ProviderKind,
+};
 use std::sync::Arc;
 
 /// The exact state mutation committing one embedding applies: the set of
@@ -28,10 +30,18 @@ use std::sync::Arc;
 /// the exact inverse, so an instance shared by two sessions survives the
 /// first release and its capacity is freed only when the last reference
 /// drops.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+///
+/// A delta also carries sorted **edge deltas** — the second half of the
+/// unified resource model: `(edge, bandwidth)` entries charging the
+/// session's bandwidth demand once per distinct capacitated tree edge,
+/// applied and released with exactly the same all-or-nothing discipline
+/// as node deltas. Uncapacitated edges never appear (their residual is
+/// infinite), so bandwidth-free tasks produce the same delta as before.
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct CommitDelta {
     deploys: Vec<(VnfId, NodeId)>,
     refs: Vec<(VnfId, NodeId)>,
+    edges: Vec<(EdgeId, f64)>,
 }
 
 impl CommitDelta {
@@ -44,13 +54,44 @@ impl CommitDelta {
     /// A delta from new-deployment pairs plus reused-instance pairs. Both
     /// sides are canonicalized; a pair listed in both is kept on the
     /// `deploys` side only (a new instance is trivially also referenced).
-    pub fn with_refs(mut deploys: Vec<(VnfId, NodeId)>, mut refs: Vec<(VnfId, NodeId)>) -> Self {
+    pub fn with_refs(deploys: Vec<(VnfId, NodeId)>, refs: Vec<(VnfId, NodeId)>) -> Self {
+        CommitDelta::with_usage(deploys, refs, Vec::new())
+    }
+
+    /// The fully general constructor: node deltas plus `(edge, bandwidth)`
+    /// edge deltas. All three sides are canonicalized (sorted, exact
+    /// duplicates removed).
+    pub fn with_usage(
+        mut deploys: Vec<(VnfId, NodeId)>,
+        mut refs: Vec<(VnfId, NodeId)>,
+        mut edges: Vec<(EdgeId, f64)>,
+    ) -> Self {
         deploys.sort_unstable();
         deploys.dedup();
         refs.sort_unstable();
         refs.dedup();
         refs.retain(|p| deploys.binary_search(p).is_err());
-        CommitDelta { deploys, refs }
+        edges.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        CommitDelta {
+            deploys,
+            refs,
+            edges,
+        }
+    }
+
+    /// The `(edge, bandwidth)` deltas, in canonical [`EdgeId`] order.
+    pub fn edges(&self) -> &[(EdgeId, f64)] {
+        &self.edges
+    }
+
+    /// The distinct edges this delta touches, ascending — the edge
+    /// analogue of [`CommitDelta::touched_nodes`] for version-vector
+    /// conflict detection.
+    pub fn touched_edges(&self) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = self.edges.iter().map(|&(e, _)| e).collect();
+        out.dedup();
+        out
     }
 
     /// The new deployments, in canonical `(VnfId, NodeId)` order.
@@ -71,9 +112,10 @@ impl CommitDelta {
     }
 
     /// Whether the commit would change anything (a fully-reused embedding
-    /// with no pinned references has an empty delta).
+    /// with no pinned references and no bandwidth charge has an empty
+    /// delta).
     pub fn is_empty(&self) -> bool {
-        self.deploys.is_empty() && self.refs.is_empty()
+        self.deploys.is_empty() && self.refs.is_empty() && self.edges.is_empty()
     }
 
     /// The distinct nodes this delta touches (new deployments *and*
@@ -90,6 +132,13 @@ impl CommitDelta {
     /// deployments only; reuse is capacity-free).
     pub fn total_demand(&self, catalog: &VnfCatalog) -> f64 {
         self.deploys.iter().map(|&(f, _)| catalog.demand(f)).sum()
+    }
+
+    /// Total bandwidth the delta charges, summed over all edges — what a
+    /// release gives back to the links in aggregate (the wire protocol's
+    /// `bw_freed`).
+    pub fn total_bandwidth(&self) -> f64 {
+        self.edges.iter().map(|&(_, b)| b).sum()
     }
 }
 
@@ -111,6 +160,14 @@ pub struct Network {
     /// not per reference. Builder pre-deployments enter with one pinned
     /// reference that no session owns, so they are never released.
     deployed: Vec<Vec<u32>>,
+    /// Per-edge committed bandwidth, index-aligned with the graph's dense
+    /// edge ids (0.0 for uncapacitated edges, which are never charged).
+    edge_used: Vec<f64>,
+    /// Per-edge live session counts — the bandwidth analogue of the
+    /// instance refcounts. When the last session on an edge departs its
+    /// usage snaps back to exactly 0.0, so a fully drained link always
+    /// reports its full capacity regardless of float rounding.
+    edge_sessions: Vec<u32>,
 }
 
 impl Network {
@@ -228,6 +285,107 @@ impl Network {
         self.servers()
             .map(|v| self.residual_capacity(v))
             .fold(0.0, f64::max)
+    }
+
+    /// Residual bandwidth of an edge: its capacity minus the bandwidth
+    /// committed by live sessions, or `f64::INFINITY` for uncapacitated
+    /// edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_residual(&self, e: EdgeId) -> f64 {
+        match self.graph.edge_capacity(e) {
+            Some(cap) => cap - self.edge_used[e.0],
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Live sessions currently charging bandwidth on an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_session_count(&self, e: EdgeId) -> u32 {
+        self.edge_sessions[e.0]
+    }
+
+    /// Every edge with live bandwidth charges, as canonical
+    /// `(edge, used bandwidth, sessions)` triples — the edge analogue of
+    /// [`Network::deployment_refcounts`], used by replay-identity tests to
+    /// compare networks *including* link state.
+    pub fn edge_usage(&self) -> Vec<(EdgeId, f64, u32)> {
+        (0..self.edge_sessions.len())
+            .filter(|&i| self.edge_sessions[i] > 0)
+            .map(|i| (EdgeId(i), self.edge_used[i], self.edge_sessions[i]))
+            .collect()
+    }
+
+    /// The largest single-edge residual bandwidth across the whole
+    /// topology (`f64::INFINITY` when any edge is uncapacitated). Any
+    /// feasible session routes over at least one edge, so a bandwidth
+    /// demand exceeding this bound cannot be embedded — the sound
+    /// admission lower bound for links, mirroring
+    /// [`Network::max_residual_capacity`] for nodes.
+    pub fn max_edge_residual(&self) -> f64 {
+        self.graph
+            .edge_ids()
+            .map(|e| self.edge_residual(e))
+            .fold(0.0, f64::max)
+    }
+
+    /// A filtered copy of the network for solving a task with bandwidth
+    /// demand `bandwidth`: every edge whose residual bandwidth cannot
+    /// carry the demand is dropped, so MSA/KMB/OPA and the capacity
+    /// repair route around saturated links without per-algorithm changes.
+    ///
+    /// Returns `Ok(None)` when no filtering is needed — the demand is
+    /// zero, or every edge still has room — in which case callers solve
+    /// on `self` directly (and keep their shared Steiner cache; a
+    /// filtered view has a *different topology* and must never touch it).
+    /// Node ids are preserved, so an embedding computed on the view is
+    /// valid verbatim on the original network; only the dense edge ids
+    /// differ, which is why [`Network::commit_delta`] recovers edges from
+    /// node pairs on `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Graph`] if the filtered provider cannot be built.
+    pub fn bandwidth_view(&self, bandwidth: f64) -> Result<Option<Network>, CoreError> {
+        if bandwidth <= 0.0 || !self.graph.has_edge_capacities() {
+            return Ok(None);
+        }
+        let saturated = |e: EdgeId| exceeds(bandwidth, self.edge_residual(e));
+        if !self.graph.edge_ids().any(saturated) {
+            return Ok(None);
+        }
+        let mut filtered = Graph::new(self.graph.node_count());
+        for e in self.graph.edge_ids() {
+            if saturated(e) {
+                continue;
+            }
+            let edge = self.graph.edge(e);
+            filtered
+                .add_edge_with_capacity(edge.u, edge.v, edge.weight, edge.capacity)
+                .expect("edges stay unique under filtering");
+        }
+        let mode = match self.dist.kind() {
+            ProviderKind::Dense => DistanceMode::Dense,
+            ProviderKind::Lazy => DistanceMode::Lazy,
+        };
+        let dist = provider_for(&filtered, mode)?;
+        let edge_count = filtered.edge_count();
+        Ok(Some(Network {
+            graph: filtered,
+            dist,
+            servers: self.servers.clone(),
+            capacity: self.capacity.clone(),
+            catalog: self.catalog.clone(),
+            setup_cost: self.setup_cost.clone(),
+            deployed: self.deployed.clone(),
+            edge_used: vec![0.0; edge_count],
+            edge_sessions: vec![0; edge_count],
+        }))
     }
 
     /// A lower bound on the new capacity `task` must consume: the summed
@@ -354,6 +512,14 @@ impl Network {
     /// take a reference on apply, so releasing the delta later gives back
     /// exactly what this session held — and nothing another session still
     /// uses.
+    ///
+    /// When `task` carries a bandwidth demand, the delta also charges it
+    /// against every distinct *capacitated* edge the delivery routes
+    /// traverse — once per edge per session, no matter how many
+    /// destinations share the edge (tree edges are shared by design).
+    /// Edges are recovered from consecutive node pairs on **this**
+    /// network's graph, so deltas from a [`Network::bandwidth_view`]
+    /// solve are valid here verbatim.
     pub fn commit_delta(
         &self,
         task: &crate::task::MulticastTask,
@@ -363,7 +529,25 @@ impl Network {
             .typed_instances(task)
             .into_iter()
             .partition(|&(f, v)| !self.is_deployed(f, v));
-        CommitDelta::with_refs(deploys, refs)
+        let mut edges = Vec::new();
+        let bandwidth = task.bandwidth();
+        if bandwidth > 0.0 && self.graph.has_edge_capacities() {
+            for route in embedding.routes() {
+                for segment in route.segments() {
+                    for w in segment.windows(2) {
+                        if w[0] == w[1] {
+                            continue;
+                        }
+                        if let Some(e) = self.graph.find_edge(w[0], w[1]) {
+                            if self.graph.edge_capacity(e).is_some() {
+                                edges.push((e, bandwidth));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CommitDelta::with_usage(deploys, refs, edges)
     }
 
     /// Checks that `delta` can be applied to the **current** state without
@@ -378,6 +562,10 @@ impl Network {
     /// * [`CoreError::NotAServer`] if a pair targets a switch.
     /// * [`CoreError::CapacityExceeded`] if any node's aggregate new load
     ///   does not fit its residual capacity.
+    /// * [`CoreError::EdgeOutOfBounds`] / [`CoreError::InvalidParameter`]
+    ///   for invalid edge deltas.
+    /// * [`CoreError::LinkCapacityExceeded`] if any edge's aggregate new
+    ///   bandwidth does not fit its residual.
     pub fn validate_delta(&self, delta: &CommitDelta) -> Result<(), CoreError> {
         for (f, v) in delta.usage() {
             self.catalog.check(f)?;
@@ -404,13 +592,50 @@ impl Network {
                 });
             }
         }
+        self.validate_edge_charges(delta)?;
+        Ok(())
+    }
+
+    /// The edge half of [`Network::validate_delta`]: aggregate the charge
+    /// per distinct edge (deltas are sorted, so groups are contiguous)
+    /// and check it against the edge's residual bandwidth.
+    fn validate_edge_charges(&self, delta: &CommitDelta) -> Result<(), CoreError> {
+        let edges = delta.edges();
+        let mut i = 0;
+        while i < edges.len() {
+            let e = edges[i].0;
+            self.check_edge(e)?;
+            let mut amount = 0.0;
+            while i < edges.len() && edges[i].0 == e {
+                let b = edges[i].1;
+                if !b.is_finite() || b < 0.0 {
+                    return Err(CoreError::InvalidParameter {
+                        context: "edge bandwidth delta",
+                        value: b,
+                    });
+                }
+                amount += b;
+                i += 1;
+            }
+            if let Some(cap) = self.graph.edge_capacity(e) {
+                let load = self.edge_used[e.0] + amount;
+                if exceeds(load, cap) {
+                    return Err(CoreError::LinkCapacityExceeded {
+                        edge: e.0,
+                        capacity: cap,
+                        load,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
     /// Applies `delta` atomically: validates every pair first, then adds
     /// one reference per used pair (creating instances where the count
-    /// was zero). On error **nothing** is mutated — the all-or-nothing
-    /// half of the transactional commit split.
+    /// was zero) and charges every edge delta against its link. On error
+    /// **nothing** is mutated — the all-or-nothing half of the
+    /// transactional commit split.
     ///
     /// # Errors
     ///
@@ -419,6 +644,10 @@ impl Network {
         self.validate_delta(delta)?;
         for (f, v) in delta.usage() {
             self.deployed[f.0][v.0] += 1;
+        }
+        for &(e, b) in delta.edges() {
+            self.edge_used[e.0] += b;
+            self.edge_sessions[e.0] += 1;
         }
         Ok(())
     }
@@ -433,6 +662,10 @@ impl Network {
     ///   for invalid ids.
     /// * [`CoreError::InstanceNotDeployed`] if any referenced pair has no
     ///   live reference to give back.
+    /// * [`CoreError::EdgeOutOfBounds`] for an invalid edge id.
+    /// * [`CoreError::LinkCapacityExceeded`] if an edge delta would
+    ///   release more sessions than the edge carries (the inverse
+    ///   overflow: it would drive the usage below zero).
     pub fn validate_release(&self, delta: &CommitDelta) -> Result<(), CoreError> {
         for (f, v) in delta.usage() {
             self.catalog.check(f)?;
@@ -441,6 +674,26 @@ impl Network {
                 return Err(CoreError::InstanceNotDeployed {
                     vnf: f.0,
                     node: v.0,
+                });
+            }
+        }
+        let edges = delta.edges();
+        let mut i = 0;
+        while i < edges.len() {
+            let e = edges[i].0;
+            self.check_edge(e)?;
+            let mut entries = 0u32;
+            let mut amount = 0.0;
+            while i < edges.len() && edges[i].0 == e {
+                amount += edges[i].1;
+                entries += 1;
+                i += 1;
+            }
+            if self.edge_sessions[e.0] < entries {
+                return Err(CoreError::LinkCapacityExceeded {
+                    edge: e.0,
+                    capacity: self.graph.edge_capacity(e).unwrap_or(f64::INFINITY),
+                    load: self.edge_used[e.0] - amount,
                 });
             }
         }
@@ -469,6 +722,17 @@ impl Network {
             }
         }
         freed.sort_unstable();
+        for &(e, b) in delta.edges() {
+            self.edge_sessions[e.0] -= 1;
+            if self.edge_sessions[e.0] == 0 {
+                // Last session off the link: snap to exactly zero so the
+                // full capacity is restored regardless of float rounding
+                // across intervening commits and releases.
+                self.edge_used[e.0] = 0.0;
+            } else {
+                self.edge_used[e.0] -= b;
+            }
+        }
         Ok(freed)
     }
 
@@ -521,6 +785,22 @@ impl Network {
             }
         }
         out
+    }
+
+    /// Validates an edge id against this network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EdgeOutOfBounds`] otherwise.
+    pub fn check_edge(&self, e: EdgeId) -> Result<(), CoreError> {
+        if e.0 < self.graph.edge_count() {
+            Ok(())
+        } else {
+            Err(CoreError::EdgeOutOfBounds {
+                edge: e.0,
+                len: self.graph.edge_count(),
+            })
+        }
     }
 
     /// Validates a node id against this network.
@@ -708,6 +988,7 @@ impl NetworkBuilder {
             .iter()
             .map(|row| row.iter().map(|&d| u32::from(d)).collect())
             .collect();
+        let edge_count = self.graph.edge_count();
         Ok(Network {
             graph: self.graph,
             dist,
@@ -716,6 +997,8 @@ impl NetworkBuilder {
             catalog: self.catalog,
             setup_cost: self.setup_cost,
             deployed,
+            edge_used: vec![0.0; edge_count],
+            edge_sessions: vec![0; edge_count],
         })
     }
 }
@@ -1035,6 +1318,196 @@ mod tests {
         )
         .unwrap();
         assert_eq!(net.min_new_demand(&repeated), 2.0);
+    }
+
+    fn capacitated_line(n: usize, bw: f64) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge_with_capacity(NodeId(i), NodeId(i + 1), 1.0, Some(bw))
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn edge_deltas_charge_and_release_bandwidth_refcount_style() {
+        let mut net = Network::builder(capacitated_line(3, 10.0), VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let e = EdgeId(0);
+        assert_eq!(net.edge_residual(e), 10.0);
+        assert_eq!(net.max_edge_residual(), 10.0);
+
+        // Two sessions share the link; the second uses a value whose sum
+        // is not exactly representable, to exercise the snap-to-zero.
+        let a = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(e, 0.1)]);
+        let b = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(e, 0.2)]);
+        net.apply_delta(&a).unwrap();
+        net.apply_delta(&b).unwrap();
+        assert_eq!(net.edge_session_count(e), 2);
+        assert_eq!(net.edge_usage(), vec![(e, 0.1 + 0.2, 2)]);
+        assert!((net.edge_residual(e) - 9.7).abs() < 1e-12);
+
+        net.apply_release(&b).unwrap();
+        assert_eq!(net.edge_session_count(e), 1);
+        // Last session off the link: usage snaps to exactly 0.0 even
+        // though 0.1 + 0.2 - 0.2 - 0.1 != 0.0 in floats.
+        net.apply_release(&a).unwrap();
+        assert_eq!(net.edge_residual(e), 10.0);
+        assert!(net.edge_usage().is_empty());
+    }
+
+    #[test]
+    fn apply_delta_rejects_link_oversubscription_atomically() {
+        let mut net = Network::builder(capacitated_line(3, 1.0), VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let fill = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(EdgeId(0), 1.0)]);
+        net.apply_delta(&fill).unwrap();
+        // Node side fits, edge side does not: the node reference must not
+        // be taken either.
+        let over = CommitDelta::with_usage(
+            vec![(VnfId(0), NodeId(1))],
+            Vec::new(),
+            vec![(EdgeId(0), 0.5)],
+        );
+        assert!(matches!(
+            net.apply_delta(&over),
+            Err(CoreError::LinkCapacityExceeded {
+                edge: 0,
+                capacity: c,
+                load: l,
+            }) if c == 1.0 && l == 1.5
+        ));
+        assert!(net.deployed_pairs().is_empty());
+        assert_eq!(net.edge_residual(EdgeId(0)), 0.0);
+
+        // An uncharged edge elsewhere still accepts commits.
+        let other = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(EdgeId(1), 1.0)]);
+        net.apply_delta(&other).unwrap();
+    }
+
+    #[test]
+    fn edge_release_validation_rejects_over_release() {
+        let mut net = Network::builder(capacitated_line(3, 1.0), VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let d = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(EdgeId(0), 0.5)]);
+        assert!(matches!(
+            net.apply_release(&d),
+            Err(CoreError::LinkCapacityExceeded { edge: 0, .. })
+        ));
+        let bad_edge = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(EdgeId(9), 0.5)]);
+        assert!(matches!(
+            net.validate_delta(&bad_edge),
+            Err(CoreError::EdgeOutOfBounds { edge: 9, len: 2 })
+        ));
+        assert!(matches!(
+            net.validate_release(&bad_edge),
+            Err(CoreError::EdgeOutOfBounds { edge: 9, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn uncapacitated_edges_accept_any_charge() {
+        let mut net = Network::builder(line_graph(3), VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(net.edge_residual(EdgeId(0)), f64::INFINITY);
+        assert_eq!(net.max_edge_residual(), f64::INFINITY);
+        let d = CommitDelta::with_usage(Vec::new(), Vec::new(), vec![(EdgeId(0), 1e12)]);
+        net.apply_delta(&d).unwrap();
+        assert_eq!(net.edge_residual(EdgeId(0)), f64::INFINITY);
+        net.apply_release(&d).unwrap();
+        assert!(net.edge_usage().is_empty());
+    }
+
+    #[test]
+    fn bandwidth_view_filters_saturated_links_only_when_needed() {
+        // Triangle: 0-1 (cheap, narrow), 0-2 and 2-1 (wide detour).
+        let mut g = Graph::new(3);
+        g.add_edge_with_capacity(NodeId(0), NodeId(1), 1.0, Some(1.0))
+            .unwrap();
+        g.add_edge_with_capacity(NodeId(0), NodeId(2), 1.0, Some(10.0))
+            .unwrap();
+        g.add_edge_with_capacity(NodeId(2), NodeId(1), 1.0, Some(10.0))
+            .unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+
+        // No demand, or demand every link can carry: no view is built.
+        assert!(net.bandwidth_view(0.0).unwrap().is_none());
+        assert!(net.bandwidth_view(1.0).unwrap().is_none());
+
+        // Demand 2.0 saturates the narrow link: the view drops it and the
+        // shortest 0->1 path detours through 2 at cost 2.
+        let view = net.bandwidth_view(2.0).unwrap().expect("must filter");
+        assert_eq!(view.graph().edge_count(), 2);
+        assert_eq!(view.dist().distance(NodeId(0), NodeId(1)), Some(2.0));
+        assert_eq!(net.dist().distance(NodeId(0), NodeId(1)), Some(1.0));
+        // The view itself needs no further filtering for the same demand.
+        assert!(view.bandwidth_view(2.0).unwrap().is_none());
+
+        // Demand wider than every link: the view disconnects the graph.
+        let empty = net.bandwidth_view(20.0).unwrap().expect("must filter");
+        assert_eq!(empty.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn commit_delta_charges_capacitated_tree_edges_once() {
+        use crate::embedding::{DestinationRoute, Embedding};
+        use crate::task::MulticastTask;
+        use crate::vnf::Sfc;
+        let mut g = Graph::new(4);
+        g.add_edge_with_capacity(NodeId(0), NodeId(1), 1.0, Some(5.0))
+            .unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap(); // uncapacitated
+        g.add_edge_with_capacity(NodeId(1), NodeId(3), 1.0, Some(5.0))
+            .unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(2), NodeId(3)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap()
+        .with_bandwidth(2.0)
+        .unwrap();
+        // Both destinations route over the shared 0-1 edge; it must be
+        // charged once, the uncapacitated 1-2 edge not at all.
+        let embedding = Embedding::new(vec![
+            DestinationRoute::new(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]]),
+            DestinationRoute::new(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(3)]]),
+        ]);
+        let delta = net.commit_delta(&task, &embedding);
+        assert_eq!(delta.edges(), &[(EdgeId(0), 2.0), (EdgeId(2), 2.0)]);
+        assert_eq!(delta.touched_edges(), vec![EdgeId(0), EdgeId(2)]);
+        assert_eq!(delta.total_bandwidth(), 4.0);
+
+        // The same embedding with a zero-bandwidth task carries no edge
+        // deltas — byte-identical legacy behavior.
+        let legacy = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(2), NodeId(3)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        assert!(net.commit_delta(&legacy, &embedding).edges().is_empty());
     }
 
     #[test]

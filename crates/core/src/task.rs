@@ -8,12 +8,14 @@ use crate::vnf::Sfc;
 use crate::CoreError;
 use sft_graph::NodeId;
 
-/// A multicast task `δ = (S, D, ℓ)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A multicast task `δ = (S, D, ℓ)` with an optional per-session
+/// bandwidth demand `b`.
+#[derive(Clone, Debug, PartialEq)]
 pub struct MulticastTask {
     source: NodeId,
     destinations: Vec<NodeId>,
     sfc: Sfc,
+    bandwidth: f64,
 }
 
 impl MulticastTask {
@@ -54,7 +56,32 @@ impl MulticastTask {
             source,
             destinations,
             sfc,
+            bandwidth: 0.0,
         })
+    }
+
+    /// Returns the task with a per-session bandwidth demand. Every edge
+    /// of the delivery tree charges `bandwidth` against its residual once
+    /// per session. Zero (the default) means the task consumes no link
+    /// bandwidth — the legacy uncapacitated behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a negative or non-finite demand.
+    pub fn with_bandwidth(mut self, bandwidth: f64) -> Result<Self, CoreError> {
+        if !bandwidth.is_finite() || bandwidth < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "task bandwidth",
+                value: bandwidth,
+            });
+        }
+        self.bandwidth = bandwidth;
+        Ok(self)
+    }
+
+    /// The per-session bandwidth demand `b` (0 = none).
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
     }
 
     /// The source node `S`.
@@ -122,6 +149,20 @@ mod tests {
         assert_eq!(t.destinations(), &[NodeId(2), NodeId(1)]);
         assert_eq!(t.destination_count(), 2);
         assert_eq!(t.sfc().len(), 2);
+        assert_eq!(t.bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_is_validated_and_carried() {
+        let t = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc())
+            .unwrap()
+            .with_bandwidth(2.5)
+            .unwrap();
+        assert_eq!(t.bandwidth(), 2.5);
+        let base = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc()).unwrap();
+        assert!(base.clone().with_bandwidth(-1.0).is_err());
+        assert!(base.clone().with_bandwidth(f64::NAN).is_err());
+        assert!(base.with_bandwidth(f64::INFINITY).is_err());
     }
 
     #[test]

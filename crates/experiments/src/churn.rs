@@ -13,8 +13,12 @@
 //!   1.0 as the network drains monotonically;
 //! * **mean live sessions** (time-averaged) against the offered load,
 //!   the Erlang-style occupancy curve;
-//! * **leak check** — after the last departure, per-node residuals must
-//!   be bit-identical to the seed network.
+//! * **leak check** — after the last departure, per-node *and* per-link
+//!   residuals must be bit-identical to the seed network.
+//!
+//! With [`ChurnConfig::link_bw`] and [`ChurnConfig::bandwidth`] set, the
+//! same stream runs bandwidth-constrained: every link carries a capacity
+//! and every session a demand, so blocking reflects both resources.
 //!
 //! Everything is in-process (one [`EmbedService`], no socket) and fully
 //! deterministic in the seed.
@@ -46,6 +50,13 @@ pub struct ChurnConfig {
     pub dests: usize,
     /// RNG seed for arrivals, holding times, and task shapes.
     pub seed: u64,
+    /// Uniform link bandwidth; `None` leaves every link uncapacitated
+    /// (the legacy bandwidth-free model, bit-identical streams).
+    pub link_bw: Option<f64>,
+    /// Per-session bandwidth-demand ceiling: each session draws its
+    /// demand uniformly from `(0, this]`. `None` disables demands and
+    /// keeps the task stream byte-identical to the legacy one.
+    pub bandwidth: Option<f64>,
 }
 
 impl Default for ChurnConfig {
@@ -59,6 +70,8 @@ impl Default for ChurnConfig {
             hold: 10.0,
             dests: 3,
             seed: 0,
+            link_bw: None,
+            bandwidth: None,
         }
     }
 }
@@ -101,7 +114,12 @@ enum EventKind {
 fn ring_network(config: &ChurnConfig) -> Result<Network, ExperimentError> {
     let mut g = Graph::new(config.nodes);
     for i in 0..config.nodes {
-        g.add_edge(NodeId(i), NodeId((i + 1) % config.nodes), 1.0)?;
+        g.add_edge_with_capacity(
+            NodeId(i),
+            NodeId((i + 1) % config.nodes),
+            1.0,
+            config.link_bw,
+        )?;
     }
     Ok(Network::builder(g, VnfCatalog::uniform(config.sfc_types))
         .all_servers(config.capacity)?
@@ -167,7 +185,15 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
             }
         }
         let len = rng.random_range(1..=config.sfc_types);
-        shapes.insert(s as u64 + 1, (source, dests, (0..len).collect::<Vec<_>>()));
+        // Drawn only when demands are enabled, so a bandwidth-free
+        // config consumes exactly the legacy RNG stream.
+        let demand = config
+            .bandwidth
+            .map(|max| (max * (1.0 - rng.random::<f64>())).max(max * 1e-3));
+        shapes.insert(
+            s as u64 + 1,
+            (source, dests, (0..len).collect::<Vec<_>>(), demand),
+        );
     }
     events.sort_by(|a, b| {
         a.time
@@ -188,8 +214,10 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
         last_time = event.time;
         match event.kind {
             EventKind::Arrive => {
-                let (source, dests, sfc) = shapes[&event.session].clone();
-                let outcome = EmbedRequest::new(source, dests, sfc)
+                let (source, dests, sfc, demand) = shapes[&event.session].clone();
+                let mut req = EmbedRequest::new(source, dests, sfc);
+                req.bandwidth = demand;
+                let outcome = req
                     .to_task()
                     .map_err(sft_service::ServiceError::Core)
                     .and_then(|task| {
@@ -224,6 +252,11 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
             && (0..config.nodes).all(|v| {
                 network.residual_capacity(NodeId(v)) == seed_network.residual_capacity(NodeId(v))
             })
+            && network.edge_usage().is_empty()
+            && network
+                .graph()
+                .edge_ids()
+                .all(|e| network.edge_residual(e) == seed_network.edge_residual(e))
     };
     let horizon = last_time.max(f64::MIN_POSITIVE);
     Ok(ChurnPoint {
@@ -296,6 +329,31 @@ mod tests {
             "heavier load cannot block less: {light:?} vs {heavy:?}"
         );
         assert!(heavy.mean_live >= light.mean_live);
+    }
+
+    #[test]
+    fn bandwidth_constrained_churn_is_leak_free_and_blocks_no_less() {
+        let base = ChurnConfig {
+            sessions: 120,
+            rate: 2.0,
+            ..ChurnConfig::default()
+        };
+        let plain = run(&base).unwrap();
+        let constrained = ChurnConfig {
+            link_bw: Some(1.5),
+            bandwidth: Some(1.0),
+            ..base
+        };
+        let a = run(&constrained).unwrap();
+        let b = run(&constrained).unwrap();
+        assert!(a.leak_free, "drained links must return to seed bandwidth");
+        assert_eq!(a.admitted, b.admitted, "bandwidth churn is deterministic");
+        assert_eq!(a.mean_live, b.mean_live);
+        assert_eq!(a.admitted + a.blocked, 120);
+        assert!(
+            a.blocked >= plain.blocked,
+            "adding a second constraint cannot unblock arrivals: {a:?} vs {plain:?}"
+        );
     }
 
     #[test]

@@ -56,7 +56,8 @@ impl fmt::Debug for EdgeId {
     }
 }
 
-/// An undirected edge: endpoints and a non-negative weight.
+/// An undirected edge: endpoints, a non-negative weight, and an optional
+/// bandwidth capacity.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Edge {
     /// First endpoint (always the smaller node index).
@@ -65,6 +66,9 @@ pub struct Edge {
     pub v: NodeId,
     /// Non-negative, finite weight (link-connection cost).
     pub weight: f64,
+    /// Optional bandwidth capacity. `None` means uncapacitated — the
+    /// legacy model where any number of sessions may share the link.
+    pub capacity: Option<f64>,
 }
 
 impl Edge {
@@ -152,6 +156,24 @@ impl Graph {
     /// * [`GraphError::InvalidWeight`] if `weight` is negative or not finite.
     /// * [`GraphError::DuplicateEdge`] if an edge between `u` and `v` exists.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<EdgeId, GraphError> {
+        self.add_edge_with_capacity(u, v, weight, None)
+    }
+
+    /// Adds an undirected edge carrying an optional bandwidth capacity
+    /// (`None` = uncapacitated, the legacy behavior of [`Graph::add_edge`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::add_edge`], plus
+    /// [`GraphError::InvalidWeight`] if the capacity is negative or not
+    /// finite.
+    pub fn add_edge_with_capacity(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        weight: f64,
+        capacity: Option<f64>,
+    ) -> Result<EdgeId, GraphError> {
         self.check_node(u)?;
         self.check_node(v)?;
         if u == v {
@@ -160,12 +182,22 @@ impl Graph {
         if !weight.is_finite() || weight < 0.0 {
             return Err(GraphError::InvalidWeight { weight });
         }
+        if let Some(c) = capacity {
+            if !c.is_finite() || c < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: c });
+            }
+        }
         if self.find_edge(u, v).is_some() {
             return Err(GraphError::DuplicateEdge { u: u.0, v: v.0 });
         }
         let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { u: a, v: b, weight });
+        self.edges.push(Edge {
+            u: a,
+            v: b,
+            weight,
+            capacity,
+        });
         self.adjacency[u.0].push((v, id));
         self.adjacency[v.0].push((u, id));
         Ok(id)
@@ -187,6 +219,46 @@ impl Graph {
     /// Panics if `id` is out of bounds.
     pub fn weight(&self, id: EdgeId) -> f64 {
         self.edges[id.0].weight
+    }
+
+    /// Bandwidth capacity of the edge with the given id (`None` =
+    /// uncapacitated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge_capacity(&self, id: EdgeId) -> Option<f64> {
+        self.edges[id.0].capacity
+    }
+
+    /// Replaces the bandwidth capacity of an existing edge.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidWeight`] if the capacity is negative or not
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn set_edge_capacity(
+        &mut self,
+        id: EdgeId,
+        capacity: Option<f64>,
+    ) -> Result<(), GraphError> {
+        if let Some(c) = capacity {
+            if !c.is_finite() || c < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: c });
+            }
+        }
+        self.edges[id.0].capacity = capacity;
+        Ok(())
+    }
+
+    /// Whether any edge carries a bandwidth capacity. When `false`, the
+    /// graph behaves exactly like the legacy uncapacitated model.
+    pub fn has_edge_capacities(&self) -> bool {
+        self.edges.iter().any(|e| e.capacity.is_some())
     }
 
     /// Looks up the edge between `u` and `v`, if any.
@@ -309,7 +381,7 @@ impl Graph {
         for e in self.edges() {
             let (iu, iv) = (index[e.u.0], index[e.v.0]);
             if iu != usize::MAX && iv != usize::MAX {
-                g.add_edge(NodeId(iu), NodeId(iv), e.weight)
+                g.add_edge_with_capacity(NodeId(iu), NodeId(iv), e.weight, e.capacity)
                     .expect("unique edges stay unique under induction");
             }
         }
@@ -500,5 +572,36 @@ mod tests {
     fn empty_graph_is_connected() {
         assert!(Graph::new(0).is_connected());
         assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn edges_carry_optional_capacities() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let b = g
+            .add_edge_with_capacity(NodeId(1), NodeId(2), 2.0, Some(5.0))
+            .unwrap();
+        assert_eq!(g.edge_capacity(a), None);
+        assert_eq!(g.edge_capacity(b), Some(5.0));
+        assert!(g.has_edge_capacities());
+        g.set_edge_capacity(b, None).unwrap();
+        assert!(!g.has_edge_capacities());
+        g.set_edge_capacity(a, Some(1.5)).unwrap();
+        assert_eq!(g.edge_capacity(a), Some(1.5));
+        assert!(g.set_edge_capacity(a, Some(-1.0)).is_err());
+        assert!(g.set_edge_capacity(a, Some(f64::NAN)).is_err());
+        assert!(g
+            .add_edge_with_capacity(NodeId(0), NodeId(2), 1.0, Some(f64::INFINITY))
+            .is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_capacities() {
+        let mut g = Graph::new(3);
+        g.add_edge_with_capacity(NodeId(0), NodeId(2), 3.0, Some(7.0))
+            .unwrap();
+        let sub = g.induced_subgraph(&[NodeId(2), NodeId(0)]).unwrap();
+        let e = sub.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sub.edge_capacity(e), Some(7.0));
     }
 }

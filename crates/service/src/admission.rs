@@ -43,14 +43,19 @@ impl Default for AdmissionConfig {
 }
 
 /// Rejects `task` iff its minimum new-instance demand provably cannot fit
-/// in the network's residual capacity.
+/// in the network's residual capacity, or its bandwidth demand cannot fit
+/// on any single link.
 ///
-/// Two bounds, both necessary conditions for feasibility:
+/// Three bounds, all necessary conditions for feasibility:
 ///
 /// * the *sum* of demands of chain VNF types with no live instance must
-///   fit in the total residual capacity, and
+///   fit in the total residual capacity,
 /// * the *largest* such single demand must fit on some one server (an
-///   instance cannot be split across servers).
+///   instance cannot be split across servers), and
+/// * the task's bandwidth demand must fit on the *widest* residual link —
+///   any feasible delivery tree crosses at least one edge. Uncapacitated
+///   edges are infinitely wide, so networks without link capacities never
+///   reject here.
 ///
 /// Comparisons use the workspace-wide relative tolerance
 /// ([`sft_graph::numeric`]), matching the solvers' own feasibility checks.
@@ -58,7 +63,8 @@ impl Default for AdmissionConfig {
 /// # Errors
 ///
 /// [`ServiceError::InsufficientCapacity`] with the violated demand/supply
-/// pair.
+/// pair, or [`ServiceError::InsufficientBandwidth`] when the bandwidth
+/// bound is the one violated (same `insufficient_capacity` wire code).
 pub fn check_capacity(network: &Network, task: &MulticastTask) -> Result<(), ServiceError> {
     let demand = network.min_new_demand(task);
     let remaining = network.total_residual_capacity();
@@ -72,6 +78,16 @@ pub fn check_capacity(network: &Network, task: &MulticastTask) -> Result<(), Ser
             demand: unit,
             remaining: best,
         });
+    }
+    let bandwidth = task.bandwidth();
+    if bandwidth > 0.0 {
+        let widest = network.max_edge_residual();
+        if numeric::exceeds(bandwidth, widest) {
+            return Err(ServiceError::InsufficientBandwidth {
+                demand: bandwidth,
+                remaining: widest,
+            });
+        }
     }
     Ok(())
 }
@@ -279,6 +295,43 @@ mod tests {
         net.commit_embedding(&t, &r.embedding).unwrap();
         assert_eq!(net.min_new_demand(&t), 0.0);
         assert!(check_capacity(&net, &t).is_ok());
+    }
+
+    #[test]
+    fn bandwidth_wider_than_every_link_rejects() {
+        let mut g = Graph::new(3);
+        g.add_edge_with_capacity(NodeId(0), NodeId(1), 1.0, Some(2.0))
+            .unwrap();
+        g.add_edge_with_capacity(NodeId(1), NodeId(2), 1.0, Some(5.0))
+            .unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(4.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let t = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(2)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        // Within the widest link: admitted (the bound is per-link, sound).
+        assert!(check_capacity(&net, &t.clone().with_bandwidth(5.0).unwrap()).is_ok());
+        // Wider than every link: provably cannot route.
+        let err = check_capacity(&net, &t.clone().with_bandwidth(6.0).unwrap()).unwrap_err();
+        match err {
+            ServiceError::InsufficientBandwidth { demand, remaining } => {
+                assert_eq!(demand, 6.0);
+                assert_eq!(remaining, 5.0);
+            }
+            other => panic!("expected InsufficientBandwidth, got {other:?}"),
+        }
+        // Zero bandwidth (and uncapacitated networks) never consult it.
+        assert!(check_capacity(&net, &t).is_ok());
+        assert!(
+            check_capacity(&network(4.0), &task(&[0]).with_bandwidth(1e9).unwrap()).is_ok(),
+            "uncapacitated links are infinitely wide"
+        );
     }
 
     #[test]

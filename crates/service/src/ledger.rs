@@ -45,14 +45,21 @@
 //! residual capacity — naive subtraction would corrupt the mirror the
 //! admission layer reads.
 //!
-//! The current model has node capacities only; when the model gains edge
-//! bandwidth, per-edge residuals and versions slot into the same
-//! snapshot/validate/confirm cycle.
+//! **Bandwidth.** Edge bandwidth rides the same cycle as node capacity:
+//! the mirror keeps per-edge residuals, session counts and a per-edge
+//! version vector next to the per-node ones. A commit whose delta charges
+//! an edge a later transaction also charged conflicts exactly like a
+//! node-version conflict ([`CommitRejection::ConflictEdge`]), the session
+//! remembers its edge charges so a release gives the bandwidth back
+//! refcount-style (the last session on an edge snaps its usage to exactly
+//! zero), and the admission bound learns a sound lower bound: a task
+//! demanding more bandwidth than the widest residual edge (plus queued
+//! release credit) cannot route at all.
 
 use crate::service::ServiceError;
 use sft_core::{CommitDelta, MulticastTask, Network, VnfId};
 use sft_graph::numeric;
-use sft_graph::NodeId;
+use sft_graph::{EdgeId, NodeId};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -82,6 +89,12 @@ pub enum CommitRejection {
         /// The first touched node whose version outran the snapshot.
         node: NodeId,
     },
+    /// A transaction confirmed after the snapshot moved bandwidth on this
+    /// edge, so the quoted route may oversubscribe it — re-solve.
+    ConflictEdge {
+        /// The first touched edge whose version outran the snapshot.
+        edge: EdgeId,
+    },
 }
 
 /// Which way a confirmed transaction moved capacity.
@@ -95,7 +108,7 @@ pub enum LedgerOp {
 }
 
 /// One confirmed transaction: the effective delta it applied.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CommitRecord {
     /// Position in the committed order (1-based, contiguous).
     pub seq: u64,
@@ -111,6 +124,10 @@ pub struct CommitRecord {
     /// The reference-only pairs, in canonical order: reused instances for
     /// a commit, dropped-but-surviving references for a release.
     pub refs: Vec<(VnfId, NodeId)>,
+    /// The `(edge, bandwidth)` charges the session holds, in canonical
+    /// order. A commit record charges them; a release record carries the
+    /// session's full list so replaying it gives every charge back.
+    pub edges: Vec<(EdgeId, f64)>,
 }
 
 impl CommitRecord {
@@ -118,7 +135,7 @@ impl CommitRecord {
     /// [`sft_core::Network::apply_delta`] ([`LedgerOp::Commit`]) or
     /// [`sft_core::Network::apply_release`] ([`LedgerOp::Release`]).
     pub fn delta(&self) -> CommitDelta {
-        CommitDelta::with_refs(self.deploys.clone(), self.refs.clone())
+        CommitDelta::with_usage(self.deploys.clone(), self.refs.clone(), self.edges.clone())
     }
 }
 
@@ -137,6 +154,8 @@ struct Session {
     deploys: Vec<(VnfId, NodeId)>,
     /// Pairs pinned by reuse at commit time.
     refs: Vec<(VnfId, NodeId)>,
+    /// `(edge, bandwidth)` charges the session holds on the wire.
+    edges: Vec<(EdgeId, f64)>,
     /// False once released; a session releases exactly once.
     live: bool,
     /// The task the session embeds, when the commit path supplied it —
@@ -163,6 +182,17 @@ struct Inner {
     /// `refcount[f][v]` mirror of [`Network::refcount`]: live references
     /// per instance, counting the builder's pinned pre-deployments.
     refcount: Vec<Vec<u32>>,
+    /// `edge_version[e]` = seq of the last transaction that moved
+    /// bandwidth on edge `e` — the edge half of the version vector.
+    edge_version: Vec<u64>,
+    /// Per-edge bandwidth capacity (`f64::INFINITY` = uncapacitated).
+    edge_capacity: Vec<f64>,
+    /// Committed bandwidth per edge, mirroring [`Network::edge_usage`].
+    edge_used: Vec<f64>,
+    /// Live sessions charging each edge; the last release snaps
+    /// `edge_used` to exactly zero, mirroring the network's refcount
+    /// discipline.
+    edge_sessions: Vec<u32>,
     /// Committed sessions by wire id. Ids may repeat across clients, so
     /// each id keys a stack of sessions; a release targets the most
     /// recent live one.
@@ -173,6 +203,9 @@ struct Inner {
     /// a teardown is not bounced off a residual mirror the queued release
     /// is about to refill.
     pending_release: BTreeMap<u64, Vec<(usize, f64)>>,
+    /// Bandwidth about to come back: per-edge credit for queued release
+    /// jobs, the link analogue of `pending_release`.
+    pending_release_bw: BTreeMap<u64, Vec<(usize, f64)>>,
     log: Vec<CommitRecord>,
 }
 
@@ -190,6 +223,22 @@ impl CapacityLedger {
             .iter()
             .map(|row| row.iter().filter(|&&d| d > 0).count() as u64)
             .collect();
+        let graph = network.graph();
+        let edge_capacity: Vec<f64> = graph
+            .edge_ids()
+            .map(|e| graph.edge_capacity(e).unwrap_or(f64::INFINITY))
+            .collect();
+        let edge_used: Vec<f64> = graph
+            .edge_ids()
+            .map(|e| match graph.edge_capacity(e) {
+                Some(cap) => cap - network.edge_residual(e),
+                None => 0.0,
+            })
+            .collect();
+        let edge_sessions: Vec<u32> = graph
+            .edge_ids()
+            .map(|e| network.edge_session_count(e))
+            .collect();
         CapacityLedger {
             inner: Mutex::new(Inner {
                 seq: 0,
@@ -201,8 +250,13 @@ impl CapacityLedger {
                 demand: catalog.ids().map(|f| catalog.demand(f)).collect(),
                 instances,
                 refcount,
+                edge_version: vec![0; edge_capacity.len()],
+                edge_capacity,
+                edge_used,
+                edge_sessions,
                 sessions: BTreeMap::new(),
                 pending_release: BTreeMap::new(),
+                pending_release_bw: BTreeMap::new(),
                 log: Vec::new(),
             }),
         }
@@ -251,6 +305,11 @@ impl CapacityLedger {
                 return Err(CommitRejection::Conflict { node });
             }
         }
+        for edge in delta.touched_edges() {
+            if inner.edge_version[edge.0] > snapshot.seq {
+                return Err(CommitRejection::ConflictEdge { edge });
+            }
+        }
         Ok(())
     }
 
@@ -292,10 +351,20 @@ impl CapacityLedger {
             }
             inner.refcount[f.0][v.0] += 1;
         }
+        let edges = delta.edges().to_vec();
+        for &(e, b) in &edges {
+            // Every charge moves residual bandwidth, so every touched
+            // edge version-bumps (unlike node reuse, there is no free
+            // reference-only case for an edge).
+            inner.edge_used[e.0] += b;
+            inner.edge_sessions[e.0] += 1;
+            inner.edge_version[e.0] = seq;
+        }
         if let Some(session) = id {
             inner.sessions.entry(session).or_default().push(Session {
                 deploys: deploys.clone(),
                 refs: refs.clone(),
+                edges: edges.clone(),
                 live: true,
                 task,
             });
@@ -306,6 +375,7 @@ impl CapacityLedger {
             op: LedgerOp::Commit,
             deploys,
             refs,
+            edges,
         });
         seq
     }
@@ -332,7 +402,7 @@ impl CapacityLedger {
             .iter()
             .rev()
             .find(|s| s.live)
-            .map(|s| CommitDelta::with_refs(s.deploys.clone(), s.refs.clone()))
+            .map(|s| CommitDelta::with_usage(s.deploys.clone(), s.refs.clone(), s.edges.clone()))
             .ok_or(ServiceError::AlreadyReleased { session })
     }
 
@@ -340,15 +410,17 @@ impl CapacityLedger {
     /// `session` after [`Network::apply_release`] succeeded on the
     /// authoritative network (same write-lock critical section). Drops
     /// one mirror reference per used pair; pairs whose count reaches zero
-    /// free their capacity and version-bump their node. Clears any queued
-    /// admission credit for the session. Returns the assigned sequence
-    /// number and the total capacity freed.
+    /// free their capacity and version-bump their node. Edge charges come
+    /// back refcount-style: the last session on an edge snaps its usage
+    /// to exactly zero. Clears any queued admission credit for the
+    /// session. Returns the assigned sequence number, the total node
+    /// capacity freed, and the total bandwidth given back.
     ///
     /// # Errors
     ///
     /// Same conditions as [`CapacityLedger::release_usage`]; nothing is
     /// mutated on error.
-    pub fn confirm_release(&self, session: u64) -> Result<(u64, f64), ServiceError> {
+    pub fn confirm_release(&self, session: u64) -> Result<(u64, f64, f64), ServiceError> {
         let mut inner = self.lock();
         let stack = inner
             .sessions
@@ -366,6 +438,7 @@ impl CapacityLedger {
             .chain(slot.refs.iter())
             .copied()
             .collect();
+        let edges = slot.edges.clone();
         inner.seq += 1;
         let seq = inner.seq;
         let mut freed_demand = 0.0;
@@ -386,15 +459,29 @@ impl CapacityLedger {
         }
         deploys.sort_unstable();
         refs.sort_unstable();
+        let mut freed_bandwidth = 0.0;
+        for &(e, b) in &edges {
+            debug_assert!(inner.edge_sessions[e.0] > 0, "live session holds an edge");
+            inner.edge_sessions[e.0] -= 1;
+            if inner.edge_sessions[e.0] == 0 {
+                inner.edge_used[e.0] = 0.0;
+            } else {
+                inner.edge_used[e.0] -= b;
+            }
+            inner.edge_version[e.0] = seq;
+            freed_bandwidth += b;
+        }
         inner.pending_release.remove(&session);
+        inner.pending_release_bw.remove(&session);
         inner.log.push(CommitRecord {
             seq,
             id: Some(session),
             op: LedgerOp::Release,
             deploys,
             refs,
+            edges,
         });
-        Ok((seq, freed_demand))
+        Ok((seq, freed_demand, freed_bandwidth))
     }
 
     /// Records the admission credit of a release request entering the job
@@ -416,7 +503,9 @@ impl CapacityLedger {
             .iter()
             .map(|&(f, v)| (v.0, inner.demand[f.0]))
             .collect();
+        let bw_credit: Vec<(usize, f64)> = slot.edges.iter().map(|&(e, b)| (e.0, b)).collect();
         inner.pending_release.entry(session).or_insert(credit);
+        inner.pending_release_bw.entry(session).or_insert(bw_credit);
         true
     }
 
@@ -426,7 +515,9 @@ impl CapacityLedger {
     /// capacity that is no longer coming back. A confirmed release clears
     /// its own credit.
     pub fn clear_queued_release(&self, session: u64) {
-        self.lock().pending_release.remove(&session);
+        let mut inner = self.lock();
+        inner.pending_release.remove(&session);
+        inner.pending_release_bw.remove(&session);
     }
 
     /// Live (committed, not yet released) session ids, ascending — the
@@ -536,7 +627,48 @@ impl CapacityLedger {
                 remaining: best,
             });
         }
+        // Bandwidth lower bound: any feasible delivery tree crosses at
+        // least one edge, so a demand wider than the widest residual edge
+        // (plus bandwidth queued releases are about to give back) cannot
+        // route. Uncapacitated edges are infinitely wide, so networks
+        // without link capacities never reject here.
+        let b = task.bandwidth();
+        if b > 0.0 {
+            let mut bw_credit = vec![0.0f64; inner.edge_capacity.len()];
+            for credits in inner.pending_release_bw.values() {
+                for &(e, c) in credits {
+                    bw_credit[e] += c;
+                }
+            }
+            let widest = inner
+                .edge_capacity
+                .iter()
+                .zip(&inner.edge_used)
+                .zip(&bw_credit)
+                .map(|((&cap, &used), &c)| cap - used + c)
+                .fold(0.0, f64::max);
+            if numeric::exceeds(b, widest) {
+                return Err(ServiceError::InsufficientBandwidth {
+                    demand: b,
+                    remaining: widest,
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// `(capacity, committed bandwidth)` per capacitated edge according
+    /// to the mirror — the stats renderer's link-utilization source.
+    /// Empty when the network has no link capacities.
+    pub fn edge_loads(&self) -> Vec<(f64, f64)> {
+        let inner = self.lock();
+        inner
+            .edge_capacity
+            .iter()
+            .zip(&inner.edge_used)
+            .filter(|&(&cap, _)| cap.is_finite())
+            .map(|(&cap, &used)| (cap, used))
+            .collect()
     }
 }
 
@@ -550,6 +682,21 @@ mod tests {
         let mut g = Graph::new(n);
         for i in 0..n {
             g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0).unwrap();
+        }
+        Network::builder(g, VnfCatalog::uniform(3))
+            .all_servers(capacity)
+            .unwrap()
+            .uniform_setup_cost(2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn capacitated_ring(n: usize, capacity: f64, bw: f64) -> Network {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge_with_capacity(NodeId(i), NodeId((i + 1) % n), 1.0, Some(bw))
+                .unwrap();
         }
         Network::builder(g, VnfCatalog::uniform(3))
             .all_servers(capacity)
@@ -670,7 +817,7 @@ mod tests {
         // Session 1's release drops a shared reference: nothing frees.
         let usage = ledger.release_usage(1).unwrap();
         assert_eq!(usage.deploys(), &[(VnfId(0), NodeId(1))]);
-        let (seq, freed) = ledger.confirm_release(1).unwrap();
+        let (seq, freed, _) = ledger.confirm_release(1).unwrap();
         assert_eq!(seq, 3);
         assert_eq!(freed, 0.0, "session 2 still holds the instance");
         assert_eq!(ledger.total_residual_capacity(), seed - 2.0);
@@ -680,7 +827,7 @@ mod tests {
         assert_eq!(log[2].refs, vec![(VnfId(0), NodeId(1))]);
 
         // Session 2's release is the last reference everywhere: all frees.
-        let (_, freed) = ledger.confirm_release(2).unwrap();
+        let (_, freed, _) = ledger.confirm_release(2).unwrap();
         assert_eq!(freed, 2.0);
         assert_eq!(ledger.total_residual_capacity(), seed);
         assert_eq!(ledger.live_sessions(), Vec::<u64>::new());
@@ -751,6 +898,82 @@ mod tests {
         // No session, no credit.
         assert!(!ledger.note_queued_release(7));
         assert!(!ledger.note_queued_release(42), "already released");
+    }
+
+    /// Edge bandwidth rides the same MVCC cycle as node capacity: charges
+    /// version-bump their edge (staling snapshots that routed over it),
+    /// sessions remember their charges, and the last release on an edge
+    /// snaps its mirrored usage to exactly zero.
+    #[test]
+    fn edge_charges_version_bump_and_release_refcount_style() {
+        let ledger = CapacityLedger::new(&capacitated_ring(4, 2.0, 1.0));
+        let snap = ledger.snapshot();
+        let d1 =
+            CommitDelta::with_usage(vec![(VnfId(0), NodeId(1))], vec![], vec![(EdgeId(0), 0.1)]);
+        ledger.validate(&snap, &d1, false).unwrap();
+        ledger.confirm(Some(1), &d1);
+        // A later delta over the same edge conflicts against the stale
+        // snapshot; a disjoint edge validates fine.
+        let d2 = CommitDelta::with_usage(vec![], vec![], vec![(EdgeId(0), 0.2)]);
+        assert_eq!(
+            ledger.validate(&snap, &d2, false),
+            Err(CommitRejection::ConflictEdge { edge: EdgeId(0) })
+        );
+        let disjoint = CommitDelta::with_usage(vec![], vec![], vec![(EdgeId(2), 0.2)]);
+        ledger.validate(&snap, &disjoint, false).unwrap();
+        ledger.validate(&ledger.snapshot(), &d2, false).unwrap();
+        ledger.confirm(Some(2), &d2);
+        assert_eq!(ledger.edge_loads()[0], (1.0, 0.1 + 0.2));
+
+        // Releases give bandwidth back refcount-style.
+        let (_, _, bw) = ledger.confirm_release(1).unwrap();
+        assert_eq!(bw, 0.1);
+        assert_eq!(ledger.edge_loads()[0], (1.0, 0.1 + 0.2 - 0.1));
+        let (_, _, bw) = ledger.confirm_release(2).unwrap();
+        assert_eq!(bw, 0.2);
+        assert_eq!(
+            ledger.edge_loads()[0],
+            (1.0, 0.0),
+            "last release snaps to zero"
+        );
+
+        // The log carries the edge charges on both commit and release
+        // records, so serial replay reproduces edge state too.
+        let log = ledger.commit_log();
+        assert_eq!(log[0].edges, vec![(EdgeId(0), 0.1)]);
+        assert_eq!(log[2].op, LedgerOp::Release);
+        assert_eq!(log[2].edges, vec![(EdgeId(0), 0.1)]);
+    }
+
+    /// The admission bandwidth bound: a demand wider than the widest
+    /// residual edge rejects, queued-release credit widens the bound, and
+    /// zero-bandwidth tasks never consult it.
+    #[test]
+    fn bandwidth_admission_bound_counts_queued_release_credit() {
+        let ledger = CapacityLedger::new(&capacitated_ring(4, 4.0, 1.0));
+        // One session saturates every edge.
+        let fill =
+            CommitDelta::with_usage(vec![], vec![], (0..4).map(|e| (EdgeId(e), 1.0)).collect());
+        ledger.confirm(Some(9), &fill);
+        let t = task(0, &[2], &[0, 1]);
+        ledger.check_capacity(&t).unwrap();
+        let tb = t.clone().with_bandwidth(0.5).unwrap();
+        assert!(matches!(
+            ledger.check_capacity(&tb),
+            Err(ServiceError::InsufficientBandwidth { .. })
+        ));
+        // A queued release of the saturating session credits its edges.
+        assert!(ledger.note_queued_release(9));
+        ledger.check_capacity(&tb).unwrap();
+        ledger.clear_queued_release(9);
+        assert!(matches!(
+            ledger.check_capacity(&tb),
+            Err(ServiceError::InsufficientBandwidth { .. })
+        ));
+        // The confirmed release makes the bandwidth real again.
+        let (_, _, bw) = ledger.confirm_release(9).unwrap();
+        assert_eq!(bw, 4.0);
+        ledger.check_capacity(&tb).unwrap();
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl RequestMode {
 }
 
 /// One embedding request, as carried on the wire.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmbedRequest {
     /// Protocol version ([`PROTOCOL_VERSION`] unless the client pinned
     /// one; parsing rejects anything else).
@@ -195,6 +195,11 @@ pub struct EmbedRequest {
     pub dests: Vec<usize>,
     /// Service function chain as VNF type indices.
     pub sfc: Vec<usize>,
+    /// Per-session bandwidth demand charged against every delivery-tree
+    /// edge; `None` (or 0) means the legacy uncapacitated behavior.
+    /// Unknown-field-safe extension: omitted on the wire when unset, so
+    /// bandwidth-free request lines are byte-identical to older builds.
+    pub bandwidth: Option<f64>,
     /// Solve semantics; `None` means the channel default (quote on the
     /// socket, commit on stdin `serve`).
     pub mode: Option<RequestMode>,
@@ -213,6 +218,7 @@ impl EmbedRequest {
             source,
             dests,
             sfc,
+            bandwidth: None,
             mode: None,
             deadline_ms: None,
         }
@@ -226,11 +232,15 @@ impl EmbedRequest {
     /// chain, or a source listed as a destination.
     pub fn to_task(&self) -> Result<MulticastTask, CoreError> {
         let sfc = Sfc::new(self.sfc.iter().map(|&f| VnfId(f)).collect::<Vec<_>>())?;
-        MulticastTask::new(
+        let task = MulticastTask::new(
             NodeId(self.source),
             self.dests.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
             sfc,
-        )
+        )?;
+        match self.bandwidth {
+            Some(b) => task.with_bandwidth(b),
+            None => Ok(task),
+        }
     }
 
     /// Canonical one-line JSON serialization (optional fields omitted
@@ -244,6 +254,9 @@ impl EmbedRequest {
         let _ = write!(out, ",\"source\":{}", self.source);
         let _ = write!(out, ",\"dests\":{}", render_uint_array(&self.dests));
         let _ = write!(out, ",\"sfc\":{}", render_uint_array(&self.sfc));
+        if let Some(b) = self.bandwidth {
+            let _ = write!(out, ",\"bandwidth\":{b}");
+        }
         if let Some(mode) = self.mode {
             let _ = write!(out, ",\"mode\":\"{}\"", mode.as_str());
         }
@@ -256,7 +269,7 @@ impl EmbedRequest {
 }
 
 /// Any request line a service channel accepts.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Solve one embedding task.
     Embed(EmbedRequest),
@@ -347,6 +360,11 @@ pub enum ResponseBody {
         /// References dropped on instances other sessions still share
         /// (no capacity change).
         shared: usize,
+        /// Total link bandwidth the teardown gave back (the session's
+        /// per-edge charges, summed). Omitted on the wire when zero, so
+        /// bandwidth-free sessions answer byte-identically to older
+        /// builds.
+        bw_freed: f64,
     },
     /// A structured failure.
     Error(WireError),
@@ -402,6 +420,7 @@ impl EmbedResponse {
         session: u64,
         freed: Vec<(usize, usize)>,
         shared: usize,
+        bw_freed: f64,
     ) -> Self {
         EmbedResponse {
             v: PROTOCOL_VERSION,
@@ -410,6 +429,7 @@ impl EmbedResponse {
                 session,
                 freed,
                 shared,
+                bw_freed,
             },
         }
     }
@@ -467,6 +487,7 @@ impl EmbedResponse {
                 session,
                 freed,
                 shared,
+                bw_freed,
             } => {
                 let _ = write!(out, ",\"status\":\"released\",\"session\":{session}");
                 let _ = write!(out, ",\"freed\":[");
@@ -477,6 +498,9 @@ impl EmbedResponse {
                     let _ = write!(out, "[{f},{v}]");
                 }
                 let _ = write!(out, "],\"shared\":{shared}");
+                if *bw_freed > 0.0 {
+                    let _ = write!(out, ",\"bw_freed\":{bw_freed}");
+                }
             }
             ResponseBody::Error(e) => {
                 let _ = write!(
@@ -543,6 +567,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let mut source: Option<usize> = None;
     let mut dests: Option<Vec<usize>> = None;
     let mut sfc: Option<Vec<usize>> = None;
+    let mut bandwidth: Option<f64> = None;
     let mut mode: Option<RequestMode> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut op: Option<String> = None;
@@ -562,6 +587,15 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             "source" => source = Some(s.parse_uint()?),
             "dests" => dests = Some(s.parse_uint_array()?),
             "sfc" => sfc = Some(s.parse_uint_array()?),
+            "bandwidth" => {
+                let b = s.parse_float()?;
+                if !b.is_finite() || b < 0.0 {
+                    return Err(WireError::parse(format!(
+                        "\"bandwidth\" must be a finite non-negative number, got {b}"
+                    )));
+                }
+                bandwidth = Some(b);
+            }
             "mode" => {
                 mode = Some(match s.parse_string()?.as_str() {
                     "quote" => RequestMode::Quote,
@@ -602,7 +636,11 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         });
     }
     if let Some(op) = op {
-        let task_fields = source.is_some() || dests.is_some() || sfc.is_some() || mode.is_some();
+        let task_fields = source.is_some()
+            || dests.is_some()
+            || sfc.is_some()
+            || bandwidth.is_some()
+            || mode.is_some();
         match op.as_str() {
             "shutdown" => {
                 if task_fields || session.is_some() {
@@ -639,6 +677,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         source: source.ok_or_else(|| WireError::parse("missing key \"source\""))?,
         dests: dests.ok_or_else(|| WireError::parse("missing key \"dests\""))?,
         sfc: sfc.ok_or_else(|| WireError::parse("missing key \"sfc\""))?,
+        bandwidth,
         mode,
         deadline_ms,
     }))
@@ -663,6 +702,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
     let mut session: Option<u64> = None;
     let mut freed: Option<Vec<(usize, usize)>> = None;
     let mut shared: Option<usize> = None;
+    let mut bw_freed: Option<f64> = None;
     loop {
         s.skip_ws();
         if s.eat(b'}') {
@@ -683,6 +723,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
             "session" => session = Some(s.parse_uint()? as u64),
             "freed" => freed = Some(parse_pair_array(&mut s)?),
             "shared" => shared = Some(s.parse_uint()?),
+            "bw_freed" => bw_freed = Some(s.parse_float()?),
             other => return Err(WireError::parse(format!("unknown key \"{other}\""))),
         }
         s.skip_ws();
@@ -727,6 +768,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
             freed: freed.ok_or_else(|| WireError::parse("released response missing \"freed\""))?,
             shared: shared
                 .ok_or_else(|| WireError::parse("released response missing \"shared\""))?,
+            bw_freed: bw_freed.unwrap_or(0.0),
         },
         Some("error") => ResponseBody::Error(
             error.ok_or_else(|| WireError::parse("error response missing \"error\""))?,
@@ -1161,14 +1203,43 @@ mod tests {
                 deadline_ms: None,
             }
         );
-        let resp = EmbedResponse::released(Some(11), 7, vec![(0, 4), (2, 9)], 1);
+        let resp = EmbedResponse::released(Some(11), 7, vec![(0, 4), (2, 9)], 1, 0.0);
         let line = resp.to_json();
         assert!(line.contains("\"status\":\"released\""), "{line}");
         assert!(line.contains("\"freed\":[[0,4],[2,9]]"), "{line}");
+        assert!(
+            !line.contains("bw_freed"),
+            "zero bandwidth stays off the wire"
+        );
         assert_eq!(parse_response(&line).unwrap(), resp);
         // Empty freed list (a fully shared session) still round-trips.
-        let resp = EmbedResponse::released(None, 9, vec![], 3);
+        let resp = EmbedResponse::released(None, 9, vec![], 3, 0.0);
         assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
+        // A bandwidth-carrying teardown reports what came back.
+        let resp = EmbedResponse::released(Some(2), 7, vec![], 1, 2.5);
+        let line = resp.to_json();
+        assert!(line.contains("\"bw_freed\":2.5"), "{line}");
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn bandwidth_extension_round_trips_and_validates() {
+        let req = embed(r#"{"source": 0, "dests": [1], "sfc": [0], "bandwidth": 2.5}"#);
+        assert_eq!(req.bandwidth, Some(2.5));
+        assert_eq!(req.to_task().unwrap().bandwidth(), 2.5);
+        let line = req.to_json();
+        assert!(line.contains("\"bandwidth\":2.5"), "{line}");
+        assert_eq!(embed(&line), req);
+        // Legacy lines stay byte-identical: no key emitted when unset.
+        let legacy = EmbedRequest::new(0, vec![1], vec![0]);
+        assert!(!legacy.to_json().contains("bandwidth"));
+        assert_eq!(legacy.to_task().unwrap().bandwidth(), 0.0);
+        // Malformed demands are parse errors, not task errors.
+        let err = parse_request(r#"{"source": 0, "dests": [1], "sfc": [0], "bandwidth": -1}"#)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::ParseError);
+        // Bandwidth is a task field: a release line must not carry it.
+        assert!(parse_request(r#"{"op": "release", "session": 1, "bandwidth": 1.0}"#).is_err());
     }
 
     #[test]

@@ -150,6 +150,9 @@ struct Shared {
     shed_jobs: AtomicU64,
     /// Commit attempts that lost their snapshot race and re-solved.
     conflicts: AtomicU64,
+    /// Requests turned away by the admission bandwidth bound (the
+    /// service's own counter covers commit-time link rejections).
+    bandwidth_rejections: AtomicU64,
 }
 
 impl Shared {
@@ -294,6 +297,7 @@ impl ServerHandle {
         let mut stats = self.shared.read_service().stats();
         stats.jobs_shed = self.shared.shed_jobs.load(Ordering::Relaxed);
         stats.commit_conflicts = self.shared.conflicts.load(Ordering::Relaxed);
+        stats.bandwidth_rejected += self.shared.bandwidth_rejections.load(Ordering::Relaxed);
         stats
     }
 
@@ -400,6 +404,7 @@ pub fn serve(service: EmbedService, addr: &str, config: ServerConfig) -> io::Res
         config,
         shed_jobs: AtomicU64::new(0),
         conflicts: AtomicU64::new(0),
+        bandwidth_rejections: AtomicU64::new(0),
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -517,7 +522,12 @@ fn admit(
     if shared.config.admission.capacity_check {
         // Answered from the ledger mirror: admission needs no service
         // lock, so a long write-locked commit never stalls rejections.
-        shared.ledger.check_capacity(&task)?;
+        if let Err(e) = shared.ledger.check_capacity(&task) {
+            if matches!(e, ServiceError::InsufficientBandwidth { .. }) {
+                shared.bandwidth_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
     }
     let deadline_ms = req
         .deadline_ms
@@ -725,6 +735,7 @@ fn release_job(job: &Job, session: u64, shared: &Arc<Shared>) -> EmbedResponse {
         session,
         freed.into_iter().map(|(f, v)| (f.0, v.0)).collect(),
         shared_refs,
+        usage.total_bandwidth(),
     )
 }
 
@@ -771,7 +782,7 @@ fn commit_job(job: &Job, task: &MulticastTask, shared: &Arc<Shared>) -> EmbedRes
         match shared.ledger.validate(&snapshot, &delta, job_expired(job)) {
             Ok(()) => {}
             Err(CommitRejection::Expired) => return expired_response(job),
-            Err(CommitRejection::Conflict { .. }) => {
+            Err(CommitRejection::Conflict { .. } | CommitRejection::ConflictEdge { .. }) => {
                 shared.conflicts.fetch_add(1, Ordering::Relaxed);
                 continue; // drop the write lock and re-solve
             }
@@ -785,10 +796,14 @@ fn commit_job(job: &Job, task: &MulticastTask, shared: &Arc<Shared>) -> EmbedRes
                     .confirm_with_task(job.id, &delta, Some(task.clone()));
                 return EmbedResponse::success(job.id, &result, true);
             }
-            // Capacity moved in a way the version vector cannot see only
-            // if the ledger mirror and network disagree — treat it as a
-            // conflict and re-solve rather than crash or half-apply.
-            Err(ServiceError::Core(sft_core::CoreError::CapacityExceeded { .. })) => {
+            // Capacity (node or link) moved in a way the version vector
+            // cannot see only if the ledger mirror and network disagree —
+            // treat it as a conflict and re-solve rather than crash or
+            // half-apply.
+            Err(ServiceError::Core(
+                sft_core::CoreError::CapacityExceeded { .. }
+                | sft_core::CoreError::LinkCapacityExceeded { .. },
+            )) => {
                 shared.conflicts.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
@@ -997,7 +1012,11 @@ mod tests {
 
     /// A `Shared` without a listener, for driving `run_job` directly.
     fn shared_for(capacity: f64, config: ServerConfig) -> Arc<Shared> {
-        let service = EmbedService::with_defaults(ring_network(10, capacity));
+        shared_with(ring_network(10, capacity), config)
+    }
+
+    fn shared_with(network: Network, config: ServerConfig) -> Arc<Shared> {
+        let service = EmbedService::with_defaults(network);
         Arc::new(Shared {
             ledger: CapacityLedger::new(service.network()),
             service: RwLock::new(service),
@@ -1007,6 +1026,7 @@ mod tests {
             config,
             shed_jobs: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            bandwidth_rejections: AtomicU64::new(0),
         })
     }
 

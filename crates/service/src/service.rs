@@ -42,6 +42,16 @@ pub enum ServiceError {
         /// Remaining network-wide capacity for new instances.
         remaining: f64,
     },
+    /// Admission control: the task's bandwidth demand is wider than every
+    /// residual link, so no route can carry it. Shares the
+    /// `insufficient_capacity` wire code with the node-side bound; the
+    /// distinct variant keeps bandwidth rejections countable.
+    InsufficientBandwidth {
+        /// The task's per-session bandwidth demand.
+        demand: f64,
+        /// Residual bandwidth of the widest link.
+        remaining: f64,
+    },
     /// The request's deadline expired before a result could be produced.
     DeadlineExceeded {
         /// The deadline that was missed, in milliseconds.
@@ -74,7 +84,9 @@ impl ServiceError {
         match self {
             ServiceError::Core(e) => match e {
                 CoreError::Infeasible { .. } => ErrorCode::Infeasible,
-                CoreError::CapacityExceeded { .. } => ErrorCode::InsufficientCapacity,
+                CoreError::CapacityExceeded { .. } | CoreError::LinkCapacityExceeded { .. } => {
+                    ErrorCode::InsufficientCapacity
+                }
                 // A cancelled solve surfaces as a missed deadline: the
                 // token only trips when the job's budget ran out (the
                 // drain path re-maps to ShuttingDown before reporting).
@@ -85,7 +97,8 @@ impl ServiceError {
             ServiceError::UnsupportedStrategy(_) => ErrorCode::Internal,
             ServiceError::Parse { .. } => ErrorCode::ParseError,
             ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
-            ServiceError::InsufficientCapacity { .. } => ErrorCode::InsufficientCapacity,
+            ServiceError::InsufficientCapacity { .. }
+            | ServiceError::InsufficientBandwidth { .. } => ErrorCode::InsufficientCapacity,
             ServiceError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
             ServiceError::Conflict { .. } => ErrorCode::Conflict,
             ServiceError::UnknownSession { .. } => ErrorCode::UnknownSession,
@@ -114,6 +127,10 @@ impl fmt::Display for ServiceError {
             ServiceError::InsufficientCapacity { demand, remaining } => write!(
                 f,
                 "task needs at least {demand} new capacity but only {remaining} remains"
+            ),
+            ServiceError::InsufficientBandwidth { demand, remaining } => write!(
+                f,
+                "task demands {demand} bandwidth but the widest residual link has {remaining}"
             ),
             ServiceError::DeadlineExceeded { deadline_ms } => {
                 write!(f, "deadline of {deadline_ms} ms expired before a result")
@@ -217,6 +234,9 @@ struct Counters {
     failures: u64,
     commits: u64,
     releases: u64,
+    /// Solves or commits turned away by link bandwidth
+    /// ([`CoreError::LinkCapacityExceeded`]).
+    bandwidth_rejections: u64,
     latencies_ns: LatencyReservoir,
 }
 
@@ -353,7 +373,12 @@ impl EmbedService {
     /// [`ServiceError::Core`] when the delta no longer fits the current
     /// network state (see [`sft_core::Network::validate_delta`]).
     pub fn apply_commit(&mut self, delta: &sft_core::CommitDelta) -> Result<(), ServiceError> {
-        self.network.apply_delta(delta)?;
+        if let Err(e) = self.network.apply_delta(delta) {
+            if matches!(e, CoreError::LinkCapacityExceeded { .. }) {
+                self.lock_counters().bandwidth_rejections += 1;
+            }
+            return Err(e.into());
+        }
         self.lock_counters().commits += 1;
         Ok(())
     }
@@ -447,12 +472,31 @@ impl EmbedService {
             counters.latencies_ns.samples(),
         );
         stats.releases = counters.releases;
+        stats.bandwidth_rejected = counters.bandwidth_rejections;
         drop(counters);
         let dist = self.network.dist();
         stats.distance_provider = dist.kind().as_str();
         stats.distance_rows = dist.rows_materialized();
         stats.distance_row_hits = dist.row_hits();
         stats.distance_row_misses = dist.row_misses();
+        let graph = self.network.graph();
+        let utils: Vec<f64> = graph
+            .edge_ids()
+            .filter_map(|e| {
+                graph.edge_capacity(e).map(|cap| {
+                    if cap > 0.0 {
+                        (cap - self.network.edge_residual(e)) / cap
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect();
+        stats.link_edges = utils.len();
+        if !utils.is_empty() {
+            stats.link_max_util = utils.iter().copied().fold(0.0, f64::max);
+            stats.link_mean_util = utils.iter().sum::<f64>() / utils.len() as f64;
+        }
         stats
     }
 
@@ -475,7 +519,12 @@ impl EmbedService {
         counters.latencies_ns.record(ns);
         match result {
             Ok(_) => counters.tasks_served += 1,
-            Err(_) => counters.failures += 1,
+            Err(e) => {
+                counters.failures += 1;
+                if matches!(e, CoreError::LinkCapacityExceeded { .. }) {
+                    counters.bandwidth_rejections += 1;
+                }
+            }
         }
     }
 }

@@ -52,6 +52,17 @@ pub struct ServiceStats {
     /// Lazy row lookups that had to run a fresh per-source Dijkstra (0
     /// for dense).
     pub distance_row_misses: u64,
+    /// Edges carrying a bandwidth capacity (0 = uncapacitated network,
+    /// which suppresses the link-utilization line).
+    pub link_edges: usize,
+    /// Highest committed-bandwidth fraction across capacitated edges
+    /// (0.0–1.0).
+    pub link_max_util: f64,
+    /// Mean committed-bandwidth fraction across capacitated edges.
+    pub link_mean_util: f64,
+    /// Requests turned away by link bandwidth: admission's widest-link
+    /// bound plus commits that would have oversubscribed an edge.
+    pub bandwidth_rejected: u64,
 }
 
 impl ServiceStats {
@@ -91,6 +102,10 @@ impl ServiceStats {
             distance_rows: 0,
             distance_row_hits: 0,
             distance_row_misses: 0,
+            link_edges: 0,
+            link_max_util: 0.0,
+            link_mean_util: 0.0,
+            bandwidth_rejected: 0,
         }
     }
 
@@ -136,6 +151,16 @@ impl ServiceStats {
             "solve latency  : p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
             self.p50_ms, self.p99_ms, self.mean_ms
         );
+        if self.link_edges > 0 || self.bandwidth_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "link util      : max {:.1}%, mean {:.1}% over {} capacitated edges, {} bandwidth-rejected",
+                100.0 * self.link_max_util,
+                100.0 * self.link_mean_util,
+                self.link_edges,
+                self.bandwidth_rejected
+            );
+        }
         if self.jobs_shed > 0 || self.commit_conflicts > 0 {
             let _ = writeln!(
                 out,
@@ -192,6 +217,24 @@ mod tests {
         assert!(text.contains("3 evictions"));
         assert!(text.contains("apsp builds    : 1"));
         assert!(text.contains("distance layer : dense provider"));
+        assert!(
+            !text.contains("link util"),
+            "uncapacitated snapshots omit the link line"
+        );
+    }
+
+    #[test]
+    fn link_utilization_line_renders_when_edges_are_capacitated() {
+        let mut s = ServiceStats::from_latencies(0, 0, 0, CacheStats::default(), &[]);
+        s.link_edges = 4;
+        s.link_max_util = 0.75;
+        s.link_mean_util = 0.25;
+        s.bandwidth_rejected = 3;
+        let text = s.render();
+        assert!(
+            text.contains("link util      : max 75.0%, mean 25.0% over 4 capacitated edges, 3 bandwidth-rejected"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Bandwidth-saturation smoke, mirroring the acceptance criterion: on a
+//! narrow-link topology the Nth concurrent session is *refused* with a
+//! structured `insufficient_capacity` — never admitted onto an
+//! oversubscribed link — and releasing one holder makes the same demand
+//! admissible again.
+
+use sft::core::{Network, VnfCatalog};
+use sft::graph::{Graph, NodeId};
+use sft::service::protocol::{parse_response, EmbedRequest, Request, RequestMode, ResponseBody};
+use sft::service::{serve, EmbedService, ErrorCode, ServerConfig, PROTOCOL_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A 3-node path `0 - 1 - 2` whose two links both carry `link_bw`
+/// bandwidth: every embedding for source 0 → dest 2 must cross both, so
+/// the path is the narrowest possible topology for saturation tests.
+fn narrow_path(link_bw: f64) -> Network {
+    let mut g = Graph::new(3);
+    g.add_edge_with_capacity(NodeId(0), NodeId(1), 1.0, Some(link_bw))
+        .unwrap();
+    g.add_edge_with_capacity(NodeId(1), NodeId(2), 1.0, Some(link_bw))
+        .unwrap();
+    Network::builder(g, VnfCatalog::uniform(2))
+        .all_servers(10.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        let writer = stream.try_clone().unwrap();
+        Client {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> ResponseBody {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        parse_response(response.trim()).unwrap().body
+    }
+
+    fn commit(&mut self, session: u64, bandwidth: f64) -> ResponseBody {
+        let mut req = EmbedRequest::new(0, vec![2], vec![0]);
+        req.id = Some(session);
+        req.mode = Some(RequestMode::Commit);
+        req.bandwidth = Some(bandwidth);
+        self.send(&req.to_json())
+    }
+
+    fn release(&mut self, session: u64) -> ResponseBody {
+        self.send(
+            &Request::Release {
+                v: PROTOCOL_VERSION,
+                id: Some(session),
+                session,
+                deadline_ms: None,
+            }
+            .to_json(),
+        )
+    }
+}
+
+#[test]
+fn nth_session_is_refused_then_admitted_after_a_release() {
+    // Two 0.45 demands fit a 1.0 link; the third finds 0.1 residual.
+    let svc = EmbedService::with_defaults(narrow_path(1.0));
+    let mut handle = serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr().unwrap());
+
+    for session in [1u64, 2] {
+        match client.commit(session, 0.45) {
+            ResponseBody::Ok { committed, .. } => assert!(committed),
+            other => panic!("session {session} should commit: {other:?}"),
+        }
+    }
+    // Saturated: the third concurrent session is a structured refusal,
+    // never an oversubscribed admit.
+    match client.commit(3, 0.45) {
+        ResponseBody::Error(e) => assert_eq!(
+            e.code,
+            ErrorCode::InsufficientCapacity,
+            "bandwidth refusals speak insufficient_capacity: {e:?}"
+        ),
+        other => panic!("the saturating session must be refused: {other:?}"),
+    }
+    let network = handle.network();
+    for e in network.graph().edge_ids() {
+        assert!(network.edge_residual(e) >= 0.0, "negative residual");
+    }
+
+    // Releasing one holder frees its bandwidth on both links...
+    match client.release(1) {
+        ResponseBody::Released { bw_freed, .. } => {
+            assert!(
+                (bw_freed - 0.9).abs() < 1e-12,
+                "two links x 0.45: {bw_freed}"
+            )
+        }
+        other => panic!("release must succeed: {other:?}"),
+    }
+    // ...and the same demand is admissible again.
+    match client.commit(4, 0.45) {
+        ResponseBody::Ok { committed, .. } => assert!(committed),
+        other => panic!("the freed link must admit session 4: {other:?}"),
+    }
+
+    // The refusal is visible in the service statistics, alongside the
+    // link-utilization gauge over the two capacitated edges.
+    let stats = handle.stats();
+    assert!(stats.bandwidth_rejected >= 1, "{stats:?}");
+    assert_eq!(stats.link_edges, 2, "{stats:?}");
+    assert!(stats.link_max_util > 0.0, "{stats:?}");
+    assert!(stats.render().contains("link util"), "{}", stats.render());
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Releasing the *last* session on a link restores its full seed
+/// bandwidth exactly — refcounted release snaps to zero rather than
+/// accumulating float drift.
+#[test]
+fn last_release_restores_full_link_bandwidth() {
+    let svc = EmbedService::with_defaults(narrow_path(2.0));
+    let mut handle = serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr().unwrap());
+
+    // Three odd demands whose float sum would not cancel exactly.
+    for (session, bw) in [(1u64, 0.1), (2, 0.3), (3, 0.7)] {
+        match client.commit(session, bw) {
+            ResponseBody::Ok { committed, .. } => assert!(committed),
+            other => panic!("session {session}: {other:?}"),
+        }
+    }
+    for session in [2u64, 1, 3] {
+        match client.release(session) {
+            ResponseBody::Released { .. } => {}
+            other => panic!("release {session}: {other:?}"),
+        }
+    }
+    let network = handle.network();
+    for e in network.graph().edge_ids() {
+        assert_eq!(
+            network.edge_residual(e),
+            2.0,
+            "the last release must restore the exact seed bandwidth"
+        );
+        assert_eq!(network.edge_session_count(e), 0);
+    }
+
+    handle.shutdown();
+    handle.join();
+}

@@ -13,7 +13,7 @@
 //!   live state bit-for-bit at any point, not just after full drain.
 
 use proptest::prelude::*;
-use sft::core::{Network, VnfCatalog};
+use sft::core::{DistanceMode, Network, VnfCatalog};
 use sft::graph::{Graph, NodeId};
 use sft::service::protocol::{parse_response, EmbedRequest, Request, RequestMode, ResponseBody};
 use sft::service::{serve, EmbedService, LedgerOp, ServerConfig, PROTOCOL_VERSION};
@@ -69,9 +69,21 @@ impl Client {
     }
 
     fn commit(&mut self, session: u64, source: usize, dests: Vec<usize>, sfc: Vec<usize>) -> bool {
+        self.commit_bw(session, source, dests, sfc, None)
+    }
+
+    fn commit_bw(
+        &mut self,
+        session: u64,
+        source: usize,
+        dests: Vec<usize>,
+        sfc: Vec<usize>,
+        bandwidth: Option<f64>,
+    ) -> bool {
         let mut req = EmbedRequest::new(source, dests, sfc);
         req.id = Some(session);
         req.mode = Some(RequestMode::Commit);
+        req.bandwidth = bandwidth;
         matches!(
             self.send(&req.to_json()),
             ResponseBody::Ok {
@@ -187,6 +199,168 @@ proptest! {
         order_seed in 0usize..64,
     ) {
         round_trip(sessions, f64::from(capacity), order_seed);
+    }
+}
+
+/// The same asymmetric ring with a uniform bandwidth capacity on every
+/// link and a lazy distance provider — the substrate for the
+/// edge-resource lifecycle contract below.
+fn bw_ring(capacity: f64, link_bw: f64) -> Network {
+    let mut g = Graph::new(NODES);
+    for i in 0..NODES {
+        g.add_edge_with_capacity(
+            NodeId(i),
+            NodeId((i + 1) % NODES),
+            1.0 + (i % 3) as f64 * 0.2,
+            Some(link_bw),
+        )
+        .unwrap();
+    }
+    Network::builder(g, VnfCatalog::uniform(3))
+        .distance_mode(DistanceMode::Lazy)
+        .all_servers(capacity)
+        .unwrap()
+        .uniform_setup_cost(2.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// Non-negative residual on every link, live and replayed alike; the
+/// replay additionally pins edge usage (used bandwidth *and* session
+/// refcounts) bit-for-bit, and proves edge accounting never touches the
+/// distance layer: the replay network solves nothing, so its lazy
+/// provider must still hold zero materialized rows afterwards.
+fn assert_bw_replay_identical(handle: &sft::service::ServerHandle, capacity: f64, link_bw: f64) {
+    let live = handle.network();
+    for e in live.graph().edge_ids() {
+        let residual = live.edge_residual(e);
+        assert!(
+            residual >= 0.0,
+            "edge {e:?} oversubscribed: residual {residual}"
+        );
+        assert!(residual <= link_bw, "edge {e:?} over-freed: {residual}");
+    }
+    let mut replay = bw_ring(capacity, link_bw);
+    for record in &handle.commit_log() {
+        match record.op {
+            LedgerOp::Commit => replay.apply_delta(&record.delta()).unwrap(),
+            LedgerOp::Release => {
+                replay.apply_release(&record.delta()).unwrap();
+            }
+        }
+    }
+    assert_eq!(replay.deployment_refcounts(), live.deployment_refcounts());
+    for v in 0..NODES {
+        assert_eq!(
+            replay.residual_capacity(NodeId(v)),
+            live.residual_capacity(NodeId(v)),
+            "node {v} residual diverges under replay"
+        );
+    }
+    assert_eq!(
+        replay.edge_usage(),
+        live.edge_usage(),
+        "edge bandwidth/session accounting diverges under replay"
+    );
+    for e in live.graph().edge_ids() {
+        assert_eq!(replay.edge_residual(e), live.edge_residual(e), "edge {e:?}");
+    }
+    assert_eq!(
+        replay.dist().rows_materialized(),
+        0,
+        "pure delta replay must leave the lazy distance rows untouched"
+    );
+}
+
+/// A shuffled mix of bandwidth-demanding commits and releases: commits
+/// and releases interleave in an order derived from `order_seed`, every
+/// intermediate state keeps link residuals in `[0, link_bw]`, and the
+/// mixed log replays to a bit-identical network — nodes, deployments,
+/// and per-edge bandwidth alike. Full drain restores every link to its
+/// seed bandwidth.
+fn bw_round_trip(sessions: usize, capacity: f64, link_bw: f64, order_seed: usize) {
+    let seed = bw_ring(capacity, link_bw);
+    let svc = EmbedService::with_defaults(seed.clone());
+    let mut handle = serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr().unwrap());
+
+    let mut live: Vec<u64> = Vec::new();
+    for s in 0..sessions {
+        let source = (s * 5 + order_seed) % NODES;
+        let dest = (source + 3 + s % 2) % NODES;
+        // Demands vary per session; a tight link_bw makes some commits
+        // fail with a structured refusal instead of oversubscribing.
+        let demand = 0.25 + 0.25 * (s % 4) as f64;
+        if client.commit_bw(
+            s as u64 + 1,
+            source,
+            vec![dest],
+            vec![s % 3, (s + 1) % 3],
+            Some(demand),
+        ) {
+            live.push(s as u64 + 1);
+        }
+        assert_bw_replay_identical(&handle, capacity, link_bw);
+        // Interleave: sometimes tear down an earlier session mid-stream.
+        if !live.is_empty() && (order_seed + s) % 3 == 0 {
+            let victim = live.remove((order_seed * 11 + s * 7) % live.len());
+            match client.release(victim) {
+                ResponseBody::Released { session, .. } => assert_eq!(session, victim),
+                other => panic!("release of {victim} answered {other:?}"),
+            }
+            assert_bw_replay_identical(&handle, capacity, link_bw);
+        }
+    }
+
+    // Drain the remainder in a shuffled order.
+    for i in (1..live.len()).rev() {
+        live.swap(i, (order_seed * 7 + i * 13) % (i + 1));
+    }
+    for &session in &live {
+        match client.release(session) {
+            ResponseBody::Released {
+                session: s,
+                bw_freed,
+                ..
+            } => {
+                assert_eq!(s, session);
+                // Every committed tree crossed at least one capacitated
+                // link, so its release always returns bandwidth.
+                assert!(bw_freed > 0.0, "session {session} freed no bandwidth");
+            }
+            other => panic!("release of {session} answered {other:?}"),
+        }
+        assert_bw_replay_identical(&handle, capacity, link_bw);
+    }
+
+    // Full drain: every link is back at its seed bandwidth, exactly.
+    let network = handle.network();
+    for e in network.graph().edge_ids() {
+        assert_eq!(
+            network.edge_residual(e),
+            link_bw,
+            "edge {e:?} did not return to seed bandwidth"
+        );
+    }
+    assert_eq!(network.edge_usage(), seed.edge_usage());
+    assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+
+    handle.shutdown();
+    handle.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn bandwidth_lifecycle_keeps_links_exact_and_replayable(
+        sessions in 1usize..8,
+        capacity in 2u32..4,
+        link_bw in 1u32..4,
+        order_seed in 0usize..64,
+    ) {
+        bw_round_trip(sessions, f64::from(capacity), f64::from(link_bw), order_seed);
     }
 }
 

@@ -15,6 +15,10 @@
 //!   carry a bandwidth capacity, every session demanding link bandwidth:
 //!   the price of per-edge residual tracking, version vectors, and the
 //!   occasional bandwidth refusal on the same hot path;
+//! * `churn/ring_4conn_delay/wave` — the same waves on a ring whose
+//!   links carry a propagation latency, every session carrying a QoS
+//!   delay budget: the price of delay accounting and budget repair
+//!   (plus the occasional `delay_infeasible` refusal) on the hot path;
 //! * a separate pass times [`ServerHandle::defrag`] over a fragmented
 //!   set of live sessions.
 //!
@@ -40,20 +44,27 @@ const CAPACITY: f64 = 3.0;
 /// sliding-window sessions admit, tight enough that refusals do occur.
 const LINK_BW: f64 = 4.0;
 
+/// Per-hop propagation latency for the delay-constrained point.
+const LINK_LAT: f64 = 1.0;
+
 fn ring_network() -> Network {
-    ring(None)
+    ring(None, None)
 }
 
-fn ring(link_bw: Option<f64>) -> Network {
+fn ring(link_bw: Option<f64>, latency: Option<f64>) -> Network {
     let mut g = Graph::new(NODES);
     for i in 0..NODES {
-        g.add_edge_with_capacity(
-            NodeId(i),
-            NodeId((i + 1) % NODES),
-            1.0 + (i % 3) as f64 * 0.2,
-            link_bw,
-        )
-        .unwrap();
+        let e = g
+            .add_edge_with_capacity(
+                NodeId(i),
+                NodeId((i + 1) % NODES),
+                1.0 + (i % 3) as f64 * 0.2,
+                link_bw,
+            )
+            .unwrap();
+        if latency.is_some() {
+            g.set_edge_latency(e, latency).unwrap();
+        }
     }
     Network::builder(g, VnfCatalog::uniform(3))
         .all_servers(CAPACITY)
@@ -81,7 +92,13 @@ fn start_server_on(network: Network) -> ServerHandle {
 /// One client's share of a churn wave: sliding-window commit/release,
 /// then drain. Session ids are offset per wave so ledger stacks stay
 /// unambiguous across criterion samples.
-fn churn_client(addr: SocketAddr, client: usize, id_offset: u64, with_bandwidth: bool) {
+fn churn_client(
+    addr: SocketAddr,
+    client: usize,
+    id_offset: u64,
+    with_bandwidth: bool,
+    with_budget: bool,
+) {
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
@@ -103,6 +120,11 @@ fn churn_client(addr: SocketAddr, client: usize, id_offset: u64, with_bandwidth:
         if with_bandwidth {
             // Deterministic per-session demands in [0.25, 1.0].
             req.bandwidth = Some(0.25 + 0.25 * (s % 4) as f64);
+        }
+        if with_budget {
+            // Deterministic per-session budgets in [6, 9] hops' worth of
+            // latency: most admit, the longest routes are refused.
+            req.delay_budget_ms = Some(LINK_LAT * (6.0 + (s % 4) as f64));
         }
         match send(&req.to_json()) {
             ResponseBody::Ok {
@@ -136,13 +158,13 @@ fn release(send: &mut dyn FnMut(&str) -> ResponseBody, session: u64) {
 
 /// One full churn wave (4 concurrent clients, drained at the end).
 fn wave(addr: SocketAddr, id_offset: u64) {
-    wave_bw(addr, id_offset, false);
+    wave_with(addr, id_offset, false, false);
 }
 
-fn wave_bw(addr: SocketAddr, id_offset: u64, with_bandwidth: bool) {
+fn wave_with(addr: SocketAddr, id_offset: u64, with_bandwidth: bool, with_budget: bool) {
     std::thread::scope(|scope| {
         for c in 0..CLIENTS {
-            scope.spawn(move || churn_client(addr, c, id_offset, with_bandwidth));
+            scope.spawn(move || churn_client(addr, c, id_offset, with_bandwidth, with_budget));
         }
     });
 }
@@ -169,14 +191,14 @@ fn bench_service_churn(c: &mut Criterion) {
 
     // The bandwidth-constrained point: identical waves on a capacitated
     // ring, every session demanding link bandwidth.
-    let mut handle = start_server_on(ring(Some(LINK_BW)));
+    let mut handle = start_server_on(ring(Some(LINK_BW), None));
     let addr = handle.local_addr().unwrap();
     let mut offset = 0u64;
     let mut group = c.benchmark_group("churn/ring_4conn_bw");
     group.sample_size(10);
     group.bench_function("wave", |b| {
         b.iter(|| {
-            wave_bw(addr, offset, true);
+            wave_with(addr, offset, true, false);
             offset += (CLIENTS * SESSIONS_PER_CLIENT) as u64;
         });
     });
@@ -187,6 +209,27 @@ fn bench_service_churn(c: &mut Criterion) {
     for e in network.graph().edge_ids() {
         assert_eq!(network.edge_residual(e), LINK_BW);
     }
+    handle.shutdown();
+    handle.join();
+
+    // The delay-constrained point: identical waves on a latency-bearing
+    // ring, every session carrying a QoS delay budget.
+    let mut handle = start_server_on(ring(None, Some(LINK_LAT)));
+    let addr = handle.local_addr().unwrap();
+    let mut offset = 0u64;
+    let mut group = c.benchmark_group("churn/ring_4conn_delay");
+    group.sample_size(10);
+    group.bench_function("wave", |b| {
+        b.iter(|| {
+            wave_with(addr, offset, false, true);
+            offset += (CLIENTS * SESSIONS_PER_CLIENT) as u64;
+        });
+    });
+    group.finish();
+    // Delay refusals release nothing, admits drain fully: back to seed.
+    let seed = ring_network();
+    let network = handle.network();
+    assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
     handle.shutdown();
     handle.join();
 }
@@ -250,11 +293,14 @@ fn defrag_cost() -> (usize, u64, usize, usize) {
 fn write_report(c: &Criterion) {
     let mut wave_ns = None;
     let mut bw_wave_ns = None;
+    let mut delay_wave_ns = None;
     for s in c.summaries() {
         if s.id == "churn/ring_4conn/wave" {
             wave_ns = Some(s.median_ns);
         } else if s.id == "churn/ring_4conn_bw/wave" {
             bw_wave_ns = Some(s.median_ns);
+        } else if s.id == "churn/ring_4conn_delay/wave" {
+            delay_wave_ns = Some(s.median_ns);
         }
     }
     let Some(wave_ns) = wave_ns else {
@@ -270,8 +316,18 @@ fn write_report(c: &Criterion) {
         ),
         None => "null".to_string(),
     };
+    let delay_point = match delay_wave_ns {
+        Some(ns) => format!(
+            "{{ \"link_latency\": {LINK_LAT}, \"budget_range\": [{:.1}, {:.1}], \"wave_median_ms\": {:.3}, \"sessions_per_sec\": {:.1} }}",
+            6.0 * LINK_LAT,
+            9.0 * LINK_LAT,
+            ns / 1e6,
+            sessions / (ns / 1e9),
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": {{ \"topology\": \"ring12\", \"capacity\": {CAPACITY}, \"clients\": {CLIENTS}, \"sessions_per_client\": {SESSIONS_PER_CLIENT}, \"window\": {WINDOW} }},\n  \"server_workers\": {WORKERS},\n  \"wave_median_ms\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"requests_per_sec\": {:.1},\n  \"bandwidth_constrained\": {bandwidth_point},\n  \"defrag\": {{ \"live_sessions\": {defrag_sessions}, \"pass_ms\": {:.3}, \"instances_before\": {instances_before}, \"instances_after\": {instances_after} }},\n  \"note\": \"one session = one commit + one release over TCP; wave = {CLIENTS} concurrent sliding-window clients, fully drained (network returns to seed every wave); bandwidth_constrained = same waves with per-session link-bandwidth demands on a capacitated ring; defrag = one re-embed pass over a half-drained fragmented set\"\n}}\n",
+        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": {{ \"topology\": \"ring12\", \"capacity\": {CAPACITY}, \"clients\": {CLIENTS}, \"sessions_per_client\": {SESSIONS_PER_CLIENT}, \"window\": {WINDOW} }},\n  \"server_workers\": {WORKERS},\n  \"wave_median_ms\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"requests_per_sec\": {:.1},\n  \"bandwidth_constrained\": {bandwidth_point},\n  \"delay_constrained\": {delay_point},\n  \"defrag\": {{ \"live_sessions\": {defrag_sessions}, \"pass_ms\": {:.3}, \"instances_before\": {instances_before}, \"instances_after\": {instances_after} }},\n  \"note\": \"one session = one commit + one release over TCP; wave = {CLIENTS} concurrent sliding-window clients, fully drained (network returns to seed every wave); bandwidth_constrained = same waves with per-session link-bandwidth demands on a capacitated ring; delay_constrained = same waves with per-session QoS delay budgets on a latency-bearing ring; defrag = one re-embed pass over a half-drained fragmented set\"\n}}\n",
         wave_ns / 1e6,
         sessions / (wave_ns / 1e9),
         2.0 * sessions / (wave_ns / 1e9),

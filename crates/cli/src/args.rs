@@ -18,11 +18,12 @@ TOPOLOGIES (--topology):
   geo:<n>           random geometric, n nodes (use --seed)
   grid:<r>x<c>      r x c grid, unit costs
   fat-tree:<k>      k-ary fat-tree datacenter fabric
-  waxman:<n>[:seed][:bw]
+  waxman:<n>[:seed][:bw][:lat]
                     Waxman random WAN, n nodes, locality-biased edges
                     (an embedded seed overrides --seed, so the spec
                     string alone pins the instance; an optional third
-                    field puts bandwidth bw on every link)
+                    field puts bandwidth bw on every link, an optional
+                    fourth puts propagation latency lat on every link)
 
 COMMON FLAGS:
   --seed <u64>          RNG seed (default 0)
@@ -31,6 +32,9 @@ COMMON FLAGS:
                         (default none = uncapacitated links; tasks with
                         a `bandwidth` field then consume link capacity
                         and are refused rather than oversubscribe)
+  --link-latency <f64>  uniform propagation latency on every edge
+                        (default none; delay math then falls back to
+                        edge weights, so delay == cost)
   --servers <n>         number of stride-spaced NFV server nodes
                         (default 0 = every node is a server)
   --setup-cost <f64>    uniform VNF setup cost (default 1)
@@ -50,6 +54,9 @@ SOLVE / EXACT FLAGS:
                         cores (default). Results are identical for every
                         value — only the runtime changes.
   --no-opa              skip stage 2
+  --delay-budget <ms>   end-to-end delay budget per destination; the
+                        solve repairs routes to meet it or fails with
+                        `delay_infeasible` (default none)
   --stats               print embedding statistics
   --dot <file>          write the physical embedding as DOT
   --sft-dot <file>      write the logical SFT as DOT
@@ -115,6 +122,10 @@ protocol JSONL — pipe into `sft serve` or save for `sft client`):
   --bandwidth <f64>     per-session bandwidth demand, drawn uniformly
                         from (0, this] per session (default none; the
                         stream is byte-identical without the flag)
+  --delay-budget <ms>   per-session QoS delay budget, drawn uniformly
+                        from (this/2, this] ms per session (default
+                        none; the stream is byte-identical without
+                        the flag)
 
 EXAMPLES:
   sft info  --topology palmetto

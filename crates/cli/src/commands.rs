@@ -34,6 +34,17 @@ fn build_network(args: &Args) -> Result<(Network, usize), ParseError> {
             .map_err(|_| ParseError(format!("cannot parse --link-bw value `{raw}`")))?;
         topology_spec::apply_uniform_bandwidth(&mut graph, bw)?;
     }
+    // --link-latency puts a uniform propagation latency on every edge;
+    // without it (and without a latency-bearing spec such as
+    // waxman:<n>:<seed>:<bw>:<lat>) delay math falls back to edge
+    // weights, so latency-free runs stay bit-identical to the legacy
+    // cost-only model.
+    if let Some(raw) = args.get("link-latency") {
+        let lat: f64 = raw
+            .parse()
+            .map_err(|_| ParseError(format!("cannot parse --link-latency value `{raw}`")))?;
+        topology_spec::apply_uniform_latency(&mut graph, lat)?;
+    }
     let capacity: f64 = args.parse_or("capacity", 3.0)?;
     let setup_cost: f64 = args.parse_or("setup-cost", 1.0)?;
     let distances: DistanceMode = args.parse_or("distances", DistanceMode::Auto)?;
@@ -78,6 +89,18 @@ fn setup(args: &Args) -> Result<(Network, MulticastTask), ParseError> {
     let sfc =
         Sfc::new((0..k).map(VnfId).collect::<Vec<_>>()).map_err(|e| ParseError(e.to_string()))?;
     let task = MulticastTask::new(source, dests, sfc).map_err(|e| ParseError(e.to_string()))?;
+    // --delay-budget <ms>: cap the end-to-end source→destination delay of
+    // every accepted route; solves that cannot meet it fail structurally.
+    let task = match args.get("delay-budget") {
+        None => task,
+        Some(raw) => {
+            let budget: f64 = raw
+                .parse()
+                .map_err(|_| ParseError(format!("cannot parse --delay-budget value `{raw}`")))?;
+            task.with_delay_budget(budget)
+                .map_err(|e| ParseError(e.to_string()))?
+        }
+    };
     Ok((network, task))
 }
 
@@ -150,6 +173,9 @@ pub fn solve(args: &Args) -> Result<String, ParseError> {
     let _ = writeln!(out, "  setup    : {:.2}", result.cost.setup);
     let _ = writeln!(out, "  links    : {:.2}", result.cost.link);
     let _ = writeln!(out, "stage1 cost: {:.2}", result.stage1_cost);
+    if let (Some(delay), Some(budget)) = (result.max_path_delay, task.delay_budget()) {
+        let _ = writeln!(out, "max delay  : {delay:.2} (budget {budget:.2})");
+    }
     let _ = writeln!(out, "runtime    : {ms:.2} ms");
     let _ = writeln!(out, "chain      : {:?}", result.chain.placement);
     for (stage, node) in result.embedding.instances() {
@@ -581,7 +607,10 @@ pub fn serve(args: &Args) -> Result<String, ParseError> {
 /// monotonically. With `--bandwidth <max>` each session also carries a
 /// per-session bandwidth demand drawn uniformly from `(0, max]` —
 /// deterministic under `--seed`, and omitted entirely without the flag
-/// so legacy streams stay byte-identical.
+/// so legacy streams stay byte-identical. With `--delay-budget <max>`
+/// each session additionally carries a QoS delay budget drawn uniformly
+/// from `(max/2, max]` milliseconds, under the same determinism and
+/// omission rules.
 ///
 /// # Errors
 ///
@@ -632,7 +661,28 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
                 .ok_or_else(|| ParseError(format!("cannot parse --bandwidth value `{raw}`")))
         })
         .transpose()?;
-    let mut rng = StdRng::seed_from_u64(args.parse_or("seed", 0)?);
+    // --delay-budget <max>: give each session a QoS delay budget drawn
+    // uniformly from (max/2, max], deterministic under --seed. Budgets
+    // come from their own split-off RNG stream, so adding the flag never
+    // reshuffles the arrival/bandwidth draws; without it no budget is
+    // drawn and no `delay_budget_ms` field is emitted, keeping legacy
+    // streams byte-identical. The lower half is excluded so generated
+    // workloads exercise the constraint without collapsing into
+    // all-infeasible streams.
+    let max_delay_budget: Option<f64> = args
+        .get("delay-budget")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|b| b.is_finite() && *b > 0.0)
+                .ok_or_else(|| ParseError(format!("cannot parse --delay-budget value `{raw}`")))
+        })
+        .transpose()?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A fixed offset keys the budget stream off the same --seed without
+    // colliding with the main stream.
+    let mut budget_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     // Inverse-CDF exponential sampling; 1-u keeps the argument positive.
     let exp = |mean: f64, rng: &mut StdRng| -(1.0 - rng.random::<f64>()).ln() * mean;
 
@@ -662,6 +712,12 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
             let raw = max * (1.0 - rng.random::<f64>());
             req.bandwidth = Some(((raw * 100.0).ceil() / 100.0).min(max));
         }
+        if let Some(max) = max_delay_budget {
+            // Uniform over (max/2, max]: tight enough to bite, loose
+            // enough that most sessions stay routable.
+            let raw = max * (1.0 - 0.5 * budget_rng.random::<f64>());
+            req.delay_budget_ms = Some(((raw * 100.0).ceil() / 100.0).min(max));
+        }
         events.push((clock, i, req.to_json()));
         let release = Request::Release {
             v: protocol::PROTOCOL_VERSION,
@@ -678,9 +734,13 @@ pub fn workload(args: &Args) -> Result<String, ParseError> {
         Some(max) => format!(", bandwidth (0, {max}]"),
         None => String::new(),
     };
+    let delay_note = match max_delay_budget {
+        Some(max) => format!(", delay budget ({}, {max}] ms", max / 2.0),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "# {count} sessions, poisson arrivals (rate {rate}), exp holding (mean {hold}){bw_note}: {} Erlangs offered",
+        "# {count} sessions, poisson arrivals (rate {rate}), exp holding (mean {hold}){bw_note}{delay_note}: {} Erlangs offered",
         rate * hold
     );
     for (_, _, line) in events {
@@ -841,6 +901,27 @@ mod tests {
         assert!(out.contains("validator  : OK"), "{out}");
         assert!(out.contains("cost       :"));
         assert!(out.contains("instance   : stage 1"));
+    }
+
+    #[test]
+    fn solve_reports_and_enforces_the_delay_budget() {
+        let plain = run("solve --topology grid:3x4 --source 0 --dests 7,11 --sfc 2").unwrap();
+        assert!(
+            !plain.contains("max delay"),
+            "budget-free solves keep the legacy report: {plain}"
+        );
+        let base = "solve --topology grid:3x4 --link-latency 1 --source 0 --dests 7,11 --sfc 2";
+        let loose = run(&format!("{base} --delay-budget 50")).unwrap();
+        assert!(loose.contains("validator  : OK"), "{loose}");
+        assert!(loose.contains("max delay  :"), "{loose}");
+        assert!(loose.contains("(budget 50.00)"), "{loose}");
+        // Node 11 is five hops from the source at latency 1 per hop, so
+        // half a unit of budget is structurally unreachable.
+        let err = run(&format!("{base} --delay-budget 0.5")).unwrap_err();
+        assert!(err.0.contains("delay budget"), "{err}");
+        assert!(run(&format!("{base} --delay-budget -3")).is_err());
+        assert!(run(&format!("{base} --delay-budget never")).is_err());
+        assert!(run("solve --topology grid:3x4 --link-latency bad --source 0 --dests 7 --sfc 1").is_err());
     }
 
     #[test]
@@ -1112,6 +1193,43 @@ mod tests {
         assert_ne!(capped, run(&format!("{base} --bandwidth 1.0")).unwrap());
         assert!(run(&format!("{base} --bandwidth 0")).is_err());
         assert!(run(&format!("{base} --bandwidth lots")).is_err());
+    }
+
+    #[test]
+    fn workload_delay_budget_flag_adds_deterministic_budgets() {
+        let base = "workload --topology grid:3x4 --count 15 --seed 4 --rate 2 --hold 3";
+        let plain = run(base).unwrap();
+        assert!(
+            !plain.contains("delay_budget_ms"),
+            "legacy streams carry no delay budget field: {plain}"
+        );
+        let budgeted = run(&format!("{base} --delay-budget 20")).unwrap();
+        let mut budgets = 0usize;
+        for line in budgeted.lines().filter(|l| !l.starts_with('#')) {
+            if let Request::Embed(req) = protocol::parse_request(line).unwrap() {
+                let b = req.delay_budget_ms.expect("every session carries a budget");
+                assert!(b > 10.0 && b <= 20.0, "budget out of range: {b}");
+                budgets += 1;
+            }
+        }
+        assert_eq!(budgets, 15);
+        assert_eq!(budgeted, run(&format!("{base} --delay-budget 20")).unwrap());
+        // Adding --delay-budget leaves the bandwidth stream untouched:
+        // every session's demand matches the budget-free run's.
+        let capped = run(&format!("{base} --bandwidth 2.5")).unwrap();
+        let both = run(&format!("{base} --bandwidth 2.5 --delay-budget 20")).unwrap();
+        let demands = |text: &str| -> Vec<f64> {
+            text.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| match protocol::parse_request(l).unwrap() {
+                    Request::Embed(req) => req.bandwidth,
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(demands(&capped), demands(&both));
+        assert!(run(&format!("{base} --delay-budget 0")).is_err());
+        assert!(run(&format!("{base} --delay-budget soon")).is_err());
     }
 
     /// The narrow-link lifecycle on the stdin channel: with `--link-bw`

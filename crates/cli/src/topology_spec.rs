@@ -9,7 +9,7 @@ use sft_topology::{abilene, palmetto};
 /// Builds a graph from a topology spec string.
 ///
 /// Accepted forms: `palmetto`, `palmetto:<n>`, `er:<n>`, `geo:<n>`,
-/// `grid:<r>x<c>`, `fat-tree:<k>`, `waxman:<n>[:seed]`.
+/// `grid:<r>x<c>`, `fat-tree:<k>`, `waxman:<n>[:seed][:bw][:lat]`.
 ///
 /// # Errors
 ///
@@ -86,11 +86,13 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
         // `waxman:<n>` seeds from --seed; `waxman:<n>:<seed>` embeds the
         // seed in the spec so a topology string alone pins the instance;
         // `waxman:<n>:<seed>:<bw>` additionally gives every link a
-        // uniform bandwidth capacity, pinning the capacitated instance.
-        let mut parts = rest.splitn(3, ':');
+        // uniform bandwidth capacity, and `waxman:<n>:<seed>:<bw>:<lat>`
+        // a uniform propagation latency, pinning the QoS instance.
+        let mut parts = rest.splitn(4, ':');
         let n = parts.next().unwrap_or("");
         let embedded = parts.next();
         let bandwidth = parts.next();
+        let latency = parts.next();
         let n: usize = n
             .parse()
             .map_err(|_| ParseError(format!("bad node count in `{spec}`")))?;
@@ -108,6 +110,14 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
                     .ok_or_else(|| ParseError(format!("bad link bandwidth in `{spec}`")))
             })
             .transpose()?;
+        let latency: Option<f64> = latency
+            .map(|l| {
+                l.parse::<f64>()
+                    .ok()
+                    .filter(|l| l.is_finite() && *l > 0.0)
+                    .ok_or_else(|| ParseError(format!("bad link latency in `{spec}`")))
+            })
+            .transpose()?;
         // Density defaults tuned for scale: beta fixed at the customary
         // 0.4, alpha chosen so the expected degree (~4*pi*alpha^2*beta*n
         // for locality-dominated alpha) tracks 2*ln(n) — enough that the
@@ -122,10 +132,13 @@ pub fn build(spec: &str, seed: u64) -> Result<Graph, ParseError> {
         if let Some(bw) = bandwidth {
             apply_uniform_bandwidth(&mut graph, bw)?;
         }
+        if let Some(lat) = latency {
+            apply_uniform_latency(&mut graph, lat)?;
+        }
         return Ok(graph);
     }
     Err(ParseError(format!(
-        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>, waxman:<n>[:seed][:bw])"
+        "unknown topology `{spec}` (try palmetto, palmetto:<n>, abilene, er:<n>, geo:<n>, grid:<r>x<c>, fat-tree:<k>, waxman:<n>[:seed][:bw][:lat])"
     )))
 }
 
@@ -146,6 +159,29 @@ pub fn apply_uniform_bandwidth(graph: &mut Graph, bandwidth: f64) -> Result<(), 
     for e in edges {
         graph
             .set_edge_capacity(e, Some(bandwidth))
+            .map_err(|e| ParseError(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Gives every edge of `graph` the same propagation latency — the
+/// `--link-latency` flag and the `waxman:<n>:<seed>:<bw>:<lat>` spec
+/// suffix both funnel through here. Without it, delay math falls back
+/// to edge weights (delay == cost).
+///
+/// # Errors
+///
+/// [`ParseError`] when the latency is not a positive finite number.
+pub fn apply_uniform_latency(graph: &mut Graph, latency: f64) -> Result<(), ParseError> {
+    if !latency.is_finite() || latency <= 0.0 {
+        return Err(ParseError(format!(
+            "link latency must be positive and finite (got {latency})"
+        )));
+    }
+    let edges: Vec<_> = graph.edge_ids().collect();
+    for e in edges {
+        graph
+            .set_edge_latency(e, Some(latency))
             .map_err(|e| ParseError(e.to_string()))?;
     }
     Ok(())
@@ -214,6 +250,30 @@ mod tests {
     }
 
     #[test]
+    fn waxman_latency_suffix_stamps_every_link() {
+        let plain = build("waxman:30:7:2.5", 0).unwrap();
+        assert!(!plain.has_edge_latencies());
+        let qos = build("waxman:30:7:2.5:0.8", 0).unwrap();
+        assert_eq!(qos.edge_count(), plain.edge_count());
+        assert!((qos.total_weight() - plain.total_weight()).abs() < 1e-12);
+        for e in qos.edge_ids() {
+            assert_eq!(qos.edge_capacity(e), Some(2.5));
+            assert_eq!(qos.edge_latency(e), Some(0.8));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_helper_validates() {
+        let mut g = build("grid:2x2", 0).unwrap();
+        assert!(apply_uniform_latency(&mut g, 0.0).is_err());
+        assert!(apply_uniform_latency(&mut g, -1.0).is_err());
+        assert!(apply_uniform_latency(&mut g, f64::NAN).is_err());
+        assert!(!g.has_edge_latencies(), "failed applies leave no latencies");
+        apply_uniform_latency(&mut g, 0.5).unwrap();
+        assert!(g.edge_ids().all(|e| g.edge_latency(e) == Some(0.5)));
+    }
+
+    #[test]
     fn uniform_bandwidth_helper_validates() {
         let mut g = build("grid:2x2", 0).unwrap();
         assert!(apply_uniform_bandwidth(&mut g, 0.0).is_err());
@@ -247,6 +307,9 @@ mod tests {
             "waxman:10:1:x",
             "waxman:10:1:0",
             "waxman:10:1:-2",
+            "waxman:10:1:2:x",
+            "waxman:10:1:2:0",
+            "waxman:10:1:2:-0.5",
         ] {
             assert!(build(bad, 0).is_err(), "`{bad}` should fail");
         }

@@ -79,6 +79,72 @@ fn batch_output_is_byte_identical_to_the_pre_refactor_anchor() {
     assert!(!out.contains("link util"), "{out}");
 }
 
+/// The QoS extension is strictly additive on the wire: replaying the
+/// anchor stream with a loose `delay_budget_ms` on every request yields
+/// responses that differ from the golden lines *only* by the appended
+/// `max_path_delay` field — embeddings, costs, and ids are untouched —
+/// and a structurally impossible budget is refused as `delay_infeasible`.
+#[test]
+fn delay_budget_requests_only_append_the_achieved_delay() {
+    let svc = EmbedService::new(
+        palmetto_network(),
+        Strategy::Msa,
+        SolveOptions::default(),
+    )
+    .unwrap();
+    let mut handle = sft_service::serve(svc, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    let text = std::fs::read_to_string(repo_path("examples/palmetto_tasks.jsonl")).unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let want = golden_responses();
+    let mut got = Vec::new();
+    for (lineno, parsed) in protocol::parse_stream(&text) {
+        let Ok(Request::Embed(mut req)) = parsed else {
+            panic!("the anchor stream is all-embed");
+        };
+        req.id = req.id.or(Some(lineno as u64));
+        req.mode = Some(RequestMode::Commit);
+        // Palmetto is latency-free, so delay == cost and any generous
+        // budget admits; the embedding must not change.
+        req.delay_budget_ms = Some(1e6);
+        writeln!(writer, "{}", req.to_json()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        got.push(line.trim().to_string());
+    }
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        let stripped = match g.find(",\"max_path_delay\":") {
+            Some(at) => format!("{}{}", &g[..at], &g[g.len() - 1..]),
+            None => g.clone(),
+        };
+        assert_eq!(&stripped, w, "more than max_path_delay drifted");
+        if w.contains("\"status\":\"ok\"") {
+            assert!(g.contains("\"max_path_delay\":"), "budgeted ok lines report the delay: {g}");
+        }
+    }
+
+    // An impossible budget on the same channel is a structured refusal.
+    let mut req = protocol::EmbedRequest::new(0, vec![44], vec![0]);
+    req.id = Some(9_999);
+    req.mode = Some(RequestMode::Quote);
+    req.delay_budget_ms = Some(1e-6);
+    writeln!(writer, "{}", req.to_json()).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"code\":\"delay_infeasible\""),
+        "tight budgets map onto the taxonomy: {line}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn socket_responses_are_byte_identical_to_the_pre_refactor_anchor() {
     let network = palmetto_network();

@@ -2,13 +2,13 @@
 
 use crate::chain::ChainSolution;
 use crate::cost::{delivery_cost, CostBreakdown};
-use crate::embedding::Embedding;
+use crate::embedding::{DestinationRoute, Embedding};
 use crate::network::Network;
 use crate::opa;
 use crate::task::MulticastTask;
 use crate::CoreError;
 use rand::Rng;
-use sft_graph::{CancelToken, Parallelism, TreeCache};
+use sft_graph::{approx_le, CancelToken, EdgeId, Graph, NodeId, Parallelism, TreeCache};
 
 /// Which stage-1 algorithm to run (stage 2 / OPA is shared, §V-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -92,6 +92,10 @@ pub struct SolveResult {
     pub chain: ChainSolution,
     /// Branch instances OPA added, as `(stage, node)` pairs.
     pub added_instances: Vec<(usize, sft_graph::NodeId)>,
+    /// The largest source→destination delay of the returned embedding —
+    /// `Some` exactly when the task carried a delay budget (and then
+    /// guaranteed ≤ budget), `None` for unconstrained tasks.
+    pub max_path_delay: Option<f64>,
 }
 
 /// Solves a multicast SFT-embedding task with a deterministic strategy
@@ -271,30 +275,143 @@ fn finish(
     chain: ChainSolution,
     stage_two: StageTwo,
 ) -> Result<SolveResult, CoreError> {
-    match stage_two {
+    let (embedding, stage1_cost, added_instances) = match stage_two {
         StageTwo::Opa => {
             let out = opa::optimize(network, task, &chain)?;
-            let cost = delivery_cost(network, task, &out.embedding)?;
-            Ok(SolveResult {
-                embedding: out.embedding,
-                cost,
-                stage1_cost: out.initial_cost,
-                chain,
-                added_instances: out.added_instances,
-            })
+            (out.embedding, Some(out.initial_cost), out.added_instances)
         }
-        StageTwo::Skip => {
-            let embedding = chain.to_embedding(network, task)?;
-            let cost = delivery_cost(network, task, &embedding)?;
-            Ok(SolveResult {
-                stage1_cost: cost.total(),
-                embedding,
-                cost,
-                chain,
-                added_instances: Vec::new(),
-            })
+        StageTwo::Skip => (chain.to_embedding(network, task)?, None, Vec::new()),
+    };
+    let (embedding, max_path_delay) = match task.delay_budget() {
+        None => (embedding, None),
+        Some(budget) => {
+            let (repaired, delay) = enforce_delay_budget(network, task, embedding, budget)?;
+            (repaired, Some(delay))
+        }
+    };
+    let cost = delivery_cost(network, task, &embedding)?;
+    Ok(SolveResult {
+        stage1_cost: stage1_cost.unwrap_or_else(|| cost.total()),
+        embedding,
+        cost,
+        chain,
+        added_instances,
+        max_path_delay,
+    })
+}
+
+/// The λ ladder of the Lagrangian-relaxed repair: each rung reroutes
+/// every segment under the composite metric `cost + λ·latency`. λ = 0
+/// re-derives the pure min-cost segments; the ladder then trades cost
+/// for delay in deterministic steps, and a final latency-only rung
+/// serves as the feasibility certificate for the fixed waypoint set.
+const LAMBDA_LADDER: &[f64] = &[0.0, 0.25, 1.0, 4.0, 16.0];
+
+/// Sum of effective edge latencies over every segment of `route`.
+fn route_delay(graph: &Graph, route: &DestinationRoute) -> Result<f64, CoreError> {
+    let mut total = 0.0;
+    for seg in route.segments() {
+        total += graph.path_latency(seg)?;
+    }
+    Ok(total)
+}
+
+/// Checks every destination route against the delay budget and repairs
+/// the violating ones by rerouting their segments between the *fixed*
+/// waypoints (source, placed instance nodes, destination) along the λ
+/// ladder — instance placements never move, so capacity accounting is
+/// untouched. Returns the (possibly rewritten) embedding and its largest
+/// route delay, or [`CoreError::DelayInfeasible`] when even the pure
+/// min-latency rerouting of some destination exceeds the budget.
+fn enforce_delay_budget(
+    network: &Network,
+    task: &MulticastTask,
+    embedding: Embedding,
+    budget: f64,
+) -> Result<(Embedding, f64), CoreError> {
+    let graph = network.graph();
+    let mut routes = embedding.routes().to_vec();
+    let mut max_delay = 0.0f64;
+    for (i, route) in routes.iter_mut().enumerate() {
+        let delay = route_delay(graph, route)?;
+        if approx_le(delay, budget) {
+            max_delay = max_delay.max(delay);
+            continue;
+        }
+        let (repaired, new_delay) = repair_route(graph, task, i, route, budget)?;
+        *route = repaired;
+        max_delay = max_delay.max(new_delay);
+    }
+    Ok((Embedding::new(routes), max_delay))
+}
+
+/// Reroutes one budget-violating route. Scans the λ ladder in ascending
+/// order and returns the first budget-feasible rerouting — λ rungs are
+/// ordered by increasing delay pressure, so this picks the cheapest
+/// feasible candidate the ladder offers.
+fn repair_route(
+    graph: &Graph,
+    task: &MulticastTask,
+    dest_index: usize,
+    route: &DestinationRoute,
+    budget: f64,
+) -> Result<(DestinationRoute, f64), CoreError> {
+    let endpoints: Vec<(NodeId, NodeId)> = route
+        .segments()
+        .iter()
+        .map(|seg| {
+            let first = *seg.first().expect("route segments are non-empty walks");
+            let last = *seg.last().expect("route segments are non-empty walks");
+            (first, last)
+        })
+        .collect();
+    for &lambda in LAMBDA_LADDER {
+        let candidate = reroute(graph, &endpoints, |e| {
+            graph.weight(e) + lambda * graph.effective_latency(e)
+        });
+        if let Some(candidate) = candidate {
+            let delay = route_delay(graph, &candidate)?;
+            if approx_le(delay, budget) {
+                return Ok((candidate, delay));
+            }
         }
     }
+    // Latency-only rung: the minimum achievable delay through the fixed
+    // waypoints. Failing it is the infeasibility certificate.
+    let candidate = reroute(graph, &endpoints, |e| graph.effective_latency(e));
+    if let Some(candidate) = candidate {
+        let delay = route_delay(graph, &candidate)?;
+        if approx_le(delay, budget) {
+            return Ok((candidate, delay));
+        }
+        return Err(CoreError::DelayInfeasible {
+            destination: task.destinations()[dest_index].0,
+            achieved: delay,
+            budget,
+        });
+    }
+    Err(CoreError::Infeasible {
+        reason: format!(
+            "destination {} became unreachable during delay repair",
+            task.destinations()[dest_index]
+        ),
+    })
+}
+
+/// Recomputes every segment of a route as a shortest path under the
+/// given per-edge metric, keeping the segment endpoints fixed. `None`
+/// when any endpoint pair is disconnected.
+fn reroute<F: Fn(EdgeId) -> f64>(
+    graph: &Graph,
+    endpoints: &[(NodeId, NodeId)],
+    weight: F,
+) -> Option<DestinationRoute> {
+    let mut segments = Vec::with_capacity(endpoints.len());
+    for &(a, b) in endpoints {
+        let sp = graph.dijkstra_to_with(a, b, &weight);
+        segments.push(sp.path_to(b)?);
+    }
+    Some(DestinationRoute::new(segments))
 }
 
 #[cfg(test)]
@@ -405,6 +522,48 @@ mod tests {
         assert_eq!(net.edge_residual(EdgeId(0)), 1.0);
         let again = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
         assert_eq!(again.cost.link, 1.0);
+    }
+
+    #[test]
+    fn delay_budget_repairs_routes_onto_the_fast_arm() {
+        // Diamond 0-1-3 (cheap, slow) / 0-2-3 (pricey, fast), tail 3-4.
+        let mut g = Graph::new(5);
+        let slow1 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let slow2 = g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 2.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 1.0).unwrap();
+        g.set_edge_latency(slow1, Some(5.0)).unwrap();
+        g.set_edge_latency(slow2, Some(5.0)).unwrap();
+        let net = Network::builder(g, crate::vnf::VnfCatalog::uniform(1))
+            .all_servers(2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let base = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(4)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+
+        // Unconstrained: the slow arm carries the flow, no delay reported.
+        let free = solve(&net, &base, Strategy::Msa, StageTwo::Opa).unwrap();
+        assert_eq!(free.max_path_delay, None);
+
+        // Budget 6 forces the repair onto the fast arm (delay 2+2+1 = 5).
+        let task = base.clone().with_delay_budget(6.0).unwrap();
+        let r = solve(&net, &task, Strategy::Msa, StageTwo::Opa).unwrap();
+        assert!(is_valid(&net, &task, &r.embedding));
+        let delay = r.max_path_delay.unwrap();
+        assert!((delay - 5.0).abs() < 1e-9, "delay {delay}");
+
+        // Budget 3 is below the minimum achievable delay: structured error.
+        let tight = base.with_delay_budget(3.0).unwrap();
+        assert!(matches!(
+            solve(&net, &tight, Strategy::Msa, StageTwo::Opa),
+            Err(CoreError::DelayInfeasible { .. })
+        ));
     }
 
     #[test]

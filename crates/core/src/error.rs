@@ -78,6 +78,18 @@ pub enum CoreError {
         /// Human-readable description of what could not be satisfied.
         reason: String,
     },
+    /// The task's end-to-end delay budget cannot be met for at least one
+    /// destination. Distinct from [`CoreError::Infeasible`] so callers can
+    /// map it to its own wire code (`delay_infeasible`), and carries the
+    /// worst offender for diagnostics.
+    DelayInfeasible {
+        /// The destination whose route exceeded the budget.
+        destination: usize,
+        /// The smallest delay any candidate route achieved.
+        achieved: f64,
+        /// The task's delay budget.
+        budget: f64,
+    },
     /// A [`sft_graph::CancelToken`] interrupted the solve (deadline
     /// expiry, queue shed, or graceful drain); any partial result was
     /// discarded and no shared state was mutated.
@@ -128,6 +140,17 @@ impl fmt::Display for CoreError {
                 write!(f, "no live instance of VNF {vnf} on node {node} to release")
             }
             CoreError::Infeasible { reason } => write!(f, "no feasible embedding: {reason}"),
+            CoreError::DelayInfeasible {
+                destination,
+                achieved,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "delay budget {budget} infeasible: destination {destination} \
+                     needs at least {achieved}"
+                )
+            }
             CoreError::Cancelled => write!(f, "solve cancelled before completion"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Lp(e) => write!(f, "lp error: {e}"),

@@ -219,6 +219,22 @@ impl IlpModel {
             }
         }
 
+        // Delay rows: each destination's route — all segments together —
+        // accumulates at most the task's delay budget of effective edge
+        // latency. Prices every selected τ arc by its edge's latency, so
+        // the exact solver certifies delay-feasible optima.
+        if let Some(budget) = task.delay_budget() {
+            for d in 0..nd {
+                let terms: Vec<(VarId, f64)> = (0..=k)
+                    .flat_map(|j| {
+                        arcs.iter().enumerate().map(move |(ai, &(_, _, e))| (j, ai, e))
+                    })
+                    .map(|(j, ai, e)| (tau[&(d, j, ai)], graph.effective_latency(e)))
+                    .collect();
+                p.add_constraint(format!("delay_{d}"), terms, Cmp::Le, budget)?;
+            }
+        }
+
         Ok(IlpModel {
             problem: p,
             k,
@@ -528,6 +544,74 @@ mod tests {
         // Stem paid once (10), arms 1+1, one setup 1 -> 13. Without dedup
         // it would be 23.
         assert!((out.objective.unwrap() - 13.0).abs() < 1e-6);
+    }
+
+    /// The diamond of [`small`] with latencies decoupled from weights:
+    /// the cheap arm 0-1-3 is slow (delay 5+5), the expensive arm 0-2-3
+    /// fast (delay 2+2, the weight default).
+    fn small_with_latencies() -> (Network, MulticastTask) {
+        let mut g = Graph::new(5);
+        let slow1 = g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let slow2 = g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 2.0).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 1.0).unwrap();
+        g.set_edge_latency(slow1, Some(5.0)).unwrap();
+        g.set_edge_latency(slow2, Some(5.0)).unwrap();
+        let net = Network::builder(g, VnfCatalog::uniform(2))
+            .all_servers(2.0)
+            .unwrap()
+            .uniform_setup_cost(1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let task = MulticastTask::new(
+            NodeId(0),
+            vec![NodeId(4)],
+            Sfc::new(vec![VnfId(0)]).unwrap(),
+        )
+        .unwrap();
+        (net, task)
+    }
+
+    #[test]
+    fn delay_rows_steer_the_exact_optimum_onto_the_fast_arm() {
+        let (net, task) = small_with_latencies();
+        // Unconstrained: the slow-but-cheap arm wins (objective 4).
+        let free = IlpModel::build(&net, &task).unwrap();
+        let out = free.solve(&net, &task, &MipConfig::default()).unwrap();
+        assert!((out.objective.unwrap() - 4.0).abs() < 1e-6);
+
+        // Budget 6 rules out the slow arm (delay 11): the optimum pays
+        // for the fast arm — links 2+2+1 plus one setup = 6.
+        let task6 = task.clone().with_delay_budget(6.0).unwrap();
+        let model = IlpModel::build(&net, &task6).unwrap();
+        let out = model.solve(&net, &task6, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective.unwrap() - 6.0).abs() < 1e-6);
+        let emb = out.embedding.unwrap();
+        assert!(is_valid(&net, &task6, &emb));
+    }
+
+    #[test]
+    fn delay_rows_certify_infeasibility_and_agree_with_the_heuristics() {
+        let (net, task) = small_with_latencies();
+        // Budget 3 is below the graph's minimum achievable delay (5):
+        // both the exact solver and the heuristic pipeline must refuse.
+        let tight = task.clone().with_delay_budget(3.0).unwrap();
+        let model = IlpModel::build(&net, &tight).unwrap();
+        let out = model.solve(&net, &tight, &MipConfig::default()).unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+        assert!(matches!(
+            crate::solve(&net, &tight, crate::Strategy::Msa, crate::StageTwo::Opa),
+            Err(CoreError::DelayInfeasible { .. })
+        ));
+
+        // Budget 6 is feasible for both, and the heuristic respects it.
+        let loose = task.with_delay_budget(6.0).unwrap();
+        let h = crate::solve(&net, &loose, crate::Strategy::Msa, crate::StageTwo::Opa).unwrap();
+        assert!(is_valid(&net, &loose, &h.embedding));
+        assert!(h.max_path_delay.unwrap() <= 6.0 + 1e-9);
     }
 
     #[test]

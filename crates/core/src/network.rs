@@ -365,9 +365,12 @@ impl Network {
                 continue;
             }
             let edge = self.graph.edge(e);
-            filtered
+            let id = filtered
                 .add_edge_with_capacity(edge.u, edge.v, edge.weight, edge.capacity)
                 .expect("edges stay unique under filtering");
+            filtered
+                .set_edge_latency(id, edge.latency)
+                .expect("a stored latency is always valid");
         }
         let mode = match self.dist.kind() {
             ProviderKind::Dense => DistanceMode::Dense,

@@ -9,13 +9,14 @@ use crate::CoreError;
 use sft_graph::NodeId;
 
 /// A multicast task `δ = (S, D, ℓ)` with an optional per-session
-/// bandwidth demand `b`.
+/// bandwidth demand `b` and an optional end-to-end delay budget.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MulticastTask {
     source: NodeId,
     destinations: Vec<NodeId>,
     sfc: Sfc,
     bandwidth: f64,
+    delay_budget: Option<f64>,
 }
 
 impl MulticastTask {
@@ -57,6 +58,7 @@ impl MulticastTask {
             destinations,
             sfc,
             bandwidth: 0.0,
+            delay_budget: None,
         })
     }
 
@@ -82,6 +84,32 @@ impl MulticastTask {
     /// The per-session bandwidth demand `b` (0 = none).
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    /// Returns the task with an end-to-end delay budget: every
+    /// source→destination route of the delivery tree (through the placed
+    /// chain) must accumulate at most this much effective edge latency.
+    /// `None` (the default) leaves routing unconstrained — the legacy
+    /// behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a non-positive or non-finite
+    /// budget.
+    pub fn with_delay_budget(mut self, budget: f64) -> Result<Self, CoreError> {
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                context: "task delay budget",
+                value: budget,
+            });
+        }
+        self.delay_budget = Some(budget);
+        Ok(self)
+    }
+
+    /// The end-to-end delay budget, or `None` when unconstrained.
+    pub fn delay_budget(&self) -> Option<f64> {
+        self.delay_budget
     }
 
     /// The source node `S`.
@@ -163,6 +191,18 @@ mod tests {
         assert!(base.clone().with_bandwidth(-1.0).is_err());
         assert!(base.clone().with_bandwidth(f64::NAN).is_err());
         assert!(base.with_bandwidth(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn delay_budget_is_validated_and_carried() {
+        let base = MulticastTask::new(NodeId(0), vec![NodeId(1)], sfc()).unwrap();
+        assert_eq!(base.delay_budget(), None);
+        let t = base.clone().with_delay_budget(12.5).unwrap();
+        assert_eq!(t.delay_budget(), Some(12.5));
+        assert!(base.clone().with_delay_budget(0.0).is_err());
+        assert!(base.clone().with_delay_budget(-3.0).is_err());
+        assert!(base.clone().with_delay_budget(f64::NAN).is_err());
+        assert!(base.with_delay_budget(f64::INFINITY).is_err());
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub enum ValidationIssue {
         /// Total load including pre-deployed instances.
         load: f64,
     },
+    /// A route's end-to-end delay exceeds the task's delay budget.
+    DelayBudgetExceeded {
+        /// Destination index.
+        dest: usize,
+        /// The route's accumulated effective latency.
+        delay: f64,
+        /// The task's delay budget.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for ValidationIssue {
@@ -151,6 +160,16 @@ impl fmt::Display for ValidationIssue {
                 load,
             } => {
                 write!(f, "node {node} capacity {capacity} exceeded by load {load}")
+            }
+            ValidationIssue::DelayBudgetExceeded {
+                dest,
+                delay,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "destination {dest}: route delay {delay} exceeds budget {budget}"
+                )
             }
         }
     }
@@ -227,6 +246,32 @@ pub fn validate(
                 issues.push(ValidationIssue::DisconnectedSegments {
                     dest: di,
                     segment: si,
+                });
+            }
+        }
+    }
+
+    // End-to-end delay budget: every route's accumulated effective
+    // latency must fit the task's budget. Routes already flagged as
+    // non-walks are skipped (path_latency cannot price a missing edge).
+    if let Some(budget) = task.delay_budget() {
+        for (di, route) in routes.iter().enumerate() {
+            let mut delay = 0.0;
+            let mut priced = true;
+            for seg in route.segments() {
+                match network.graph().path_latency(seg) {
+                    Ok(d) => delay += d,
+                    Err(_) => {
+                        priced = false;
+                        break;
+                    }
+                }
+            }
+            if priced && sft_graph::numeric::exceeds(delay, budget) {
+                issues.push(ValidationIssue::DelayBudgetExceeded {
+                    dest: di,
+                    delay,
+                    budget,
                 });
             }
         }
@@ -404,6 +449,25 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| matches!(i, ValidationIssue::CapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn detects_delay_budget_violation() {
+        let (net, task) = fixture();
+        // Route delay on the latency-free fixture equals its cost: 3 hops.
+        let task = task.with_delay_budget(2.0).unwrap();
+        let issues = validate(&net, &task, &Embedding::new(vec![good_route()]));
+        assert_eq!(
+            issues,
+            vec![ValidationIssue::DelayBudgetExceeded {
+                dest: 0,
+                delay: 3.0,
+                budget: 2.0
+            }]
+        );
+        // A loose budget accepts the same embedding.
+        let loose = task.with_delay_budget(10.0).unwrap();
+        assert!(is_valid(&net, &loose, &Embedding::new(vec![good_route()])));
     }
 
     #[test]

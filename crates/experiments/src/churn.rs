@@ -57,6 +57,13 @@ pub struct ChurnConfig {
     /// demand uniformly from `(0, this]`. `None` disables demands and
     /// keeps the task stream byte-identical to the legacy one.
     pub bandwidth: Option<f64>,
+    /// Uniform link propagation latency; `None` leaves links latency-free
+    /// (delay math falls back to edge weights).
+    pub link_latency: Option<f64>,
+    /// Per-session delay-budget ceiling: each session draws its budget
+    /// uniformly from `(this/2, this]`. `None` disables budgets and
+    /// keeps the task stream byte-identical to the legacy one.
+    pub delay_budget: Option<f64>,
 }
 
 impl Default for ChurnConfig {
@@ -72,6 +79,8 @@ impl Default for ChurnConfig {
             seed: 0,
             link_bw: None,
             bandwidth: None,
+            link_latency: None,
+            delay_budget: None,
         }
     }
 }
@@ -114,12 +123,15 @@ enum EventKind {
 fn ring_network(config: &ChurnConfig) -> Result<Network, ExperimentError> {
     let mut g = Graph::new(config.nodes);
     for i in 0..config.nodes {
-        g.add_edge_with_capacity(
+        let e = g.add_edge_with_capacity(
             NodeId(i),
             NodeId((i + 1) % config.nodes),
             1.0,
             config.link_bw,
         )?;
+        if config.link_latency.is_some() {
+            g.set_edge_latency(e, config.link_latency)?;
+        }
     }
     Ok(Network::builder(g, VnfCatalog::uniform(config.sfc_types))
         .all_servers(config.capacity)?
@@ -185,14 +197,20 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
             }
         }
         let len = rng.random_range(1..=config.sfc_types);
-        // Drawn only when demands are enabled, so a bandwidth-free
-        // config consumes exactly the legacy RNG stream.
+        // Drawn only when demands/budgets are enabled — and always in
+        // this order — so configs without them consume exactly the
+        // legacy RNG stream.
         let demand = config
             .bandwidth
             .map(|max| (max * (1.0 - rng.random::<f64>())).max(max * 1e-3));
+        // (max/2, max]: tight enough to bite on long routes, loose
+        // enough that the stream is not all-infeasible.
+        let budget = config
+            .delay_budget
+            .map(|max| max * (1.0 - 0.5 * rng.random::<f64>()));
         shapes.insert(
             s as u64 + 1,
-            (source, dests, (0..len).collect::<Vec<_>>(), demand),
+            (source, dests, (0..len).collect::<Vec<_>>(), demand, budget),
         );
     }
     events.sort_by(|a, b| {
@@ -214,9 +232,10 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
         last_time = event.time;
         match event.kind {
             EventKind::Arrive => {
-                let (source, dests, sfc, demand) = shapes[&event.session].clone();
+                let (source, dests, sfc, demand, budget) = shapes[&event.session].clone();
                 let mut req = EmbedRequest::new(source, dests, sfc);
                 req.bandwidth = demand;
+                req.delay_budget_ms = budget;
                 let outcome = req
                     .to_task()
                     .map_err(sft_service::ServiceError::Core)
@@ -271,14 +290,17 @@ pub fn run(config: &ChurnConfig) -> Result<ChurnPoint, ExperimentError> {
 }
 
 /// Sweeps offered load (by scaling the arrival rate at fixed holding
-/// time) and returns one [`ChurnPoint`] per load level.
+/// time) and returns one [`ChurnPoint`] per load level, plus a final
+/// delay-constrained point: the mid-load stream replayed on a ring with
+/// per-link latency and per-session delay budgets, so the sweep also
+/// exercises QoS refusals (and their leak-free release path).
 ///
 /// # Errors
 ///
 /// [`ExperimentError`] from any individual run.
 pub fn sweep(quick: bool) -> Result<Vec<ChurnPoint>, ExperimentError> {
     let sessions = if quick { 150 } else { 1000 };
-    [0.2, 0.5, 1.0, 2.0, 4.0]
+    let mut points: Vec<ChurnPoint> = [0.2, 0.5, 1.0, 2.0, 4.0]
         .iter()
         .map(|&rate| {
             run(&ChurnConfig {
@@ -287,7 +309,15 @@ pub fn sweep(quick: bool) -> Result<Vec<ChurnPoint>, ExperimentError> {
                 ..ChurnConfig::default()
             })
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    points.push(run(&ChurnConfig {
+        sessions,
+        rate: 1.0,
+        link_latency: Some(1.0),
+        delay_budget: Some(8.0),
+        ..ChurnConfig::default()
+    })?);
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -353,6 +383,31 @@ mod tests {
         assert!(
             a.blocked >= plain.blocked,
             "adding a second constraint cannot unblock arrivals: {a:?} vs {plain:?}"
+        );
+    }
+
+    #[test]
+    fn delay_constrained_churn_is_leak_free_and_blocks_no_less() {
+        let base = ChurnConfig {
+            sessions: 120,
+            rate: 2.0,
+            ..ChurnConfig::default()
+        };
+        let plain = run(&base).unwrap();
+        let constrained = ChurnConfig {
+            link_latency: Some(1.0),
+            delay_budget: Some(6.0),
+            ..base
+        };
+        let a = run(&constrained).unwrap();
+        let b = run(&constrained).unwrap();
+        assert!(a.leak_free, "delay refusals must not leak capacity");
+        assert_eq!(a.admitted, b.admitted, "delay churn is deterministic");
+        assert_eq!(a.mean_live, b.mean_live);
+        assert_eq!(a.admitted + a.blocked, 120);
+        assert!(
+            a.blocked >= plain.blocked,
+            "adding a delay constraint cannot unblock arrivals: {a:?} vs {plain:?}"
         );
     }
 

@@ -7,6 +7,7 @@
 //! cost that Table I uses to scale VNF deployment costs.
 
 use crate::parallel::{chunk_ranges, Parallelism};
+use crate::provider::LatencyCsr;
 use crate::{Graph, GraphError, NodeId};
 
 /// Dense all-pairs shortest-path distances with path reconstruction.
@@ -16,6 +17,9 @@ pub struct DistanceMatrix {
     dist: Vec<f64>,
     // next[u][v] = the node following u on a shortest u->v path.
     next: Vec<Option<NodeId>>,
+    // Latency adjacency, present only when the source graph carries
+    // explicit edge latencies; `None` means delay == cost on every path.
+    lat: Option<LatencyCsr>,
 }
 
 impl DistanceMatrix {
@@ -96,6 +100,29 @@ impl DistanceMatrix {
             .fold(0.0, f64::max)
     }
 
+    /// The (cost, delay) pair of the matrix's canonical shortest `u`→`v`
+    /// path: cost is [`DistanceMatrix::distance`], delay is the sum of
+    /// effective edge latencies along exactly the node sequence
+    /// [`DistanceMatrix::path`] returns. On a latency-free graph the delay
+    /// *is* the cost. `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn distance_and_delay(&self, u: NodeId, v: NodeId) -> Option<(f64, f64)> {
+        let cost = self.distance(u, v)?;
+        match &self.lat {
+            None => Some((cost, cost)),
+            Some(lat) => {
+                let path = self.path(u, v)?;
+                let delay = lat
+                    .path_latency(&path)
+                    .expect("canonical path only uses stored arcs");
+                Some((cost, delay))
+            }
+        }
+    }
+
     fn idx(&self, u: NodeId, v: NodeId) -> usize {
         assert!(u.0 < self.n && v.0 < self.n, "node out of bounds");
         u.0 * self.n + v.0
@@ -152,7 +179,12 @@ impl Graph {
                 }
             }
         }
-        Ok(DistanceMatrix { n, dist, next })
+        Ok(DistanceMatrix {
+            n,
+            dist,
+            next,
+            lat: LatencyCsr::from_graph(self),
+        })
     }
 }
 
@@ -217,7 +249,12 @@ impl Graph {
                 }
             });
         }
-        Ok(DistanceMatrix { n, dist, next })
+        Ok(DistanceMatrix {
+            n,
+            dist,
+            next,
+            lat: LatencyCsr::from_graph(self),
+        })
     }
 
     /// Fills row `s` of the sparse APSP matrices with one Dijkstra run.

@@ -202,6 +202,25 @@ impl Graph {
             }
         })
     }
+
+    /// [`Graph::dijkstra_to`] under a caller-supplied per-edge weight —
+    /// the hook for composite metrics such as the delay-aware
+    /// `cost + λ·latency` relaxation. `weight` must return a finite,
+    /// non-negative value for every edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn dijkstra_to_with<F>(&self, source: NodeId, target: NodeId, weight: F) -> ShortestPaths
+    where
+        F: Fn(crate::EdgeId) -> f64,
+    {
+        dijkstra_core(self.node_count(), source, Some(target), |u, visit| {
+            for (v, e) in self.neighbors(u) {
+                visit(v, weight(e));
+            }
+        })
+    }
 }
 
 #[cfg(test)]

@@ -56,8 +56,8 @@ impl fmt::Debug for EdgeId {
     }
 }
 
-/// An undirected edge: endpoints, a non-negative weight, and an optional
-/// bandwidth capacity.
+/// An undirected edge: endpoints, a non-negative weight, an optional
+/// bandwidth capacity, and an optional propagation latency.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Edge {
     /// First endpoint (always the smaller node index).
@@ -69,6 +69,10 @@ pub struct Edge {
     /// Optional bandwidth capacity. `None` means uncapacitated — the
     /// legacy model where any number of sessions may share the link.
     pub capacity: Option<f64>,
+    /// Optional propagation latency. `None` means the latency *is* the
+    /// weight, so a latency-free graph prices delay exactly like cost
+    /// and legacy behaviour is bit-identical.
+    pub latency: Option<f64>,
 }
 
 impl Edge {
@@ -197,6 +201,7 @@ impl Graph {
             v: b,
             weight,
             capacity,
+            latency: None,
         });
         self.adjacency[u.0].push((v, id));
         self.adjacency[v.0].push((u, id));
@@ -259,6 +264,72 @@ impl Graph {
     /// graph behaves exactly like the legacy uncapacitated model.
     pub fn has_edge_capacities(&self) -> bool {
         self.edges.iter().any(|e| e.capacity.is_some())
+    }
+
+    /// Explicit propagation latency of the edge with the given id
+    /// (`None` = the latency defaults to the edge weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge_latency(&self, id: EdgeId) -> Option<f64> {
+        self.edges[id.0].latency
+    }
+
+    /// The latency actually charged for traversing an edge: the explicit
+    /// latency when set, the weight otherwise. On a latency-free graph
+    /// this makes end-to-end delay coincide exactly with path cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn effective_latency(&self, id: EdgeId) -> f64 {
+        let e = &self.edges[id.0];
+        e.latency.unwrap_or(e.weight)
+    }
+
+    /// Replaces the propagation latency of an existing edge (`None`
+    /// reverts to the latency-defaults-to-weight behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidWeight`] if the latency is negative or not
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn set_edge_latency(&mut self, id: EdgeId, latency: Option<f64>) -> Result<(), GraphError> {
+        if let Some(l) = latency {
+            if !l.is_finite() || l < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: l });
+            }
+        }
+        self.edges[id.0].latency = latency;
+        Ok(())
+    }
+
+    /// Whether any edge carries an explicit latency. When `false`, delay
+    /// equals cost along every path and the legacy model applies.
+    pub fn has_edge_latencies(&self) -> bool {
+        self.edges.iter().any(|e| e.latency.is_some())
+    }
+
+    /// Total effective latency of a path given as a node sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::path_weight`].
+    pub fn path_latency(&self, path: &[NodeId]) -> Result<f64, GraphError> {
+        for &n in path {
+            self.check_node(n)?;
+        }
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let e = self.find_edge(w[0], w[1]).ok_or(GraphError::Disconnected)?;
+            total += self.effective_latency(e);
+        }
+        Ok(total)
     }
 
     /// Looks up the edge between `u` and `v`, if any.
@@ -381,8 +452,11 @@ impl Graph {
         for e in self.edges() {
             let (iu, iv) = (index[e.u.0], index[e.v.0]);
             if iu != usize::MAX && iv != usize::MAX {
-                g.add_edge_with_capacity(NodeId(iu), NodeId(iv), e.weight, e.capacity)
+                let id = g
+                    .add_edge_with_capacity(NodeId(iu), NodeId(iv), e.weight, e.capacity)
                     .expect("unique edges stay unique under induction");
+                g.set_edge_latency(id, e.latency)
+                    .expect("a stored latency is always valid");
             }
         }
         Ok(g)
@@ -593,6 +667,41 @@ mod tests {
         assert!(g
             .add_edge_with_capacity(NodeId(0), NodeId(2), 1.0, Some(f64::INFINITY))
             .is_err());
+    }
+
+    #[test]
+    fn edges_carry_optional_latencies() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        let b = g.add_edge(NodeId(1), NodeId(2), 3.0).unwrap();
+        assert!(!g.has_edge_latencies());
+        // Latency defaults to the weight.
+        assert_eq!(g.edge_latency(a), None);
+        assert_eq!(g.effective_latency(a), 2.0);
+        g.set_edge_latency(b, Some(0.5)).unwrap();
+        assert!(g.has_edge_latencies());
+        assert_eq!(g.edge_latency(b), Some(0.5));
+        assert_eq!(g.effective_latency(b), 0.5);
+        let path = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(g.path_latency(&path).unwrap(), 2.5);
+        assert_eq!(g.path_weight(&path).unwrap(), 5.0);
+        g.set_edge_latency(b, None).unwrap();
+        assert!(!g.has_edge_latencies());
+        assert_eq!(g.path_latency(&path).unwrap(), 5.0);
+        assert!(g.set_edge_latency(a, Some(-1.0)).is_err());
+        assert!(g.set_edge_latency(a, Some(f64::NAN)).is_err());
+        assert!(g.set_edge_latency(a, Some(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_latencies() {
+        let mut g = Graph::new(3);
+        let e = g.add_edge(NodeId(0), NodeId(2), 3.0).unwrap();
+        g.set_edge_latency(e, Some(1.25)).unwrap();
+        let sub = g.induced_subgraph(&[NodeId(2), NodeId(0)]).unwrap();
+        let e = sub.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sub.edge_latency(e), Some(1.25));
+        assert_eq!(sub.effective_latency(e), 1.25);
     }
 
     #[test]

@@ -62,6 +62,64 @@ impl fmt::Display for ProviderKind {
     }
 }
 
+/// Packed per-arc effective latencies, built only when the graph carries
+/// explicit latencies. Both providers snapshot one at construction so
+/// `distance_and_delay` prices the *same* canonical path they return
+/// from [`DistanceProvider::path`] — which is what makes the dense and
+/// lazy (cost, delay) answers bit-identical by construction.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LatencyCsr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    lats: Vec<f64>,
+}
+
+impl LatencyCsr {
+    /// Snapshots the graph's effective latencies, or `None` when no edge
+    /// carries an explicit latency (delay then equals cost everywhere and
+    /// no memory is spent).
+    pub(crate) fn from_graph(graph: &Graph) -> Option<LatencyCsr> {
+        if !graph.has_edge_latencies() {
+            return None;
+        }
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        let mut lats = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            for (v, e) in graph.neighbors(NodeId(u)) {
+                neighbors.push(v.0 as u32);
+                lats.push(graph.effective_latency(e));
+            }
+            offsets.push(u32::try_from(neighbors.len()).expect("graph exceeds u32 arc capacity"));
+        }
+        Some(LatencyCsr {
+            offsets,
+            neighbors,
+            lats,
+        })
+    }
+
+    /// Effective latency of the `u`-`v` arc, or `None` if not adjacent.
+    fn hop(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let lo = self.offsets[u.0] as usize;
+        let hi = self.offsets[u.0 + 1] as usize;
+        (lo..hi)
+            .find(|&i| self.neighbors[i] as usize == v.0)
+            .map(|i| self.lats[i])
+    }
+
+    /// Total effective latency along a node walk.
+    pub(crate) fn path_latency(&self, path: &[NodeId]) -> Option<f64> {
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            total += self.hop(w[0], w[1])?;
+        }
+        Some(total)
+    }
+}
+
 /// Shortest-path distances and path reconstruction, dense or on-demand.
 ///
 /// Method names and semantics deliberately match [`DistanceMatrix`] so
@@ -110,6 +168,17 @@ pub trait DistanceProvider: fmt::Debug + Send + Sync {
         let _ = cancel;
         Ok(self.path(u, v))
     }
+
+    /// The (cost, delay) pair of the provider's canonical shortest
+    /// `u`→`v` path: cost is [`DistanceProvider::distance`], delay is the
+    /// sum of effective edge latencies along exactly the node sequence
+    /// [`DistanceProvider::path`] returns. On a latency-free graph the
+    /// delay *is* the cost (latencies default to weights), so the legacy
+    /// model is reproduced bit for bit. `None` when unreachable.
+    ///
+    /// Because dense and lazy providers return bit-identical paths, their
+    /// (cost, delay) answers coincide by construction.
+    fn distance_and_delay(&self, u: NodeId, v: NodeId) -> Option<(f64, f64)>;
 
     /// Average distance over ordered pairs of distinct mutually reachable
     /// nodes (the paper's `l_G`); 0.0 when no such pair exists. See the
@@ -161,6 +230,10 @@ impl DistanceProvider for DistanceMatrix {
         DistanceMatrix::path(self, u, v)
     }
 
+    fn distance_and_delay(&self, u: NodeId, v: NodeId) -> Option<(f64, f64)> {
+        DistanceMatrix::distance_and_delay(self, u, v)
+    }
+
     fn average_distance(&self) -> f64 {
         DistanceMatrix::average_distance(self)
     }
@@ -200,6 +273,9 @@ pub struct LazyDistances {
     offsets: Vec<u32>,
     neighbors: Vec<u32>,
     costs: Vec<f64>,
+    // Latency adjacency, present only when the graph carries explicit
+    // edge latencies; `None` means delay == cost on every path.
+    lat: Option<LatencyCsr>,
     rows: RwLock<Vec<Option<Arc<Row>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -238,6 +314,7 @@ impl LazyDistances {
             offsets,
             neighbors,
             costs,
+            lat: LatencyCsr::from_graph(graph),
             rows: RwLock::new((0..n).map(|_| None).collect()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -348,6 +425,20 @@ impl DistanceProvider for LazyDistances {
         match self.try_path(u, v, None) {
             Ok(p) => p,
             Err(Cancelled) => unreachable!("no token was supplied"),
+        }
+    }
+
+    fn distance_and_delay(&self, u: NodeId, v: NodeId) -> Option<(f64, f64)> {
+        let cost = self.distance(u, v)?;
+        match &self.lat {
+            None => Some((cost, cost)),
+            Some(lat) => {
+                let path = self.path(u, v)?;
+                let delay = lat
+                    .path_latency(&path)
+                    .expect("canonical path only uses stored arcs");
+                Some((cost, delay))
+            }
         }
     }
 
@@ -548,6 +639,52 @@ mod tests {
         }
         assert_eq!(lazy.rows_materialized(), 5);
         assert_eq!(lazy.peak_rows(), 5);
+    }
+
+    #[test]
+    fn delay_equals_cost_on_a_latency_free_graph() {
+        let g = sample();
+        let dense = g.all_pairs_shortest_paths_sparse().unwrap();
+        let lazy = LazyDistances::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let expect = lazy.distance(s, t).map(|d| (d, d));
+                assert_eq!(lazy.distance_and_delay(s, t), expect, "lazy {s:?}->{t:?}");
+                assert_eq!(
+                    DistanceProvider::distance_and_delay(&dense, s, t),
+                    expect,
+                    "dense {s:?}->{t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_lazy_agree_on_cost_and_delay_pairs() {
+        // Give every edge a latency decoupled from its weight so the delay
+        // component genuinely exercises the canonical-path walk.
+        let mut g = sample();
+        for (i, e) in g.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            g.set_edge_latency(e, Some(0.5 + i as f64 * 0.25)).unwrap();
+        }
+        // Parity is against the sparse-built matrix: lazy rows mirror the
+        // sparse APSP fill bit for bit (FW may tie-break differently).
+        let dense = g.all_pairs_shortest_paths_sparse().unwrap();
+        let lazy = LazyDistances::new(&g);
+        let mut saw_divergence = false;
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let d = DistanceProvider::distance_and_delay(&dense, s, t);
+                let l = lazy.distance_and_delay(s, t);
+                assert_eq!(d, l, "pair {s:?}->{t:?}");
+                if let Some((cost, delay)) = l {
+                    if (cost - delay).abs() > 1e-9 {
+                        saw_divergence = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_divergence, "latencies should decouple delay from cost");
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //!
 //! ```text
 //! {"v": 1, "id": 7, "source": 0, "dests": [12, 31], "sfc": [0, 1],
-//!  "mode": "quote", "deadline_ms": 500}
+//!  "mode": "quote", "deadline_ms": 500, "delay_budget_ms": 20.0}
 //! ```
 //!
-//! `v`, `id`, `mode` and `deadline_ms` are optional; `v` defaults to the
+//! The two time-valued fields are deliberately distinct: `deadline_ms`
+//! is a *queue/solve* deadline (shed the request if unanswered in time),
+//! `delay_budget_ms` is a *QoS* budget on the embedded tree itself
+//! (every source→destination route must accumulate at most this much
+//! link latency). `v`, `id`, `mode` and `deadline_ms` are optional; `v` defaults to the
 //! current [`PROTOCOL_VERSION`], and a line carrying any *other* version
 //! is rejected with [`ErrorCode::UnsupportedVersion`] — as is any unknown
 //! key, so schema drift is an error rather than a silent no-op. The
@@ -61,6 +65,11 @@ pub enum ErrorCode {
     InvalidTask,
     /// The solver proved no feasible embedding exists for this task.
     Infeasible,
+    /// The task's `delay_budget_ms` cannot be met: every candidate route
+    /// for some destination exceeds the budget. Distinct from
+    /// [`ErrorCode::Infeasible`] (connectivity/capacity) so clients can
+    /// relax the budget rather than retry.
+    DelayInfeasible,
     /// Admission control: the task's minimum new-instance demand exceeds
     /// the network's remaining committed capacity.
     InsufficientCapacity,
@@ -91,6 +100,7 @@ impl ErrorCode {
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::InvalidTask => "invalid_task",
             ErrorCode::Infeasible => "infeasible",
+            ErrorCode::DelayInfeasible => "delay_infeasible",
             ErrorCode::InsufficientCapacity => "insufficient_capacity",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Conflict => "conflict",
@@ -109,6 +119,7 @@ impl ErrorCode {
             "unsupported_version" => ErrorCode::UnsupportedVersion,
             "invalid_task" => ErrorCode::InvalidTask,
             "infeasible" => ErrorCode::Infeasible,
+            "delay_infeasible" => ErrorCode::DelayInfeasible,
             "insufficient_capacity" => ErrorCode::InsufficientCapacity,
             "overloaded" => ErrorCode::Overloaded,
             "conflict" => ErrorCode::Conflict,
@@ -185,28 +196,39 @@ pub struct EmbedRequest {
     /// Protocol version ([`PROTOCOL_VERSION`] unless the client pinned
     /// one; parsing rejects anything else).
     pub v: u64,
-    /// Client correlation id, echoed verbatim in the response. Channels
-    /// that interleave responses (the socket) assign arrival order when
-    /// absent.
+    /// Client correlation id (dimensionless), echoed verbatim in the
+    /// response. Channels that interleave responses (the socket) assign
+    /// arrival order when absent.
     pub id: Option<u64>,
-    /// Source node index.
+    /// Source node index (dense node id into the served network).
     pub source: usize,
-    /// Destination node indices.
+    /// Destination node indices (dense node ids into the served network).
     pub dests: Vec<usize>,
-    /// Service function chain as VNF type indices.
+    /// Service function chain as VNF type indices (dense ids into the
+    /// served catalog).
     pub sfc: Vec<usize>,
-    /// Per-session bandwidth demand charged against every delivery-tree
-    /// edge; `None` (or 0) means the legacy uncapacitated behavior.
-    /// Unknown-field-safe extension: omitted on the wire when unset, so
-    /// bandwidth-free request lines are byte-identical to older builds.
+    /// Per-session bandwidth demand, in the network's capacity unit,
+    /// charged against every delivery-tree edge; `None` (or 0) means the
+    /// legacy uncapacitated behavior. Unknown-field-safe extension:
+    /// omitted on the wire when unset, so bandwidth-free request lines
+    /// are byte-identical to older builds.
     pub bandwidth: Option<f64>,
     /// Solve semantics; `None` means the channel default (quote on the
     /// socket, commit on stdin `serve`).
     pub mode: Option<RequestMode>,
-    /// Per-request deadline in milliseconds from arrival; a request still
-    /// unanswered when it expires is rejected with
-    /// [`ErrorCode::DeadlineExceeded`].
+    /// Per-request **queue/solve** deadline, in wall-clock milliseconds
+    /// from arrival; a request still unanswered when it expires is
+    /// rejected with [`ErrorCode::DeadlineExceeded`]. Says nothing about
+    /// the embedded tree — that is `delay_budget_ms`.
     pub deadline_ms: Option<u64>,
+    /// End-to-end **QoS** budget, in the network's latency unit
+    /// (milliseconds by convention): every source→destination route of
+    /// the returned embedding must accumulate at most this much link
+    /// latency, or the request fails with
+    /// [`ErrorCode::DelayInfeasible`]. Must be strictly positive.
+    /// Unknown-field-safe extension: omitted on the wire when unset, so
+    /// budget-free request lines are byte-identical to older builds.
+    pub delay_budget_ms: Option<f64>,
 }
 
 impl EmbedRequest {
@@ -221,6 +243,7 @@ impl EmbedRequest {
             bandwidth: None,
             mode: None,
             deadline_ms: None,
+            delay_budget_ms: None,
         }
     }
 
@@ -237,8 +260,12 @@ impl EmbedRequest {
             self.dests.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
             sfc,
         )?;
-        match self.bandwidth {
-            Some(b) => task.with_bandwidth(b),
+        let task = match self.bandwidth {
+            Some(b) => task.with_bandwidth(b)?,
+            None => task,
+        };
+        match self.delay_budget_ms {
+            Some(budget) => task.with_delay_budget(budget),
             None => Ok(task),
         }
     }
@@ -262,6 +289,9 @@ impl EmbedRequest {
         }
         if let Some(ms) = self.deadline_ms {
             let _ = write!(out, ",\"deadline_ms\":{ms}");
+        }
+        if let Some(budget) = self.delay_budget_ms {
+            let _ = write!(out, ",\"delay_budget_ms\":{budget}");
         }
         out.push('}');
         out
@@ -349,6 +379,12 @@ pub enum ResponseBody {
         committed: bool,
         /// `(stage, node)` pairs of the instances the embedding uses.
         instances: Vec<(usize, usize)>,
+        /// The achieved worst-case source→destination delay, in the same
+        /// unit as the request's `delay_budget_ms` — present exactly when
+        /// the request carried a budget (and then guaranteed ≤ it).
+        /// Omitted on the wire when absent, so budget-free responses are
+        /// byte-identical to older builds.
+        max_path_delay: Option<f64>,
     },
     /// A released session: what the teardown gave back.
     Released {
@@ -389,6 +425,7 @@ impl EmbedResponse {
                     .into_iter()
                     .map(|(stage, node)| (stage, node.index()))
                     .collect(),
+                max_path_delay: result.max_path_delay,
             },
         }
     }
@@ -466,6 +503,7 @@ impl EmbedResponse {
                 link,
                 committed,
                 instances,
+                max_path_delay,
             } => {
                 let _ = write!(
                     out,
@@ -482,6 +520,9 @@ impl EmbedResponse {
                     let _ = write!(out, "[{stage},{node}]");
                 }
                 out.push(']');
+                if let Some(delay) = max_path_delay {
+                    let _ = write!(out, ",\"max_path_delay\":{delay}");
+                }
             }
             ResponseBody::Released {
                 session,
@@ -570,6 +611,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let mut bandwidth: Option<f64> = None;
     let mut mode: Option<RequestMode> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut delay_budget_ms: Option<f64> = None;
     let mut op: Option<String> = None;
     let mut session: Option<u64> = None;
     loop {
@@ -608,6 +650,15 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 })
             }
             "deadline_ms" => deadline_ms = Some(s.parse_uint()? as u64),
+            "delay_budget_ms" => {
+                let budget = s.parse_float()?;
+                if !budget.is_finite() || budget <= 0.0 {
+                    return Err(WireError::parse(format!(
+                        "\"delay_budget_ms\" must be a finite positive number, got {budget}"
+                    )));
+                }
+                delay_budget_ms = Some(budget);
+            }
             "op" => op = Some(s.parse_string()?),
             "session" => session = Some(s.parse_uint()? as u64),
             other => return Err(WireError::parse(format!("unknown key \"{other}\""))),
@@ -640,6 +691,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             || dests.is_some()
             || sfc.is_some()
             || bandwidth.is_some()
+            || delay_budget_ms.is_some()
             || mode.is_some();
         match op.as_str() {
             "shutdown" => {
@@ -680,6 +732,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         bandwidth,
         mode,
         deadline_ms,
+        delay_budget_ms,
     }))
 }
 
@@ -698,6 +751,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
     let mut cost: Option<(f64, f64)> = None; // (setup, link); total is derived
     let mut committed: Option<bool> = None;
     let mut instances: Option<Vec<(usize, usize)>> = None;
+    let mut max_path_delay: Option<f64> = None;
     let mut error: Option<WireError> = None;
     let mut session: Option<u64> = None;
     let mut freed: Option<Vec<(usize, usize)>> = None;
@@ -719,6 +773,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
             "cost" => cost = Some(parse_cost_object(&mut s)?),
             "committed" => committed = Some(s.parse_bool()?),
             "instances" => instances = Some(parse_pair_array(&mut s)?),
+            "max_path_delay" => max_path_delay = Some(s.parse_float()?),
             "error" => error = Some(parse_error_object(&mut s)?),
             "session" => session = Some(s.parse_uint()? as u64),
             "freed" => freed = Some(parse_pair_array(&mut s)?),
@@ -760,6 +815,7 @@ pub fn parse_response(line: &str) -> Result<EmbedResponse, WireError> {
                     .ok_or_else(|| WireError::parse("ok response missing \"committed\""))?,
                 instances: instances
                     .ok_or_else(|| WireError::parse("ok response missing \"instances\""))?,
+                max_path_delay,
             }
         }
         Some("released") => ResponseBody::Released {
@@ -1243,6 +1299,38 @@ mod tests {
     }
 
     #[test]
+    fn delay_budget_extension_round_trips_and_validates() {
+        let req = embed(r#"{"source": 0, "dests": [1], "sfc": [0], "delay_budget_ms": 20.5}"#);
+        assert_eq!(req.delay_budget_ms, Some(20.5));
+        assert_eq!(req.to_task().unwrap().delay_budget(), Some(20.5));
+        let line = req.to_json();
+        assert!(line.contains("\"delay_budget_ms\":20.5"), "{line}");
+        assert_eq!(embed(&line), req);
+        // Legacy lines stay byte-identical: no key emitted when unset.
+        let legacy = EmbedRequest::new(0, vec![1], vec![0]);
+        assert!(!legacy.to_json().contains("delay_budget_ms"));
+        assert_eq!(legacy.to_task().unwrap().delay_budget(), None);
+        // The queue deadline and the QoS budget are independent fields.
+        let both = embed(
+            r#"{"source": 0, "dests": [1], "sfc": [0], "deadline_ms": 250, "delay_budget_ms": 9}"#,
+        );
+        assert_eq!(both.deadline_ms, Some(250));
+        assert_eq!(both.delay_budget_ms, Some(9.0));
+        // Non-positive budgets are structured parse errors, not task errors.
+        for bad in ["0", "-1", "-0.5"] {
+            let line =
+                format!(r#"{{"source": 0, "dests": [1], "sfc": [0], "delay_budget_ms": {bad}}}"#);
+            let err = parse_request(&line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::ParseError, "budget {bad}");
+            assert!(err.message.contains("positive"), "budget {bad}: {err}");
+        }
+        // The budget is a task field: a release line must not carry it.
+        assert!(
+            parse_request(r#"{"op": "release", "session": 1, "delay_budget_ms": 5.0}"#).is_err()
+        );
+    }
+
+    #[test]
     fn requests_round_trip_through_canonical_json() {
         let mut req = EmbedRequest::new(3, vec![7, 9], vec![0, 2]);
         req.id = Some(42);
@@ -1271,11 +1359,31 @@ mod tests {
                 link: 10.25,
                 committed: true,
                 instances: vec![(1, 4), (2, 9)],
+                max_path_delay: None,
             },
         };
         let line = ok.to_json();
         assert!(line.contains("\"total\":12.25"), "{line}");
+        assert!(
+            !line.contains("max_path_delay"),
+            "budget-free responses stay byte-identical: {line}"
+        );
         assert_eq!(parse_response(&line).unwrap(), ok);
+        // A delay-constrained response reports the achieved delay.
+        let qos = EmbedResponse {
+            v: PROTOCOL_VERSION,
+            id: Some(4),
+            body: ResponseBody::Ok {
+                setup: 2.0,
+                link: 10.25,
+                committed: false,
+                instances: vec![(1, 4)],
+                max_path_delay: Some(17.5),
+            },
+        };
+        let line = qos.to_json();
+        assert!(line.contains("\"max_path_delay\":17.5"), "{line}");
+        assert_eq!(parse_response(&line).unwrap(), qos);
         let drain = EmbedResponse::draining(Some(1));
         assert_eq!(parse_response(&drain.to_json()).unwrap(), drain);
     }
@@ -1309,6 +1417,7 @@ mod tests {
             ErrorCode::UnsupportedVersion,
             ErrorCode::InvalidTask,
             ErrorCode::Infeasible,
+            ErrorCode::DelayInfeasible,
             ErrorCode::InsufficientCapacity,
             ErrorCode::Overloaded,
             ErrorCode::Conflict,

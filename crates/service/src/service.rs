@@ -84,6 +84,7 @@ impl ServiceError {
         match self {
             ServiceError::Core(e) => match e {
                 CoreError::Infeasible { .. } => ErrorCode::Infeasible,
+                CoreError::DelayInfeasible { .. } => ErrorCode::DelayInfeasible,
                 CoreError::CapacityExceeded { .. } | CoreError::LinkCapacityExceeded { .. } => {
                     ErrorCode::InsufficientCapacity
                 }
@@ -237,6 +238,9 @@ struct Counters {
     /// Solves or commits turned away by link bandwidth
     /// ([`CoreError::LinkCapacityExceeded`]).
     bandwidth_rejections: u64,
+    /// Solves refused because no routing could meet the task's delay
+    /// budget ([`CoreError::DelayInfeasible`]).
+    delay_infeasible: u64,
     latencies_ns: LatencyReservoir,
 }
 
@@ -473,6 +477,7 @@ impl EmbedService {
         );
         stats.releases = counters.releases;
         stats.bandwidth_rejected = counters.bandwidth_rejections;
+        stats.delay_infeasible = counters.delay_infeasible;
         drop(counters);
         let dist = self.network.dist();
         stats.distance_provider = dist.kind().as_str();
@@ -523,6 +528,9 @@ impl EmbedService {
                 counters.failures += 1;
                 if matches!(e, CoreError::LinkCapacityExceeded { .. }) {
                     counters.bandwidth_rejections += 1;
+                }
+                if matches!(e, CoreError::DelayInfeasible { .. }) {
+                    counters.delay_infeasible += 1;
                 }
             }
         }
@@ -780,6 +788,15 @@ mod tests {
         assert_eq!(
             ServiceError::Core(CoreError::InvalidTask { reason: "x".into() }).code(),
             ErrorCode::InvalidTask
+        );
+        assert_eq!(
+            ServiceError::Core(CoreError::DelayInfeasible {
+                destination: 3,
+                achieved: 7.5,
+                budget: 5.0
+            })
+            .code(),
+            ErrorCode::DelayInfeasible
         );
         assert_eq!(
             ServiceError::Overloaded { queue_bound: 4 }.code(),

@@ -63,6 +63,9 @@ pub struct ServiceStats {
     /// Requests turned away by link bandwidth: admission's widest-link
     /// bound plus commits that would have oversubscribed an edge.
     pub bandwidth_rejected: u64,
+    /// Requests refused because no routing could satisfy the task's
+    /// end-to-end delay budget (`delay_infeasible` on the wire).
+    pub delay_infeasible: u64,
 }
 
 impl ServiceStats {
@@ -106,6 +109,7 @@ impl ServiceStats {
             link_max_util: 0.0,
             link_mean_util: 0.0,
             bandwidth_rejected: 0,
+            delay_infeasible: 0,
         }
     }
 
@@ -159,6 +163,13 @@ impl ServiceStats {
                 100.0 * self.link_mean_util,
                 self.link_edges,
                 self.bandwidth_rejected
+            );
+        }
+        if self.delay_infeasible > 0 {
+            let _ = writeln!(
+                out,
+                "delay budget   : {} requests refused as delay-infeasible",
+                self.delay_infeasible
             );
         }
         if self.jobs_shed > 0 || self.commit_conflicts > 0 {
@@ -235,6 +246,19 @@ mod tests {
             text.contains("link util      : max 75.0%, mean 25.0% over 4 capacitated edges, 3 bandwidth-rejected"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn delay_infeasible_line_renders_only_when_counted() {
+        let mut s = ServiceStats::from_latencies(0, 0, 0, CacheStats::default(), &[]);
+        assert!(
+            !s.render().contains("delay budget"),
+            "delay line must stay silent at zero to keep legacy output byte-identical"
+        );
+        s.delay_infeasible = 2;
+        assert!(s
+            .render()
+            .contains("delay budget   : 2 requests refused as delay-infeasible"));
     }
 
     #[test]

@@ -21,11 +21,12 @@ const MESSAGES: [&str; 6] = [
     "",
 ];
 
-const CODES: [ErrorCode; 9] = [
+const CODES: [ErrorCode; 10] = [
     ErrorCode::ParseError,
     ErrorCode::UnsupportedVersion,
     ErrorCode::InvalidTask,
     ErrorCode::Infeasible,
+    ErrorCode::DelayInfeasible,
     ErrorCode::InsufficientCapacity,
     ErrorCode::Overloaded,
     ErrorCode::DeadlineExceeded,
@@ -40,10 +41,13 @@ fn arb_request() -> impl Strategy<Value = EmbedRequest> {
         vec(0usize..8, 1..5),
         (any::<bool>(), 0u64..10_000),
         0usize..3,
-        (any::<bool>(), 0u64..60_000),
+        (
+            (any::<bool>(), 0u64..60_000),
+            (any::<bool>(), 0.5f64..500.0),
+        ),
     )
         .prop_map(
-            |(source, dests, sfc, (has_id, id), mode_sel, (has_dl, dl))| {
+            |(source, dests, sfc, (has_id, id), mode_sel, ((has_dl, dl), (has_budget, budget)))| {
                 let mut req = EmbedRequest::new(source, dests, sfc);
                 if has_id {
                     req.id = Some(id);
@@ -56,6 +60,9 @@ fn arb_request() -> impl Strategy<Value = EmbedRequest> {
                 if has_dl {
                     req.deadline_ms = Some(dl);
                 }
+                if has_budget {
+                    req.delay_budget_ms = Some(budget);
+                }
                 req
             },
         )
@@ -67,11 +74,11 @@ fn arb_response() -> impl Strategy<Value = EmbedResponse> {
         0usize..3,
         (0.0f64..100.0, 0.0f64..500.0, any::<bool>()),
         vec((1usize..6, 0usize..200), 0..6),
-        0usize..CODES.len(),
-        0usize..MESSAGES.len(),
+        (0usize..CODES.len(), 0usize..MESSAGES.len()),
+        (any::<bool>(), 0.0f64..500.0),
     )
         .prop_map(
-            |((has_id, id), kind, (setup, link, committed), instances, code, msg)| {
+            |((has_id, id), kind, (setup, link, committed), instances, (code, msg), delay)| {
                 let id = has_id.then_some(id);
                 let body = match kind {
                     0 => ResponseBody::Ok {
@@ -79,6 +86,7 @@ fn arb_response() -> impl Strategy<Value = EmbedResponse> {
                         link,
                         committed,
                         instances,
+                        max_path_delay: delay.0.then_some(delay.1),
                     },
                     1 => ResponseBody::Error(WireError {
                         code: CODES[code],

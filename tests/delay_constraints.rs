@@ -1,0 +1,234 @@
+//! End-to-end delay-budget invariants, mirroring the QoS acceptance
+//! criteria:
+//!
+//! * every embedding accepted under a budget actually meets it (the
+//!   validator agrees, on random latency-bearing Waxman instances);
+//! * dense and lazy distance backends produce identical delay-aware
+//!   results;
+//! * a structurally infeasible budget is refused with the structured
+//!   `delay_infeasible` taxonomy code and leaves the network and its
+//!   ledger byte-identical;
+//! * the exact ILP and the heuristic agree on feasibility verdicts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sft::core::ilp::IlpModel;
+use sft::core::validate::validate;
+use sft::core::{
+    solve_with_options, CoreError, DistanceMode, MulticastTask, Network, Sfc, SolveOptions,
+    Strategy, VnfCatalog, VnfId,
+};
+use sft::graph::{generate, Graph, NodeId};
+use sft::lp::{MipConfig, MipStatus};
+use sft::service::{EmbedService, ErrorCode, ServiceError};
+
+/// A connected Waxman instance whose every edge carries a random
+/// latency in `(0.1, 1.1)`, so delay and cost genuinely diverge.
+fn latency_waxman(n: usize, seed: u64, mode: DistanceMode) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beta = 0.4;
+    let degree = 2.0 * (n as f64).ln();
+    let alpha = (degree / (4.0 * std::f64::consts::PI * beta * n as f64)).sqrt();
+    let mut g = generate::waxman(n, alpha, beta, 100.0, &mut rng).unwrap().graph;
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        g.set_edge_latency(e, Some(0.1 + rng.random::<f64>())).unwrap();
+    }
+    Network::builder(g, VnfCatalog::uniform(3))
+        .distance_mode(mode)
+        .all_servers(3.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn task_for(n: usize, seed: u64, budget: f64) -> MulticastTask {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    let source = rng.random_range(0..n);
+    let mut dests = Vec::new();
+    while dests.len() < 2 {
+        let d = rng.random_range(0..n);
+        if d != source && !dests.contains(&NodeId(d)) {
+            dests.push(NodeId(d));
+        }
+    }
+    let len = rng.random_range(1..=3);
+    let sfc = Sfc::new((0..len).map(VnfId).collect::<Vec<_>>()).unwrap();
+    MulticastTask::new(NodeId(source), dests, sfc)
+        .unwrap()
+        .with_delay_budget(budget)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accepted embeddings honour the budget (solver report and validator
+    /// agree); refusals certify a genuinely unreachable budget.
+    #[test]
+    fn accepted_embeddings_meet_their_budget(
+        n in 12usize..28,
+        seed in 0u64..500,
+        budget in 0.5f64..25.0,
+    ) {
+        let network = latency_waxman(n, seed, DistanceMode::Auto);
+        let task = task_for(n, seed, budget);
+        match solve_with_options(&network, &task, Strategy::Msa, SolveOptions::default()) {
+            Ok(r) => {
+                let delay = r.max_path_delay.expect("budgeted solves report a delay");
+                prop_assert!(
+                    delay <= budget + 1e-9,
+                    "reported delay {delay} exceeds budget {budget}"
+                );
+                let issues = validate(&network, &task, &r.embedding);
+                prop_assert!(issues.is_empty(), "{issues:?}");
+            }
+            Err(CoreError::DelayInfeasible { achieved, budget: b, .. }) => {
+                prop_assert!(achieved > b, "certificate must exceed the budget");
+            }
+            Err(e) => prop_assert!(false, "unexpected failure mode: {e}"),
+        }
+    }
+
+    /// The distance backend is an implementation detail under budgets
+    /// too: dense and lazy agree on the embedding, the cost, and the
+    /// achieved delay — or refuse with the same certificate.
+    #[test]
+    fn dense_and_lazy_agree_on_delay_aware_solves(
+        n in 12usize..24,
+        seed in 0u64..200,
+        budget in 0.5f64..25.0,
+    ) {
+        let dense = latency_waxman(n, seed, DistanceMode::Dense);
+        let lazy = latency_waxman(n, seed, DistanceMode::Lazy);
+        let task = task_for(n, seed, budget);
+        let a = solve_with_options(&dense, &task, Strategy::Msa, SolveOptions::default());
+        let b = solve_with_options(&lazy, &task, Strategy::Msa, SolveOptions::default());
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.embedding, y.embedding);
+                prop_assert_eq!(x.cost.total(), y.cost.total());
+                prop_assert_eq!(x.max_path_delay, y.max_path_delay);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+            (a, b) => prop_assert!(false, "backends disagree: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// A 4-node path `0 - 1 - 2 - 3` at latency 1 per hop: destination 3 is
+/// three units away, so any budget under 3 is structurally unreachable.
+fn path_network() -> Network {
+    let mut g = Graph::new(4);
+    for i in 0..3 {
+        let e = g.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        g.set_edge_latency(e, Some(1.0)).unwrap();
+    }
+    Network::builder(g, VnfCatalog::uniform(2))
+        .all_servers(4.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn path_task(budget: f64) -> MulticastTask {
+    MulticastTask::new(
+        NodeId(0),
+        vec![NodeId(3)],
+        Sfc::new(vec![VnfId(0)]).unwrap(),
+    )
+    .unwrap()
+    .with_delay_budget(budget)
+    .unwrap()
+}
+
+/// The structured-refusal regression: an unreachable budget maps onto the
+/// `delay_infeasible` wire code, counts in the service stats, and leaves
+/// the network, its deployments, and its bandwidth ledger untouched.
+#[test]
+fn infeasible_budget_is_refused_without_a_trace() {
+    let seed = path_network();
+    let mut svc = EmbedService::with_defaults(seed.clone());
+    let err = svc
+        .solve_and_commit(&path_task(2.0))
+        .expect_err("three hops cannot fit in two units");
+    assert_eq!(err.code(), ErrorCode::DelayInfeasible);
+    match err {
+        ServiceError::Core(CoreError::DelayInfeasible { achieved, budget, .. }) => {
+            assert_eq!(achieved, 3.0);
+            assert_eq!(budget, 2.0);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+    // Nothing committed, nothing counted as served, nothing leaked.
+    let network = svc.network();
+    assert_eq!(network.deployment_refcounts(), seed.deployment_refcounts());
+    for v in 0..4 {
+        assert_eq!(
+            network.residual_capacity(NodeId(v)),
+            seed.residual_capacity(NodeId(v))
+        );
+    }
+    assert!(network.edge_usage().is_empty());
+    let stats = svc.stats();
+    assert_eq!(stats.delay_infeasible, 1);
+    assert_eq!(stats.commits, 0);
+    assert!(stats.render().contains("delay-infeasible"), "{}", stats.render());
+
+    // The same task under a reachable budget commits and reports it.
+    let r = svc.solve_and_commit(&path_task(3.5)).expect("three hops fit");
+    let delay = r.max_path_delay.expect("budgeted solves report a delay");
+    assert!(delay <= 3.5 + 1e-9);
+    assert_eq!(svc.stats().commits, 1);
+}
+
+/// The exact ILP and the heuristic must hand down the same feasibility
+/// verdict on the paper's reduced backbone.
+#[test]
+fn exact_and_heuristic_agree_on_palmetto10_feasibility() {
+    let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+    let mut g = sft::topology::palmetto::graph().induced_subgraph(&nodes).unwrap();
+    assert!(g.is_connected(), "palmetto:10 must be a connected prefix");
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        g.set_edge_latency(e, Some(1.0)).unwrap();
+    }
+    let network = Network::builder(g, VnfCatalog::uniform(2))
+        .all_servers(2.0)
+        .unwrap()
+        .uniform_setup_cost(1.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let base = MulticastTask::new(
+        NodeId(0),
+        vec![NodeId(7), NodeId(9)],
+        Sfc::new(vec![VnfId(0), VnfId(1)]).unwrap(),
+    )
+    .unwrap();
+
+    for (budget, feasible) in [(0.5, false), (50.0, true)] {
+        let task = base.clone().with_delay_budget(budget).unwrap();
+        let heuristic = solve_with_options(&network, &task, Strategy::Msa, SolveOptions::default());
+        let model = IlpModel::build(&network, &task).unwrap();
+        let outcome = model
+            .solve(&network, &task, &MipConfig::default())
+            .unwrap();
+        if feasible {
+            let r = heuristic.expect("heuristic admits the loose budget");
+            assert!(r.max_path_delay.unwrap() <= budget + 1e-9);
+            assert_eq!(outcome.status, MipStatus::Optimal);
+            let exact = outcome.embedding.expect("optimal solves decode");
+            assert!(validate(&network, &task, &exact).is_empty());
+        } else {
+            assert!(
+                matches!(heuristic, Err(CoreError::DelayInfeasible { .. })),
+                "heuristic must refuse: {heuristic:?}"
+            );
+            assert_eq!(outcome.status, MipStatus::Infeasible);
+        }
+    }
+}
